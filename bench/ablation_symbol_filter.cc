@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Ablation of the Section 6.1 RNG-cell identification knobs: the
+ * +/- tolerance of the 3-bit-symbol filter and the Fprob screening
+ * window. Shows the yield/quality trade-off: looser filters admit more
+ * cells but lower-quality ones (bias measured on long re-samples).
+ */
+
+#include <cmath>
+#include <cstdio>
+
+#include "bench_util.hh"
+#include "core/identify.hh"
+#include "util/table.hh"
+
+using namespace drange;
+
+int
+main()
+{
+    bench::banner("Ablation: RNG-cell identification filter",
+                  "Yield and output bias vs symbol tolerance and Fprob "
+                  "screen window");
+
+    auto cfg = bench::benchDevice(dram::Manufacturer::A, 88, 404);
+    dram::DramDevice dev(cfg);
+    dram::DirectHost host(dev);
+    core::RngCellIdentifier identifier(host);
+    const dram::Region region{0, 0, 256, 0, 24};
+    const auto pattern = core::DataPattern::solid0();
+
+    util::Table table({"tolerance", "screen", "cells", "max |bias|",
+                       "mean |bias|"});
+    for (double tol : {0.05, 0.10, 0.15, 0.25, 0.50}) {
+        core::IdentifyParams params;
+        params.screen_iterations = 60;
+        params.samples = 1000;
+        params.symbol_tolerance = tol;
+        const auto cells = identifier.identify(region, pattern, params);
+
+        // Re-sample each accepted cell for a long stream and measure
+        // its residual bias.
+        double max_bias = 0.0, sum_bias = 0.0;
+        for (const auto &c : cells) {
+            const auto streams = identifier.sampleWord(
+                c.word, pattern, 10.0, 4000);
+            const double bias =
+                std::fabs(streams[c.bit].onesFraction() - 0.5);
+            max_bias = std::max(max_bias, bias);
+            sum_bias += bias;
+        }
+        table.addRow(
+            {util::Table::num(tol, 2), "[0.40,0.60]",
+             std::to_string(cells.size()),
+             cells.empty() ? "-" : util::Table::num(max_bias, 4),
+             cells.empty()
+                 ? "-"
+                 : util::Table::num(sum_bias / cells.size(), 4)});
+    }
+
+    // Screen-window sweep at the paper's tolerance.
+    for (auto window : {std::pair{0.45, 0.55}, std::pair{0.40, 0.60},
+                        std::pair{0.30, 0.70}, std::pair{0.20, 0.80}}) {
+        core::IdentifyParams params;
+        params.screen_iterations = 60;
+        params.samples = 1000;
+        params.symbol_tolerance = 0.10;
+        params.screen_lo = window.first;
+        params.screen_hi = window.second;
+        const auto cells = identifier.identify(region, pattern, params);
+        table.addRow({"0.10",
+                      "[" + util::Table::num(window.first, 2) + "," +
+                          util::Table::num(window.second, 2) + "]",
+                      std::to_string(cells.size()), "-", "-"});
+    }
+    std::printf("%s", table.toString().c_str());
+    std::printf("\nPaper setting: +/-10%% symbol tolerance over 1000 "
+                "samples; cells searched in the 40-60%% Fprob window.\n");
+    return 0;
+}

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Shared helpers for the benchmark harness binaries. Every bench prints
+ * the paper artifact it regenerates (figure/table number), the
+ * simulated-device parameters, and paper-reported reference values next
+ * to the measured ones.
+ */
+
+#ifndef DRANGE_BENCH_BENCH_UTIL_HH
+#define DRANGE_BENCH_BENCH_UTIL_HH
+
+#include <cstdio>
+#include <string>
+
+#include "core/drange.hh"
+#include "dram/device.hh"
+
+namespace drange::bench {
+
+/** Print the standard bench banner. */
+inline void
+banner(const std::string &artifact, const std::string &description)
+{
+    std::printf("==============================================================\n");
+    std::printf("D-RaNGe reproduction | %s\n", artifact.c_str());
+    std::printf("%s\n", description.c_str());
+    std::printf("==============================================================\n");
+}
+
+/** Device with a smaller bank (faster materialization) for benches. */
+inline dram::DeviceConfig
+benchDevice(dram::Manufacturer m, std::uint64_t seed,
+            std::uint64_t noise_seed = 0)
+{
+    auto cfg = dram::DeviceConfig::make(m, seed, noise_seed);
+    cfg.geometry.rows_per_bank = 8192;
+    return cfg;
+}
+
+/** D-RaNGe engine config tuned for bench runtimes. */
+inline core::DRangeConfig
+benchTrngConfig(int banks)
+{
+    core::DRangeConfig cfg;
+    cfg.banks = banks;
+    cfg.profile_rows = 256;
+    cfg.profile_words = 24;
+    cfg.identify.screen_iterations = 60;
+    cfg.identify.samples = 600;
+    cfg.identify.symbol_tolerance = 0.15;
+    return cfg;
+}
+
+} // namespace drange::bench
+
+#endif // DRANGE_BENCH_BENCH_UTIL_HH

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Regenerates paper Figure 8 and the Section 7.3 throughput results:
+ * TRNG throughput versus the number of banks used, for several dies of
+ * each manufacturer, plus the 4-channel maximum / average projection
+ * (paper: 717.4 / 435.7 Mb/s).
+ */
+
+#include <cstdio>
+#include <map>
+#include <vector>
+
+#include "bench_util.hh"
+#include "core/multichannel.hh"
+#include "util/stats.hh"
+#include "util/table.hh"
+
+using namespace drange;
+
+int
+main()
+{
+    bench::banner("Figure 8 / Section 7.3 throughput",
+                  "TRNG throughput vs banks used; 4-channel projection");
+
+    const int kDies = 3;
+    const std::size_t kBitsPerPoint = 30000;
+
+    double best_channel = 0.0;
+    std::vector<double> all_8bank;
+
+    for (auto mfr : {dram::Manufacturer::A, dram::Manufacturer::B,
+                     dram::Manufacturer::C}) {
+        std::printf("\n--- Manufacturer %s ---\n",
+                    dram::toString(mfr).c_str());
+        util::Table table({"banks", "median Mb/s", "min", "max"});
+
+        std::map<int, std::vector<double>> by_banks;
+        for (int die = 0; die < kDies; ++die) {
+            auto cfg = bench::benchDevice(mfr, 500 + die, 0);
+            dram::DramDevice dev(cfg);
+            core::DRangeTrng trng(dev, bench::benchTrngConfig(8));
+            trng.initialize();
+
+            for (int banks = 1; banks <= 8; ++banks) {
+                trng.setActiveBanks(banks);
+                if (trng.activeBanks() < banks)
+                    continue; // Die yielded fewer RNG-cell banks.
+                trng.generate(kBitsPerPoint);
+                const double mbps = trng.lastStats().throughputMbps();
+                by_banks[banks].push_back(mbps);
+                if (banks == 8) {
+                    all_8bank.push_back(mbps);
+                    best_channel = std::max(best_channel, mbps);
+                }
+            }
+        }
+
+        for (const auto &[banks, xs] : by_banks) {
+            const auto bw = util::BoxWhisker::of(xs);
+            table.addRow({std::to_string(banks),
+                          util::Table::num(bw.median, 1),
+                          util::Table::num(bw.min, 1),
+                          util::Table::num(bw.max, 1)});
+        }
+        std::printf("%s", table.toString().c_str());
+    }
+
+    const double avg_8bank = util::mean(all_8bank);
+    std::printf("\n4-channel projection (x4 single-channel rate):\n");
+    std::printf("  maximum: %.1f Mb/s   (paper: 717.4 Mb/s)\n",
+                4.0 * best_channel);
+    std::printf("  average: %.1f Mb/s   (paper: 435.7 Mb/s)\n",
+                4.0 * avg_8bank);
+
+    // Measured 4-channel aggregate (independent per-channel clocks).
+    {
+        core::MultiChannelTrng four(
+            bench::benchDevice(dram::Manufacturer::A, 500, 0), 4,
+            bench::benchTrngConfig(8));
+        four.initialize();
+        four.generate(60000);
+        std::printf("  measured 4-channel aggregate (mfr A dies): "
+                    "%.1f Mb/s\n",
+                    four.throughputMbps());
+    }
+    std::printf("\nPaper reference: throughput scales linearly with "
+                "banks; every device exceeds 40 Mb/s at 8 banks; "
+                "single-channel peaks 179.4/134.5/179.4 Mb/s for "
+                "A/B/C.\n");
+    return 0;
+}

@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Google-benchmark micro-kernels for the performance-critical pieces of
+ * the library: the device's failure-injecting read path, scheduler
+ * rounds, RNG-cell sampling, NIST kernels, and SHA-256.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "core/drange.hh"
+#include "dram/device.hh"
+#include "nist/nist.hh"
+#include "util/rng.hh"
+#include "util/sha256.hh"
+
+using namespace drange;
+
+namespace {
+
+dram::DeviceConfig
+deviceConfig()
+{
+    auto cfg = dram::DeviceConfig::make(dram::Manufacturer::A, 7, 101);
+    cfg.geometry.rows_per_bank = 4096;
+    return cfg;
+}
+
+void
+BM_DeviceReducedRead(benchmark::State &state)
+{
+    dram::DramDevice dev(deviceConfig());
+    for (int w = 0; w < 8; ++w)
+        dev.pokeWord(0, 100, w, 0);
+    double t = 1000.0;
+    int w = 0;
+    for (auto _ : state) {
+        dev.activate(t, 0, 100);
+        benchmark::DoNotOptimize(dev.read(t + 10.0, 0, w));
+        dev.precharge(t + 52.0, 0);
+        t += 100.0;
+        w = (w + 1) % 8;
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_DeviceReducedRead);
+
+void
+BM_DeviceFullTimingRead(benchmark::State &state)
+{
+    dram::DramDevice dev(deviceConfig());
+    dev.pokeWord(0, 100, 0, 0);
+    double t = 1000.0;
+    for (auto _ : state) {
+        dev.activate(t, 0, 100);
+        benchmark::DoNotOptimize(dev.read(t + 18.0, 0, 0));
+        dev.precharge(t + 60.0, 0);
+        t += 100.0;
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_DeviceFullTimingRead);
+
+void
+BM_SchedulerActReadPreRound(benchmark::State &state)
+{
+    dram::DramDevice dev(deviceConfig());
+    ctrl::TimingRegisterFile regs(dev.config().timing);
+    ctrl::CommandScheduler sched(dev, regs);
+    const int banks = static_cast<int>(state.range(0));
+    int row = 0;
+    for (auto _ : state) {
+        for (int b = 0; b < banks; ++b)
+            sched.activate(b, row);
+        std::uint64_t d;
+        for (int b = 0; b < banks; ++b)
+            sched.read(b, 0, d);
+        for (int b = 0; b < banks; ++b)
+            sched.precharge(b);
+        row = (row + 1) % 512;
+    }
+    state.SetItemsProcessed(state.iterations() * banks);
+}
+BENCHMARK(BM_SchedulerActReadPreRound)->Arg(1)->Arg(8);
+
+void
+BM_NistMonobit(benchmark::State &state)
+{
+    util::Xoshiro256ss rng(1);
+    util::BitStream bits;
+    for (int i = 0; i < 1 << 16; ++i)
+        bits.append(rng.nextBernoulli(0.5));
+    for (auto _ : state)
+        benchmark::DoNotOptimize(nist::monobit(bits).p_value);
+    state.SetItemsProcessed(state.iterations() * bits.size());
+}
+BENCHMARK(BM_NistMonobit);
+
+void
+BM_NistSerial(benchmark::State &state)
+{
+    util::Xoshiro256ss rng(2);
+    util::BitStream bits;
+    for (int i = 0; i < 1 << 16; ++i)
+        bits.append(rng.nextBernoulli(0.5));
+    for (auto _ : state)
+        benchmark::DoNotOptimize(nist::serial(bits, 8).p_value);
+    state.SetItemsProcessed(state.iterations() * bits.size());
+}
+BENCHMARK(BM_NistSerial);
+
+void
+BM_NistDft(benchmark::State &state)
+{
+    util::Xoshiro256ss rng(3);
+    util::BitStream bits;
+    for (int i = 0; i < 1 << 14; ++i)
+        bits.append(rng.nextBernoulli(0.5));
+    for (auto _ : state)
+        benchmark::DoNotOptimize(nist::dft(bits).p_value);
+    state.SetItemsProcessed(state.iterations() * bits.size());
+}
+BENCHMARK(BM_NistDft);
+
+void
+BM_Sha256(benchmark::State &state)
+{
+    std::vector<std::uint8_t> data(4096, 0xa5);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(util::Sha256::hash(data));
+    state.SetBytesProcessed(state.iterations() * data.size());
+}
+BENCHMARK(BM_Sha256);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Regenerates the Section 5.4 finding: a cell's activation-failure
+ * probability does not change significantly over time. The paper runs
+ * 250 rounds over 15 days; we run a scaled number of rounds (time does
+ * not age the simulated die, by design: process variation is frozen at
+ * manufacturing, which is the paper's own explanation) and report
+ * per-cell Fprob drift across rounds, plus RNG-cell set stability.
+ */
+
+#include <cstdio>
+#include <map>
+#include <vector>
+
+#include "bench_util.hh"
+#include "core/identify.hh"
+#include "util/stats.hh"
+
+using namespace drange;
+
+int
+main()
+{
+    bench::banner("Section 5.4",
+                  "Entropy variation over time: Fprob stability across "
+                  "repeated profiling rounds");
+
+    const int kRounds = 20;        // Paper: 250 rounds over 15 days.
+    const int kItersPerRound = 60; // Paper: 100 reads per round.
+    const dram::Region region{0, 0, 256, 0, 16};
+
+    auto cfg = bench::benchDevice(dram::Manufacturer::A, 900, 0);
+    dram::DramDevice dev(cfg);
+    dram::DirectHost host(dev);
+    core::ActivationFailureProfiler profiler(host);
+    const auto pattern = core::DataPattern::solid0();
+
+    // Track per-cell Fprob across rounds for cells that ever fail.
+    std::map<std::pair<int, long long>, std::vector<double>> history;
+    for (int round = 0; round < kRounds; ++round) {
+        // Model day gaps between rounds (auto-refresh keeps data).
+        host.advance(3600.0 * 1e9);
+        const auto counts = profiler.profile(region, pattern,
+                                             kItersPerRound, 10.0);
+        for (int r = 0; r < region.rows(); ++r)
+            for (int w = 0; w < region.words(); ++w)
+                for (int b = 0; b < 64; ++b)
+                    if (counts.count(r, w, b) > 0)
+                        history[{r, static_cast<long long>(w) * 64 + b}]
+                            .push_back(counts.fprob(r, w, b));
+    }
+
+    std::vector<double> stddevs, ranges;
+    int stable_cells = 0, observed = 0;
+    for (auto &[cell, fprobs] : history) {
+        if (static_cast<int>(fprobs.size()) < kRounds / 2)
+            continue; // Rarely-failing cell, not a candidate anyway.
+        ++observed;
+        const double sd = util::stddev(fprobs);
+        double lo = 1.0, hi = 0.0;
+        for (double p : fprobs) {
+            lo = std::min(lo, p);
+            hi = std::max(hi, p);
+        }
+        stddevs.push_back(sd);
+        ranges.push_back(hi - lo);
+        // Binomial sampling noise at p=0.5, n=60 has sd ~ 0.065; a
+        // stable cell's round-to-round sd should be comparable.
+        stable_cells += sd < 0.10;
+    }
+
+    std::printf("cells tracked across rounds: %d\n", observed);
+    std::printf("per-cell Fprob stddev across %d rounds: %s\n", kRounds,
+                util::BoxWhisker::of(stddevs).toString().c_str());
+    std::printf("per-cell Fprob min-max range: %s\n",
+                util::BoxWhisker::of(ranges).toString().c_str());
+    std::printf("cells with stddev < 0.10 (binomial-noise level): "
+                "%.1f%%\n",
+                100.0 * stable_cells / std::max(1, observed));
+
+    std::printf("\nPaper reference: activation failure probability does "
+                "not change significantly over a 15-day, 250-round "
+                "study; identified RNG cells can be trusted across "
+                "re-identification intervals of at least 15 days.\n");
+    return 0;
+}

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Regenerates the Section 7.3 energy analysis: the DRAMPower
+ * methodology — energy of the Algorithm 2 command trace minus the
+ * energy of an idle device over the same interval, divided by the bits
+ * produced (paper: 4.4 nJ/bit).
+ */
+
+#include <cstdio>
+
+#include "bench_util.hh"
+#include "power/power_model.hh"
+#include "util/table.hh"
+
+using namespace drange;
+
+int
+main()
+{
+    bench::banner("Section 7.3 energy",
+                  "Energy per generated bit (generation trace minus "
+                  "idle baseline)");
+
+    util::Table table({"banks", "bits", "sim time (us)", "E_gen (uJ)",
+                       "E_idle (uJ)", "nJ/bit"});
+
+    for (int banks : {2, 4, 8}) {
+        auto cfg = bench::benchDevice(dram::Manufacturer::A, 53, 0);
+        dram::DramDevice dev(cfg);
+        core::DRangeTrng trng(dev, bench::benchTrngConfig(banks));
+        trng.initialize();
+        trng.setActiveBanks(banks);
+
+        trng.scheduler().clearTrace();
+        trng.generate(60000);
+        const auto &st = trng.lastStats();
+
+        const power::PowerModel pm(power::PowerSpec::lpddr4(),
+                                   dev.config().timing);
+        const auto energy = pm.traceEnergy(
+            trng.scheduler().trace(), st.durationNs(),
+            trng.scheduler().activeTime());
+        const double idle = pm.idleEnergyNj(st.durationNs());
+        const double nj_per_bit =
+            (energy.total_nj() - idle) / static_cast<double>(st.bits);
+
+        table.addRow({std::to_string(trng.activeBanks()),
+                      std::to_string(st.bits),
+                      util::Table::num(st.durationNs() / 1e3, 1),
+                      util::Table::num(energy.total_nj() / 1e3, 2),
+                      util::Table::num(idle / 1e3, 2),
+                      util::Table::num(nj_per_bit, 2)});
+
+        if (banks == 8) {
+            std::printf("8-bank energy breakdown: ACT/PRE %.1f uJ, "
+                        "RD %.1f uJ, WR %.1f uJ, REF %.1f uJ, "
+                        "background %.1f uJ\n",
+                        energy.act_pre_nj / 1e3, energy.read_nj / 1e3,
+                        energy.write_nj / 1e3, energy.refresh_nj / 1e3,
+                        energy.background_nj / 1e3);
+        }
+    }
+    std::printf("%s", table.toString().c_str());
+    std::printf("\npaper: 4.4 nJ/bit on average (DRAMPower on Ramulator "
+                "traces, idle baseline subtracted).\n");
+    return 0;
+}

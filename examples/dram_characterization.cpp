@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Characterization tour: uses the profiling API directly (the way the
+ * paper's Section 5 experiments do) to explore one die — where the
+ * activation failures live, how a cell's failure probability moves with
+ * tRCD and temperature, and which cells qualify as RNG cells.
+ */
+
+#include <cstdio>
+
+#include "core/identify.hh"
+#include "core/profiler.hh"
+#include "dram/device.hh"
+
+using namespace drange;
+
+int
+main()
+{
+    auto cfg = dram::DeviceConfig::make(dram::Manufacturer::A,
+                                        /*seed=*/5);
+    cfg.geometry.rows_per_bank = 8192;
+    dram::DramDevice device(cfg);
+    dram::DirectHost host(device);
+    core::ActivationFailureProfiler profiler(host);
+
+    const dram::Region region{0, 0, 256, 0, 16};
+    const auto pattern = core::DataPattern::solid0();
+
+    // --- Where do failures live? ---
+    std::printf("profiling %lld cells at tRCD = 10 ns...\n",
+                region.cells());
+    const auto counts = profiler.profile(region, pattern, 50, 10.0);
+    std::printf("failing cells: %llu (%.3f%%), total failure events: "
+                "%llu\n",
+                static_cast<unsigned long long>(
+                    counts.cellsWithFailures()),
+                100.0 * static_cast<double>(counts.cellsWithFailures()) /
+                    static_cast<double>(region.cells()),
+                static_cast<unsigned long long>(counts.totalFailures()));
+
+    // Show the failing columns (they cluster on weak sense amps).
+    std::printf("failing columns:");
+    for (long long c = 0; c < region.words() * 64LL; ++c) {
+        bool fails = false;
+        for (int r = 0; r < region.rows() && !fails; ++r)
+            fails = counts.count(r, static_cast<int>(c / 64),
+                                 static_cast<int>(c % 64)) > 0;
+        if (fails)
+            std::printf(" %lld", c);
+    }
+    std::printf("\n");
+
+    // --- One cell's Fprob vs tRCD and temperature ---
+    const auto mid = counts.cellsInRange(0.35, 0.65);
+    if (!mid.empty()) {
+        const auto cell = mid.front();
+        std::printf("\ncell (row %d, column %lld): analytic Fprob\n",
+                    cell.row, cell.column);
+        std::printf("  tRCD sweep @45C: ");
+        for (double trcd : {8.0, 9.0, 10.0, 11.0, 12.0, 13.0})
+            std::printf("%.0fns:%.2f ", trcd,
+                        device.failureProbability(0, cell.row,
+                                                  cell.column, trcd));
+        std::printf("\n  temperature sweep @10ns: ");
+        for (double temp : {45.0, 55.0, 65.0}) {
+            device.setTemperature(temp);
+            std::printf("%.0fC:%.2f ", temp,
+                        device.failureProbability(0, cell.row,
+                                                  cell.column, 10.0));
+        }
+        device.setTemperature(45.0);
+        std::printf("\n");
+    }
+
+    // --- RNG-cell identification ---
+    core::RngCellIdentifier identifier(host);
+    core::IdentifyParams params;
+    params.screen_iterations = 50;
+    params.samples = 1000;
+    const auto cells = identifier.identify(region, pattern, params);
+    std::printf("\nRNG cells passing the 3-bit-symbol filter: %zu\n",
+                cells.size());
+    for (const auto &c : cells) {
+        std::printf("  row %4d word %2d bit %2d  Fprob %.2f  "
+                    "entropy %.4f\n",
+                    c.word.row, c.word.word, c.bit, c.fprob, c.entropy);
+    }
+    return 0;
+}

@@ -1,0 +1,51 @@
+#include "baselines/cmdsched_trng.hh"
+
+namespace drange::baselines {
+
+CmdSchedTrng::CmdSchedTrng(dram::DramDevice &device,
+                           const CmdSchedTrngConfig &config)
+    : device_(device), config_(config), regs_(device.config().timing),
+      scheduler_(device, regs_)
+{
+}
+
+util::BitStream
+CmdSchedTrng::generate(std::size_t num_bits)
+{
+    stats_ = CmdSchedStats{};
+    const double start = scheduler_.now();
+    const double tck = regs_.current().tck_ns;
+
+    util::BitStream out;
+    int bank = 0, row = 0;
+    while (out.size() < num_bits) {
+        unsigned folded = 0;
+        for (int a = 0; a < config_.accesses_per_bit; ++a) {
+            scheduler_.maybeRefresh();
+
+            // Walk a closed-row address pattern so each access incurs
+            // an activation whose issue time shifts against refresh.
+            if (device_.isOpen(bank))
+                scheduler_.precharge(bank);
+            const double begin = scheduler_.now();
+            scheduler_.activate(bank, row);
+            std::uint64_t data = 0;
+            const double done = scheduler_.read(bank, 0, data);
+
+            const auto latency_cycles =
+                static_cast<std::uint64_t>((done - begin) / tck + 0.5);
+            folded ^= static_cast<unsigned>(latency_cycles & 1);
+
+            bank = (bank + 1) % config_.banks;
+            if (bank == 0)
+                row = (row + 1) % config_.rows_touched;
+        }
+        out.append(folded & 1);
+    }
+
+    stats_.bits = out.size();
+    stats_.duration_ns = scheduler_.now() - start;
+    return out;
+}
+
+} // namespace drange::baselines

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * DRAM command-schedule TRNG baseline (Pyo+ [116], paper Section 8.1):
+ * harvests "randomness" from the variability of DRAM access latencies,
+ * which fluctuate as demand accesses contend with periodic refresh.
+ *
+ * The paper's critique — which this implementation demonstrably
+ * reproduces — is that the entropy source is *not* fundamentally
+ * non-deterministic: latencies are a deterministic function of the
+ * controller state, so the harvested bitstream has structure and fails
+ * NIST tests (see tests and the Table 2 bench).
+ */
+
+#ifndef DRANGE_BASELINES_CMDSCHED_TRNG_HH
+#define DRANGE_BASELINES_CMDSCHED_TRNG_HH
+
+#include <cstdint>
+
+#include "controller/scheduler.hh"
+#include "util/bitstream.hh"
+
+namespace drange::baselines {
+
+/** Configuration of the command-schedule TRNG. */
+struct CmdSchedTrngConfig
+{
+    int banks = 8;
+    int accesses_per_bit = 4; //!< Latency LSBs XOR-folded per bit.
+    int rows_touched = 64;    //!< Address walk footprint.
+};
+
+/** Statistics of a command-schedule TRNG run. */
+struct CmdSchedStats
+{
+    std::uint64_t bits = 0;
+    double duration_ns = 0.0;
+
+    double throughputMbps() const
+    {
+        return duration_ns > 0.0
+                   ? static_cast<double>(bits) / duration_ns * 1000.0
+                   : 0.0;
+    }
+};
+
+/**
+ * The command-schedule TRNG.
+ */
+class CmdSchedTrng
+{
+  public:
+    CmdSchedTrng(dram::DramDevice &device,
+                 const CmdSchedTrngConfig &config);
+
+    /** Generate bits from access-latency jitter. */
+    util::BitStream generate(std::size_t num_bits);
+
+    const CmdSchedStats &lastStats() const { return stats_; }
+
+  private:
+    dram::DramDevice &device_;
+    CmdSchedTrngConfig config_;
+    ctrl::TimingRegisterFile regs_;
+    ctrl::CommandScheduler scheduler_;
+    CmdSchedStats stats_;
+};
+
+} // namespace drange::baselines
+
+#endif // DRANGE_BASELINES_CMDSCHED_TRNG_HH

@@ -1,0 +1,95 @@
+#include "baselines/retention_trng.hh"
+
+#include <bit>
+
+#include "dram/cell_model.hh"
+#include "util/sha256.hh"
+
+namespace drange::baselines {
+
+RetentionTrng::RetentionTrng(dram::DramDevice &device,
+                             const RetentionTrngConfig &config)
+    : device_(device), host_(device), config_(config)
+{
+    if (config_.words == 0)
+        config_.words = device.config().geometry.words_per_row;
+}
+
+util::BitStream
+RetentionTrng::round()
+{
+    const auto &timing = device_.config().timing;
+
+    // Write the charged state into every cell of the block so that each
+    // cell is eligible to leak (true cells hold charge for 1, anti
+    // cells for 0).
+    for (int r = 0; r < config_.rows; ++r) {
+        const int row = config_.row_begin + r;
+        device_.activate(host_.now(), config_.bank, row);
+        host_.advance(timing.trcd_ns);
+        const bool charged =
+            dram::CellModel::isTrueCell({config_.bank, row, 0});
+        for (int w = 0; w < config_.words; ++w)
+            device_.write(host_.now(), config_.bank, w,
+                          charged ? ~std::uint64_t{0} : 0);
+        host_.advance(timing.tras_ns);
+        device_.precharge(host_.now(), config_.bank);
+        host_.advance(timing.trp_ns);
+    }
+
+    // Disable refresh and wait for retention failures to accumulate.
+    device_.setAutoRefresh(false);
+    host_.advance(config_.wait_seconds * 1e9);
+
+    // Read the block back and collect the error bitmap.
+    std::vector<std::uint8_t> error_bitmap;
+    std::uint64_t errors = 0;
+    for (int r = 0; r < config_.rows; ++r) {
+        const int row = config_.row_begin + r;
+        device_.activate(host_.now(), config_.bank, row);
+        host_.advance(timing.trcd_ns);
+        const bool charged =
+            dram::CellModel::isTrueCell({config_.bank, row, 0});
+        const std::uint64_t expected = charged ? ~std::uint64_t{0} : 0;
+        for (int w = 0; w < config_.words; ++w) {
+            const std::uint64_t value =
+                device_.read(host_.now(), config_.bank, w);
+            host_.advance(timing.tccd_ns);
+            const std::uint64_t diff = value ^ expected;
+            errors += std::popcount(diff);
+            for (int byte = 0; byte < 8; ++byte)
+                error_bitmap.push_back(
+                    static_cast<std::uint8_t>(diff >> (8 * byte)));
+        }
+        host_.advance(timing.tras_ns);
+        device_.precharge(host_.now(), config_.bank);
+        host_.advance(timing.trp_ns);
+    }
+    device_.setAutoRefresh(true);
+    device_.refreshAll(host_.now());
+    stats_.retention_errors += errors;
+
+    // Hash the error bitmap into a 256-bit random number (Sutar+).
+    const auto digest = util::Sha256::hash(error_bitmap);
+    util::BitStream out;
+    for (std::uint8_t byte : digest)
+        out.appendBits(byte, 8);
+    return out;
+}
+
+util::BitStream
+RetentionTrng::generate(std::size_t num_bits)
+{
+    stats_ = RetentionStats{};
+    const double start_s = host_.now() * 1e-9;
+
+    util::BitStream out;
+    while (out.size() < num_bits)
+        out.append(round());
+
+    stats_.bits = out.size();
+    stats_.sim_seconds = host_.now() * 1e-9 - start_s;
+    return out;
+}
+
+} // namespace drange::baselines

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * DRAM data-retention TRNG baseline (Keller+ [65], Sutar+ [141], paper
+ * Section 8.2): disable refresh over a DRAM block, wait tens of seconds
+ * for retention failures to accumulate, read the error bitmap, and hash
+ * it (SHA-256) into 256-bit random numbers. Inherently low-throughput:
+ * each 256-bit number costs one full wait interval.
+ */
+
+#ifndef DRANGE_BASELINES_RETENTION_TRNG_HH
+#define DRANGE_BASELINES_RETENTION_TRNG_HH
+
+#include <cstdint>
+
+#include "dram/direct_host.hh"
+#include "util/bitstream.hh"
+
+namespace drange::baselines {
+
+/** Configuration of the retention-failure TRNG. */
+struct RetentionTrngConfig
+{
+    double wait_seconds = 40.0; //!< Refresh-disabled interval (Sutar+).
+    int bank = 0;
+    int row_begin = 0;
+    int rows = 256;   //!< Block height (paper uses a 4 MiB block).
+    int words = 0;    //!< 0: full rows.
+};
+
+/** Statistics of a retention-TRNG run. */
+struct RetentionStats
+{
+    std::uint64_t bits = 0;
+    double sim_seconds = 0.0;
+    std::uint64_t retention_errors = 0;
+
+    double throughputMbps() const
+    {
+        return sim_seconds > 0.0
+                   ? static_cast<double>(bits) / sim_seconds / 1e6
+                   : 0.0;
+    }
+};
+
+/**
+ * The retention-failure TRNG.
+ */
+class RetentionTrng
+{
+  public:
+    RetentionTrng(dram::DramDevice &device,
+                  const RetentionTrngConfig &config);
+
+    /**
+     * Generate at least @p num_bits bits. Each 256-bit output costs one
+     * wait_seconds interval of simulated time.
+     */
+    util::BitStream generate(std::size_t num_bits);
+
+    const RetentionStats &lastStats() const { return stats_; }
+
+  private:
+    /** One round: write, wait, read errors, hash. */
+    util::BitStream round();
+
+    dram::DramDevice &device_;
+    dram::DirectHost host_;
+    RetentionTrngConfig config_;
+    RetentionStats stats_;
+};
+
+} // namespace drange::baselines
+
+#endif // DRANGE_BASELINES_RETENTION_TRNG_HH

@@ -1,0 +1,89 @@
+#include "baselines/startup_trng.hh"
+
+#include <stdexcept>
+
+namespace drange::baselines {
+
+StartupTrng::StartupTrng(dram::DramDevice &device,
+                         const StartupTrngConfig &config)
+    : device_(device), config_(config)
+{
+}
+
+void
+StartupTrng::enroll()
+{
+    const int words = device_.config().geometry.words_per_row;
+    const std::size_t cells =
+        static_cast<std::size_t>(config_.rows) * words * 64;
+
+    // A cell is noisy if its startup value is not identical across the
+    // enrollment power cycles.
+    std::vector<std::uint8_t> first(cells), stable(cells, 1);
+    for (int cycle = 0; cycle < config_.enroll_cycles; ++cycle) {
+        device_.powerCycle(now_ns_);
+        now_ns_ += config_.power_cycle_seconds * 1e9;
+        std::size_t idx = 0;
+        for (int r = 0; r < config_.rows; ++r) {
+            for (int w = 0; w < words; ++w) {
+                const std::uint64_t v = device_.peekWord(
+                    config_.bank, config_.row_begin + r, w);
+                for (int b = 0; b < 64; ++b, ++idx) {
+                    const std::uint8_t bit = (v >> b) & 1;
+                    if (cycle == 0)
+                        first[idx] = bit;
+                    else if (bit != first[idx])
+                        stable[idx] = 0;
+                }
+            }
+        }
+    }
+
+    noisy_cells_.clear();
+    std::size_t idx = 0;
+    for (int r = 0; r < config_.rows; ++r) {
+        for (int w = 0; w < words; ++w) {
+            for (int b = 0; b < 64; ++b, ++idx) {
+                if (!stable[idx]) {
+                    noisy_cells_.push_back(dram::CellAddress{
+                        config_.bank, config_.row_begin + r,
+                        static_cast<long long>(w) * 64 + b});
+                }
+            }
+        }
+    }
+}
+
+util::BitStream
+StartupTrng::readEnrolledCells()
+{
+    util::BitStream out;
+    for (const auto &cell : noisy_cells_)
+        out.append(
+            device_.peekBit(cell.bank, cell.row, cell.column));
+    return out;
+}
+
+util::BitStream
+StartupTrng::generate(std::size_t num_bits)
+{
+    if (noisy_cells_.empty())
+        throw std::logic_error("StartupTrng: enroll() first");
+
+    stats_ = StartupStats{};
+    stats_.enrolled_cells = noisy_cells_.size();
+    const double start_ns = now_ns_;
+
+    util::BitStream out;
+    while (out.size() < num_bits) {
+        device_.powerCycle(now_ns_);
+        now_ns_ += config_.power_cycle_seconds * 1e9;
+        out.append(readEnrolledCells());
+    }
+
+    stats_.bits = out.size();
+    stats_.sim_seconds = (now_ns_ - start_ns) * 1e-9;
+    return out;
+}
+
+} // namespace drange::baselines

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * DRAM startup-values TRNG baseline (Tehranipoor+ [144], Eckert+ [39],
+ * paper Section 8.3): random numbers are harvested from the power-up
+ * state of DRAM cells. A fraction of cells power up to a noisy value;
+ * those cells are enrolled once, and each generation round requires a
+ * full device power cycle, so the mechanism cannot stream.
+ */
+
+#ifndef DRANGE_BASELINES_STARTUP_TRNG_HH
+#define DRANGE_BASELINES_STARTUP_TRNG_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "dram/device.hh"
+#include "util/bitstream.hh"
+
+namespace drange::baselines {
+
+/** Configuration of the startup-values TRNG. */
+struct StartupTrngConfig
+{
+    int bank = 0;
+    int row_begin = 0;
+    int rows = 64;          //!< Enrollment region height.
+    int enroll_cycles = 4;  //!< Power cycles used to find noisy cells.
+    /** Simulated wall time of one power cycle (bus training, timing
+     * calibration, init; conservative vs. a real reboot). */
+    double power_cycle_seconds = 0.5;
+};
+
+/** Statistics of a startup-TRNG run. */
+struct StartupStats
+{
+    std::uint64_t bits = 0;
+    double sim_seconds = 0.0;
+    std::size_t enrolled_cells = 0;
+
+    double throughputMbps() const
+    {
+        return sim_seconds > 0.0
+                   ? static_cast<double>(bits) / sim_seconds / 1e6
+                   : 0.0;
+    }
+};
+
+/**
+ * The startup-values TRNG.
+ */
+class StartupTrng
+{
+  public:
+    StartupTrng(dram::DramDevice &device,
+                const StartupTrngConfig &config);
+
+    /** Find cells whose startup value flips across power cycles. */
+    void enroll();
+
+    /** Generate bits; each batch of enrolled-cell bits costs one full
+     * power cycle. Requires enroll() first. */
+    util::BitStream generate(std::size_t num_bits);
+
+    const StartupStats &lastStats() const { return stats_; }
+    std::size_t enrolledCells() const { return noisy_cells_.size(); }
+
+  private:
+    util::BitStream readEnrolledCells();
+
+    dram::DramDevice &device_;
+    StartupTrngConfig config_;
+    std::vector<dram::CellAddress> noisy_cells_;
+    StartupStats stats_;
+    double now_ns_ = 0.0;
+};
+
+} // namespace drange::baselines
+
+#endif // DRANGE_BASELINES_STARTUP_TRNG_HH

@@ -1,0 +1,35 @@
+/**
+ * @file
+ * DRAM command types and the timed command trace consumed by the power
+ * model.
+ */
+
+#ifndef DRANGE_CONTROLLER_COMMAND_HH
+#define DRANGE_CONTROLLER_COMMAND_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace drange::ctrl {
+
+/** DRAM bus commands. */
+enum class CommandType { ACT, PRE, RD, WR, REF };
+
+/** @return mnemonic string for a command type. */
+std::string toString(CommandType type);
+
+/** One issued command with its bus timestamp. */
+struct TimedCommand
+{
+    CommandType type;
+    int bank;
+    double issue_ns;
+};
+
+/** Append-only command trace. */
+using CommandTrace = std::vector<TimedCommand>;
+
+} // namespace drange::ctrl
+
+#endif // DRANGE_CONTROLLER_COMMAND_HH

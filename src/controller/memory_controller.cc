@@ -1,0 +1,101 @@
+#include "controller/memory_controller.hh"
+
+#include <algorithm>
+#include <limits>
+
+namespace drange::ctrl {
+
+MemoryController::MemoryController(CommandScheduler &scheduler)
+    : scheduler_(scheduler)
+{
+}
+
+void
+MemoryController::enqueue(const Request &request)
+{
+    queue_.push_back(request);
+}
+
+double
+MemoryController::nextArrival() const
+{
+    double t = std::numeric_limits<double>::infinity();
+    for (const auto &r : queue_)
+        t = std::min(t, r.arrival_ns);
+    return t;
+}
+
+bool
+MemoryController::serviceOne()
+{
+    if (queue_.empty())
+        return false;
+
+    const double now = scheduler_.now();
+
+    // FR-FCFS: among arrived requests, prefer the oldest row hit; if
+    // none, the oldest request. If nothing has arrived yet, jump the
+    // clock to the next arrival.
+    auto arrived = [&](const Request &r) { return r.arrival_ns <= now; };
+    auto is_hit = [&](const Request &r) {
+        return scheduler_.device().isOpen(r.bank) &&
+               scheduler_.device().openRow(r.bank) == r.row;
+    };
+
+    std::size_t best = queue_.size();
+    bool best_hit = false;
+    for (std::size_t i = 0; i < queue_.size(); ++i) {
+        if (!arrived(queue_[i]))
+            continue;
+        const bool hit = is_hit(queue_[i]);
+        if (best == queue_.size() || (hit && !best_hit)) {
+            best = i;
+            best_hit = hit;
+        }
+        if (best_hit)
+            break; // Oldest hit found (queue is FIFO-ordered).
+    }
+
+    if (best == queue_.size()) {
+        const double arrival = nextArrival();
+        scheduler_.advanceTo(arrival);
+        return serviceOne();
+    }
+
+    Request req = queue_[best];
+    queue_.erase(queue_.begin() + static_cast<long>(best));
+
+    auto &dev = scheduler_.device();
+    scheduler_.maybeRefresh();
+
+    if (dev.isOpen(req.bank) && dev.openRow(req.bank) != req.row)
+        scheduler_.precharge(req.bank);
+    if (!dev.isOpen(req.bank)) {
+        scheduler_.activate(req.bank, req.row);
+        ++stats_.row_misses;
+    } else {
+        ++stats_.row_hits;
+    }
+
+    double done;
+    if (req.is_write) {
+        done = scheduler_.write(req.bank, req.word, 0);
+    } else {
+        std::uint64_t data;
+        done = scheduler_.read(req.bank, req.word, data);
+    }
+
+    req.completion_ns = done;
+    ++stats_.served;
+    stats_.total_latency_ns += std::max(0.0, done - req.arrival_ns);
+    return true;
+}
+
+void
+MemoryController::drain()
+{
+    while (serviceOne()) {
+    }
+}
+
+} // namespace drange::ctrl

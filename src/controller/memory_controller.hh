@@ -1,0 +1,96 @@
+/**
+ * @file
+ * A request-level memory controller with FR-FCFS scheduling.
+ *
+ * Used by the system-interference experiment (paper Section 7.3): it
+ * services an application's read/write request stream at default timing
+ * and exposes the residual idle DRAM bandwidth, in which D-RaNGe issues
+ * its reduced-tRCD sampling commands without slowing the application.
+ */
+
+#ifndef DRANGE_CONTROLLER_MEMORY_CONTROLLER_HH
+#define DRANGE_CONTROLLER_MEMORY_CONTROLLER_HH
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "controller/scheduler.hh"
+
+namespace drange::ctrl {
+
+/** One application memory request. */
+struct Request
+{
+    double arrival_ns = 0.0;
+    int bank = 0;
+    int row = 0;
+    int word = 0;
+    bool is_write = false;
+    double completion_ns = -1.0; //!< Filled by the controller.
+};
+
+/** Aggregate service statistics. */
+struct ControllerStats
+{
+    std::uint64_t served = 0;
+    std::uint64_t row_hits = 0;
+    std::uint64_t row_misses = 0;
+    double total_latency_ns = 0.0;
+
+    double avgLatency() const
+    {
+        return served ? total_latency_ns / static_cast<double>(served)
+                      : 0.0;
+    }
+    double rowHitRate() const
+    {
+        const auto total = row_hits + row_misses;
+        return total ? static_cast<double>(row_hits) / total : 0.0;
+    }
+};
+
+/**
+ * FR-FCFS request scheduler on top of the command scheduler.
+ */
+class MemoryController
+{
+  public:
+    explicit MemoryController(CommandScheduler &scheduler);
+
+    /** Add a request to the queue (any arrival order is accepted). */
+    void enqueue(const Request &request);
+
+    bool pending() const { return !queue_.empty(); }
+    std::size_t queueDepth() const { return queue_.size(); }
+
+    /**
+     * Service the best request whose arrival time has passed, following
+     * FR-FCFS: oldest row hit first, otherwise oldest request.
+     *
+     * @retval true if a request was serviced; false if the queue is
+     *         empty or nothing has arrived yet.
+     */
+    bool serviceOne();
+
+    /**
+     * Earliest arrival time among queued requests (for idle-window
+     * detection); +inf if the queue is empty.
+     */
+    double nextArrival() const;
+
+    /** Service everything in the queue. */
+    void drain();
+
+    const ControllerStats &stats() const { return stats_; }
+    CommandScheduler &scheduler() { return scheduler_; }
+
+  private:
+    CommandScheduler &scheduler_;
+    std::deque<Request> queue_;
+    ControllerStats stats_;
+};
+
+} // namespace drange::ctrl
+
+#endif // DRANGE_CONTROLLER_MEMORY_CONTROLLER_HH

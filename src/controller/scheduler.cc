@@ -1,0 +1,241 @@
+#include "controller/scheduler.hh"
+
+#include <algorithm>
+#include <cassert>
+
+namespace drange::ctrl {
+
+namespace {
+
+/** Command bus occupancy per command (LPDDR4 commands span multiple
+ * cycles; two clock edges is a reasonable abstraction). */
+double
+commandSlot(const dram::TimingParams &t)
+{
+    return 2.0 * t.tck_ns;
+}
+
+} // anonymous namespace
+
+std::string
+toString(CommandType type)
+{
+    switch (type) {
+      case CommandType::ACT:
+        return "ACT";
+      case CommandType::PRE:
+        return "PRE";
+      case CommandType::RD:
+        return "RD";
+      case CommandType::WR:
+        return "WR";
+      case CommandType::REF:
+        return "REF";
+    }
+    return "?";
+}
+
+CommandScheduler::CommandScheduler(dram::DramDevice &device,
+                                   TimingRegisterFile &regs)
+    : device_(device), regs_(regs),
+      banks_(device.config().geometry.banks)
+{
+    next_refresh_ns_ = regs_.defaults().trefi_ns;
+}
+
+void
+CommandScheduler::advanceTo(double ns)
+{
+    now_ns_ = std::max(now_ns_, ns);
+}
+
+void
+CommandScheduler::recordActiveInterval(double begin_ns, double end_ns)
+{
+    if (end_ns > begin_ns)
+        active_time_ns_ += end_ns - begin_ns;
+}
+
+void
+CommandScheduler::log(CommandType type, int bank, double t)
+{
+    trace_.push_back({type, bank, t});
+}
+
+double
+CommandScheduler::earliestActivate(int bank) const
+{
+    const auto &bt = banks_.at(bank);
+    double t = std::max({now_ns_, cmd_bus_free_, bt.act_allowed,
+                         rank_act_allowed_});
+    if (faw_window_.size() >= 4) {
+        const auto &tp = regs_.current();
+        t = std::max(t, faw_window_.front() + tp.tfaw_ns);
+    }
+    return t;
+}
+
+double
+CommandScheduler::earliestRead(int bank) const
+{
+    const auto &bt = banks_.at(bank);
+    assert(bt.open_row >= 0);
+    const auto &tp = regs_.current();
+    return std::max({now_ns_, cmd_bus_free_, bt.col_allowed,
+                     col_cmd_allowed_, bt.act_time + tp.trcd_ns});
+}
+
+double
+CommandScheduler::earliestWrite(int bank) const
+{
+    return earliestRead(bank);
+}
+
+double
+CommandScheduler::earliestPrecharge(int bank) const
+{
+    const auto &bt = banks_.at(bank);
+    return std::max({now_ns_, cmd_bus_free_, bt.pre_allowed});
+}
+
+double
+CommandScheduler::activate(int bank, int row)
+{
+    auto &bt = banks_.at(bank);
+    assert(bt.open_row < 0 && "ACT to an open bank");
+
+    const double t = earliestActivate(bank);
+    const auto &tp = regs_.current();
+
+    device_.activate(t, bank, row);
+    log(CommandType::ACT, bank, t);
+
+    bt.open_row = row;
+    bt.act_time = t;
+    bt.pre_allowed = std::max(bt.pre_allowed, t + tp.tras_ns);
+    bt.act_allowed = t + tp.trc_ns;
+    bt.col_allowed = std::max(bt.col_allowed, t); // tRCD applied lazily.
+
+    rank_act_allowed_ = t + tp.trrd_ns;
+    faw_window_.push_back(t);
+    while (faw_window_.size() > 4)
+        faw_window_.pop_front();
+
+    if (open_banks_ == 0)
+        active_since_ = t;
+    ++open_banks_;
+
+    cmd_bus_free_ = t + commandSlot(tp);
+    now_ns_ = t;
+    return t;
+}
+
+double
+CommandScheduler::precharge(int bank)
+{
+    auto &bt = banks_.at(bank);
+    assert(bt.open_row >= 0 && "PRE to a closed bank");
+
+    const double t = earliestPrecharge(bank);
+    const auto &tp = regs_.current();
+
+    device_.precharge(t, bank);
+    log(CommandType::PRE, bank, t);
+
+    bt.open_row = -1;
+    bt.act_time = -1.0;
+    bt.act_allowed = std::max(bt.act_allowed, t + tp.trp_ns);
+
+    --open_banks_;
+    if (open_banks_ == 0)
+        recordActiveInterval(active_since_, t);
+
+    cmd_bus_free_ = t + commandSlot(tp);
+    now_ns_ = t;
+    return t;
+}
+
+double
+CommandScheduler::read(int bank, int word, std::uint64_t &data_out)
+{
+    auto &bt = banks_.at(bank);
+    assert(bt.open_row >= 0 && "RD to a closed bank");
+
+    double t = earliestRead(bank);
+    const auto &tp = regs_.current();
+    // The data burst must find a free data bus.
+    t = std::max(t, data_bus_free_ - tp.tcl_ns);
+
+    data_out = device_.read(t, bank, word);
+    log(CommandType::RD, bank, t);
+
+    bt.col_allowed = std::max(bt.col_allowed, t + tp.tccd_ns);
+    bt.pre_allowed = std::max(bt.pre_allowed, t + tp.trtp_ns);
+    col_cmd_allowed_ = std::max(col_cmd_allowed_, t + tp.tccd_ns);
+    data_bus_free_ = t + tp.tcl_ns + tp.tbl_ns;
+
+    cmd_bus_free_ = t + commandSlot(tp);
+    now_ns_ = t;
+    return t + tp.tcl_ns + tp.tbl_ns;
+}
+
+double
+CommandScheduler::write(int bank, int word, std::uint64_t value)
+{
+    auto &bt = banks_.at(bank);
+    assert(bt.open_row >= 0 && "WR to a closed bank");
+
+    double t = earliestWrite(bank);
+    const auto &tp = regs_.current();
+    t = std::max(t, data_bus_free_ - tp.tcwl_ns);
+
+    device_.write(t, bank, word, value);
+    log(CommandType::WR, bank, t);
+
+    const double recovery = t + tp.tcwl_ns + tp.tbl_ns + tp.twr_ns;
+    bt.col_allowed = std::max(bt.col_allowed, t + tp.tccd_ns);
+    bt.pre_allowed = std::max(bt.pre_allowed, recovery);
+    col_cmd_allowed_ =
+        std::max(col_cmd_allowed_, t + tp.tcwl_ns + tp.tbl_ns + tp.twtr_ns);
+    data_bus_free_ = t + tp.tcwl_ns + tp.tbl_ns;
+
+    cmd_bus_free_ = t + commandSlot(tp);
+    now_ns_ = t;
+    return recovery;
+}
+
+double
+CommandScheduler::refresh()
+{
+    // Close all banks first.
+    for (int b = 0; b < static_cast<int>(banks_.size()); ++b)
+        if (banks_[b].open_row >= 0)
+            precharge(b);
+
+    double t = std::max(now_ns_, cmd_bus_free_);
+    for (const auto &bt : banks_)
+        t = std::max(t, bt.act_allowed);
+
+    const auto &tp = regs_.current();
+    device_.refreshAll(t);
+    log(CommandType::REF, -1, t);
+
+    const double done = t + tp.trfc_ns;
+    for (auto &bt : banks_)
+        bt.act_allowed = std::max(bt.act_allowed, done);
+    cmd_bus_free_ = t + commandSlot(tp);
+    now_ns_ = t;
+    next_refresh_ns_ = t + tp.trefi_ns;
+    return done;
+}
+
+bool
+CommandScheduler::maybeRefresh()
+{
+    if (!auto_refresh_ || now_ns_ < next_refresh_ns_)
+        return false;
+    refresh();
+    return true;
+}
+
+} // namespace drange::ctrl

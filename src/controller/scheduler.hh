@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Cycle-level DRAM command scheduler.
+ *
+ * Tracks every JEDEC inter-command constraint (tRCD, tRP, tRAS, tRC,
+ * tRRD, tFAW, tCCD, tRTP, tWR, tWTR, data-bus occupancy, tREFI/tRFC) and
+ * issues each command at the earliest legal bus slot. Commands to
+ * different banks pipeline naturally, which is what gives D-RaNGe its
+ * bank-parallel throughput scaling (paper Figure 8).
+ *
+ * The tRCD constraint is read from the TimingRegisterFile at READ issue
+ * time, so programming a reduced tRCD immediately shortens the ACT->RD
+ * distance of subsequent accesses; the device model then sees the short
+ * elapsed time and produces activation failures.
+ */
+
+#ifndef DRANGE_CONTROLLER_SCHEDULER_HH
+#define DRANGE_CONTROLLER_SCHEDULER_HH
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "controller/command.hh"
+#include "controller/timing_regs.hh"
+#include "dram/device.hh"
+
+namespace drange::ctrl {
+
+/**
+ * Issues DRAM commands against a device at the earliest legal times.
+ */
+class CommandScheduler
+{
+  public:
+    CommandScheduler(dram::DramDevice &device, TimingRegisterFile &regs);
+
+    /** Current bus time (time of the last issued command). */
+    double now() const { return now_ns_; }
+
+    /** Move the clock forward without issuing anything. */
+    void advanceTo(double ns);
+
+    // --- Earliest legal issue times (do not issue) ---
+    double earliestActivate(int bank) const;
+    double earliestRead(int bank) const;
+    double earliestWrite(int bank) const;
+    double earliestPrecharge(int bank) const;
+
+    // --- Issue commands; each returns the command's issue time ---
+    double activate(int bank, int row);
+    double precharge(int bank);
+
+    /**
+     * Issue a READ. @p data_out receives the (possibly failing) word.
+     * @return the time the last data beat leaves the bus.
+     */
+    double read(int bank, int word, std::uint64_t &data_out);
+
+    /** Issue a WRITE. @return the time write recovery completes. */
+    double write(int bank, int word, std::uint64_t value);
+
+    /** Precharge all banks and issue a REF. @return completion time. */
+    double refresh();
+
+    /**
+     * Issue a REF if tREFI has elapsed since the last one. Callers in
+     * long generation loops invoke this once per iteration to keep
+     * refresh overhead accounted for. @return true if a REF was issued.
+     */
+    bool maybeRefresh();
+
+    /** Enable/disable the periodic-refresh obligation. */
+    void setAutoRefresh(bool enabled) { auto_refresh_ = enabled; }
+
+    const CommandTrace &trace() const { return trace_; }
+    void clearTrace() { trace_.clear(); }
+
+    /** Rank-level busy/active statistics for the power model. */
+    double activeTime() const { return active_time_ns_; }
+
+    dram::DramDevice &device() { return device_; }
+    const TimingRegisterFile &registers() const { return regs_; }
+
+  private:
+    struct BankTiming
+    {
+        double act_allowed = 0.0;
+        double pre_allowed = 0.0;
+        double col_allowed = 0.0; //!< Earliest column command (bank).
+        double act_time = -1.0;   //!< Time of the last ACT (-1: closed).
+        int open_row = -1;
+    };
+
+    void recordActiveInterval(double begin_ns, double end_ns);
+    void log(CommandType type, int bank, double t);
+
+    dram::DramDevice &device_;
+    TimingRegisterFile &regs_;
+    std::vector<BankTiming> banks_;
+
+    double now_ns_ = 0.0;
+    double cmd_bus_free_ = 0.0;
+    double data_bus_free_ = 0.0;
+    double rank_act_allowed_ = 0.0;  //!< tRRD.
+    double col_cmd_allowed_ = 0.0;   //!< tCCD / tWTR across the rank.
+    std::deque<double> faw_window_;  //!< Last ACT times for tFAW.
+    double next_refresh_ns_ = 0.0;
+    bool auto_refresh_ = true;
+
+    double active_time_ns_ = 0.0;
+    int open_banks_ = 0;
+    double active_since_ = 0.0;
+
+    CommandTrace trace_;
+};
+
+} // namespace drange::ctrl
+
+#endif // DRANGE_CONTROLLER_SCHEDULER_HH

@@ -1,0 +1,15 @@
+#include "controller/softmc.hh"
+
+namespace drange::ctrl {
+
+SoftMc::SoftMc(dram::Manufacturer manufacturer, std::uint64_t seed,
+               std::uint64_t noise_seed)
+{
+    dram::DeviceConfig cfg =
+        dram::DeviceConfig::make(manufacturer, seed, noise_seed);
+    cfg.timing = dram::TimingParams::ddr3_1600();
+    device_ = std::make_unique<dram::DramDevice>(cfg);
+    host_ = std::make_unique<dram::DirectHost>(*device_);
+}
+
+} // namespace drange::ctrl

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * SoftMC-style validation harness.
+ *
+ * The paper validates its LPDDR4 findings on four DDR3 devices driven by
+ * the open-source SoftMC FPGA infrastructure (Section 4). This class
+ * reproduces that setup: it owns a DDR3-timed device and exposes the same
+ * command-programmable interface, so every characterization routine can
+ * run unchanged against the DDR3 substrate.
+ */
+
+#ifndef DRANGE_CONTROLLER_SOFTMC_HH
+#define DRANGE_CONTROLLER_SOFTMC_HH
+
+#include <memory>
+
+#include "dram/device.hh"
+#include "dram/direct_host.hh"
+
+namespace drange::ctrl {
+
+/**
+ * A DDR3 device + direct host pair, mirroring the paper's SoftMC rig.
+ */
+class SoftMc
+{
+  public:
+    /**
+     * Build a DDR3 validation device.
+     *
+     * @param manufacturer Profile to emulate (paper uses one vendor).
+     * @param seed Manufacturing seed (one seed per physical chip).
+     * @param noise_seed 0 for hardware-like nondeterminism.
+     */
+    SoftMc(dram::Manufacturer manufacturer, std::uint64_t seed,
+           std::uint64_t noise_seed = 0);
+
+    dram::DramDevice &device() { return *device_; }
+    dram::DirectHost &host() { return *host_; }
+
+  private:
+    std::unique_ptr<dram::DramDevice> device_;
+    std::unique_ptr<dram::DirectHost> host_;
+};
+
+} // namespace drange::ctrl
+
+#endif // DRANGE_CONTROLLER_SOFTMC_HH

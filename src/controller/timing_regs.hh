@@ -1,0 +1,56 @@
+/**
+ * @file
+ * The memory controller's timing register file.
+ *
+ * D-RaNGe's low implementation cost hinges on the fact that memory
+ * controllers keep DRAM timing parameters in software-visible registers
+ * (paper Section 7.3, "Low Implementation Cost"). This class models that
+ * register file: it holds the JEDEC default parameters and allows tRCD to
+ * be switched between the default and a reduced value at runtime, which
+ * is the only modification D-RaNGe requires.
+ */
+
+#ifndef DRANGE_CONTROLLER_TIMING_REGS_HH
+#define DRANGE_CONTROLLER_TIMING_REGS_HH
+
+#include "dram/config.hh"
+
+namespace drange::ctrl {
+
+/**
+ * Software-programmable DRAM timing registers.
+ */
+class TimingRegisterFile
+{
+  public:
+    explicit TimingRegisterFile(const dram::TimingParams &defaults)
+        : defaults_(defaults), current_(defaults)
+    {
+    }
+
+    /** The JEDEC-default parameter set. */
+    const dram::TimingParams &defaults() const { return defaults_; }
+
+    /** The currently programmed parameter set. */
+    const dram::TimingParams &current() const { return current_; }
+
+    /** Program a reduced tRCD (D-RaNGe sampling mode). */
+    void setReducedTrcd(double trcd_ns) { current_.trcd_ns = trcd_ns; }
+
+    /** Restore the default tRCD (normal operation). */
+    void restoreDefaultTrcd() { current_.trcd_ns = defaults_.trcd_ns; }
+
+    /** @return true while a reduced tRCD is programmed. */
+    bool trcdReduced() const
+    {
+        return current_.trcd_ns < defaults_.trcd_ns;
+    }
+
+  private:
+    dram::TimingParams defaults_;
+    dram::TimingParams current_;
+};
+
+} // namespace drange::ctrl
+
+#endif // DRANGE_CONTROLLER_TIMING_REGS_HH

@@ -1,0 +1,90 @@
+#include "core/data_pattern.hh"
+
+#include <cassert>
+
+namespace drange::core {
+
+DataPattern::DataPattern(Kind kind, bool inverted, int walk_pos)
+    : kind_(kind), inverted_(inverted), walk_pos_(walk_pos)
+{
+    assert(walk_pos >= 0 && walk_pos < 16);
+}
+
+std::uint64_t
+DataPattern::wordAt(int row, int word) const
+{
+    std::uint64_t v = 0;
+    switch (kind_) {
+      case Kind::Solid:
+        v = ~std::uint64_t{0};
+        break;
+      case Kind::Checkered:
+        // Bit (row + column) parity; base stores 1 on even parity.
+        v = (row % 2 == 0) ? 0x5555555555555555ULL
+                           : 0xaaaaaaaaaaaaaaaaULL;
+        break;
+      case Kind::RowStripe:
+        v = (row % 2 == 0) ? ~std::uint64_t{0} : 0;
+        break;
+      case Kind::ColStripe:
+        (void)word;
+        v = 0x5555555555555555ULL;
+        break;
+      case Kind::Walk:
+        v = 0x0001000100010001ULL << walk_pos_;
+        break;
+    }
+    return inverted_ ? ~v : v;
+}
+
+std::string
+DataPattern::name() const
+{
+    switch (kind_) {
+      case Kind::Solid:
+        return inverted_ ? "SOLID0" : "SOLID1";
+      case Kind::Checkered:
+        return inverted_ ? "CHECK0" : "CHECK1";
+      case Kind::RowStripe:
+        return inverted_ ? "ROWSTR0" : "ROWSTR1";
+      case Kind::ColStripe:
+        return inverted_ ? "COLSTR0" : "COLSTR1";
+      case Kind::Walk:
+        return (inverted_ ? "WALK0[" : "WALK1[") +
+               std::to_string(walk_pos_) + "]";
+    }
+    return "?";
+}
+
+std::vector<DataPattern>
+DataPattern::all40()
+{
+    std::vector<DataPattern> out;
+    for (bool inv : {false, true}) {
+        out.emplace_back(Kind::Solid, inv);
+        out.emplace_back(Kind::Checkered, inv);
+        out.emplace_back(Kind::RowStripe, inv);
+        out.emplace_back(Kind::ColStripe, inv);
+    }
+    for (int pos = 0; pos < 16; ++pos)
+        out.emplace_back(Kind::Walk, false, pos);
+    for (int pos = 0; pos < 16; ++pos)
+        out.emplace_back(Kind::Walk, true, pos);
+    return out;
+}
+
+DataPattern
+DataPattern::bestFor(dram::Manufacturer m)
+{
+    switch (m) {
+      case dram::Manufacturer::A:
+        return solid0();
+      case dram::Manufacturer::B:
+        return checkered0();
+      case dram::Manufacturer::C:
+        return solid0();
+    }
+    return solid0();
+}
+
+} // namespace drange::core

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * The 40 data patterns of the paper's data-pattern-dependence study
+ * (Section 5.2): solid, checkered, row stripe, column stripe, 16 walking
+ * 1s, and the inverses of all 20.
+ */
+
+#ifndef DRANGE_CORE_DATA_PATTERN_HH
+#define DRANGE_CORE_DATA_PATTERN_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "dram/config.hh"
+
+namespace drange::core {
+
+/**
+ * A deterministic data pattern over (row, word) coordinates.
+ */
+class DataPattern
+{
+  public:
+    enum class Kind {
+        Solid,     //!< All bits take the base value.
+        Checkered, //!< Alternating per bit and per row.
+        RowStripe, //!< Rows alternate solid values.
+        ColStripe, //!< Bit columns alternate values.
+        Walk,      //!< One base-value bit walking within 16-bit groups.
+    };
+
+    /** Construct: @p inverted selects the inverse pattern; @p walk_pos
+     * is the walking-bit position (0..15) for Kind::Walk. */
+    DataPattern(Kind kind, bool inverted, int walk_pos = 0);
+
+    /** The 64-bit value this pattern stores at (row, word). */
+    std::uint64_t wordAt(int row, int word) const;
+
+    /** Human-readable name, e.g. "SOLID0", "WALK1[3]". */
+    std::string name() const;
+
+    Kind kind() const { return kind_; }
+    bool inverted() const { return inverted_; }
+
+    // --- Named factories for the common patterns ---
+    static DataPattern solid1() { return {Kind::Solid, false}; }
+    static DataPattern solid0() { return {Kind::Solid, true}; }
+    static DataPattern checkered() { return {Kind::Checkered, false}; }
+    static DataPattern checkered0() { return {Kind::Checkered, true}; }
+    static DataPattern walk1(int pos) { return {Kind::Walk, false, pos}; }
+    static DataPattern walk0(int pos) { return {Kind::Walk, true, pos}; }
+
+    /** All 40 patterns of the study, in presentation order. */
+    static std::vector<DataPattern> all40();
+
+    /**
+     * The pattern that finds the most ~50%-Fprob cells for a given
+     * manufacturer (paper Section 5.2: solid 0s for A, checkered 0s for
+     * B, solid 0s for C).
+     */
+    static DataPattern bestFor(dram::Manufacturer m);
+
+  private:
+    Kind kind_;
+    bool inverted_;
+    int walk_pos_;
+};
+
+} // namespace drange::core
+
+#endif // DRANGE_CORE_DATA_PATTERN_HH

@@ -1,0 +1,90 @@
+#include "core/identify.hh"
+
+#include <algorithm>
+#include <map>
+
+#include "util/entropy.hh"
+
+namespace drange::core {
+
+RngCellIdentifier::RngCellIdentifier(dram::DirectHost &host) : host_(host)
+{
+}
+
+std::vector<util::BitStream>
+RngCellIdentifier::sampleWord(const dram::WordAddress &word,
+                              const DataPattern &pattern, double trcd_ns,
+                              int samples)
+{
+    std::vector<util::BitStream> streams(64);
+    const std::uint64_t original = pattern.wordAt(word.row, word.word);
+
+    for (int s = 0; s < samples; ++s) {
+        const std::uint64_t value =
+            host_.actReadPre(word.bank, word.row, word.word, trcd_ns);
+        for (int b = 0; b < 64; ++b)
+            streams[b].append((value >> b) & 1);
+        // Restore the original pattern (Algorithm 2 lines 10/14).
+        host_.writeWord(word.bank, word.row, word.word, original);
+    }
+    return streams;
+}
+
+std::vector<RngCell>
+RngCellIdentifier::identify(const dram::Region &region,
+                            const DataPattern &pattern,
+                            const IdentifyParams &params)
+{
+    // Stage 1: Fprob screen with Algorithm 1.
+    ActivationFailureProfiler profiler(host_);
+    const FailureCounts screen = profiler.profile(
+        region, pattern, params.screen_iterations, params.trcd_ns);
+
+    // Collect candidates grouped by word so one sampling pass covers
+    // every candidate bit of a word.
+    std::map<std::pair<int, int>, std::vector<int>> candidates;
+    for (int r = 0; r < region.rows(); ++r) {
+        for (int w = 0; w < region.words(); ++w) {
+            for (int b = 0; b < 64; ++b) {
+                const double p = screen.fprob(r, w, b);
+                if (p >= params.screen_lo && p <= params.screen_hi) {
+                    candidates[{region.row_begin + r,
+                                region.word_begin + w}]
+                        .push_back(b);
+                }
+            }
+        }
+    }
+
+    // Stage 2: long sampling + the 3-bit-symbol entropy filter. Restore
+    // the pattern in the whole region first (the screen leaves
+    // corrupted cells behind).
+    profiler.writePattern(region, pattern);
+
+    std::vector<RngCell> cells;
+    for (const auto &[rw, bit_list] : candidates) {
+        const dram::WordAddress word{region.bank, rw.first, rw.second};
+        const auto streams =
+            sampleWord(word, pattern, params.trcd_ns, params.samples);
+        for (int b : bit_list) {
+            const util::BitStream &s = streams[b];
+            if (!util::passesSymbolFilter(s, params.symbol_tolerance,
+                                          params.symbol_bits)) {
+                continue;
+            }
+            RngCell cell;
+            cell.word = word;
+            cell.bit = b;
+            cell.fprob = s.onesFraction();
+            // The pattern may store 1 here, in which case a failure
+            // reads 0; Fprob is the fraction of *failing* reads.
+            if ((pattern.wordAt(rw.first, rw.second) >> b) & 1)
+                cell.fprob = 1.0 - cell.fprob;
+            cell.entropy = util::shannonEntropy(s);
+            cells.push_back(cell);
+        }
+    }
+    return cells;
+}
+
+} // namespace drange::core

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * RNG-cell identification (paper Section 6.1): read every candidate cell
+ * many times with reduced tRCD, approximate its Shannon entropy by
+ * counting 3-bit symbols across the sampled bitstream, and accept cells
+ * whose symbols are approximately equiprobable.
+ */
+
+#ifndef DRANGE_CORE_IDENTIFY_HH
+#define DRANGE_CORE_IDENTIFY_HH
+
+#include <vector>
+
+#include "core/data_pattern.hh"
+#include "core/profiler.hh"
+#include "core/rng_cell.hh"
+#include "util/bitstream.hh"
+
+namespace drange::core {
+
+/** Knobs of the identification process. */
+struct IdentifyParams
+{
+    double trcd_ns = 10.0;       //!< Reduced activation latency.
+    int screen_iterations = 100; //!< Algorithm-1 sweeps for the screen.
+    double screen_lo = 0.40;     //!< Fprob screen lower bound.
+    double screen_hi = 0.60;     //!< Fprob screen upper bound.
+    int samples = 1000;          //!< Reads per candidate cell.
+    int symbol_bits = 3;         //!< Symbol width of the entropy filter.
+    double symbol_tolerance = 0.10; //!< +/- tolerance on symbol counts.
+};
+
+/**
+ * Identifies RNG cells in a device region.
+ */
+class RngCellIdentifier
+{
+  public:
+    explicit RngCellIdentifier(dram::DirectHost &host);
+
+    /**
+     * Two-stage identification: an Fprob screen over the region (cheap)
+     * followed by long sampling and the symbol filter on the surviving
+     * candidates. Each sample restores the data pattern afterwards,
+     * exactly as Algorithm 2 does during generation.
+     */
+    std::vector<RngCell> identify(const dram::Region &region,
+                                  const DataPattern &pattern,
+                                  const IdentifyParams &params);
+
+    /**
+     * Sample one word @p samples times with reduced tRCD, restoring the
+     * pattern after each read. @return one bitstream per bit of the
+     * word, each of length @p samples (bit = 1 iff the read failed).
+     */
+    std::vector<util::BitStream>
+    sampleWord(const dram::WordAddress &word, const DataPattern &pattern,
+               double trcd_ns, int samples);
+
+  private:
+    dram::DirectHost &host_;
+};
+
+} // namespace drange::core
+
+#endif // DRANGE_CORE_IDENTIFY_HH

@@ -1,0 +1,45 @@
+#include "core/latency_puf.hh"
+
+#include <cassert>
+
+namespace drange::core {
+
+double
+PufResponse::distanceTo(const PufResponse &other) const
+{
+    assert(bits.size() == other.bits.size());
+    if (bits.empty())
+        return 0.0;
+    std::size_t diff = 0;
+    for (std::size_t i = 0; i < bits.size(); ++i)
+        diff += bits[i] != other.bits[i];
+    return static_cast<double>(diff) /
+           static_cast<double>(bits.size());
+}
+
+LatencyPuf::LatencyPuf(dram::DirectHost &host) : host_(host)
+{
+}
+
+PufResponse
+LatencyPuf::evaluate(const dram::Region &region,
+                     const LatencyPufParams &params)
+{
+    ActivationFailureProfiler profiler(host_);
+    const FailureCounts counts =
+        profiler.profile(region, DataPattern::solid0(),
+                         params.iterations, params.trcd_ns);
+
+    PufResponse response;
+    response.region = region;
+    response.bits.reserve(static_cast<std::size_t>(region.cells()));
+    const double threshold = params.majority * params.iterations;
+    for (int r = 0; r < region.rows(); ++r)
+        for (int w = 0; w < region.words(); ++w)
+            for (int b = 0; b < 64; ++b)
+                response.bits.push_back(
+                    counts.count(r, w, b) >= threshold ? 1 : 0);
+    return response;
+}
+
+} // namespace drange::core

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * DRAM latency PUF (extension).
+ *
+ * The paper's related work (Kim+ [72], "The DRAM Latency PUF", HPCA
+ * 2018, by the same group) evaluates physical unclonable functions from
+ * the *deterministic* part of activation-failure patterns: which cells
+ * fail under reduced tRCD is decided by manufacturing-time process
+ * variation, so the failure bitmap of a region is a die fingerprint.
+ * D-RaNGe (Section 9) explicitly positions itself as the complementary
+ * use of the *non-deterministic* part. This module implements the PUF
+ * side on the same substrate: fingerprint enrollment, noisy
+ * re-evaluation, and Hamming-distance authentication.
+ */
+
+#ifndef DRANGE_CORE_LATENCY_PUF_HH
+#define DRANGE_CORE_LATENCY_PUF_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "core/profiler.hh"
+#include "dram/direct_host.hh"
+
+namespace drange::core {
+
+/** A PUF response: one bit per cell of the evaluated region. */
+struct PufResponse
+{
+    dram::Region region;
+    std::vector<std::uint8_t> bits; //!< 1 = cell failed repeatedly.
+
+    /** Fractional Hamming distance to another response of the same
+     * region shape. */
+    double distanceTo(const PufResponse &other) const;
+};
+
+/** Knobs of PUF evaluation. */
+struct LatencyPufParams
+{
+    double trcd_ns = 8.0; //!< Lower than TRNG use: more deterministic.
+    int iterations = 16;  //!< Reads per cell per evaluation.
+    /** A cell contributes a 1 iff it failed in at least this fraction
+     * of the reads (majority filtering suppresses RNG-cell noise). */
+    double majority = 0.75;
+};
+
+/**
+ * Evaluates latency-PUF responses on a device region.
+ */
+class LatencyPuf
+{
+  public:
+    explicit LatencyPuf(dram::DirectHost &host);
+
+    /** Evaluate the PUF response of a region (enrollment and
+     * authentication use the same procedure). */
+    PufResponse evaluate(const dram::Region &region,
+                         const LatencyPufParams &params = {});
+
+  private:
+    dram::DirectHost &host_;
+};
+
+} // namespace drange::core
+
+#endif // DRANGE_CORE_LATENCY_PUF_HH

@@ -1,0 +1,162 @@
+#include "core/profiler.hh"
+
+#include <bit>
+#include <cassert>
+
+namespace drange::core {
+
+FailureCounts::FailureCounts(const dram::Region &region, int iterations)
+    : region_(region), iterations_(iterations),
+      counts_(static_cast<std::size_t>(region.rows()) * region.words() *
+                  64,
+              0)
+{
+}
+
+std::size_t
+FailureCounts::index(int row_rel, int word_rel, int bit) const
+{
+    assert(row_rel >= 0 && row_rel < region_.rows());
+    assert(word_rel >= 0 && word_rel < region_.words());
+    assert(bit >= 0 && bit < 64);
+    return (static_cast<std::size_t>(row_rel) * region_.words() +
+            word_rel) *
+               64 +
+           bit;
+}
+
+std::uint32_t
+FailureCounts::count(int row_rel, int word_rel, int bit) const
+{
+    return counts_[index(row_rel, word_rel, bit)];
+}
+
+void
+FailureCounts::increment(int row_rel, int word_rel, int bit)
+{
+    ++counts_[index(row_rel, word_rel, bit)];
+}
+
+double
+FailureCounts::fprob(int row_rel, int word_rel, int bit) const
+{
+    return static_cast<double>(count(row_rel, word_rel, bit)) /
+           static_cast<double>(iterations_);
+}
+
+std::uint64_t
+FailureCounts::totalFailures() const
+{
+    std::uint64_t total = 0;
+    for (std::uint32_t c : counts_)
+        total += c;
+    return total;
+}
+
+std::uint64_t
+FailureCounts::cellsWithFailures() const
+{
+    std::uint64_t total = 0;
+    for (std::uint32_t c : counts_)
+        total += c > 0;
+    return total;
+}
+
+std::uint64_t
+FailureCounts::cellsInFprobRange(double lo, double hi) const
+{
+    std::uint64_t total = 0;
+    for (std::uint32_t c : counts_) {
+        const double p = static_cast<double>(c) /
+                         static_cast<double>(iterations_);
+        total += (p >= lo && p <= hi);
+    }
+    return total;
+}
+
+std::vector<dram::CellAddress>
+FailureCounts::cellsInRange(double lo, double hi) const
+{
+    std::vector<dram::CellAddress> out;
+    for (int r = 0; r < region_.rows(); ++r) {
+        for (int w = 0; w < region_.words(); ++w) {
+            for (int b = 0; b < 64; ++b) {
+                const double p = fprob(r, w, b);
+                if (p >= lo && p <= hi) {
+                    out.push_back(dram::CellAddress{
+                        region_.bank, region_.row_begin + r,
+                        static_cast<long long>(region_.word_begin + w) *
+                                64 +
+                            b});
+                }
+            }
+        }
+    }
+    return out;
+}
+
+ActivationFailureProfiler::ActivationFailureProfiler(
+    dram::DirectHost &host)
+    : host_(host)
+{
+}
+
+void
+ActivationFailureProfiler::writePattern(const dram::Region &region,
+                                        const DataPattern &pattern)
+{
+    auto &dev = host_.device();
+    const int rows_per_bank = dev.config().geometry.rows_per_bank;
+    const int row_lo = std::max(0, region.row_begin - 1);
+    const int row_hi = std::min(rows_per_bank, region.row_end + 1);
+
+    // Write complete rows (not only the profiled word window) so the
+    // row-level pattern context -- which the sense margin depends on --
+    // matches the context Algorithm 2 establishes during generation.
+    const int words_per_row = dev.config().geometry.words_per_row;
+    for (int row = row_lo; row < row_hi; ++row) {
+        dev.activate(host_.now(), region.bank, row);
+        host_.advance(dev.config().timing.trcd_ns);
+        for (int w = 0; w < words_per_row; ++w)
+            dev.write(host_.now(), region.bank, w, pattern.wordAt(row, w));
+        host_.advance(dev.config().timing.tras_ns);
+        dev.precharge(host_.now(), region.bank);
+        host_.advance(dev.config().timing.trp_ns);
+    }
+}
+
+FailureCounts
+ActivationFailureProfiler::profile(const dram::Region &region,
+                                   const DataPattern &pattern,
+                                   int iterations, double trcd_ns,
+                                   bool rewrite_each_iteration)
+{
+    FailureCounts counts(region, iterations);
+    writePattern(region, pattern);
+
+    for (int iter = 0; iter < iterations; ++iter) {
+        if (rewrite_each_iteration && iter > 0)
+            writePattern(region, pattern);
+        // Column-major order: every access targets a closed row
+        // (Algorithm 1 lines 4-10).
+        for (int w = region.word_begin; w < region.word_end; ++w) {
+            for (int row = region.row_begin; row < region.row_end;
+                 ++row) {
+                host_.refreshRow(region.bank, row);
+                const std::uint64_t value =
+                    host_.actReadPre(region.bank, row, w, trcd_ns);
+                const std::uint64_t expected = pattern.wordAt(row, w);
+                std::uint64_t diff = value ^ expected;
+                while (diff) {
+                    const int bit = std::countr_zero(diff);
+                    diff &= diff - 1;
+                    counts.increment(row - region.row_begin,
+                                     w - region.word_begin, bit);
+                }
+            }
+        }
+    }
+    return counts;
+}
+
+} // namespace drange::core

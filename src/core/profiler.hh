@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Algorithm 1 of the paper: activation-failure profiling.
+ *
+ * Writes a data pattern into a DRAM region, then repeatedly performs
+ * refresh -> ACT -> READ(reduced tRCD) -> PRE sweeps in column-major
+ * order, recording which cells return values different from the pattern.
+ */
+
+#ifndef DRANGE_CORE_PROFILER_HH
+#define DRANGE_CORE_PROFILER_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "core/data_pattern.hh"
+#include "dram/address.hh"
+#include "dram/direct_host.hh"
+
+namespace drange::core {
+
+/**
+ * Per-cell failure counts over a profiled region.
+ */
+class FailureCounts
+{
+  public:
+    FailureCounts(const dram::Region &region, int iterations);
+
+    const dram::Region &region() const { return region_; }
+    int iterations() const { return iterations_; }
+
+    /** Count for a cell, addressed region-relative. */
+    std::uint32_t count(int row_rel, int word_rel, int bit) const;
+    void increment(int row_rel, int word_rel, int bit);
+
+    /** Failure probability of a cell (count / iterations). */
+    double fprob(int row_rel, int word_rel, int bit) const;
+
+    /** Total failure events recorded. */
+    std::uint64_t totalFailures() const;
+
+    /** Number of distinct cells that failed at least once. */
+    std::uint64_t cellsWithFailures() const;
+
+    /** Number of cells whose Fprob lies in [lo, hi]. */
+    std::uint64_t cellsInFprobRange(double lo, double hi) const;
+
+    /** Region-relative addresses of cells with Fprob in [lo, hi]. */
+    std::vector<dram::CellAddress>
+    cellsInRange(double lo, double hi) const;
+
+  private:
+    std::size_t index(int row_rel, int word_rel, int bit) const;
+
+    dram::Region region_;
+    int iterations_;
+    std::vector<std::uint32_t> counts_;
+};
+
+/**
+ * Drives Algorithm 1 against a device through the direct host.
+ */
+class ActivationFailureProfiler
+{
+  public:
+    explicit ActivationFailureProfiler(dram::DirectHost &host);
+
+    /**
+     * Write @p pattern into the region plus a one-row guard band above
+     * and below (the pattern context the cell model senses).
+     */
+    void writePattern(const dram::Region &region,
+                      const DataPattern &pattern);
+
+    /**
+     * Run Algorithm 1.
+     *
+     * @param region Region under test.
+     * @param pattern Data pattern to test with.
+     * @param iterations Sweeps over the region.
+     * @param trcd_ns Reduced activation latency.
+     * @param rewrite_each_iteration Re-write the pattern before every
+     *        sweep (clears accumulated corruption; off in the paper).
+     */
+    FailureCounts profile(const dram::Region &region,
+                          const DataPattern &pattern, int iterations,
+                          double trcd_ns,
+                          bool rewrite_each_iteration = false);
+
+  private:
+    dram::DirectHost &host_;
+};
+
+} // namespace drange::core
+
+#endif // DRANGE_CORE_PROFILER_HH

@@ -1,0 +1,32 @@
+#include "core/rng_cell.hh"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace drange::core {
+
+void
+RngCellTable::store(double temperature_c, std::vector<RngCell> cells)
+{
+    table_[temperature_c] = std::move(cells);
+}
+
+const std::vector<RngCell> &
+RngCellTable::lookup(double temperature_c) const
+{
+    if (table_.empty())
+        throw std::out_of_range("RngCellTable::lookup on empty table");
+
+    auto best = table_.begin();
+    double best_dist = std::fabs(best->first - temperature_c);
+    for (auto it = table_.begin(); it != table_.end(); ++it) {
+        const double d = std::fabs(it->first - temperature_c);
+        if (d < best_dist) {
+            best = it;
+            best_dist = d;
+        }
+    }
+    return best->second;
+}
+
+} // namespace drange::core

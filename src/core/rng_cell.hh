@@ -1,0 +1,53 @@
+/**
+ * @file
+ * RNG cell records and the per-temperature cell table the memory
+ * controller keeps (paper Section 6.1: "we identify reliable RNG cells
+ * at each temperature and store their locations in the memory
+ * controller").
+ */
+
+#ifndef DRANGE_CORE_RNG_CELL_HH
+#define DRANGE_CORE_RNG_CELL_HH
+
+#include <map>
+#include <vector>
+
+#include "dram/address.hh"
+
+namespace drange::core {
+
+/** One identified RNG cell. */
+struct RngCell
+{
+    dram::WordAddress word;
+    int bit = 0;       //!< Bit position within the word.
+    double fprob = 0.0; //!< Measured failure probability.
+    double entropy = 0.0; //!< Shannon entropy of the sampled stream.
+
+    dram::CellAddress cell() const { return word.cell(bit); }
+};
+
+/**
+ * RNG cells of one device indexed by the temperature at which they were
+ * identified.
+ */
+class RngCellTable
+{
+  public:
+    /** Store the cell set identified at @p temperature_c. */
+    void store(double temperature_c, std::vector<RngCell> cells);
+
+    /** @return cells identified at the temperature closest to
+     * @p temperature_c; empty if the table is empty. */
+    const std::vector<RngCell> &lookup(double temperature_c) const;
+
+    bool empty() const { return table_.empty(); }
+    std::size_t temperatures() const { return table_.size(); }
+
+  private:
+    std::map<double, std::vector<RngCell>> table_;
+};
+
+} // namespace drange::core
+
+#endif // DRANGE_CORE_RNG_CELL_HH

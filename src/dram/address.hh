@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Address types for the simulated DRAM device.
+ *
+ * A cell is addressed by (bank, row, column) where column is the global
+ * bit index within the row (0 .. rowBits-1). A word address selects a
+ * 64-bit DRAM word (the access granularity of the paper's Algorithm 2).
+ */
+
+#ifndef DRANGE_DRAM_ADDRESS_HH
+#define DRANGE_DRAM_ADDRESS_HH
+
+#include <compare>
+#include <cstdint>
+
+namespace drange::dram {
+
+/** Address of a single DRAM cell (bit). */
+struct CellAddress
+{
+    int bank = 0;
+    int row = 0;
+    long long column = 0; //!< Global bit index within the row.
+
+    auto operator<=>(const CellAddress &) const = default;
+};
+
+/** Address of a 64-bit DRAM word. */
+struct WordAddress
+{
+    int bank = 0;
+    int row = 0;
+    int word = 0; //!< Word index within the row.
+
+    auto operator<=>(const WordAddress &) const = default;
+
+    /** @return the cell address of bit @p bit of this word. */
+    CellAddress cell(int bit) const
+    {
+        return CellAddress{bank, row,
+                           static_cast<long long>(word) * 64 + bit};
+    }
+};
+
+/** Rectangular region of a device, used by the profiler. */
+struct Region
+{
+    int bank = 0;
+    int row_begin = 0;
+    int row_end = 0;   //!< Exclusive.
+    int word_begin = 0;
+    int word_end = 0;  //!< Exclusive.
+
+    int rows() const { return row_end - row_begin; }
+    int words() const { return word_end - word_begin; }
+    long long cells() const
+    {
+        return static_cast<long long>(rows()) * words() * 64;
+    }
+};
+
+} // namespace drange::dram
+
+#endif // DRANGE_DRAM_ADDRESS_HH

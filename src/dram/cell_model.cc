@@ -1,0 +1,338 @@
+#include "dram/cell_model.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/rng.hh"
+#include "util/special_math.hh"
+
+namespace drange::dram {
+
+namespace {
+
+// Hash domain-separation tags for the frozen per-cell parameters.
+enum HashTag : std::uint64_t {
+    kTagWeakCol = 0x11,
+    kTagTau = 0x22,
+    kTagJitter = 0x33,
+    kTagSensitive = 0x44,
+    kTagTempCoeff = 0x55,
+    kTagRetention = 0x66,
+    kTagStartupNoisy = 0x77,
+    kTagStartupFixed = 0x88,
+    kTagStartupEpoch = 0x99,
+};
+
+/**
+ * Extra sense margin enjoyed by columns attached to healthy sense
+ * amplifiers; makes strong columns effectively failure-free at any tRCD
+ * the paper explores, matching Figure 4's column-localized failures.
+ */
+const double kStrongColumnBonus = 0.25;
+
+// (The repair floor is derived from the profile's plateau and edge
+// parameters; see cellJitter.)
+
+/** Worst-case characterized temperature (paper tests up to 70 C). */
+const double kWorstTempC = 70.0;
+
+} // anonymous namespace
+
+CellModel::CellModel(const DeviceConfig &config)
+    : profile_(config.profile), geometry_(config.geometry),
+      seed_(config.seed), default_trcd_ns_(config.timing.trcd_ns)
+{
+}
+
+namespace {
+
+std::uint64_t
+cacheKey(int bank, int subarray, long long column)
+{
+    return (static_cast<std::uint64_t>(bank) << 44) |
+           (static_cast<std::uint64_t>(subarray) << 24) |
+           static_cast<std::uint64_t>(column);
+}
+
+} // anonymous namespace
+
+ColumnParams
+CellModel::columnParams(int bank, int subarray, long long column) const
+{
+    const std::uint64_t key = cacheKey(bank, subarray, column);
+    auto it = col_cache_.find(key);
+    if (it != col_cache_.end())
+        return it->second;
+
+    ColumnParams p;
+    // Weak columns cluster: sense-amplifier stripe defects make groups
+    // of adjacent columns weak together, which is what lets single DRAM
+    // words contain up to 4 RNG cells (paper Figure 7).
+    const long long group = column / 4;
+    const std::uint64_t hg = util::hashMix(
+        {seed_, kTagWeakCol, static_cast<std::uint64_t>(bank),
+         static_cast<std::uint64_t>(subarray),
+         static_cast<std::uint64_t>(group)});
+    const bool group_weak = util::u64ToUnitDouble(hg) <
+                            profile_.weak_col_fraction / 0.7;
+    if (group_weak) {
+        const std::uint64_t hw = util::hashMix(
+            {seed_, kTagWeakCol + 1, static_cast<std::uint64_t>(bank),
+             static_cast<std::uint64_t>(subarray),
+             static_cast<std::uint64_t>(column)});
+        p.weak = util::u64ToUnitDouble(hw) < 0.7;
+    }
+
+    const std::uint64_t ht = util::hashMix(
+        {seed_, kTagTau, static_cast<std::uint64_t>(bank),
+         static_cast<std::uint64_t>(subarray),
+         static_cast<std::uint64_t>(column)});
+    const double g = util::u64ToGaussian(ht);
+    if (p.weak) {
+        p.tau_ns = profile_.tau_weak_ns *
+                   std::exp(profile_.tau_weak_sigma * g);
+    } else {
+        p.tau_ns = profile_.tau_strong_ns *
+                   std::exp(profile_.tau_strong_sigma * g);
+    }
+    col_cache_.emplace(key, p);
+    return p;
+}
+
+const CellModel::CellStatics &
+CellModel::cellStatics(const CellAddress &addr) const
+{
+    const int subarray = addr.row / profile_.subarray_rows;
+    const int row_in = addr.row % profile_.subarray_rows;
+    const std::uint64_t key = cacheKey(addr.bank, subarray, addr.column);
+
+    auto it = statics_cache_.find(key);
+    if (it == statics_cache_.end()) {
+        // Fill the whole column of this subarray in one pass.
+        const ColumnParams cp =
+            columnParams(addr.bank, subarray, addr.column);
+        std::vector<CellStatics> column(profile_.subarray_rows);
+        for (int r = 0; r < profile_.subarray_rows; ++r) {
+            const CellAddress a{addr.bank,
+                                subarray * profile_.subarray_rows + r,
+                                addr.column};
+            const double row_frac =
+                static_cast<double>(r) /
+                static_cast<double>(profile_.subarray_rows);
+            CellStatics cs;
+            cs.tau_ns = cp.tau_ns * (1.0 + profile_.row_slope * row_frac);
+            cs.jitter = cellJitter(a, cs.tau_ns);
+            cs.temp_coeff = tempCoeff(a);
+            cs.sensitive = sensitiveValue(a);
+            column[r] = cs;
+        }
+        it = statics_cache_.emplace(key, std::move(column)).first;
+    }
+    return it->second[row_in];
+}
+
+bool
+CellModel::isWeakColumn(const CellAddress &addr) const
+{
+    const int subarray = addr.row / profile_.subarray_rows;
+    return columnParams(addr.bank, subarray, addr.column).weak;
+}
+
+double
+CellModel::development(double elapsed_ns, double tau_ns) const
+{
+    const double t = elapsed_ns - profile_.charge_share_ns;
+    if (t <= 0.0)
+        return 0.0;
+    return 1.0 - std::exp(-t / tau_ns);
+}
+
+double
+CellModel::cellJitter(const CellAddress &addr, double tau_ns) const
+{
+    const std::uint64_t h = util::hashMix(
+        {seed_, kTagJitter, static_cast<std::uint64_t>(addr.bank),
+         static_cast<std::uint64_t>(addr.row),
+         static_cast<std::uint64_t>(addr.column)});
+    double jitter = profile_.cell_margin_sigma * util::u64ToGaussian(h);
+
+    // Factory repair: no cell may fail at the default tRCD even under
+    // the worst-case data pattern and temperature. Cells below the floor
+    // are lifted, exactly like post-manufacture binning/repair would.
+    const double worst_penalty =
+        profile_.value_weight + profile_.neighbor_weight +
+        profile_.droop_weight +
+        std::fabs(tempCoeff(addr)) *
+            (kWorstTempC - profile_.reference_temp_c);
+    const double m_default = development(default_trcd_ns_, tau_ns) -
+                             profile_.sense_threshold + jitter -
+                             worst_penalty;
+    const double floor =
+        profile_.metastable_window *
+            (1.0 + profile_.window_value_boost +
+             profile_.window_neighbor_boost +
+             profile_.window_droop_boost) +
+        4.5 * profile_.edge_sigma_ratio * profile_.noise_sigma;
+    if (m_default < floor)
+        jitter += floor - m_default;
+    return jitter;
+}
+
+double
+CellModel::tempCoeff(const CellAddress &addr) const
+{
+    const std::uint64_t h = util::hashMix(
+        {seed_, kTagTempCoeff, static_cast<std::uint64_t>(addr.bank),
+         static_cast<std::uint64_t>(addr.row),
+         static_cast<std::uint64_t>(addr.column)});
+    return profile_.temp_coeff +
+           profile_.temp_coeff_spread * util::u64ToGaussian(h);
+}
+
+bool
+CellModel::sensitiveValue(const CellAddress &addr) const
+{
+    const std::uint64_t h = util::hashMix(
+        {seed_, kTagSensitive, static_cast<std::uint64_t>(addr.bank),
+         static_cast<std::uint64_t>(addr.row),
+         static_cast<std::uint64_t>(addr.column)});
+    // true => sensitive when storing 1; false => sensitive when storing 0.
+    return util::u64ToUnitDouble(h) >= profile_.zero_pref_prob;
+}
+
+double
+CellModel::margin(const CellAddress &addr, double elapsed_ns,
+                  const SenseContext &ctx) const
+{
+    const int subarray = addr.row / profile_.subarray_rows;
+    const ColumnParams cp =
+        columnParams(addr.bank, subarray, addr.column);
+    const CellStatics &cs = cellStatics(addr);
+
+    // Rows farther from the local sense amplifiers develop more slowly
+    // (signal propagation along the bitline, paper Section 5.1); the
+    // row-distance factor is folded into the cached tau.
+    double m = development(elapsed_ns, cs.tau_ns) -
+               profile_.sense_threshold;
+    if (!cp.weak)
+        m += kStrongColumnBonus;
+    m += cs.jitter;
+
+    if (ctx.stored == cs.sensitive)
+        m -= profile_.value_weight;
+    m -= profile_.neighbor_weight * ctx.anti_neighbor_frac;
+    m -= profile_.droop_weight * ctx.same_direction_frac;
+    m -= cs.temp_coeff *
+         (ctx.temperature_c - profile_.reference_temp_c);
+    return m;
+}
+
+double
+CellModel::failureFromMargin(double m, double window_scale) const
+{
+    const double w = profile_.metastable_window * window_scale;
+    double m_eff;
+    if (m > w)
+        m_eff = m - w;
+    else if (m < -w)
+        m_eff = m + w;
+    else
+        return 0.5; // Metastable plateau: a perfectly fair coin.
+    return util::normalCdf(
+        -m_eff / (profile_.edge_sigma_ratio * profile_.noise_sigma));
+}
+
+double
+CellModel::windowScale(const CellAddress &addr,
+                       const SenseContext &ctx) const
+{
+    double scale = 1.0;
+    if (ctx.stored == cellStatics(addr).sensitive)
+        scale += profile_.window_value_boost;
+    scale += profile_.window_neighbor_boost * ctx.anti_neighbor_frac;
+    scale += profile_.window_droop_boost * ctx.same_direction_frac;
+    return scale;
+}
+
+double
+CellModel::failureProbability(const CellAddress &addr, double elapsed_ns,
+                              const SenseContext &ctx) const
+{
+    return failureFromMargin(margin(addr, elapsed_ns, ctx),
+                             windowScale(addr, ctx));
+}
+
+double
+CellModel::strongColumnCeiling(double elapsed_ns, double temp_c) const
+{
+    // Worst plausible strong column at the *current* temperature:
+    // +3.5 sigma tau, farthest row, worst data pattern, -3.5 sigma cell
+    // jitter.
+    const double tau = profile_.tau_strong_ns *
+                       std::exp(3.5 * profile_.tau_strong_sigma) *
+                       (1.0 + profile_.row_slope);
+    double m = development(elapsed_ns, tau) - profile_.sense_threshold +
+               kStrongColumnBonus;
+    m -= 3.5 * profile_.cell_margin_sigma;
+    m -= profile_.value_weight + profile_.neighbor_weight +
+         profile_.droop_weight;
+    const double dt = temp_c - profile_.reference_temp_c;
+    m -= (profile_.temp_coeff +
+          (dt >= 0 ? 3.5 : -3.5) * profile_.temp_coeff_spread) *
+         dt;
+    return failureFromMargin(m, 1.0 + profile_.window_value_boost +
+                                    profile_.window_neighbor_boost +
+                                    profile_.window_droop_boost);
+}
+
+double
+CellModel::retentionSeconds(const CellAddress &addr, double temp_c) const
+{
+    const std::uint64_t h = util::hashMix(
+        {seed_, kTagRetention, static_cast<std::uint64_t>(addr.bank),
+         static_cast<std::uint64_t>(addr.row),
+         static_cast<std::uint64_t>(addr.column)});
+    const double log10_t45 = profile_.retention_log10_mean +
+                             profile_.retention_log10_sigma *
+                                 util::u64ToGaussian(h);
+    const double derate = (temp_c - profile_.reference_temp_c) /
+                          profile_.retention_temp_halving_c *
+                          std::log10(2.0);
+    return std::pow(10.0, log10_t45 - derate);
+}
+
+bool
+CellModel::isTrueCell(const CellAddress &addr)
+{
+    return addr.row % 2 == 0;
+}
+
+bool
+CellModel::startupIsNoisy(const CellAddress &addr) const
+{
+    const std::uint64_t h = util::hashMix(
+        {seed_, kTagStartupNoisy, static_cast<std::uint64_t>(addr.bank),
+         static_cast<std::uint64_t>(addr.row),
+         static_cast<std::uint64_t>(addr.column)});
+    return util::u64ToUnitDouble(h) < profile_.startup_random_fraction;
+}
+
+bool
+CellModel::startupValue(const CellAddress &addr, std::uint64_t epoch) const
+{
+    if (startupIsNoisy(addr)) {
+        const std::uint64_t h = util::hashMix(
+            {seed_, kTagStartupEpoch, epoch,
+             static_cast<std::uint64_t>(addr.bank),
+             static_cast<std::uint64_t>(addr.row),
+             static_cast<std::uint64_t>(addr.column)});
+        return h & 1;
+    }
+    const std::uint64_t h = util::hashMix(
+        {seed_, kTagStartupFixed, static_cast<std::uint64_t>(addr.bank),
+         static_cast<std::uint64_t>(addr.row),
+         static_cast<std::uint64_t>(addr.column)});
+    return h & 1;
+}
+
+} // namespace drange::dram

@@ -1,0 +1,173 @@
+/**
+ * @file
+ * Analog model of DRAM cell sensing, retention, and startup behaviour.
+ *
+ * This is the substitution for the paper's physical DRAM devices (see
+ * DESIGN.md). The model follows the causal chain the paper describes:
+ * after ACT, the sense amplifier develops the bitline voltage towards the
+ * cell value along an RC ramp whose time constant varies with
+ * manufacturing process variation (per sense amplifier / column, per row
+ * distance from the sense amps, and per cell). A READ issued before the
+ * development clears the sensing threshold fails with a probability set
+ * by the remaining margin and per-read thermal noise; a read exactly at
+ * the metastable point fails ~50% of the time, which is the paper's
+ * entropy source.
+ *
+ * All frozen (manufacturing-time) parameters are pure functions of the
+ * device seed and cell coordinates, so a device behaves identically
+ * across runs and across re-instantiations, mirroring Section 5.4's
+ * observation that failure probabilities are stable over time.
+ */
+
+#ifndef DRANGE_DRAM_CELL_MODEL_HH
+#define DRANGE_DRAM_CELL_MODEL_HH
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "dram/address.hh"
+#include "dram/config.hh"
+
+namespace drange::dram {
+
+/**
+ * Pattern-dependent context of a read, supplied by the device.
+ */
+struct SenseContext
+{
+    bool stored = false; //!< Value currently stored in the cell.
+    /** Fraction of physical neighbours storing the opposite value. */
+    double anti_neighbor_frac = 0.0;
+    /** Fraction of row cells driving bitlines in the same direction
+     * (models simultaneous-switching supply droop). */
+    double same_direction_frac = 1.0;
+    double temperature_c = 45.0;
+};
+
+/**
+ * Per-column sense parameters cached by the device for fast reads.
+ */
+struct ColumnParams
+{
+    bool weak = false;   //!< Attached to a weak sense amplifier.
+    double tau_ns = 2.6; //!< Sense development time constant.
+};
+
+/**
+ * The analog cell model. Stateless aside from the configuration; all
+ * queries are pure functions.
+ */
+class CellModel
+{
+  public:
+    explicit CellModel(const DeviceConfig &config);
+
+    /** @return frozen sense parameters of a column within a subarray. */
+    ColumnParams columnParams(int bank, int subarray,
+                              long long column) const;
+
+    /** @return true if the column is weak in the cell's subarray. */
+    bool isWeakColumn(const CellAddress &addr) const;
+
+    /**
+     * Sense margin (normalized volts) of a cell when its word is read
+     * @p elapsed_ns after ACT. Positive margins read correctly except
+     * for noise excursions; the failure probability is
+     * Phi(-margin / noise_sigma).
+     */
+    double margin(const CellAddress &addr, double elapsed_ns,
+                  const SenseContext &ctx) const;
+
+    /** Analytic activation-failure probability of a cell. */
+    double failureProbability(const CellAddress &addr, double elapsed_ns,
+                              const SenseContext &ctx) const;
+
+    /**
+     * Failure probability as a function of the sense margin: exactly
+     * 1/2 inside the metastable plateau (half-width scaled by
+     * @p window_scale), a steep Phi edge outside.
+     */
+    double failureFromMargin(double margin,
+                             double window_scale = 1.0) const;
+
+    /**
+     * Pattern-dependent widening of the metastable window: storing the
+     * sensitive value and anti-coupled neighbours push the cell deeper
+     * into the noise-dominated regime.
+     */
+    double windowScale(const CellAddress &addr,
+                       const SenseContext &ctx) const;
+
+    /**
+     * Fast screen: upper bound on the failure probability of any cell in
+     * a *strong* column at the given delay and temperature; used by the
+     * device to skip per-bit evaluation of healthy columns.
+     */
+    double strongColumnCeiling(double elapsed_ns, double temp_c) const;
+
+    /** @return the stored value the cell is sensitive to (fails more
+     * easily when holding this value). */
+    bool sensitiveValue(const CellAddress &addr) const;
+
+    /**
+     * Retention time of a cell in seconds at temperature @p temp_c,
+     * before per-trial VRT jitter.
+     */
+    double retentionSeconds(const CellAddress &addr, double temp_c) const;
+
+    /** True if the cell holds charge for logical 1 ("true cell"); anti
+     * cells hold charge for logical 0. Alternates per row. */
+    static bool isTrueCell(const CellAddress &addr);
+
+    /**
+     * Power-up value of a cell for power cycle @p epoch. A
+     * startup_random_fraction of cells re-draw their value each cycle;
+     * the rest are fixed by process variation.
+     */
+    bool startupValue(const CellAddress &addr, std::uint64_t epoch) const;
+
+    /** True if the cell's startup value is noisy (entropy source of the
+     * startup-values TRNG baseline). */
+    bool startupIsNoisy(const CellAddress &addr) const;
+
+    const ManufacturerProfile &profile() const { return profile_; }
+
+  private:
+    /** Frozen per-cell parameters, cached per weak/evaluated column. */
+    struct CellStatics
+    {
+        double tau_ns;     //!< Column tau with the row-distance factor.
+        double jitter;     //!< Margin jitter incl. factory-repair lift.
+        double temp_coeff; //!< Margin loss per +1 C.
+        bool sensitive;    //!< Stored value the cell is sensitive to.
+    };
+
+    /** Frozen per-cell margin jitter including the factory-repair lift
+     * (no cell may fail under worst-case conditions at default tRCD). */
+    double cellJitter(const CellAddress &addr, double tau_ns) const;
+
+    /** Per-cell temperature coefficient (margin loss per +1 C). */
+    double tempCoeff(const CellAddress &addr) const;
+
+    /** Normalized bitline development at @p elapsed_ns for @p tau. */
+    double development(double elapsed_ns, double tau_ns) const;
+
+    /** Cached statics of a cell (fills the whole column lazily). */
+    const CellStatics &cellStatics(const CellAddress &addr) const;
+
+    ManufacturerProfile profile_;
+    Geometry geometry_;
+    std::uint64_t seed_;
+    double default_trcd_ns_;
+
+    /** Lazy caches keyed by (bank, subarray, column). Purely derived
+     * data; mutation does not change observable behaviour. */
+    mutable std::unordered_map<std::uint64_t, ColumnParams> col_cache_;
+    mutable std::unordered_map<std::uint64_t, std::vector<CellStatics>>
+        statics_cache_;
+};
+
+} // namespace drange::dram
+
+#endif // DRANGE_DRAM_CELL_MODEL_HH

@@ -1,0 +1,153 @@
+#include "dram/config.hh"
+
+#include <cmath>
+
+namespace drange::dram {
+
+std::string
+toString(Manufacturer m)
+{
+    switch (m) {
+      case Manufacturer::A:
+        return "A";
+      case Manufacturer::B:
+        return "B";
+      case Manufacturer::C:
+        return "C";
+    }
+    return "?";
+}
+
+TimingParams
+TimingParams::lpddr4_3200()
+{
+    TimingParams t;
+    t.tck_ns = 0.625;
+    t.trcd_ns = 18.0;
+    t.trp_ns = 18.0;
+    t.tras_ns = 42.0;
+    t.trc_ns = 60.0;
+    t.tcl_ns = 14.0;
+    t.tbl_ns = 5.0;
+    t.tccd_ns = 5.0;
+    t.trrd_ns = 7.5;
+    t.tfaw_ns = 30.0;
+    t.twr_ns = 18.0;
+    t.trtp_ns = 7.5;
+    t.twtr_ns = 10.0;
+    t.tcwl_ns = 11.0;
+    t.trefi_ns = 3904.0;
+    t.trfc_ns = 180.0;
+    return t;
+}
+
+TimingParams
+TimingParams::ddr3_1600()
+{
+    TimingParams t;
+    t.tck_ns = 1.25;
+    t.trcd_ns = 13.75;
+    t.trp_ns = 13.75;
+    t.tras_ns = 35.0;
+    t.trc_ns = 48.75;
+    t.tcl_ns = 13.75;
+    t.tbl_ns = 5.0;
+    t.tccd_ns = 5.0;
+    t.trrd_ns = 7.5;
+    t.tfaw_ns = 40.0;
+    t.twr_ns = 15.0;
+    t.trtp_ns = 7.5;
+    t.twtr_ns = 7.5;
+    t.tcwl_ns = 10.0;
+    t.trefi_ns = 7800.0;
+    t.trfc_ns = 260.0;
+    return t;
+}
+
+int
+TimingParams::cycles(double ns) const
+{
+    return static_cast<int>(std::ceil(ns / tck_ns - 1e-9));
+}
+
+ManufacturerProfile
+ManufacturerProfile::of(Manufacturer m)
+{
+    ManufacturerProfile p;
+    p.manufacturer = m;
+    switch (m) {
+      case Manufacturer::A:
+        // Tight, predictable temperature response (Fig. 6); 512-row
+        // subarrays; strongly 0-sensitive cells (solid-0 best, Fig. 5).
+        p.subarray_rows = 512;
+        p.weak_col_fraction = 0.008;
+        p.tau_weak_ns = 11.0;
+        p.tau_weak_sigma = 0.45;
+        p.row_slope = 0.22;
+        p.cell_margin_sigma = 0.055;
+        p.zero_pref_prob = 0.88;
+        p.value_weight = 0.052;
+        p.neighbor_weight = 0.016;
+        p.droop_weight = 0.046;
+        p.window_value_boost = 1.00;
+        p.window_neighbor_boost = 0.10;
+        p.window_droop_boost = 0.60;
+        p.temp_coeff = 0.0016;
+        p.temp_coeff_spread = 0.0004;
+        break;
+      case Manufacturer::B:
+        // Noisier temperature response; checkered-0 finds the most
+        // 50%-Fprob cells (Section 5.2); 512-row subarrays.
+        p.subarray_rows = 512;
+        p.weak_col_fraction = 0.006;
+        p.tau_weak_ns = 11.4;
+        p.tau_weak_sigma = 0.50;
+        p.row_slope = 0.18;
+        p.cell_margin_sigma = 0.060;
+        p.zero_pref_prob = 0.80;
+        p.value_weight = 0.046;
+        p.neighbor_weight = 0.034;
+        p.droop_weight = 0.040;
+        p.window_value_boost = 0.35;
+        p.window_neighbor_boost = 0.90;
+        p.window_droop_boost = 0.25;
+        p.temp_coeff = 0.0018;
+        p.temp_coeff_spread = 0.0011;
+        break;
+      case Manufacturer::C:
+        // 1024-row subarrays; mixed value sensitivity (walking-0s also
+        // high coverage, Fig. 5); noisier temperature response.
+        p.subarray_rows = 1024;
+        p.weak_col_fraction = 0.008;
+        p.tau_weak_ns = 10.8;
+        p.tau_weak_sigma = 0.48;
+        p.row_slope = 0.12;
+        p.cell_margin_sigma = 0.058;
+        p.zero_pref_prob = 0.55;
+        p.value_weight = 0.050;
+        p.neighbor_weight = 0.024;
+        p.droop_weight = 0.050;
+        p.window_value_boost = 1.20;
+        p.window_neighbor_boost = 0.0;
+        p.window_droop_boost = 0.70;
+        p.temp_coeff = 0.0017;
+        p.temp_coeff_spread = 0.0010;
+        break;
+    }
+    return p;
+}
+
+DeviceConfig
+DeviceConfig::make(Manufacturer m, std::uint64_t seed,
+                   std::uint64_t noise_seed)
+{
+    DeviceConfig cfg;
+    cfg.manufacturer = m;
+    cfg.profile = ManufacturerProfile::of(m);
+    cfg.geometry.subarray_rows = cfg.profile.subarray_rows;
+    cfg.seed = seed;
+    cfg.noise_seed = noise_seed;
+    return cfg;
+}
+
+} // namespace drange::dram

@@ -1,0 +1,366 @@
+#include "dram/device.hh"
+
+#include <algorithm>
+#include <bit>
+#include <cassert>
+#include <cmath>
+
+namespace drange::dram {
+
+namespace {
+
+/** Below this probability, per-bit evaluation is skipped entirely. */
+const double kNegligibleFailureProb = 1e-9;
+
+/**
+ * Margin shift (normalized volts, expressed in noise sigmas) beyond a
+ * read failure at which the sense amplifier itself latches the wrong
+ * value, corrupting the cell. Read failures shallower than this are
+ * transient: the amplifier recovers and restores the correct value after
+ * the READ already sampled garbage.
+ */
+const double kLatchDepthSigma = 1.0;
+
+/** Retention decay is only evaluated for gaps longer than this. */
+const double kMinDecayGapNs = 1e7; // 10 ms
+
+} // anonymous namespace
+
+DramDevice::DramDevice(const DeviceConfig &config)
+    : config_(config), model_(config),
+      noise_(config.noise_seed != 0 ? util::Xoshiro256ss(config.noise_seed)
+                                    : util::Xoshiro256ss()),
+      banks_(config.geometry.banks),
+      temperature_c_(config.conditions.temperature_c)
+{
+    startup_epoch_ = noise_.next();
+}
+
+bool
+DramDevice::isOpen(int bank) const
+{
+    return banks_.at(bank).open_row >= 0;
+}
+
+int
+DramDevice::openRow(int bank) const
+{
+    return banks_.at(bank).open_row;
+}
+
+DramDevice::RowData &
+DramDevice::materialize(int bank, int row, double now_ns)
+{
+    BankState &bs = banks_.at(bank);
+    auto it = bs.rows.find(row);
+    if (it != bs.rows.end())
+        return it->second;
+
+    RowData data;
+    data.words.assign(config_.geometry.words_per_row, 0);
+    data.last_refresh_ns = now_ns;
+    const int bits = config_.geometry.bits_per_word;
+    for (int w = 0; w < config_.geometry.words_per_row; ++w) {
+        std::uint64_t value = 0;
+        for (int b = 0; b < bits; ++b) {
+            const CellAddress addr{bank, row,
+                                   static_cast<long long>(w) * bits + b};
+            if (model_.startupValue(addr, startup_epoch_))
+                value |= (std::uint64_t{1} << b);
+        }
+        data.words[w] = value;
+        data.ones += std::popcount(value);
+    }
+    return bs.rows.emplace(row, std::move(data)).first->second;
+}
+
+void
+DramDevice::applyRetention(int bank, int row, RowData &data, double now_ns)
+{
+    const double last = std::max(data.last_refresh_ns, global_refresh_ns_);
+    const double gap_ns = now_ns - last;
+    if (auto_refresh_ || gap_ns < kMinDecayGapNs) {
+        data.last_refresh_ns = now_ns;
+        return;
+    }
+
+    const double elapsed_s = gap_ns * 1e-9;
+    const int bits = config_.geometry.bits_per_word;
+    const double vrt = model_.profile().retention_vrt_sigma;
+    for (int w = 0; w < config_.geometry.words_per_row; ++w) {
+        for (int b = 0; b < bits; ++b) {
+            const long long col = static_cast<long long>(w) * bits + b;
+            const CellAddress addr{bank, row, col};
+            const bool stored = (data.words[w] >> b) & 1;
+            const bool charged_value = CellModel::isTrueCell(addr);
+            if (stored != charged_value)
+                continue; // Discharged state does not leak away.
+            double t_ret = model_.retentionSeconds(addr, temperature_c_);
+            // Variable retention time: per-trial lognormal jitter.
+            t_ret *= std::pow(10.0, vrt * noise_.nextGaussian());
+            if (elapsed_s > t_ret) {
+                data.words[w] ^= (std::uint64_t{1} << b);
+                data.ones += stored ? -1 : 1;
+                ++counters_.retention_failures;
+            }
+        }
+    }
+    data.last_refresh_ns = now_ns;
+}
+
+void
+DramDevice::activate(double now_ns, int bank, int row)
+{
+    BankState &bs = banks_.at(bank);
+    assert(bs.open_row < 0 && "ACT to a bank with an open row");
+    assert(row >= 0 && row < config_.geometry.rows_per_bank);
+
+    RowData &data = materialize(bank, row, now_ns);
+    applyRetention(bank, row, data, now_ns);
+
+    bs.open_row = row;
+    bs.act_time_ns = now_ns;
+    bs.first_read_done = false;
+    ++counters_.activates;
+}
+
+void
+DramDevice::precharge(double now_ns, int bank)
+{
+    (void)now_ns;
+    BankState &bs = banks_.at(bank);
+    bs.open_row = -1;
+    ++counters_.precharges;
+}
+
+void
+DramDevice::prechargeAll(double now_ns)
+{
+    for (int b = 0; b < config_.geometry.banks; ++b)
+        precharge(now_ns, b);
+}
+
+const std::vector<ColumnParams> &
+DramDevice::columnCache(int bank, int subarray)
+{
+    const std::uint64_t key = (static_cast<std::uint64_t>(bank) << 32) |
+                              static_cast<std::uint32_t>(subarray);
+    auto it = column_cache_.find(key);
+    if (it != column_cache_.end())
+        return it->second;
+
+    std::vector<ColumnParams> params(config_.geometry.rowBits());
+    for (long long c = 0; c < config_.geometry.rowBits(); ++c)
+        params[c] = model_.columnParams(bank, subarray, c);
+    return column_cache_.emplace(key, std::move(params)).first->second;
+}
+
+SenseContext
+DramDevice::buildContext(int bank, int row, long long column, bool stored,
+                         const RowData &data, double now_ns)
+{
+    SenseContext ctx;
+    ctx.stored = stored;
+    ctx.temperature_c = temperature_c_;
+
+    // Physical neighbours: same-row adjacent bitlines and adjacent rows
+    // on the same bitline. Rows are pre-materialized by the caller.
+    int neighbors = 0, anti = 0;
+    const long long row_bits = config_.geometry.rowBits();
+    auto check = [&](bool value) {
+        ++neighbors;
+        if (value != stored)
+            ++anti;
+    };
+    if (column > 0) {
+        const int w = static_cast<int>((column - 1) / 64);
+        check((data.words[w] >> ((column - 1) % 64)) & 1);
+    }
+    if (column + 1 < row_bits) {
+        const int w = static_cast<int>((column + 1) / 64);
+        check((data.words[w] >> ((column + 1) % 64)) & 1);
+    }
+    if (row > 0)
+        check(peekBit(bank, row - 1, column));
+    if (row + 1 < config_.geometry.rows_per_bank)
+        check(peekBit(bank, row + 1, column));
+    ctx.anti_neighbor_frac =
+        neighbors > 0 ? static_cast<double>(anti) / neighbors : 0.0;
+
+    const double ones_frac = static_cast<double>(data.ones) /
+                             static_cast<double>(row_bits);
+    ctx.same_direction_frac = stored ? ones_frac : 1.0 - ones_frac;
+    (void)now_ns;
+    return ctx;
+}
+
+std::uint64_t
+DramDevice::read(double now_ns, int bank, int word)
+{
+    BankState &bs = banks_.at(bank);
+    assert(bs.open_row >= 0 && "READ to a precharged bank");
+    assert(word >= 0 && word < config_.geometry.words_per_row);
+    const int row = bs.open_row;
+    ++counters_.reads;
+
+    RowData &data = materialize(bank, row, now_ns);
+    std::uint64_t value = data.words[word];
+
+    if (bs.first_read_done)
+        return value; // Open-row reads never fail (Section 5.1).
+    bs.first_read_done = true;
+
+    const double elapsed_ns = now_ns - bs.act_time_ns;
+    const int subarray = row / config_.profile.subarray_rows;
+    const auto &cols = columnCache(bank, subarray);
+    const int bits = config_.geometry.bits_per_word;
+    const long long base = static_cast<long long>(word) * bits;
+
+    // When strong columns cannot plausibly fail at this delay, only
+    // evaluate weak bits; the common case is a word with none at all.
+    const bool weak_only =
+        model_.strongColumnCeiling(elapsed_ns, temperature_c_) <
+        kNegligibleFailureProb;
+    if (weak_only) {
+        bool any_weak = false;
+        for (int b = 0; b < bits; ++b)
+            any_weak |= cols[base + b].weak;
+        if (!any_weak)
+            return value;
+    }
+
+    // Note: unordered_map guarantees reference stability, so `data`
+    // stays valid across these insertions.
+    if (row > 0)
+        materialize(bank, row - 1, now_ns);
+    if (row + 1 < config_.geometry.rows_per_bank)
+        materialize(bank, row + 1, now_ns);
+
+    const double sigma = model_.profile().noise_sigma;
+    for (int b = 0; b < bits; ++b) {
+        if (weak_only && !cols[base + b].weak)
+            continue;
+        const CellAddress addr{bank, row, base + b};
+        const bool stored = (value >> b) & 1;
+        const SenseContext ctx =
+            buildContext(bank, row, base + b, stored, data, now_ns);
+        const double m = model_.margin(addr, elapsed_ns, ctx);
+        const double scale = model_.windowScale(addr, ctx);
+        const double p = model_.failureFromMargin(m, scale);
+        if (p < 1e-12)
+            continue;
+        // One uniform draw decides both the failure and, via the nested
+        // deeper tail, whether the amplifier latched the wrong value.
+        const double u = noise_.nextDouble();
+        if (u < p) {
+            value ^= (std::uint64_t{1} << b);
+            ++counters_.read_bit_failures;
+            // Metastable (noise-dominated) resolutions restore the cell
+            // correctly after the READ sampled garbage; only strongly
+            // wrong resolutions latch into the array.
+            const double p_shift = model_.failureFromMargin(
+                m + kLatchDepthSigma * sigma, scale);
+            const double p_deep =
+                std::clamp(2.0 * (p_shift - 0.5), 0.0, 1.0);
+            if (u < p_deep) {
+                // Sense amplifier latched the wrong value: the cell
+                // itself is now corrupted until rewritten.
+                data.words[word] ^= (std::uint64_t{1} << b);
+                data.ones += stored ? -1 : 1;
+                ++counters_.corrupted_bits;
+            }
+        }
+    }
+    return value;
+}
+
+void
+DramDevice::write(double now_ns, int bank, int word, std::uint64_t value)
+{
+    BankState &bs = banks_.at(bank);
+    assert(bs.open_row >= 0 && "WRITE to a precharged bank");
+    assert(word >= 0 && word < config_.geometry.words_per_row);
+
+    RowData &data = materialize(bank, bs.open_row, now_ns);
+    data.ones -= std::popcount(data.words[word]);
+    data.words[word] = value;
+    data.ones += std::popcount(value);
+    ++counters_.writes;
+}
+
+void
+DramDevice::refreshAll(double now_ns)
+{
+    for (int b = 0; b < config_.geometry.banks; ++b) {
+        assert(banks_[b].open_row < 0 && "REF with an open row");
+        for (auto &[row, data] : banks_[b].rows)
+            applyRetention(b, row, data, now_ns);
+    }
+    global_refresh_ns_ = now_ns;
+    ++counters_.refreshes;
+}
+
+void
+DramDevice::powerCycle(double now_ns)
+{
+    for (auto &bank : banks_) {
+        bank.rows.clear();
+        bank.open_row = -1;
+        bank.first_read_done = false;
+    }
+    startup_epoch_ = noise_.next();
+    global_refresh_ns_ = now_ns;
+}
+
+std::uint64_t
+DramDevice::peekWord(int bank, int row, int word)
+{
+    return materialize(bank, row, 0.0).words.at(word);
+}
+
+void
+DramDevice::pokeWord(int bank, int row, int word, std::uint64_t value)
+{
+    RowData &data = materialize(bank, row, 0.0);
+    data.ones -= std::popcount(data.words.at(word));
+    data.words[word] = value;
+    data.ones += std::popcount(value);
+}
+
+bool
+DramDevice::peekBit(int bank, int row, long long column)
+{
+    const int word = static_cast<int>(column / 64);
+    return (peekWord(bank, row, word) >> (column % 64)) & 1;
+}
+
+void
+DramDevice::pokeBit(int bank, int row, long long column, bool value)
+{
+    const int word = static_cast<int>(column / 64);
+    std::uint64_t w = peekWord(bank, row, word);
+    const std::uint64_t mask = std::uint64_t{1} << (column % 64);
+    if (value)
+        w |= mask;
+    else
+        w &= ~mask;
+    pokeWord(bank, row, word, w);
+}
+
+double
+DramDevice::failureProbability(int bank, int row, long long column,
+                               double elapsed_ns)
+{
+    if (row > 0)
+        materialize(bank, row - 1, 0.0);
+    if (row + 1 < config_.geometry.rows_per_bank)
+        materialize(bank, row + 1, 0.0);
+    RowData &data = materialize(bank, row, 0.0);
+    const bool stored = (data.words[column / 64] >> (column % 64)) & 1;
+    const SenseContext ctx =
+        buildContext(bank, row, column, stored, data, 0.0);
+    const CellAddress addr{bank, row, column};
+    return model_.failureProbability(addr, elapsed_ns, ctx);
+}
+
+} // namespace drange::dram

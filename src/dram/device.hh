@@ -1,0 +1,166 @@
+/**
+ * @file
+ * The simulated DRAM device: bank state machines, sparse row storage,
+ * and the integration point of the analog cell model.
+ *
+ * The device exposes the raw DRAM command interface (ACT / PRE / RD / WR
+ * / REF) with explicit command timestamps. It does not enforce JEDEC
+ * timing (that is the memory controller's job); instead it *reacts* to
+ * whatever timing it is given: a READ issued too soon after ACT samples
+ * under-developed bitlines and suffers activation failures, which is
+ * exactly the mechanism D-RaNGe exploits.
+ */
+
+#ifndef DRANGE_DRAM_DEVICE_HH
+#define DRANGE_DRAM_DEVICE_HH
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "dram/cell_model.hh"
+#include "dram/config.hh"
+#include "util/rng.hh"
+
+namespace drange::dram {
+
+/**
+ * Event counters for tests and the power model.
+ */
+struct DeviceCounters
+{
+    std::uint64_t activates = 0;
+    std::uint64_t precharges = 0;
+    std::uint64_t reads = 0;
+    std::uint64_t writes = 0;
+    std::uint64_t refreshes = 0;
+    std::uint64_t read_bit_failures = 0;  //!< Bits returned flipped.
+    std::uint64_t corrupted_bits = 0;     //!< Bits latched wrong in-array.
+    std::uint64_t retention_failures = 0; //!< Bits lost to leakage.
+};
+
+/**
+ * One simulated DRAM device (rank).
+ */
+class DramDevice
+{
+  public:
+    explicit DramDevice(const DeviceConfig &config);
+
+    const DeviceConfig &config() const { return config_; }
+    const CellModel &cellModel() const { return model_; }
+    const DeviceCounters &counters() const { return counters_; }
+
+    // ------------------------------------------------------------------
+    // Command interface. @p now_ns is the command issue time and must be
+    // monotonically non-decreasing.
+    // ------------------------------------------------------------------
+
+    /** Open @p row in @p bank. The bank must be precharged. */
+    void activate(double now_ns, int bank, int row);
+
+    /** Close the open row of @p bank (no-op if already closed). */
+    void precharge(double now_ns, int bank);
+
+    /** Precharge every bank. */
+    void prechargeAll(double now_ns);
+
+    /**
+     * Read the 64-bit word @p word of the open row of @p bank.
+     *
+     * If this is the first read since the bank was activated, the analog
+     * failure model is applied bit by bit: the returned value may differ
+     * from the stored value, and deeply metastable bits are additionally
+     * latched wrong in the array (hence Algorithm 2's restore writes).
+     * Subsequent reads of an open row never fail (paper Section 5.1).
+     */
+    std::uint64_t read(double now_ns, int bank, int word);
+
+    /** Write the 64-bit word @p word of the open row of @p bank. */
+    void write(double now_ns, int bank, int word, std::uint64_t value);
+
+    /** Refresh all banks (all banks must be precharged). */
+    void refreshAll(double now_ns);
+
+    /**
+     * Power-cycle the device: all rows revert to startup values. Noisy
+     * startup cells re-draw their value (the entropy source of the
+     * startup-values TRNG baseline).
+     */
+    void powerCycle(double now_ns);
+
+    // ------------------------------------------------------------------
+    // Environment controls.
+    // ------------------------------------------------------------------
+
+    void setTemperature(double celsius) { temperature_c_ = celsius; }
+    double temperature() const { return temperature_c_; }
+
+    /**
+     * Model auto-refresh. When enabled (default), rows never decay; when
+     * disabled, activating a row first applies retention loss for the
+     * time elapsed since its last refresh (used by the retention-TRNG
+     * baseline).
+     */
+    void setAutoRefresh(bool enabled) { auto_refresh_ = enabled; }
+    bool autoRefresh() const { return auto_refresh_; }
+
+    bool isOpen(int bank) const;
+    int openRow(int bank) const;
+
+    // ------------------------------------------------------------------
+    // Backdoor access (tests, pattern setup). No timing, no failures.
+    // ------------------------------------------------------------------
+
+    std::uint64_t peekWord(int bank, int row, int word);
+    void pokeWord(int bank, int row, int word, std::uint64_t value);
+    bool peekBit(int bank, int row, long long column);
+    void pokeBit(int bank, int row, long long column, bool value);
+
+    /**
+     * Analytic activation-failure probability of a cell given the
+     * device's *current* stored contents and temperature.
+     */
+    double failureProbability(int bank, int row, long long column,
+                              double elapsed_ns);
+
+  private:
+    struct RowData
+    {
+        std::vector<std::uint64_t> words;
+        long long ones = 0;
+        double last_refresh_ns = 0.0;
+    };
+
+    struct BankState
+    {
+        std::unordered_map<int, RowData> rows;
+        int open_row = -1;
+        double act_time_ns = 0.0;
+        bool first_read_done = false;
+    };
+
+    RowData &materialize(int bank, int row, double now_ns);
+    void applyRetention(int bank, int row, RowData &data, double now_ns);
+    SenseContext buildContext(int bank, int row, long long column,
+                              bool stored, const RowData &data,
+                              double now_ns);
+    const std::vector<ColumnParams> &columnCache(int bank, int subarray);
+
+    DeviceConfig config_;
+    CellModel model_;
+    util::Xoshiro256ss noise_;
+    std::vector<BankState> banks_;
+    std::unordered_map<std::uint64_t, std::vector<ColumnParams>>
+        column_cache_;
+    DeviceCounters counters_;
+    double temperature_c_;
+    bool auto_refresh_ = true;
+    double global_refresh_ns_ = 0.0;
+    std::uint64_t startup_epoch_ = 0;
+};
+
+} // namespace drange::dram
+
+#endif // DRANGE_DRAM_DEVICE_HH

@@ -1,0 +1,66 @@
+#include "dram/direct_host.hh"
+
+namespace drange::dram {
+
+DirectHost::DirectHost(DramDevice &device)
+    : device_(device), timing_(device.config().timing)
+{
+}
+
+std::uint64_t
+DirectHost::actReadPre(int bank, int row, int word, double trcd_ns)
+{
+    device_.activate(now_ns_, bank, row);
+    now_ns_ += trcd_ns;
+    const std::uint64_t value = device_.read(now_ns_, bank, word);
+    // Honour tRAS from the ACT before precharging.
+    now_ns_ += std::max(timing_.trtp_ns,
+                        timing_.tras_ns - trcd_ns);
+    device_.precharge(now_ns_, bank);
+    now_ns_ += timing_.trp_ns;
+    return value;
+}
+
+void
+DirectHost::refreshRow(int bank, int row)
+{
+    device_.activate(now_ns_, bank, row);
+    now_ns_ += timing_.tras_ns;
+    device_.precharge(now_ns_, bank);
+    now_ns_ += timing_.trp_ns;
+}
+
+void
+DirectHost::writeWord(int bank, int row, int word, std::uint64_t value)
+{
+    device_.activate(now_ns_, bank, row);
+    now_ns_ += timing_.trcd_ns;
+    device_.write(now_ns_, bank, word, value);
+    now_ns_ += timing_.tcwl_ns + timing_.tbl_ns + timing_.twr_ns;
+    device_.precharge(now_ns_, bank);
+    now_ns_ += timing_.trp_ns;
+}
+
+void
+DirectHost::activate(int bank, int row)
+{
+    device_.activate(now_ns_, bank, row);
+    now_ns_ += timing_.trcd_ns;
+}
+
+std::uint64_t
+DirectHost::read(int bank, int word)
+{
+    const std::uint64_t value = device_.read(now_ns_, bank, word);
+    now_ns_ += timing_.tccd_ns;
+    return value;
+}
+
+void
+DirectHost::precharge(int bank)
+{
+    device_.precharge(now_ns_, bank);
+    now_ns_ += timing_.trp_ns;
+}
+
+} // namespace drange::dram

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * A SoftMC-style direct host interface for characterization.
+ *
+ * DirectHost wraps a DramDevice with a monotonic clock and issues
+ * legally-ordered command sequences with *programmable* timing
+ * parameters, exactly like the paper's SoftMC-based infrastructure: the
+ * caller chooses the tRCD used between ACT and READ. This is the
+ * substrate used by Algorithm 1 (profiling); throughput experiments use
+ * the cycle-accurate controller instead.
+ */
+
+#ifndef DRANGE_DRAM_DIRECT_HOST_HH
+#define DRANGE_DRAM_DIRECT_HOST_HH
+
+#include <cstdint>
+
+#include "dram/device.hh"
+
+namespace drange::dram {
+
+/**
+ * Direct, timing-programmable host access to a DRAM device.
+ */
+class DirectHost
+{
+  public:
+    explicit DirectHost(DramDevice &device);
+
+    /** Current simulated time in nanoseconds. */
+    double now() const { return now_ns_; }
+
+    /** Advance the clock (e.g. to model retention wait times). */
+    void advance(double ns) { now_ns_ += ns; }
+
+    /**
+     * Perform ACT(row) -> READ(word) -> PRE with the given tRCD, using
+     * default timing for all other parameters. Returns the read word.
+     * The bank must be precharged.
+     */
+    std::uint64_t actReadPre(int bank, int row, int word, double trcd_ns);
+
+    /**
+     * Refresh a single row at full timing: ACT -> PRE (paper Algorithm 1
+     * lines 6-7). Restores the charge of whatever the row stores.
+     */
+    void refreshRow(int bank, int row);
+
+    /**
+     * Write @p value to (row, word) at full timing: ACT -> WR -> PRE.
+     */
+    void writeWord(int bank, int row, int word, std::uint64_t value);
+
+    /** Open a row at full timing, returning after tRCD. */
+    void activate(int bank, int row);
+
+    /** Read from the open row at full timing. */
+    std::uint64_t read(int bank, int word);
+
+    /** Close the open row at full timing. */
+    void precharge(int bank);
+
+    DramDevice &device() { return device_; }
+
+  private:
+    DramDevice &device_;
+    const TimingParams &timing_;
+    double now_ns_ = 0.0;
+};
+
+} // namespace drange::dram
+
+#endif // DRANGE_DRAM_DIRECT_HOST_HH

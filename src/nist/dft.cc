@@ -1,0 +1,49 @@
+/**
+ * @file
+ * SP 800-22 section 2.6: discrete Fourier transform (spectral) test.
+ */
+
+#include <cmath>
+#include <complex>
+
+#include "nist/fft.hh"
+#include "nist/nist.hh"
+
+namespace drange::nist {
+
+TestResult
+dft(const util::BitStream &bits)
+{
+    TestResult r;
+    r.name = "dft";
+    const std::size_t n = bits.size();
+    if (n < 10) {
+        r.applicable = false;
+        return r;
+    }
+
+    std::vector<std::complex<double>> x(n);
+    for (std::size_t i = 0; i < n; ++i)
+        x[i] = {bits.at(i) ? 1.0 : -1.0, 0.0};
+
+    const auto spectrum = dftAnyLength(x);
+
+    // 95% threshold under the null hypothesis.
+    const double threshold =
+        std::sqrt(std::log(1.0 / 0.05) * static_cast<double>(n));
+
+    std::size_t below = 0;
+    const std::size_t half = n / 2;
+    for (std::size_t j = 0; j < half; ++j)
+        below += std::abs(spectrum[j]) < threshold;
+
+    const double n0 = 0.95 * static_cast<double>(half);
+    const double n1 = static_cast<double>(below);
+    const double d =
+        (n1 - n0) /
+        std::sqrt(static_cast<double>(n) * 0.95 * 0.05 / 4.0);
+    r.p_value = std::erfc(std::fabs(d) / std::sqrt(2.0));
+    return r;
+}
+
+} // namespace drange::nist

@@ -1,0 +1,146 @@
+/**
+ * @file
+ * SP 800-22 sections 2.14 and 2.15: random excursions test and random
+ * excursions variant test.
+ */
+
+#include <cmath>
+#include <vector>
+
+#include "nist/nist.hh"
+#include "util/special_math.hh"
+
+namespace drange::nist {
+
+namespace {
+
+/** Random walk S_k of the +/-1 sequence, bracketed by zeros. */
+std::vector<long long>
+walk(const util::BitStream &bits)
+{
+    std::vector<long long> s;
+    s.reserve(bits.size() + 2);
+    s.push_back(0);
+    long long sum = 0;
+    for (std::size_t i = 0; i < bits.size(); ++i) {
+        sum += bits.at(i) ? 1 : -1;
+        s.push_back(sum);
+    }
+    s.push_back(0);
+    return s;
+}
+
+/** pi_k(x): probability of exactly k visits to state x in one cycle. */
+double
+visitProbability(int x, int k)
+{
+    const double ax = std::fabs(static_cast<double>(x));
+    if (k == 0)
+        return 1.0 - 1.0 / (2.0 * ax);
+    if (k <= 4) {
+        return (1.0 / (4.0 * ax * ax)) *
+               std::pow(1.0 - 1.0 / (2.0 * ax), k - 1);
+    }
+    // k >= 5 bucket.
+    return (1.0 / (2.0 * ax)) * std::pow(1.0 - 1.0 / (2.0 * ax), 4);
+}
+
+} // anonymous namespace
+
+TestResult
+randomExcursions(const util::BitStream &bits)
+{
+    TestResult r;
+    r.name = "random_excursion";
+
+    const auto s = walk(bits);
+
+    // Split into zero-to-zero cycles.
+    std::vector<std::size_t> zero_positions;
+    for (std::size_t i = 0; i < s.size(); ++i)
+        if (s[i] == 0)
+            zero_positions.push_back(i);
+    const std::size_t J = zero_positions.size() - 1;
+
+    const double min_j =
+        500.0;
+    if (static_cast<double>(J) <
+        std::max(min_j, 0.005 * std::sqrt(
+                            static_cast<double>(bits.size())))) {
+        r.applicable = false;
+        return r;
+    }
+
+    static const int states[8] = {-4, -3, -2, -1, 1, 2, 3, 4};
+    // nu[state][k]: number of cycles with exactly k visits (k capped 5).
+    std::vector<std::vector<double>> nu(8, std::vector<double>(6, 0.0));
+
+    for (std::size_t c = 0; c + 1 < zero_positions.size(); ++c) {
+        int visits[8] = {0};
+        for (std::size_t i = zero_positions[c] + 1;
+             i < zero_positions[c + 1]; ++i) {
+            const long long v = s[i];
+            for (int si = 0; si < 8; ++si)
+                if (v == states[si])
+                    ++visits[si];
+        }
+        for (int si = 0; si < 8; ++si)
+            nu[si][std::min(visits[si], 5)] += 1.0;
+    }
+
+    for (int si = 0; si < 8; ++si) {
+        double chi2 = 0.0;
+        for (int k = 0; k <= 5; ++k) {
+            const double e = static_cast<double>(J) *
+                             visitProbability(states[si], k);
+            chi2 += (nu[si][k] - e) * (nu[si][k] - e) / e;
+        }
+        r.sub_p_values.push_back(util::igamc(2.5, chi2 / 2.0));
+    }
+
+    double sum = 0.0;
+    for (double p : r.sub_p_values)
+        sum += p;
+    r.p_value = sum / static_cast<double>(r.sub_p_values.size());
+    return r;
+}
+
+TestResult
+randomExcursionsVariant(const util::BitStream &bits)
+{
+    TestResult r;
+    r.name = "random_excursion_variant";
+
+    const auto s = walk(bits);
+    std::size_t J = 0;
+    for (std::size_t i = 1; i < s.size(); ++i)
+        if (s[i] == 0)
+            ++J;
+
+    if (J < 500) {
+        r.applicable = false;
+        return r;
+    }
+
+    for (int x = -9; x <= 9; ++x) {
+        if (x == 0)
+            continue;
+        std::size_t xi = 0;
+        for (std::size_t i = 1; i + 1 < s.size(); ++i)
+            xi += s[i] == x;
+        const double jd = static_cast<double>(J);
+        const double p = std::erfc(
+            std::fabs(static_cast<double>(xi) - jd) /
+            std::sqrt(2.0 * jd *
+                      (4.0 * std::fabs(static_cast<double>(x)) - 2.0)));
+        r.sub_p_values.push_back(p);
+    }
+
+    double sum = 0.0;
+    for (double p : r.sub_p_values)
+        sum += p;
+    r.p_value = sum / static_cast<double>(r.sub_p_values.size());
+    return r;
+}
+
+} // namespace drange::nist

@@ -1,0 +1,98 @@
+#include "nist/fft.hh"
+
+#include <cassert>
+#include <cmath>
+
+namespace drange::nist {
+
+void
+fftRadix2(std::vector<std::complex<double>> &data, bool inverse)
+{
+    const std::size_t n = data.size();
+    assert((n & (n - 1)) == 0 && "radix-2 FFT needs power-of-two size");
+    if (n <= 1)
+        return;
+
+    // Bit-reversal permutation.
+    for (std::size_t i = 1, j = 0; i < n; ++i) {
+        std::size_t bit = n >> 1;
+        for (; j & bit; bit >>= 1)
+            j ^= bit;
+        j ^= bit;
+        if (i < j)
+            std::swap(data[i], data[j]);
+    }
+
+    for (std::size_t len = 2; len <= n; len <<= 1) {
+        const double angle = 2.0 * M_PI / static_cast<double>(len) *
+                             (inverse ? 1.0 : -1.0);
+        const std::complex<double> wlen(std::cos(angle), std::sin(angle));
+        for (std::size_t i = 0; i < n; i += len) {
+            std::complex<double> w(1.0, 0.0);
+            for (std::size_t k = 0; k < len / 2; ++k) {
+                const auto u = data[i + k];
+                const auto v = data[i + k + len / 2] * w;
+                data[i + k] = u + v;
+                data[i + k + len / 2] = u - v;
+                w *= wlen;
+            }
+        }
+    }
+
+    if (inverse)
+        for (auto &x : data)
+            x /= static_cast<double>(n);
+}
+
+std::vector<std::complex<double>>
+dftAnyLength(const std::vector<std::complex<double>> &input)
+{
+    const std::size_t n = input.size();
+    if (n == 0)
+        return {};
+
+    // Power-of-two sizes go straight to radix-2.
+    if ((n & (n - 1)) == 0) {
+        auto data = input;
+        fftRadix2(data, false);
+        return data;
+    }
+
+    // Bluestein: X_k = b*_k (a ⊛ b)_k with a_j = x_j b*_j,
+    // b_j = exp(i pi j^2 / n), convolved via a power-of-two FFT.
+    std::size_t m = 1;
+    while (m < 2 * n + 1)
+        m <<= 1;
+
+    std::vector<std::complex<double>> a(m, {0.0, 0.0});
+    std::vector<std::complex<double>> b(m, {0.0, 0.0});
+
+    std::vector<std::complex<double>> chirp(n);
+    for (std::size_t j = 0; j < n; ++j) {
+        // j^2 mod 2n keeps the angle argument small and exact.
+        const unsigned long long j2 =
+            (static_cast<unsigned long long>(j) * j) % (2 * n);
+        const double angle = M_PI * static_cast<double>(j2) /
+                             static_cast<double>(n);
+        chirp[j] = {std::cos(angle), std::sin(angle)};
+    }
+
+    for (std::size_t j = 0; j < n; ++j)
+        a[j] = input[j] * std::conj(chirp[j]);
+    b[0] = chirp[0];
+    for (std::size_t j = 1; j < n; ++j)
+        b[j] = b[m - j] = chirp[j];
+
+    fftRadix2(a, false);
+    fftRadix2(b, false);
+    for (std::size_t j = 0; j < m; ++j)
+        a[j] *= b[j];
+    fftRadix2(a, true);
+
+    std::vector<std::complex<double>> out(n);
+    for (std::size_t j = 0; j < n; ++j)
+        out[j] = a[j] * std::conj(chirp[j]);
+    return out;
+}
+
+} // namespace drange::nist

@@ -1,0 +1,27 @@
+/**
+ * @file
+ * Complex FFT used by the NIST spectral (DFT) test.
+ *
+ * Provides a radix-2 iterative FFT plus Bluestein's algorithm so that
+ * sequences of arbitrary length (the NIST test does not require
+ * power-of-two input) transform exactly.
+ */
+
+#ifndef DRANGE_NIST_FFT_HH
+#define DRANGE_NIST_FFT_HH
+
+#include <complex>
+#include <vector>
+
+namespace drange::nist {
+
+/** In-place radix-2 FFT; size must be a power of two. */
+void fftRadix2(std::vector<std::complex<double>> &data, bool inverse);
+
+/** Arbitrary-length DFT via Bluestein's algorithm (forward). */
+std::vector<std::complex<double>>
+dftAnyLength(const std::vector<std::complex<double>> &input);
+
+} // namespace drange::nist
+
+#endif // DRANGE_NIST_FFT_HH

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * SP 800-22 section 2.10: linear complexity test (Berlekamp-Massey).
+ */
+
+#include <cmath>
+
+#include "nist/nist.hh"
+#include "util/special_math.hh"
+
+namespace drange::nist {
+
+int
+berlekampMassey(const std::vector<int> &s)
+{
+    const int n = static_cast<int>(s.size());
+    std::vector<int> c(n, 0), b(n, 0), t;
+    c[0] = 1;
+    b[0] = 1;
+    int L = 0, m = -1;
+
+    for (int i = 0; i < n; ++i) {
+        int d = s[i];
+        for (int j = 1; j <= L; ++j)
+            d ^= c[j] & s[i - j];
+        if (d == 1) {
+            t = c;
+            for (int j = 0; j + i - m < n; ++j)
+                c[j + i - m] ^= b[j];
+            if (L <= i / 2) {
+                L = i + 1 - L;
+                m = i;
+                b = t;
+            }
+        }
+    }
+    return L;
+}
+
+TestResult
+linearComplexity(const util::BitStream &bits, int block_size)
+{
+    TestResult r;
+    r.name = "linear_complexity";
+    const std::size_t M = static_cast<std::size_t>(block_size);
+    const std::size_t N = bits.size() / M;
+    if (N == 0) {
+        r.applicable = false;
+        return r;
+    }
+
+    // SP 800-22 category probabilities, K = 6.
+    static const double pi[7] = {0.010417, 0.03125, 0.125, 0.5,
+                                 0.25,     0.0625,  0.020833};
+    const int K = 6;
+
+    const double Md = static_cast<double>(M);
+    const double sign_m = (M % 2 == 0) ? 1.0 : -1.0;
+    const double mu = Md / 2.0 + (9.0 - sign_m) / 36.0 -
+                      (Md / 3.0 + 2.0 / 9.0) / std::pow(2.0, Md);
+
+    std::vector<double> nu(K + 1, 0.0);
+    std::vector<int> block(M);
+    for (std::size_t b = 0; b < N; ++b) {
+        for (std::size_t i = 0; i < M; ++i)
+            block[i] = bits.at(b * M + i);
+        const int L = berlekampMassey(block);
+        const double T =
+            sign_m * (static_cast<double>(L) - mu) + 2.0 / 9.0;
+        int cat;
+        if (T <= -2.5)
+            cat = 0;
+        else if (T <= -1.5)
+            cat = 1;
+        else if (T <= -0.5)
+            cat = 2;
+        else if (T <= 0.5)
+            cat = 3;
+        else if (T <= 1.5)
+            cat = 4;
+        else if (T <= 2.5)
+            cat = 5;
+        else
+            cat = 6;
+        nu[cat] += 1.0;
+    }
+
+    double chi2 = 0.0;
+    for (int c = 0; c <= K; ++c) {
+        const double e = static_cast<double>(N) * pi[c];
+        chi2 += (nu[c] - e) * (nu[c] - e) / e;
+    }
+    r.p_value = util::igamc(static_cast<double>(K) / 2.0, chi2 / 2.0);
+    return r;
+}
+
+} // namespace drange::nist

@@ -1,0 +1,114 @@
+/**
+ * @file
+ * SP 800-22 section 2.5: binary matrix rank test, with the general
+ * GF(2) rank-distribution formula so small matrices (the document's
+ * worked example uses 3x3) are handled exactly.
+ */
+
+#include <cmath>
+
+#include "nist/nist.hh"
+#include "util/special_math.hh"
+
+namespace drange::nist {
+
+int
+gf2Rank(std::vector<std::vector<int>> matrix)
+{
+    const int rows = static_cast<int>(matrix.size());
+    if (rows == 0)
+        return 0;
+    const int cols = static_cast<int>(matrix[0].size());
+
+    int rank = 0;
+    for (int col = 0; col < cols && rank < rows; ++col) {
+        int pivot = -1;
+        for (int r = rank; r < rows; ++r) {
+            if (matrix[r][col]) {
+                pivot = r;
+                break;
+            }
+        }
+        if (pivot < 0)
+            continue;
+        std::swap(matrix[rank], matrix[pivot]);
+        for (int r = 0; r < rows; ++r) {
+            if (r != rank && matrix[r][col]) {
+                for (int c = col; c < cols; ++c)
+                    matrix[r][c] ^= matrix[rank][c];
+            }
+        }
+        ++rank;
+    }
+    return rank;
+}
+
+namespace {
+
+/** P(rank == r) for a random M x Q matrix over GF(2). */
+double
+rankProbability(int M, int Q, int r)
+{
+    double log2p = static_cast<double>(r) * (M + Q - r) -
+                   static_cast<double>(M) * Q;
+    double prod = 1.0;
+    for (int i = 0; i < r; ++i) {
+        prod *= (1.0 - std::pow(2.0, i - M)) *
+                (1.0 - std::pow(2.0, i - Q)) /
+                (1.0 - std::pow(2.0, i - r));
+    }
+    return std::pow(2.0, log2p) * prod;
+}
+
+} // anonymous namespace
+
+TestResult
+binaryMatrixRank(const util::BitStream &bits, int rows, int cols)
+{
+    TestResult r;
+    r.name = "binary_matrix_rank";
+    const std::size_t bits_per_matrix =
+        static_cast<std::size_t>(rows) * cols;
+    const std::size_t N = bits.size() / bits_per_matrix;
+    if (N == 0) {
+        r.applicable = false;
+        return r;
+    }
+
+    const int m = std::min(rows, cols);
+    // Categories: rank m, rank m-1, rank <= m-2.
+    const double p_full = rankProbability(rows, cols, m);
+    const double p_minus1 = rankProbability(rows, cols, m - 1);
+    const double p_rest = 1.0 - p_full - p_minus1;
+
+    std::size_t f_full = 0, f_minus1 = 0;
+    for (std::size_t i = 0; i < N; ++i) {
+        std::vector<std::vector<int>> mat(
+            rows, std::vector<int>(cols, 0));
+        for (int rr = 0; rr < rows; ++rr)
+            for (int cc = 0; cc < cols; ++cc)
+                mat[rr][cc] = bits.at(i * bits_per_matrix +
+                                      static_cast<std::size_t>(rr) * cols +
+                                      cc);
+        const int rank = gf2Rank(std::move(mat));
+        if (rank == m)
+            ++f_full;
+        else if (rank == m - 1)
+            ++f_minus1;
+    }
+    const double f_rest =
+        static_cast<double>(N - f_full - f_minus1);
+
+    const double nn = static_cast<double>(N);
+    auto term = [&](double observed, double expected_p) {
+        const double e = nn * expected_p;
+        return (observed - e) * (observed - e) / e;
+    };
+    const double chi2 = term(static_cast<double>(f_full), p_full) +
+                        term(static_cast<double>(f_minus1), p_minus1) +
+                        term(f_rest, p_rest);
+    r.p_value = std::exp(-chi2 / 2.0); // igamc(1, x/2) == exp(-x/2).
+    return r;
+}
+
+} // namespace drange::nist

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * NIST SP 800-22 statistical test suite for randomness.
+ *
+ * Reimplements all 15 tests the paper uses to validate D-RaNGe's output
+ * (Table 1). Each test returns one or more p-values; a bitstream passes
+ * a test at significance level alpha if every p-value is >= alpha. The
+ * paper uses alpha = 0.0001.
+ *
+ * Tests that yield multiple p-values (serial, cumulative sums, template
+ * matching, random excursions) report them all in `sub_p_values` and a
+ * representative `p_value` (their mean, which is how the paper's Table 1
+ * presents the template tests).
+ */
+
+#ifndef DRANGE_NIST_NIST_HH
+#define DRANGE_NIST_NIST_HH
+
+#include <string>
+#include <vector>
+
+#include "util/bitstream.hh"
+
+namespace drange::nist {
+
+/** Significance level recommended by SP 800-22 and used by the paper. */
+inline const double kDefaultAlpha = 0.0001;
+
+/** Result of one statistical test. */
+struct TestResult
+{
+    std::string name;
+    double p_value = 0.0;              //!< Representative p-value.
+    std::vector<double> sub_p_values;  //!< All p-values of the test.
+    bool applicable = true; //!< False if preconditions unmet (e.g. J<500).
+
+    /** @return true if every p-value is >= alpha (or n/a). */
+    bool pass(double alpha = kDefaultAlpha) const;
+};
+
+// --- The fifteen tests (SP 800-22 section 2.x order) ---
+
+TestResult monobit(const util::BitStream &bits);
+TestResult frequencyWithinBlock(const util::BitStream &bits,
+                                int block_size = 128);
+TestResult runs(const util::BitStream &bits);
+TestResult longestRunOfOnes(const util::BitStream &bits);
+TestResult binaryMatrixRank(const util::BitStream &bits, int rows = 32,
+                            int cols = 32);
+TestResult dft(const util::BitStream &bits);
+TestResult nonOverlappingTemplateMatching(const util::BitStream &bits,
+                                          int template_len = 9,
+                                          int num_blocks = 8);
+TestResult overlappingTemplateMatching(const util::BitStream &bits,
+                                       int template_len = 9,
+                                       int block_size = 1032);
+TestResult maurersUniversal(const util::BitStream &bits);
+TestResult linearComplexity(const util::BitStream &bits,
+                            int block_size = 500);
+TestResult serial(const util::BitStream &bits, int m = 0);
+TestResult approximateEntropy(const util::BitStream &bits, int m = 0);
+TestResult cumulativeSums(const util::BitStream &bits);
+TestResult randomExcursions(const util::BitStream &bits);
+TestResult randomExcursionsVariant(const util::BitStream &bits);
+
+/**
+ * Run the full suite in Table 1 order.
+ */
+std::vector<TestResult> runAll(const util::BitStream &bits);
+
+/**
+ * Acceptable pass-proportion interval for @p sequences sequences at
+ * level @p alpha: (1 - alpha) +/- 3 sqrt(alpha (1 - alpha) / k)
+ * (paper Section 7.1).
+ */
+std::pair<double, double> acceptableProportion(int sequences,
+                                               double alpha);
+
+// --- Internal helpers exposed for testing ---
+
+/** Rank of a bit matrix over GF(2); consumed destructively. */
+int gf2Rank(std::vector<std::vector<int>> matrix);
+
+/** Berlekamp-Massey linear complexity of a bit block. */
+int berlekampMassey(const std::vector<int> &bits);
+
+/** All aperiodic (non-self-overlapping) templates of length m. */
+std::vector<std::vector<int>> aperiodicTemplates(int m);
+
+} // namespace drange::nist
+
+#endif // DRANGE_NIST_NIST_HH

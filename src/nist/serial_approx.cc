@@ -1,0 +1,132 @@
+/**
+ * @file
+ * SP 800-22 sections 2.11 and 2.12: serial test and approximate entropy.
+ */
+
+#include <cmath>
+#include <vector>
+
+#include "nist/nist.hh"
+#include "util/special_math.hh"
+
+namespace drange::nist {
+
+namespace {
+
+/**
+ * Overlapping m-bit pattern counts with cyclic extension (the sequence
+ * is augmented with its own first m-1 bits), as both tests require.
+ */
+std::vector<std::size_t>
+cyclicCounts(const util::BitStream &bits, int m)
+{
+    std::vector<std::size_t> counts(std::size_t{1} << m, 0);
+    const std::size_t n = bits.size();
+    const std::uint64_t mask = (std::uint64_t{1} << m) - 1;
+
+    std::uint64_t window = 0;
+    for (int i = 0; i < m - 1; ++i)
+        window = (window << 1) | bits.at(i);
+
+    for (std::size_t i = 0; i < n; ++i) {
+        const std::size_t idx = (i + m - 1) % n;
+        window = ((window << 1) | bits.at(idx)) & mask;
+        ++counts[window];
+    }
+    return counts;
+}
+
+/** psi^2_m statistic; psi^2_0 is defined as 0. */
+double
+psiSquared(const util::BitStream &bits, int m)
+{
+    if (m <= 0)
+        return 0.0;
+    const auto counts = cyclicCounts(bits, m);
+    const double n = static_cast<double>(bits.size());
+    double sum = 0.0;
+    for (std::size_t c : counts)
+        sum += static_cast<double>(c) * static_cast<double>(c);
+    return sum * std::pow(2.0, m) / n - n;
+}
+
+int
+defaultSerialM(std::size_t n)
+{
+    int m = static_cast<int>(std::floor(std::log2(
+                static_cast<double>(n)))) - 3;
+    return std::max(3, std::min(m, 16));
+}
+
+int
+defaultApEnM(std::size_t n)
+{
+    int m = static_cast<int>(std::floor(std::log2(
+                static_cast<double>(n)))) - 6;
+    return std::max(2, std::min(m, 10));
+}
+
+} // anonymous namespace
+
+TestResult
+serial(const util::BitStream &bits, int m)
+{
+    TestResult r;
+    r.name = "serial";
+    if (m == 0)
+        m = defaultSerialM(bits.size());
+    if (bits.size() < static_cast<std::size_t>(m) + 1) {
+        r.applicable = false;
+        return r;
+    }
+
+    const double psi_m = psiSquared(bits, m);
+    const double psi_m1 = psiSquared(bits, m - 1);
+    const double psi_m2 = psiSquared(bits, m - 2);
+
+    const double d1 = psi_m - psi_m1;
+    const double d2 = psi_m - 2.0 * psi_m1 + psi_m2;
+
+    const double p1 = util::igamc(std::pow(2.0, m - 2), d1 / 2.0);
+    const double p2 = util::igamc(std::pow(2.0, m - 3), d2 / 2.0);
+    r.sub_p_values = {p1, p2};
+    r.p_value = (p1 + p2) / 2.0;
+    return r;
+}
+
+TestResult
+approximateEntropy(const util::BitStream &bits, int m)
+{
+    TestResult r;
+    r.name = "approximate_entropy";
+    if (m == 0)
+        m = defaultApEnM(bits.size());
+    const std::size_t n = bits.size();
+    if (n < static_cast<std::size_t>(m) + 2) {
+        r.applicable = false;
+        return r;
+    }
+
+    auto phi = [&](int mm) {
+        if (mm == 0)
+            return 0.0;
+        const auto counts = cyclicCounts(bits, mm);
+        double sum = 0.0;
+        for (std::size_t c : counts) {
+            if (c == 0)
+                continue;
+            const double p = static_cast<double>(c) /
+                             static_cast<double>(n);
+            sum += p * std::log(p);
+        }
+        return sum;
+    };
+
+    const double apen = phi(m) - phi(m + 1);
+    const double chi2 =
+        2.0 * static_cast<double>(n) * (std::log(2.0) - apen);
+    r.p_value = util::igamc(std::pow(2.0, m - 1), chi2 / 2.0);
+    return r;
+}
+
+} // namespace drange::nist

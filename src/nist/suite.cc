@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Full-suite runner in the paper's Table 1 order.
+ */
+
+#include <cmath>
+
+#include "nist/nist.hh"
+
+namespace drange::nist {
+
+std::vector<TestResult>
+runAll(const util::BitStream &bits)
+{
+    std::vector<TestResult> results;
+    results.push_back(monobit(bits));
+    results.push_back(frequencyWithinBlock(bits));
+    results.push_back(runs(bits));
+    results.push_back(longestRunOfOnes(bits));
+    results.push_back(binaryMatrixRank(bits));
+    results.push_back(dft(bits));
+    results.push_back(nonOverlappingTemplateMatching(bits));
+    results.push_back(overlappingTemplateMatching(bits));
+    results.push_back(maurersUniversal(bits));
+    results.push_back(linearComplexity(bits));
+    results.push_back(serial(bits));
+    results.push_back(approximateEntropy(bits));
+    results.push_back(cumulativeSums(bits));
+    results.push_back(randomExcursions(bits));
+    results.push_back(randomExcursionsVariant(bits));
+    return results;
+}
+
+std::pair<double, double>
+acceptableProportion(int sequences, double alpha)
+{
+    const double p = 1.0 - alpha;
+    const double half =
+        3.0 * std::sqrt(alpha * (1.0 - alpha) /
+                        static_cast<double>(sequences));
+    return {p - half, std::min(1.0, p + half)};
+}
+
+} // namespace drange::nist

@@ -1,0 +1,151 @@
+/**
+ * @file
+ * SP 800-22 sections 2.7 and 2.8: non-overlapping and overlapping
+ * template matching tests. Aperiodic templates are generated
+ * programmatically (148 templates for m = 9, matching the NIST suite).
+ */
+
+#include <cmath>
+
+#include "nist/nist.hh"
+#include "util/special_math.hh"
+
+namespace drange::nist {
+
+std::vector<std::vector<int>>
+aperiodicTemplates(int m)
+{
+    std::vector<std::vector<int>> out;
+    const std::uint32_t count = std::uint32_t{1} << m;
+    for (std::uint32_t v = 0; v < count; ++v) {
+        std::vector<int> t(m);
+        for (int i = 0; i < m; ++i)
+            t[i] = (v >> (m - 1 - i)) & 1;
+
+        // Aperiodic: no proper shift of the template matches its own
+        // prefix (the template cannot overlap itself).
+        bool aperiodic = true;
+        for (int shift = 1; shift < m && aperiodic; ++shift) {
+            bool overlap = true;
+            for (int i = 0; i < m - shift; ++i) {
+                if (t[i] != t[i + shift]) {
+                    overlap = false;
+                    break;
+                }
+            }
+            if (overlap)
+                aperiodic = false;
+        }
+        if (aperiodic)
+            out.push_back(std::move(t));
+    }
+    return out;
+}
+
+TestResult
+nonOverlappingTemplateMatching(const util::BitStream &bits,
+                               int template_len, int num_blocks)
+{
+    TestResult r;
+    r.name = "non_overlapping_template_matching";
+    const std::size_t n = bits.size();
+    const std::size_t N = static_cast<std::size_t>(num_blocks);
+    const std::size_t M = n / N;
+    if (M < static_cast<std::size_t>(template_len) * 2) {
+        r.applicable = false;
+        return r;
+    }
+
+    const int m = template_len;
+    const double mu = static_cast<double>(M - m + 1) /
+                      std::pow(2.0, m);
+    const double sigma2 =
+        static_cast<double>(M) *
+        (1.0 / std::pow(2.0, m) -
+         (2.0 * m - 1.0) / std::pow(2.0, 2.0 * m));
+
+    // Extract bits once; per-template matching then uses an O(1)
+    // rolling-window compare per position.
+    std::vector<std::uint8_t> raw(n);
+    for (std::size_t i = 0; i < n; ++i)
+        raw[i] = bits.at(i);
+
+    const auto templates = aperiodicTemplates(m);
+    const std::uint32_t mask = (std::uint32_t{1} << m) - 1;
+    double p_sum = 0.0;
+    for (const auto &tmpl : templates) {
+        std::uint32_t tval = 0;
+        for (int k = 0; k < m; ++k)
+            tval = (tval << 1) | static_cast<std::uint32_t>(tmpl[k]);
+
+        double chi2 = 0.0;
+        for (std::size_t b = 0; b < N; ++b) {
+            const std::uint8_t *block = raw.data() + b * M;
+            std::size_t w = 0;
+            std::uint32_t window = 0;
+            int filled = 0;
+            for (std::size_t i = 0; i < M; ++i) {
+                window = ((window << 1) | block[i]) & mask;
+                if (++filled >= m && window == tval) {
+                    ++w;
+                    filled = 0; // Non-overlapping: restart the window.
+                }
+            }
+            chi2 += (static_cast<double>(w) - mu) *
+                    (static_cast<double>(w) - mu) / sigma2;
+        }
+        const double p =
+            util::igamc(static_cast<double>(N) / 2.0, chi2 / 2.0);
+        r.sub_p_values.push_back(p);
+        p_sum += p;
+    }
+    r.p_value = p_sum / static_cast<double>(templates.size());
+    return r;
+}
+
+TestResult
+overlappingTemplateMatching(const util::BitStream &bits, int template_len,
+                            int block_size)
+{
+    TestResult r;
+    r.name = "overlapping_template_matching";
+    const std::size_t n = bits.size();
+    const std::size_t M = static_cast<std::size_t>(block_size);
+    const std::size_t N = n / M;
+    if (N < 1 || M < static_cast<std::size_t>(template_len)) {
+        r.applicable = false;
+        return r;
+    }
+
+    const int m = template_len;
+    // SP 800-22 probabilities for K = 5, lambda = (M - m + 1) / 2^m.
+    static const double pi[6] = {0.364091, 0.185659, 0.139381,
+                                 0.100571, 0.070432, 0.139865};
+    const int K = 5;
+
+    std::vector<double> nu(K + 1, 0.0);
+    for (std::size_t b = 0; b < N; ++b) {
+        int count = 0;
+        for (std::size_t i = 0; i + m <= M; ++i) {
+            bool match = true;
+            for (int k = 0; k < m; ++k) {
+                if (!bits.at(b * M + i + k)) { // Template is all ones.
+                    match = false;
+                    break;
+                }
+            }
+            count += match;
+        }
+        nu[std::min(count, K)] += 1.0;
+    }
+
+    double chi2 = 0.0;
+    for (int c = 0; c <= K; ++c) {
+        const double e = static_cast<double>(N) * pi[c];
+        chi2 += (nu[c] - e) * (nu[c] - e) / e;
+    }
+    r.p_value = util::igamc(static_cast<double>(K) / 2.0, chi2 / 2.0);
+    return r;
+}
+
+} // namespace drange::nist

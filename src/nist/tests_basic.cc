@@ -1,0 +1,214 @@
+/**
+ * @file
+ * SP 800-22 sections 2.1-2.4 and 2.13: frequency (monobit), frequency
+ * within a block, runs, longest run of ones, and cumulative sums.
+ */
+
+#include <algorithm>
+#include <cmath>
+
+#include "nist/nist.hh"
+#include "util/special_math.hh"
+
+namespace drange::nist {
+
+using util::BitStream;
+
+bool
+TestResult::pass(double alpha) const
+{
+    if (!applicable)
+        return true;
+    if (sub_p_values.empty())
+        return p_value >= alpha;
+    return std::all_of(sub_p_values.begin(), sub_p_values.end(),
+                       [&](double p) { return p >= alpha; });
+}
+
+TestResult
+monobit(const BitStream &bits)
+{
+    TestResult r;
+    r.name = "monobit";
+    const double n = static_cast<double>(bits.size());
+    const double ones = static_cast<double>(bits.popcount());
+    const double s = std::fabs(2.0 * ones - n) / std::sqrt(n);
+    r.p_value = std::erfc(s / std::sqrt(2.0));
+    return r;
+}
+
+TestResult
+frequencyWithinBlock(const BitStream &bits, int block_size)
+{
+    TestResult r;
+    r.name = "frequency_within_block";
+    const std::size_t n = bits.size();
+    const std::size_t M = static_cast<std::size_t>(block_size);
+    const std::size_t N = n / M;
+    if (N == 0) {
+        r.applicable = false;
+        return r;
+    }
+
+    double chi2 = 0.0;
+    for (std::size_t b = 0; b < N; ++b) {
+        std::size_t ones = 0;
+        for (std::size_t i = 0; i < M; ++i)
+            ones += bits.at(b * M + i);
+        const double pi = static_cast<double>(ones) /
+                          static_cast<double>(M);
+        chi2 += (pi - 0.5) * (pi - 0.5);
+    }
+    chi2 *= 4.0 * static_cast<double>(M);
+    r.p_value = util::igamc(static_cast<double>(N) / 2.0, chi2 / 2.0);
+    return r;
+}
+
+TestResult
+runs(const BitStream &bits)
+{
+    TestResult r;
+    r.name = "runs";
+    const std::size_t n = bits.size();
+    const double pi = bits.onesFraction();
+
+    // Precondition: the monobit test must be passable.
+    const double tau = 2.0 / std::sqrt(static_cast<double>(n));
+    if (std::fabs(pi - 0.5) >= tau) {
+        r.p_value = 0.0;
+        return r;
+    }
+
+    std::size_t v = 1;
+    for (std::size_t i = 0; i + 1 < n; ++i)
+        v += bits.at(i) != bits.at(i + 1);
+
+    const double nn = static_cast<double>(n);
+    const double num = std::fabs(static_cast<double>(v) -
+                                 2.0 * nn * pi * (1.0 - pi));
+    const double den = 2.0 * std::sqrt(2.0 * nn) * pi * (1.0 - pi);
+    r.p_value = std::erfc(num / den);
+    return r;
+}
+
+TestResult
+longestRunOfOnes(const BitStream &bits)
+{
+    TestResult r;
+    r.name = "longest_run_ones_in_a_block";
+    const std::size_t n = bits.size();
+
+    // SP 800-22 table of (M, K, categories, pi).
+    std::size_t M;
+    std::vector<int> cat_edges; // Longest-run category upper bounds.
+    std::vector<double> pi;
+    if (n < 128) {
+        r.applicable = false;
+        return r;
+    } else if (n < 6272) {
+        M = 8;
+        cat_edges = {1, 2, 3};
+        pi = {0.2148, 0.3672, 0.2305, 0.1875};
+    } else if (n < 750000) {
+        M = 128;
+        cat_edges = {4, 5, 6, 7, 8};
+        pi = {0.1174, 0.2430, 0.2493, 0.1752, 0.1027, 0.1124};
+    } else {
+        M = 10000;
+        cat_edges = {10, 11, 12, 13, 14, 15};
+        pi = {0.0882, 0.2092, 0.2483, 0.1933, 0.1208, 0.0675, 0.0727};
+    }
+
+    const std::size_t N = n / M;
+    std::vector<double> nu(pi.size(), 0.0);
+    for (std::size_t b = 0; b < N; ++b) {
+        int longest = 0, run = 0;
+        for (std::size_t i = 0; i < M; ++i) {
+            if (bits.at(b * M + i)) {
+                ++run;
+                longest = std::max(longest, run);
+            } else {
+                run = 0;
+            }
+        }
+        std::size_t cat = pi.size() - 1;
+        for (std::size_t c = 0; c < cat_edges.size(); ++c) {
+            if (longest <= cat_edges[c]) {
+                cat = c;
+                break;
+            }
+        }
+        nu[cat] += 1.0;
+    }
+
+    double chi2 = 0.0;
+    for (std::size_t c = 0; c < pi.size(); ++c) {
+        const double expected = static_cast<double>(N) * pi[c];
+        chi2 += (nu[c] - expected) * (nu[c] - expected) / expected;
+    }
+    const double K = static_cast<double>(pi.size() - 1);
+    r.p_value = util::igamc(K / 2.0, chi2 / 2.0);
+    return r;
+}
+
+namespace {
+
+double
+cusumPValue(const BitStream &bits, bool forward)
+{
+    const std::size_t n = bits.size();
+    long long sum = 0, z = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+        const std::size_t idx = forward ? i : n - 1 - i;
+        sum += bits.at(idx) ? 1 : -1;
+        z = std::max(z, std::llabs(sum));
+    }
+    if (z == 0)
+        return 0.0;
+
+    const double nn = static_cast<double>(n);
+    const double zz = static_cast<double>(z);
+    const double sqn = std::sqrt(nn);
+
+    double p = 1.0;
+    {
+        const long long k_lo = static_cast<long long>(
+            std::floor((-nn / zz + 1.0) / 4.0));
+        const long long k_hi = static_cast<long long>(
+            std::floor((nn / zz - 1.0) / 4.0));
+        double s = 0.0;
+        for (long long k = k_lo; k <= k_hi; ++k) {
+            s += util::normalCdf((4.0 * k + 1.0) * zz / sqn) -
+                 util::normalCdf((4.0 * k - 1.0) * zz / sqn);
+        }
+        p -= s;
+    }
+    {
+        const long long k_lo = static_cast<long long>(
+            std::floor((-nn / zz - 3.0) / 4.0));
+        const long long k_hi = static_cast<long long>(
+            std::floor((nn / zz - 1.0) / 4.0));
+        double s = 0.0;
+        for (long long k = k_lo; k <= k_hi; ++k) {
+            s += util::normalCdf((4.0 * k + 3.0) * zz / sqn) -
+                 util::normalCdf((4.0 * k + 1.0) * zz / sqn);
+        }
+        p += s;
+    }
+    return std::clamp(p, 0.0, 1.0);
+}
+
+} // anonymous namespace
+
+TestResult
+cumulativeSums(const BitStream &bits)
+{
+    TestResult r;
+    r.name = "cumulative_sums";
+    r.sub_p_values.push_back(cusumPValue(bits, true));
+    r.sub_p_values.push_back(cusumPValue(bits, false));
+    r.p_value = (r.sub_p_values[0] + r.sub_p_values[1]) / 2.0;
+    return r;
+}
+
+} // namespace drange::nist

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * SP 800-22 section 2.9: Maurer's "universal statistical" test.
+ */
+
+#include <cmath>
+#include <vector>
+
+#include "nist/nist.hh"
+
+namespace drange::nist {
+
+TestResult
+maurersUniversal(const util::BitStream &bits)
+{
+    TestResult r;
+    r.name = "maurers_universal";
+    const std::size_t n = bits.size();
+
+    // Block length L and init segment Q = 10 * 2^L per SP 800-22.
+    static const struct { std::size_t n_min; int L; } kChoices[] = {
+        {1059061760, 16}, {496435200, 15}, {231669760, 14},
+        {107560960, 13},  {49643520, 12},  {22753280, 11},
+        {10342400, 10},   {4654080, 9},    {2068480, 8},
+        {904960, 7},      {387840, 6},
+    };
+    int L = 0;
+    for (const auto &c : kChoices) {
+        if (n >= c.n_min) {
+            L = c.L;
+            break;
+        }
+    }
+    if (L < 6) {
+        r.applicable = false;
+        return r;
+    }
+
+    // Expected value and variance of the statistic (SP 800-22 table).
+    static const double kExpected[17] = {
+        0, 0, 0, 0, 0, 0, 5.2177052, 6.1962507, 7.1836656,
+        8.1764248, 9.1723243, 10.170032, 11.168765, 12.168070,
+        13.167693, 14.167488, 15.167379};
+    static const double kVariance[17] = {
+        0, 0, 0, 0, 0, 0, 2.954, 3.125, 3.238, 3.311, 3.356, 3.384,
+        3.401, 3.410, 3.416, 3.419, 3.421};
+
+    const std::size_t Q = 10 * (std::size_t{1} << L);
+    const std::size_t K = n / L - Q;
+    if (K == 0) {
+        r.applicable = false;
+        return r;
+    }
+
+    std::vector<std::size_t> last(std::size_t{1} << L, 0);
+    auto block = [&](std::size_t i) {
+        // i-th L-bit block, 1-based per the NIST description.
+        std::uint64_t v = 0;
+        for (int b = 0; b < L; ++b)
+            v = (v << 1) | bits.at((i - 1) * L + b);
+        return v;
+    };
+
+    for (std::size_t i = 1; i <= Q; ++i)
+        last[block(i)] = i;
+
+    double sum = 0.0;
+    for (std::size_t i = Q + 1; i <= Q + K; ++i) {
+        const std::uint64_t v = block(i);
+        sum += std::log2(static_cast<double>(i - last[v]));
+        last[v] = i;
+    }
+    const double fn = sum / static_cast<double>(K);
+
+    const double c = 0.7 - 0.8 / L +
+                     (4.0 + 32.0 / L) *
+                         std::pow(static_cast<double>(K), -3.0 / L) /
+                         15.0;
+    const double sigma = c * std::sqrt(kVariance[L] /
+                                       static_cast<double>(K));
+    r.p_value = std::erfc(std::fabs(fn - kExpected[L]) /
+                          (std::sqrt(2.0) * sigma));
+    return r;
+}
+
+} // namespace drange::nist

@@ -1,0 +1,84 @@
+#include "power/power_model.hh"
+
+namespace drange::power {
+
+PowerSpec
+PowerSpec::lpddr4()
+{
+    return PowerSpec{};
+}
+
+PowerSpec
+PowerSpec::ddr3()
+{
+    PowerSpec s;
+    s.vdd = 1.5;
+    s.idd0_ma = 95.0;
+    s.idd2n_ma = 42.0;
+    s.idd3n_ma = 62.0;
+    s.idd4r_ma = 250.0;
+    s.idd4w_ma = 235.0;
+    s.idd5_ma = 215.0;
+    return s;
+}
+
+PowerModel::PowerModel(const PowerSpec &spec,
+                       const dram::TimingParams &timing)
+    : spec_(spec), timing_(timing)
+{
+}
+
+EnergyBreakdown
+PowerModel::traceEnergy(const ctrl::CommandTrace &trace,
+                        double duration_ns, double active_ns) const
+{
+    EnergyBreakdown e;
+    const double ma_ns_to_nj = spec_.vdd * 1e-3; // mA * ns * V -> nJ.
+
+    for (const auto &cmd : trace) {
+        switch (cmd.type) {
+          case ctrl::CommandType::ACT:
+            // One ACT-PRE cycle above the standby floor (DRAMPower's
+            // E_act formulation, charged at ACT time).
+            e.act_pre_nj += (spec_.idd0_ma * timing_.trc_ns -
+                             (spec_.idd3n_ma * timing_.tras_ns +
+                              spec_.idd2n_ma *
+                                  (timing_.trc_ns - timing_.tras_ns))) *
+                            ma_ns_to_nj;
+            break;
+          case ctrl::CommandType::PRE:
+            break; // Accounted with ACT.
+          case ctrl::CommandType::RD:
+            e.read_nj += (spec_.idd4r_ma - spec_.idd3n_ma) *
+                         timing_.tbl_ns * ma_ns_to_nj;
+            break;
+          case ctrl::CommandType::WR:
+            e.write_nj += (spec_.idd4w_ma - spec_.idd3n_ma) *
+                          timing_.tbl_ns * ma_ns_to_nj;
+            break;
+          case ctrl::CommandType::REF:
+            e.refresh_nj += (spec_.idd5_ma - spec_.idd2n_ma) *
+                            timing_.trfc_ns * ma_ns_to_nj;
+            break;
+        }
+    }
+
+    const double precharged_ns = duration_ns - active_ns;
+    e.background_nj = (spec_.idd3n_ma * active_ns +
+                       spec_.idd2n_ma * precharged_ns) *
+                      ma_ns_to_nj;
+    return e;
+}
+
+double
+PowerModel::idleEnergyNj(double duration_ns) const
+{
+    // Precharged standby plus the mandatory refresh duty cycle.
+    const double ma_ns_to_nj = spec_.vdd * 1e-3;
+    const double refreshes = duration_ns / timing_.trefi_ns;
+    const double refresh_nj = refreshes * (spec_.idd5_ma - spec_.idd2n_ma) *
+                              timing_.trfc_ns * ma_ns_to_nj;
+    return spec_.idd2n_ma * duration_ns * ma_ns_to_nj + refresh_nj;
+}
+
+} // namespace drange::power

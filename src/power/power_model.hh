@@ -1,0 +1,87 @@
+/**
+ * @file
+ * DRAMPower-style energy model.
+ *
+ * The paper estimates D-RaNGe's energy with DRAMPower on Ramulator
+ * command traces (Section 7.3, "Low Energy Consumption"): the energy of
+ * the generation loop minus the energy of an idle device over the same
+ * interval, divided by the bits produced. This model implements the same
+ * methodology from IDD/VDD current specifications and a command trace.
+ */
+
+#ifndef DRANGE_POWER_POWER_MODEL_HH
+#define DRANGE_POWER_POWER_MODEL_HH
+
+#include <cstdint>
+
+#include "controller/command.hh"
+#include "dram/config.hh"
+
+namespace drange::power {
+
+/**
+ * Current/voltage specification of a device (values per rank).
+ */
+struct PowerSpec
+{
+    double vdd = 1.1;        //!< Core supply (V).
+    double idd0_ma = 60.0;   //!< ACT-PRE cycling current.
+    double idd2n_ma = 30.0;  //!< Precharge standby.
+    double idd3n_ma = 42.0;  //!< Active standby.
+    double idd4r_ma = 210.0; //!< Burst read.
+    double idd4w_ma = 195.0; //!< Burst write.
+    double idd5_ma = 155.0;  //!< Refresh.
+
+    /** LPDDR4-3200 rank (paper's main devices). */
+    static PowerSpec lpddr4();
+
+    /** DDR3-1600 rank (validation devices). */
+    static PowerSpec ddr3();
+};
+
+/** Energy breakdown of a command trace. */
+struct EnergyBreakdown
+{
+    double act_pre_nj = 0.0;
+    double read_nj = 0.0;
+    double write_nj = 0.0;
+    double refresh_nj = 0.0;
+    double background_nj = 0.0;
+
+    double total_nj() const
+    {
+        return act_pre_nj + read_nj + write_nj + refresh_nj +
+               background_nj;
+    }
+};
+
+/**
+ * Computes trace energy from the DRAMPower current-based formulas.
+ */
+class PowerModel
+{
+  public:
+    PowerModel(const PowerSpec &spec, const dram::TimingParams &timing);
+
+    /**
+     * Energy of a command trace spanning @p duration_ns, of which
+     * @p active_ns was spent with at least one bank open.
+     */
+    EnergyBreakdown
+    traceEnergy(const ctrl::CommandTrace &trace, double duration_ns,
+                double active_ns) const;
+
+    /** Energy of an idle (precharged, refreshing) device over an
+     * interval; the subtraction baseline of the paper's methodology. */
+    double idleEnergyNj(double duration_ns) const;
+
+    const PowerSpec &spec() const { return spec_; }
+
+  private:
+    PowerSpec spec_;
+    dram::TimingParams timing_;
+};
+
+} // namespace drange::power
+
+#endif // DRANGE_POWER_POWER_MODEL_HH

@@ -1,0 +1,118 @@
+#include "sim/interference.hh"
+
+#include <algorithm>
+
+namespace drange::sim {
+
+InterferenceExperiment::InterferenceExperiment(core::DRangeTrng &trng,
+                                               std::uint64_t seed)
+    : trng_(trng), seed_(seed)
+{
+}
+
+namespace {
+
+/** App rows are placed far from the TRNG's exclusively-held rows. */
+const int kAppRowOffset = 4096;
+
+std::vector<ctrl::Request>
+shiftRows(std::vector<ctrl::Request> reqs, int offset, int rows_per_bank)
+{
+    for (auto &r : reqs)
+        r.row = (r.row + offset) % rows_per_bank;
+    return reqs;
+}
+
+} // anonymous namespace
+
+InterferenceResult
+InterferenceExperiment::run(const Workload &workload, double duration_ns)
+{
+    InterferenceResult result;
+    result.workload = workload.name;
+    result.duration_ns = duration_ns;
+
+    auto &device = trng_.scheduler().device();
+    const auto &geom = device.config().geometry;
+
+    // --- Baseline: the workload alone on an identical device ---
+    {
+        dram::DramDevice baseline_dev(device.config());
+        ctrl::TimingRegisterFile regs(device.config().timing);
+        ctrl::CommandScheduler sched(baseline_dev, regs);
+        ctrl::MemoryController mc(sched);
+
+        WorkloadGenerator gen(geom, seed_);
+        for (auto &req : shiftRows(
+                 gen.generate(workload, 0.0, duration_ns), kAppRowOffset,
+                 geom.rows_per_bank)) {
+            mc.enqueue(req);
+        }
+        mc.drain();
+        result.app_baseline_latency_ns = mc.stats().avgLatency();
+    }
+
+    // --- Co-run: D-RaNGe sampling in the idle gaps ---
+    trng_.enterSamplingMode();
+    trng_.setReducedTiming(false);
+
+    auto &sched = trng_.scheduler();
+    ctrl::MemoryController mc(sched);
+
+    // Estimate the cost of one sampling round.
+    util::BitStream bits;
+    {
+        trng_.setReducedTiming(true);
+        const double t0 = sched.now();
+        trng_.runRound(bits);
+        trng_.setReducedTiming(false);
+        bits.clear();
+        const double round_cost = sched.now() - t0;
+
+        const double start = sched.now();
+        const double end = start + duration_ns;
+
+        WorkloadGenerator gen(geom, seed_);
+        for (auto &req : shiftRows(
+                 gen.generate(workload, start, duration_ns),
+                 kAppRowOffset, geom.rows_per_bank)) {
+            mc.enqueue(req);
+        }
+
+        while (sched.now() < end) {
+            const double next = mc.nextArrival();
+            if (mc.pending() && next <= sched.now()) {
+                mc.serviceOne();
+                continue;
+            }
+            const double gap =
+                std::min(next, end) - sched.now();
+            // Admit a round only when it fits in the expected gap;
+            // the occasional request arriving mid-round waits a
+            // fraction of a round, which the slowdown metric (pure
+            // DRAM latency, no core-side component) accounts for.
+            if (gap > round_cost * 0.95) {
+                // Close rows the application left open in the sampling
+                // banks, then run one reduced-timing round.
+                for (const auto &sel : trng_.selection())
+                    if (device.isOpen(sel.bank))
+                        sched.precharge(sel.bank);
+                trng_.setReducedTiming(true);
+                result.trng_bits += trng_.runRound(bits);
+                trng_.setReducedTiming(false);
+            } else if (mc.pending()) {
+                sched.advanceTo(next);
+            } else {
+                break;
+            }
+        }
+        mc.drain();
+    }
+    trng_.exitSamplingMode();
+
+    result.app_avg_latency_ns = mc.stats().avgLatency();
+    result.app_requests = mc.stats().served;
+    return result;
+}
+
+} // namespace drange::sim

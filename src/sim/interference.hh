@@ -1,0 +1,70 @@
+/**
+ * @file
+ * The system-interference experiment of paper Section 7.3: run an
+ * application's memory request stream through the controller at default
+ * timing and let D-RaNGe issue sampling rounds only in the idle gaps, so
+ * the application sees no added latency while random bits accumulate
+ * from otherwise-wasted DRAM bandwidth.
+ */
+
+#ifndef DRANGE_SIM_INTERFERENCE_HH
+#define DRANGE_SIM_INTERFERENCE_HH
+
+#include <string>
+
+#include "core/drange.hh"
+#include "sim/workload.hh"
+
+namespace drange::sim {
+
+/** Result of one workload + D-RaNGe co-run. */
+struct InterferenceResult
+{
+    std::string workload;
+    double duration_ns = 0.0;
+    std::uint64_t trng_bits = 0;
+    double app_avg_latency_ns = 0.0;      //!< With D-RaNGe in the gaps.
+    double app_baseline_latency_ns = 0.0; //!< Workload running alone.
+    std::uint64_t app_requests = 0;
+
+    /** TRNG throughput harvested from idle bandwidth, Mbit/s. */
+    double trngThroughputMbps() const
+    {
+        return duration_ns > 0.0
+                   ? static_cast<double>(trng_bits) / duration_ns * 1000.0
+                   : 0.0;
+    }
+
+    /** Application slowdown (1.0 = none). */
+    double slowdown() const
+    {
+        return app_baseline_latency_ns > 0.0
+                   ? app_avg_latency_ns / app_baseline_latency_ns
+                   : 1.0;
+    }
+};
+
+/**
+ * Drives one workload with and without D-RaNGe in the idle gaps.
+ *
+ * The D-RaNGe engine must already be initialized. Application traffic is
+ * placed in rows far from the TRNG's sampling rows (the paper reserves
+ * those rows for exclusive memory-controller access).
+ */
+class InterferenceExperiment
+{
+  public:
+    InterferenceExperiment(core::DRangeTrng &trng,
+                           std::uint64_t seed = 42);
+
+    /** Co-run @p workload for @p duration_ns of simulated time. */
+    InterferenceResult run(const Workload &workload, double duration_ns);
+
+  private:
+    core::DRangeTrng &trng_;
+    std::uint64_t seed_;
+};
+
+} // namespace drange::sim
+
+#endif // DRANGE_SIM_INTERFERENCE_HH

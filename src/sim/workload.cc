@@ -1,0 +1,75 @@
+#include "sim/workload.hh"
+
+#include <cmath>
+
+namespace drange::sim {
+
+std::vector<Workload>
+Workload::spec2006()
+{
+    // Intensities loosely follow published SPEC CPU2006 MPKI orderings:
+    // mcf/lbm/milc are memory-bound, povray/namd barely touch DRAM.
+    return {
+        {"perlbench", 0.12, 0.75, 0.25, 256},
+        {"bzip2", 0.28, 0.60, 0.35, 384},
+        {"gcc", 0.35, 0.55, 0.30, 512},
+        {"mcf", 0.70, 0.30, 0.25, 1024},
+        {"milc", 0.60, 0.45, 0.35, 768},
+        {"namd", 0.08, 0.80, 0.20, 128},
+        {"gobmk", 0.18, 0.65, 0.30, 256},
+        {"soplex", 0.55, 0.40, 0.30, 768},
+        {"povray", 0.05, 0.85, 0.15, 64},
+        {"hmmer", 0.22, 0.70, 0.30, 256},
+        {"sjeng", 0.15, 0.70, 0.25, 256},
+        {"libquantum", 0.65, 0.85, 0.20, 512},
+        {"h264ref", 0.25, 0.70, 0.30, 384},
+        {"lbm", 0.68, 0.50, 0.45, 1024},
+        {"omnetpp", 0.50, 0.35, 0.30, 768},
+        {"astar", 0.40, 0.45, 0.25, 512},
+        {"sphinx3", 0.45, 0.55, 0.20, 512},
+        {"xalancbmk", 0.52, 0.40, 0.30, 640},
+    };
+}
+
+WorkloadGenerator::WorkloadGenerator(const dram::Geometry &geometry,
+                                     std::uint64_t seed)
+    : geometry_(geometry), rng_(seed)
+{
+}
+
+std::vector<ctrl::Request>
+WorkloadGenerator::generate(const Workload &workload, double start_ns,
+                            double duration_ns, double peak_request_ns)
+{
+    std::vector<ctrl::Request> out;
+    const double mean_gap = peak_request_ns / workload.intensity;
+
+    double t = start_ns;
+    int bank = static_cast<int>(rng_.nextBelow(geometry_.banks));
+    int row = static_cast<int>(rng_.nextBelow(workload.footprint_rows));
+    while (t < start_ns + duration_ns) {
+        // Exponential inter-arrival times (bursty, open-loop).
+        double u = rng_.nextDouble();
+        while (u <= 0.0)
+            u = rng_.nextDouble();
+        t += -mean_gap * std::log(u);
+
+        if (!rng_.nextBernoulli(workload.row_locality)) {
+            bank = static_cast<int>(rng_.nextBelow(geometry_.banks));
+            row = static_cast<int>(
+                rng_.nextBelow(workload.footprint_rows));
+        }
+
+        ctrl::Request req;
+        req.arrival_ns = t;
+        req.bank = bank;
+        req.row = row % geometry_.rows_per_bank;
+        req.word = static_cast<int>(
+            rng_.nextBelow(geometry_.words_per_row));
+        req.is_write = rng_.nextBernoulli(workload.write_fraction);
+        out.push_back(req);
+    }
+    return out;
+}
+
+} // namespace drange::sim

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Synthetic memory workloads standing in for the paper's SPEC CPU2006
+ * traces (Section 7.3, system-interference experiment).
+ *
+ * Each workload is characterized by its memory intensity (fraction of
+ * peak DRAM request bandwidth it demands) and row-buffer locality; the
+ * named set below spans the intensity range of SPEC CPU2006 from
+ * compute-bound (povray) to memory-bound (mcf, lbm). The interference
+ * experiment only consumes the *idle bandwidth* each workload leaves, so
+ * this parameterization exercises the identical controller path as a
+ * trace would.
+ */
+
+#ifndef DRANGE_SIM_WORKLOAD_HH
+#define DRANGE_SIM_WORKLOAD_HH
+
+#include <string>
+#include <vector>
+
+#include "controller/memory_controller.hh"
+#include "dram/config.hh"
+#include "util/rng.hh"
+
+namespace drange::sim {
+
+/** A named synthetic workload. */
+struct Workload
+{
+    std::string name;
+    double intensity = 0.3;    //!< Fraction of peak request bandwidth.
+    double row_locality = 0.6; //!< P(next request hits the same row).
+    double write_fraction = 0.3;
+    int footprint_rows = 512;  //!< Rows touched per bank.
+
+    /** The SPEC-CPU2006-inspired workload set. */
+    static std::vector<Workload> spec2006();
+};
+
+/**
+ * Generates request streams for a workload.
+ */
+class WorkloadGenerator
+{
+  public:
+    WorkloadGenerator(const dram::Geometry &geometry,
+                      std::uint64_t seed);
+
+    /**
+     * Requests over [start_ns, start_ns + duration_ns) with Poisson-like
+     * inter-arrival times scaled to the workload intensity.
+     *
+     * @param peak_request_ns Average request spacing at intensity 1.0.
+     *        The default reflects a core issuing a demand miss every
+     *        ~100 ns at full memory pressure, which leaves the idle
+     *        gaps SPEC workloads really have.
+     */
+    std::vector<ctrl::Request>
+    generate(const Workload &workload, double start_ns,
+             double duration_ns, double peak_request_ns = 100.0);
+
+  private:
+    dram::Geometry geometry_;
+    util::Xoshiro256ss rng_;
+};
+
+} // namespace drange::sim
+
+#endif // DRANGE_SIM_WORKLOAD_HH

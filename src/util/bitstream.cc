@@ -1,0 +1,157 @@
+#include "util/bitstream.hh"
+
+#include <bit>
+#include <cassert>
+#include <stdexcept>
+
+namespace drange::util {
+
+BitStream
+BitStream::fromString(const std::string &bits)
+{
+    BitStream bs;
+    for (char c : bits) {
+        if (c == '0') {
+            bs.append(false);
+        } else if (c == '1') {
+            bs.append(true);
+        } else if (c == ' ' || c == '\n' || c == '\t') {
+            continue;
+        } else {
+            throw std::invalid_argument(
+                "BitStream::fromString: invalid character");
+        }
+    }
+    return bs;
+}
+
+BitStream
+BitStream::fromWords(const std::vector<std::uint64_t> &words,
+                     int bits_per_word)
+{
+    BitStream bs;
+    for (std::uint64_t w : words)
+        bs.appendBits(w, bits_per_word);
+    return bs;
+}
+
+void
+BitStream::append(bool bit)
+{
+    const std::size_t word = size_ / 64;
+    const std::size_t off = size_ % 64;
+    if (word >= words_.size())
+        words_.push_back(0);
+    if (bit)
+        words_[word] |= (std::uint64_t{1} << off);
+    ++size_;
+}
+
+void
+BitStream::appendBits(std::uint64_t value, int count)
+{
+    assert(count >= 0 && count <= 64);
+    for (int i = 0; i < count; ++i)
+        append((value >> i) & 1);
+}
+
+void
+BitStream::append(const BitStream &other)
+{
+    for (std::size_t i = 0; i < other.size(); ++i)
+        append(other.at(i));
+}
+
+bool
+BitStream::at(std::size_t index) const
+{
+    assert(index < size_);
+    return (words_[index / 64] >> (index % 64)) & 1;
+}
+
+void
+BitStream::clear()
+{
+    words_.clear();
+    size_ = 0;
+}
+
+std::size_t
+BitStream::popcount() const
+{
+    std::size_t count = 0;
+    for (std::size_t i = 0; i < words_.size(); ++i) {
+        std::uint64_t w = words_[i];
+        // Mask the tail of the last word.
+        if (i == words_.size() - 1 && size_ % 64 != 0)
+            w &= (std::uint64_t{1} << (size_ % 64)) - 1;
+        count += std::popcount(w);
+    }
+    return count;
+}
+
+double
+BitStream::onesFraction() const
+{
+    if (size_ == 0)
+        return 0.0;
+    return static_cast<double>(popcount()) / static_cast<double>(size_);
+}
+
+BitStream
+BitStream::prefix(std::size_t count) const
+{
+    return slice(0, count);
+}
+
+BitStream
+BitStream::slice(std::size_t begin, std::size_t count) const
+{
+    assert(begin + count <= size_);
+    BitStream out;
+    for (std::size_t i = 0; i < count; ++i)
+        out.append(at(begin + i));
+    return out;
+}
+
+std::vector<int>
+BitStream::toPlusMinusOne() const
+{
+    std::vector<int> out(size_);
+    for (std::size_t i = 0; i < size_; ++i)
+        out[i] = at(i) ? 1 : -1;
+    return out;
+}
+
+std::string
+BitStream::toString() const
+{
+    std::string out(size_, '0');
+    for (std::size_t i = 0; i < size_; ++i)
+        if (at(i))
+            out[i] = '1';
+    return out;
+}
+
+std::vector<std::uint8_t>
+BitStream::toBytesMsbFirst() const
+{
+    std::vector<std::uint8_t> out((size_ + 7) / 8, 0);
+    for (std::size_t i = 0; i < size_; ++i)
+        if (at(i))
+            out[i / 8] |= static_cast<std::uint8_t>(0x80u >> (i % 8));
+    return out;
+}
+
+std::uint64_t
+BitStream::window(std::size_t index, int count) const
+{
+    assert(count >= 0 && count <= 64);
+    assert(index + static_cast<std::size_t>(count) <= size_);
+    std::uint64_t v = 0;
+    for (int i = 0; i < count; ++i)
+        v = (v << 1) | static_cast<std::uint64_t>(at(index + i));
+    return v;
+}
+
+} // namespace drange::util

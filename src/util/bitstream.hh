@@ -1,0 +1,92 @@
+/**
+ * @file
+ * A growable stream of bits with append / random access / export helpers.
+ *
+ * BitStream is the common currency between the TRNG engines (which append
+ * harvested bits) and the NIST statistical test suite (which consumes
+ * them). Bits are stored packed, 64 per word, in append order.
+ */
+
+#ifndef DRANGE_UTIL_BITSTREAM_HH
+#define DRANGE_UTIL_BITSTREAM_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace drange::util {
+
+/**
+ * Packed, append-only sequence of bits.
+ */
+class BitStream
+{
+  public:
+    BitStream() = default;
+
+    /** Construct from a 0/1 character string (e.g. "100101"). */
+    static BitStream fromString(const std::string &bits);
+
+    /** Construct from the low @p bits_per_word bits of each value. */
+    static BitStream fromWords(const std::vector<std::uint64_t> &words,
+                               int bits_per_word);
+
+    /** Append a single bit. */
+    void append(bool bit);
+
+    /** Append the low @p count bits of @p value, LSB first. */
+    void appendBits(std::uint64_t value, int count);
+
+    /** Append all bits of another stream. */
+    void append(const BitStream &other);
+
+    /** @return the bit at @p index (0-based, append order). */
+    bool at(std::size_t index) const;
+
+    /** @return number of bits in the stream. */
+    std::size_t size() const { return size_; }
+
+    bool empty() const { return size_ == 0; }
+
+    /** Remove all bits. */
+    void clear();
+
+    /** @return the number of 1 bits. */
+    std::size_t popcount() const;
+
+    /** @return fraction of 1 bits, or 0 for an empty stream. */
+    double onesFraction() const;
+
+    /**
+     * @return the first @p count bits as a new stream.
+     * Requires count <= size().
+     */
+    BitStream prefix(std::size_t count) const;
+
+    /** @return bits [begin, begin + count) as a new stream. */
+    BitStream slice(std::size_t begin, std::size_t count) const;
+
+    /** @return bits as a vector of +1/-1 ints (NIST convention). */
+    std::vector<int> toPlusMinusOne() const;
+
+    /** @return bits as a 0/1 character string. */
+    std::string toString() const;
+
+    /** @return packed bytes, bit 0 of the stream in the MSB of byte 0. */
+    std::vector<std::uint8_t> toBytesMsbFirst() const;
+
+    /**
+     * Read @p count bits starting at @p index as an integer, first bit in
+     * the most significant position. Requires index + count <= size().
+     */
+    std::uint64_t window(std::size_t index, int count) const;
+
+  private:
+    std::vector<std::uint64_t> words_;
+    std::size_t size_ = 0;
+};
+
+} // namespace drange::util
+
+#endif // DRANGE_UTIL_BITSTREAM_HH

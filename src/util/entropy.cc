@@ -1,0 +1,95 @@
+#include "util/entropy.hh"
+
+#include <cassert>
+#include <cmath>
+
+namespace drange::util {
+
+double
+binaryShannonEntropy(double p)
+{
+    if (p <= 0.0 || p >= 1.0)
+        return 0.0;
+    return -p * std::log2(p) - (1.0 - p) * std::log2(1.0 - p);
+}
+
+double
+shannonEntropy(const BitStream &bits)
+{
+    return binaryShannonEntropy(bits.onesFraction());
+}
+
+std::vector<std::size_t>
+symbolCounts(const BitStream &bits, int m)
+{
+    assert(m >= 1 && m <= 16);
+    std::vector<std::size_t> counts(std::size_t{1} << m, 0);
+    if (bits.size() < static_cast<std::size_t>(m))
+        return counts;
+
+    const std::uint64_t mask = (std::uint64_t{1} << m) - 1;
+    std::uint64_t window = 0;
+    for (std::size_t i = 0; i < bits.size(); ++i) {
+        window = ((window << 1) | static_cast<std::uint64_t>(bits.at(i))) &
+                 mask;
+        if (i + 1 >= static_cast<std::size_t>(m))
+            ++counts[window];
+    }
+    return counts;
+}
+
+double
+symbolEntropy(const BitStream &bits, int m)
+{
+    const auto counts = symbolCounts(bits, m);
+    std::size_t total = 0;
+    for (std::size_t c : counts)
+        total += c;
+    if (total == 0)
+        return 0.0;
+
+    double h = 0.0;
+    for (std::size_t c : counts) {
+        if (c == 0)
+            continue;
+        const double p = static_cast<double>(c) / total;
+        h -= p * std::log2(p);
+    }
+    return h / m;
+}
+
+bool
+passesSymbolFilter(const BitStream &bits, double tolerance, int m)
+{
+    if (bits.size() < static_cast<std::size_t>(m))
+        return false;
+    const auto counts = symbolCounts(bits, m);
+    const double total = static_cast<double>(bits.size() - m + 1);
+    const double expected = total / static_cast<double>(counts.size());
+    const double lo = expected * (1.0 - tolerance);
+    const double hi = expected * (1.0 + tolerance);
+    for (std::size_t c : counts) {
+        const double cd = static_cast<double>(c);
+        if (cd < lo || cd > hi)
+            return false;
+    }
+    return true;
+}
+
+double
+minEntropy(const BitStream &bits, int m)
+{
+    const auto counts = symbolCounts(bits, m);
+    std::size_t total = 0, max_count = 0;
+    for (std::size_t c : counts) {
+        total += c;
+        if (c > max_count)
+            max_count = c;
+    }
+    if (total == 0 || max_count == 0)
+        return 0.0;
+    const double pmax = static_cast<double>(max_count) / total;
+    return -std::log2(pmax) / m;
+}
+
+} // namespace drange::util

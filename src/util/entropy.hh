@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Entropy estimation helpers used by the RNG-cell identification step
+ * (paper Section 6.1) and the evaluation (Section 7.1).
+ */
+
+#ifndef DRANGE_UTIL_ENTROPY_HH
+#define DRANGE_UTIL_ENTROPY_HH
+
+#include <array>
+#include <cstddef>
+#include <vector>
+
+#include "util/bitstream.hh"
+
+namespace drange::util {
+
+/**
+ * Shannon entropy (bits/bit) of a binary stream with 1-probability @p p:
+ * H(p) = -p log2 p - (1-p) log2 (1-p). Returns 0 for degenerate p.
+ */
+double binaryShannonEntropy(double p);
+
+/**
+ * Shannon entropy of a bit stream, computed from its ones fraction
+ * (the metric the paper uses in Section 7.1).
+ */
+double shannonEntropy(const BitStream &bits);
+
+/**
+ * Count occurrences of each m-bit symbol across a bit stream using a
+ * sliding (overlapping) window, the counting scheme used for RNG-cell
+ * identification.
+ *
+ * @param bits Input stream.
+ * @param m Symbol width in bits (1..16).
+ * @return 2^m counts; counts.sum() == bits.size() - m + 1.
+ */
+std::vector<std::size_t> symbolCounts(const BitStream &bits, int m);
+
+/**
+ * Shannon entropy (bits/symbol) of the empirical m-bit symbol
+ * distribution, normalized by m to bits/bit.
+ */
+double symbolEntropy(const BitStream &bits, int m);
+
+/**
+ * The paper's RNG-cell acceptance filter (Section 6.1): a 1000-bit sample
+ * of a cell is accepted if every 3-bit symbol occurs an approximately
+ * equal number of times, within +/- tolerance (default 10%) of the
+ * expected count.
+ *
+ * @param bits Sampled bit stream from one cell.
+ * @param tolerance Relative tolerance around the expected symbol count.
+ * @param m Symbol width (paper uses 3).
+ * @retval true if the sample passes the filter.
+ */
+bool passesSymbolFilter(const BitStream &bits, double tolerance = 0.10,
+                        int m = 3);
+
+/**
+ * Min-entropy (bits/bit) of the empirical m-bit symbol distribution:
+ * -log2(max_i p_i) / m.
+ */
+double minEntropy(const BitStream &bits, int m);
+
+} // namespace drange::util
+
+#endif // DRANGE_UTIL_ENTROPY_HH

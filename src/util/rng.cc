@@ -1,0 +1,197 @@
+#include "util/rng.hh"
+
+#include <cmath>
+#include <random>
+
+namespace drange::util {
+
+std::uint64_t
+splitmix64(std::uint64_t &state)
+{
+    state += 0x9e3779b97f4a7c15ULL;
+    return mix64(state);
+}
+
+std::uint64_t
+mix64(std::uint64_t x)
+{
+    x ^= x >> 30;
+    x *= 0xbf58476d1ce4e5b9ULL;
+    x ^= x >> 27;
+    x *= 0x94d049bb133111ebULL;
+    x ^= x >> 31;
+    return x;
+}
+
+std::uint64_t
+hashMix(std::initializer_list<std::uint64_t> values)
+{
+    std::uint64_t h = 0x2545f4914f6cdd1dULL;
+    for (std::uint64_t v : values) {
+        h ^= mix64(v + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2));
+        h = mix64(h);
+    }
+    return h;
+}
+
+double
+u64ToUnitDouble(std::uint64_t x)
+{
+    // Use the top 53 bits for a uniformly spaced double in [0, 1).
+    return static_cast<double>(x >> 11) * 0x1.0p-53;
+}
+
+double
+u64ToGaussian(std::uint64_t x)
+{
+    // Map to (0,1) strictly, then invert the normal CDF.
+    double u = (static_cast<double>(x >> 11) + 0.5) * 0x1.0p-53;
+    return inverseNormalCdf(u);
+}
+
+namespace {
+
+std::uint64_t
+rotl(std::uint64_t x, int k)
+{
+    return (x << k) | (x >> (64 - k));
+}
+
+} // anonymous namespace
+
+Xoshiro256ss::Xoshiro256ss(std::uint64_t seed)
+{
+    std::uint64_t sm = seed;
+    for (auto &word : s_)
+        word = splitmix64(sm);
+}
+
+Xoshiro256ss::Xoshiro256ss()
+{
+    std::random_device rd;
+    std::uint64_t seed = (static_cast<std::uint64_t>(rd()) << 32) ^ rd();
+    std::uint64_t sm = seed;
+    for (auto &word : s_)
+        word = splitmix64(sm);
+}
+
+std::uint64_t
+Xoshiro256ss::next()
+{
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+
+    return result;
+}
+
+double
+Xoshiro256ss::nextDouble()
+{
+    return u64ToUnitDouble(next());
+}
+
+double
+Xoshiro256ss::nextGaussian()
+{
+    if (has_cached_gaussian_) {
+        has_cached_gaussian_ = false;
+        return cached_gaussian_;
+    }
+    // Box-Muller on two uniforms; guard against log(0).
+    double u1 = nextDouble();
+    while (u1 <= 0.0)
+        u1 = nextDouble();
+    const double u2 = nextDouble();
+    const double r = std::sqrt(-2.0 * std::log(u1));
+    const double theta = 2.0 * M_PI * u2;
+    cached_gaussian_ = r * std::sin(theta);
+    has_cached_gaussian_ = true;
+    return r * std::cos(theta);
+}
+
+std::uint64_t
+Xoshiro256ss::nextBelow(std::uint64_t bound)
+{
+    if (bound == 0)
+        return 0;
+    // Rejection sampling to avoid modulo bias.
+    const std::uint64_t threshold = (~bound + 1) % bound;
+    for (;;) {
+        const std::uint64_t r = next();
+        if (r >= threshold)
+            return r % bound;
+    }
+}
+
+bool
+Xoshiro256ss::nextBernoulli(double p)
+{
+    if (p <= 0.0)
+        return false;
+    if (p >= 1.0)
+        return true;
+    return nextDouble() < p;
+}
+
+double
+inverseNormalCdf(double p)
+{
+    // Acklam's algorithm.
+    static const double a[] = {
+        -3.969683028665376e+01, 2.209460984245205e+02,
+        -2.759285104469687e+02, 1.383577518672690e+02,
+        -3.066479806614716e+01, 2.506628277459239e+00,
+    };
+    static const double b[] = {
+        -5.447609879822406e+01, 1.615858368580409e+02,
+        -1.556989798598866e+02, 6.680131188771972e+01,
+        -1.328068155288572e+01,
+    };
+    static const double c[] = {
+        -7.784894002430293e-03, -3.223964580411365e-01,
+        -2.400758277161838e+00, -2.549732539343734e+00,
+        4.374664141464968e+00,  2.938163982698783e+00,
+    };
+    static const double d[] = {
+        7.784695709041462e-03, 3.224671290700398e-01,
+        2.445134137142996e+00, 3.754408661907416e+00,
+    };
+    const double p_low = 0.02425;
+    const double p_high = 1.0 - p_low;
+
+    double x;
+    if (p < p_low) {
+        const double q = std::sqrt(-2.0 * std::log(p));
+        x = (((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q +
+             c[5]) /
+            ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0);
+    } else if (p <= p_high) {
+        const double q = p - 0.5;
+        const double r = q * q;
+        x = (((((a[0] * r + a[1]) * r + a[2]) * r + a[3]) * r + a[4]) * r +
+             a[5]) *
+            q /
+            (((((b[0] * r + b[1]) * r + b[2]) * r + b[3]) * r + b[4]) * r +
+             1.0);
+    } else {
+        const double q = std::sqrt(-2.0 * std::log(1.0 - p));
+        x = -(((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q +
+              c[5]) /
+            ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0);
+    }
+
+    // One Halley refinement step using erfc for high accuracy.
+    const double e = 0.5 * std::erfc(-x / std::sqrt(2.0)) - p;
+    const double u = e * std::sqrt(2.0 * M_PI) * std::exp(x * x / 2.0);
+    x = x - u / (1.0 + x * u / 2.0);
+    return x;
+}
+
+} // namespace drange::util

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Deterministic hashing and pseudo-random number generation utilities.
+ *
+ * Two distinct uses exist in this codebase and they must not be conflated:
+ *
+ *  1. *Deterministic* derivation of per-cell process-variation parameters
+ *     from a device seed and cell coordinates (splitmix64 / hashMix).
+ *     These model manufacturing-time variation, which is fixed for the
+ *     lifetime of a device (paper Section 5.4).
+ *
+ *  2. *Non-deterministic* per-read noise sampling (Xoshiro256ss seeded
+ *     from std::random_device by default), which models the thermal noise
+ *     that makes activation failures truly random.
+ */
+
+#ifndef DRANGE_UTIL_RNG_HH
+#define DRANGE_UTIL_RNG_HH
+
+#include <cstdint>
+#include <initializer_list>
+
+namespace drange::util {
+
+/**
+ * Advance a splitmix64 state and return the next 64-bit output.
+ *
+ * @param state The generator state; updated in place.
+ * @return The next pseudo-random 64-bit value.
+ */
+std::uint64_t splitmix64(std::uint64_t &state);
+
+/**
+ * Finalizing 64-bit mixer (the splitmix64 output function). Stateless.
+ */
+std::uint64_t mix64(std::uint64_t x);
+
+/**
+ * Mix an arbitrary list of 64-bit values into a single well-distributed
+ * 64-bit hash. Used to derive per-cell parameters from
+ * (seed, bank, row, column, purpose-tag) tuples.
+ */
+std::uint64_t hashMix(std::initializer_list<std::uint64_t> values);
+
+/**
+ * Map a 64-bit hash to a double uniformly distributed in [0, 1).
+ */
+double u64ToUnitDouble(std::uint64_t x);
+
+/**
+ * Map a 64-bit hash to a standard-normal deviate. Deterministic: the same
+ * input always yields the same deviate (inverse-CDF method on the unit
+ * double). Used for frozen manufacturing variation.
+ */
+double u64ToGaussian(std::uint64_t x);
+
+/**
+ * xoshiro256** pseudo-random generator. Fast, high-quality, 256-bit state.
+ *
+ * Used both as the simulated physical-noise stream (seeded from
+ * std::random_device) and as a reference PRNG in tests and benchmarks.
+ */
+class Xoshiro256ss
+{
+  public:
+    /** Construct from a 64-bit seed, expanded via splitmix64. */
+    explicit Xoshiro256ss(std::uint64_t seed);
+
+    /** Construct with a non-deterministic seed from std::random_device. */
+    Xoshiro256ss();
+
+    /** @return the next 64-bit pseudo-random value. */
+    std::uint64_t next();
+
+    /** @return a double uniformly distributed in [0, 1). */
+    double nextDouble();
+
+    /** @return a standard-normal deviate (Box-Muller, cached pair). */
+    double nextGaussian();
+
+    /** @return a uniformly distributed value in [0, bound). */
+    std::uint64_t nextBelow(std::uint64_t bound);
+
+    /** @return true with probability p (clamped to [0, 1]). */
+    bool nextBernoulli(double p);
+
+  private:
+    std::uint64_t s_[4];
+    double cached_gaussian_ = 0.0;
+    bool has_cached_gaussian_ = false;
+};
+
+/**
+ * Inverse of the standard normal CDF (Acklam's rational approximation,
+ * refined with one Halley step). Accurate to ~1e-9 over (0, 1).
+ *
+ * @param p Probability in (0, 1).
+ * @return z such that Phi(z) = p.
+ */
+double inverseNormalCdf(double p);
+
+} // namespace drange::util
+
+#endif // DRANGE_UTIL_RNG_HH

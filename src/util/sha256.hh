@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Minimal SHA-256 implementation (FIPS 180-4).
+ *
+ * Used by the Sutar+ retention-failure TRNG baseline (paper Section 8.2),
+ * which hashes a block of retention errors into a 256-bit random number.
+ */
+
+#ifndef DRANGE_UTIL_SHA256_HH
+#define DRANGE_UTIL_SHA256_HH
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace drange::util {
+
+/**
+ * Incremental SHA-256 hasher.
+ */
+class Sha256
+{
+  public:
+    Sha256();
+
+    /** Absorb @p len bytes. */
+    void update(const std::uint8_t *data, std::size_t len);
+    void update(const std::vector<std::uint8_t> &data);
+
+    /** Finalize and return the 32-byte digest. Hasher must be reset
+     * before reuse. */
+    std::array<std::uint8_t, 32> digest();
+
+    /** Reset to the initial state. */
+    void reset();
+
+    /** One-shot convenience hash. */
+    static std::array<std::uint8_t, 32>
+    hash(const std::vector<std::uint8_t> &data);
+
+    /** Lowercase hex rendering of a digest. */
+    static std::string toHex(const std::array<std::uint8_t, 32> &digest);
+
+  private:
+    void processBlock(const std::uint8_t *block);
+
+    std::uint32_t state_[8];
+    std::uint8_t buffer_[64];
+    std::size_t buffer_len_ = 0;
+    std::uint64_t total_len_ = 0;
+};
+
+} // namespace drange::util
+
+#endif // DRANGE_UTIL_SHA256_HH

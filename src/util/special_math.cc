@@ -1,0 +1,117 @@
+#include "util/special_math.hh"
+
+#include <cmath>
+#include <limits>
+
+namespace drange::util {
+
+namespace {
+
+const double kMaxLog = 709.0;
+const double kBig = 4.503599627370496e15;
+const double kBigInv = 2.22044604925031308085e-16;
+const double kMachEp = std::numeric_limits<double>::epsilon();
+
+/** Series expansion for the lower incomplete gamma (x < a + 1). */
+double
+igamSeries(double a, double x)
+{
+    double ax = a * std::log(x) - x - std::lgamma(a);
+    if (ax < -kMaxLog)
+        return 0.0;
+    ax = std::exp(ax);
+
+    double r = a;
+    double c = 1.0;
+    double ans = 1.0;
+    do {
+        r += 1.0;
+        c *= x / r;
+        ans += c;
+    } while (c / ans > kMachEp);
+
+    return ans * ax / a;
+}
+
+/** Continued fraction for the upper incomplete gamma (x >= a + 1). */
+double
+igamcFraction(double a, double x)
+{
+    double ax = a * std::log(x) - x - std::lgamma(a);
+    if (ax < -kMaxLog)
+        return 0.0;
+    ax = std::exp(ax);
+
+    double y = 1.0 - a;
+    double z = x + y + 1.0;
+    double c = 0.0;
+    double pkm2 = 1.0;
+    double qkm2 = x;
+    double pkm1 = x + 1.0;
+    double qkm1 = z * x;
+    double ans = pkm1 / qkm1;
+    double t;
+    do {
+        c += 1.0;
+        y += 1.0;
+        z += 2.0;
+        const double yc = y * c;
+        const double pk = pkm1 * z - pkm2 * yc;
+        const double qk = qkm1 * z - qkm2 * yc;
+        if (qk != 0.0) {
+            const double r = pk / qk;
+            t = std::fabs((ans - r) / r);
+            ans = r;
+        } else {
+            t = 1.0;
+        }
+        pkm2 = pkm1;
+        pkm1 = pk;
+        qkm2 = qkm1;
+        qkm1 = qk;
+        if (std::fabs(pk) > kBig) {
+            pkm2 *= kBigInv;
+            pkm1 *= kBigInv;
+            qkm2 *= kBigInv;
+            qkm1 *= kBigInv;
+        }
+    } while (t > kMachEp);
+
+    return ans * ax;
+}
+
+} // anonymous namespace
+
+double
+igamc(double a, double x)
+{
+    if (x <= 0.0 || a <= 0.0)
+        return 1.0;
+    if (x < a + 1.0)
+        return 1.0 - igamSeries(a, x);
+    return igamcFraction(a, x);
+}
+
+double
+igam(double a, double x)
+{
+    if (x <= 0.0 || a <= 0.0)
+        return 0.0;
+    if (x >= a + 1.0)
+        return 1.0 - igamcFraction(a, x);
+    return igamSeries(a, x);
+}
+
+double
+normalCdf(double z)
+{
+    return 0.5 * std::erfc(-z / std::sqrt(2.0));
+}
+
+double
+erfc(double x)
+{
+    return std::erfc(x);
+}
+
+} // namespace drange::util

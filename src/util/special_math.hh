@@ -1,0 +1,33 @@
+/**
+ * @file
+ * Special functions needed by the NIST SP 800-22 statistical tests:
+ * regularized incomplete gamma functions, the complementary error
+ * function wrapper, and the standard normal CDF.
+ */
+
+#ifndef DRANGE_UTIL_SPECIAL_MATH_HH
+#define DRANGE_UTIL_SPECIAL_MATH_HH
+
+namespace drange::util {
+
+/**
+ * Upper regularized incomplete gamma function Q(a, x) =
+ * Gamma(a, x) / Gamma(a). This is NIST's `igamc`.
+ *
+ * @param a Shape parameter, a > 0.
+ * @param x Lower integration bound, x >= 0.
+ */
+double igamc(double a, double x);
+
+/** Lower regularized incomplete gamma function P(a, x) = 1 - Q(a, x). */
+double igam(double a, double x);
+
+/** Standard normal cumulative distribution function. */
+double normalCdf(double z);
+
+/** erfc wrapper (kept for symmetry with the NIST pseudocode). */
+double erfc(double x);
+
+} // namespace drange::util
+
+#endif // DRANGE_UTIL_SPECIAL_MATH_HH

@@ -1,0 +1,163 @@
+#include "util/stats.hh"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <sstream>
+
+namespace drange::util {
+
+double
+mean(const std::vector<double> &xs)
+{
+    if (xs.empty())
+        return 0.0;
+    double sum = 0.0;
+    for (double x : xs)
+        sum += x;
+    return sum / static_cast<double>(xs.size());
+}
+
+double
+stddev(const std::vector<double> &xs)
+{
+    if (xs.size() < 2)
+        return 0.0;
+    const double m = mean(xs);
+    double ss = 0.0;
+    for (double x : xs)
+        ss += (x - m) * (x - m);
+    return std::sqrt(ss / static_cast<double>(xs.size() - 1));
+}
+
+double
+quantile(std::vector<double> xs, double q)
+{
+    if (xs.empty())
+        return 0.0;
+    q = std::clamp(q, 0.0, 1.0);
+    std::sort(xs.begin(), xs.end());
+    const double pos = q * static_cast<double>(xs.size() - 1);
+    const std::size_t lo = static_cast<std::size_t>(std::floor(pos));
+    const std::size_t hi = static_cast<std::size_t>(std::ceil(pos));
+    const double frac = pos - static_cast<double>(lo);
+    return xs[lo] * (1.0 - frac) + xs[hi] * frac;
+}
+
+double
+pearsonCorrelation(const std::vector<double> &xs,
+                   const std::vector<double> &ys)
+{
+    assert(xs.size() == ys.size());
+    if (xs.size() < 2)
+        return 0.0;
+    const double mx = mean(xs);
+    const double my = mean(ys);
+    double sxy = 0.0, sxx = 0.0, syy = 0.0;
+    for (std::size_t i = 0; i < xs.size(); ++i) {
+        sxy += (xs[i] - mx) * (ys[i] - my);
+        sxx += (xs[i] - mx) * (xs[i] - mx);
+        syy += (ys[i] - my) * (ys[i] - my);
+    }
+    if (sxx == 0.0 || syy == 0.0)
+        return 0.0;
+    return sxy / std::sqrt(sxx * syy);
+}
+
+BoxWhisker
+BoxWhisker::of(const std::vector<double> &xs)
+{
+    BoxWhisker bw;
+    if (xs.empty())
+        return bw;
+
+    std::vector<double> sorted = xs;
+    std::sort(sorted.begin(), sorted.end());
+
+    bw.count = sorted.size();
+    bw.min = sorted.front();
+    bw.max = sorted.back();
+    bw.q1 = quantile(sorted, 0.25);
+    bw.median = quantile(sorted, 0.50);
+    bw.q3 = quantile(sorted, 0.75);
+
+    const double iqr = bw.q3 - bw.q1;
+    const double lo_fence = bw.q1 - 1.5 * iqr;
+    const double hi_fence = bw.q3 + 1.5 * iqr;
+
+    bw.whisker_lo = bw.max;
+    bw.whisker_hi = bw.min;
+    for (double x : sorted) {
+        if (x >= lo_fence && x < bw.whisker_lo)
+            bw.whisker_lo = x;
+        if (x <= hi_fence && x > bw.whisker_hi)
+            bw.whisker_hi = x;
+        if (x < lo_fence || x > hi_fence)
+            ++bw.outliers;
+    }
+    return bw;
+}
+
+std::string
+BoxWhisker::toString() const
+{
+    std::ostringstream os;
+    os.precision(4);
+    os << "n=" << count << " min=" << min << " w-=" << whisker_lo
+       << " q1=" << q1 << " med=" << median << " q3=" << q3
+       << " w+=" << whisker_hi << " max=" << max << " outliers=" << outliers;
+    return os.str();
+}
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), counts_(bins, 0)
+{
+    assert(bins > 0 && hi > lo);
+}
+
+void
+Histogram::add(double x)
+{
+    const double span = hi_ - lo_;
+    double frac = (x - lo_) / span;
+    frac = std::clamp(frac, 0.0, 1.0);
+    std::size_t bin = static_cast<std::size_t>(
+        frac * static_cast<double>(counts_.size()));
+    if (bin >= counts_.size())
+        bin = counts_.size() - 1;
+    ++counts_[bin];
+    ++total_;
+}
+
+double
+Histogram::binLow(std::size_t bin) const
+{
+    return lo_ + (hi_ - lo_) * static_cast<double>(bin) /
+                     static_cast<double>(counts_.size());
+}
+
+double
+Histogram::binHigh(std::size_t bin) const
+{
+    return lo_ + (hi_ - lo_) * static_cast<double>(bin + 1) /
+                     static_cast<double>(counts_.size());
+}
+
+std::string
+Histogram::toString(std::size_t bar_width) const
+{
+    std::size_t max_count = 1;
+    for (std::size_t c : counts_)
+        max_count = std::max(max_count, c);
+
+    std::ostringstream os;
+    os.precision(4);
+    for (std::size_t b = 0; b < counts_.size(); ++b) {
+        const std::size_t len = counts_[b] * bar_width / max_count;
+        os << "[" << binLow(b) << ", " << binHigh(b) << ") "
+           << std::string(len, '#') << " " << counts_[b] << "\n";
+    }
+    return os.str();
+}
+
+} // namespace drange::util

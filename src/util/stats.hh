@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Descriptive statistics used throughout the characterization benches:
+ * mean/stddev, quantiles, box-and-whisker summaries (the paper's preferred
+ * presentation for Figures 6-8), and simple histograms.
+ */
+
+#ifndef DRANGE_UTIL_STATS_HH
+#define DRANGE_UTIL_STATS_HH
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace drange::util {
+
+/** Arithmetic mean; 0 for an empty input. */
+double mean(const std::vector<double> &xs);
+
+/** Sample standard deviation (n-1 denominator); 0 if n < 2. */
+double stddev(const std::vector<double> &xs);
+
+/**
+ * Linear-interpolation quantile of an unsorted sample.
+ *
+ * @param xs Sample (copied and sorted internally).
+ * @param q Quantile in [0, 1].
+ */
+double quantile(std::vector<double> xs, double q);
+
+/** Pearson correlation coefficient; 0 if either side is degenerate. */
+double pearsonCorrelation(const std::vector<double> &xs,
+                          const std::vector<double> &ys);
+
+/**
+ * Box-and-whisker summary in the style the paper uses (Section 5.3,
+ * footnote 3): quartiles, median, whiskers at 1.5 IQR, and outlier count.
+ */
+struct BoxWhisker
+{
+    double min = 0.0;
+    double q1 = 0.0;
+    double median = 0.0;
+    double q3 = 0.0;
+    double max = 0.0;
+    double whisker_lo = 0.0; //!< Lowest point within q1 - 1.5 IQR.
+    double whisker_hi = 0.0; //!< Highest point within q3 + 1.5 IQR.
+    std::size_t outliers = 0;
+    std::size_t count = 0;
+
+    /** Compute the summary of a sample. */
+    static BoxWhisker of(const std::vector<double> &xs);
+
+    /** One-line human-readable rendering. */
+    std::string toString() const;
+};
+
+/**
+ * Fixed-bin histogram over [lo, hi); values outside are clamped to the
+ * first/last bin.
+ */
+class Histogram
+{
+  public:
+    Histogram(double lo, double hi, std::size_t bins);
+
+    void add(double x);
+
+    std::size_t binCount(std::size_t bin) const { return counts_.at(bin); }
+    std::size_t bins() const { return counts_.size(); }
+    std::size_t total() const { return total_; }
+    double binLow(std::size_t bin) const;
+    double binHigh(std::size_t bin) const;
+
+    /** Render as rows of "[lo, hi) count" with a proportional bar. */
+    std::string toString(std::size_t bar_width = 40) const;
+
+  private:
+    double lo_, hi_;
+    std::vector<std::size_t> counts_;
+    std::size_t total_ = 0;
+};
+
+} // namespace drange::util
+
+#endif // DRANGE_UTIL_STATS_HH

@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Plain-text table formatting for the benchmark harness output. Every
+ * bench binary prints paper-style rows through this helper so the output
+ * is uniform and diffable.
+ */
+
+#ifndef DRANGE_UTIL_TABLE_HH
+#define DRANGE_UTIL_TABLE_HH
+
+#include <string>
+#include <vector>
+
+namespace drange::util {
+
+/**
+ * A simple left/right aligned text table with a header row.
+ */
+class Table
+{
+  public:
+    /** Construct with column headers. */
+    explicit Table(std::vector<std::string> headers);
+
+    /** Add a row; must match the number of headers. */
+    void addRow(std::vector<std::string> cells);
+
+    /** Format a double with the given precision (helper for callers). */
+    static std::string num(double value, int precision = 3);
+
+    /** Render the table, with a separator under the header. */
+    std::string toString() const;
+
+  private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace drange::util
+
+#endif // DRANGE_UTIL_TABLE_HH

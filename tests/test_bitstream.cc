@@ -1,0 +1,155 @@
+/**
+ * @file
+ * Unit tests for util::BitStream.
+ */
+
+#include <gtest/gtest.h>
+
+#include "util/bitstream.hh"
+#include "util/rng.hh"
+
+namespace {
+
+using drange::util::BitStream;
+
+TEST(BitStream, EmptyStream)
+{
+    BitStream bs;
+    EXPECT_EQ(bs.size(), 0u);
+    EXPECT_TRUE(bs.empty());
+    EXPECT_EQ(bs.popcount(), 0u);
+    EXPECT_DOUBLE_EQ(bs.onesFraction(), 0.0);
+    EXPECT_EQ(bs.toString(), "");
+}
+
+TEST(BitStream, AppendAndAt)
+{
+    BitStream bs;
+    bs.append(true);
+    bs.append(false);
+    bs.append(true);
+    ASSERT_EQ(bs.size(), 3u);
+    EXPECT_TRUE(bs.at(0));
+    EXPECT_FALSE(bs.at(1));
+    EXPECT_TRUE(bs.at(2));
+}
+
+TEST(BitStream, FromStringRoundTrip)
+{
+    const std::string s = "1011010101";
+    BitStream bs = BitStream::fromString(s);
+    EXPECT_EQ(bs.size(), 10u);
+    EXPECT_EQ(bs.toString(), s);
+}
+
+TEST(BitStream, FromStringIgnoresWhitespace)
+{
+    BitStream bs = BitStream::fromString("10 11\n01");
+    EXPECT_EQ(bs.toString(), "101101");
+}
+
+TEST(BitStream, FromStringRejectsGarbage)
+{
+    EXPECT_THROW(BitStream::fromString("10x1"), std::invalid_argument);
+}
+
+TEST(BitStream, AppendBitsLsbFirst)
+{
+    BitStream bs;
+    bs.appendBits(0b1011, 4); // LSB first: 1,1,0,1.
+    EXPECT_EQ(bs.toString(), "1101");
+}
+
+TEST(BitStream, AppendBitsZeroCount)
+{
+    BitStream bs;
+    bs.appendBits(0xff, 0);
+    EXPECT_TRUE(bs.empty());
+}
+
+TEST(BitStream, FromWords)
+{
+    BitStream bs = BitStream::fromWords({0x1, 0x2}, 2);
+    // 0x1 -> 1,0 ; 0x2 -> 0,1.
+    EXPECT_EQ(bs.toString(), "1001");
+}
+
+TEST(BitStream, PopcountAcrossWordBoundary)
+{
+    BitStream bs;
+    for (int i = 0; i < 130; ++i)
+        bs.append(i % 2 == 0);
+    EXPECT_EQ(bs.size(), 130u);
+    EXPECT_EQ(bs.popcount(), 65u);
+    EXPECT_DOUBLE_EQ(bs.onesFraction(), 0.5);
+}
+
+TEST(BitStream, AppendStream)
+{
+    BitStream a = BitStream::fromString("101");
+    BitStream b = BitStream::fromString("0011");
+    a.append(b);
+    EXPECT_EQ(a.toString(), "1010011");
+}
+
+TEST(BitStream, PrefixAndSlice)
+{
+    BitStream bs = BitStream::fromString("110010");
+    EXPECT_EQ(bs.prefix(3).toString(), "110");
+    EXPECT_EQ(bs.slice(2, 3).toString(), "001");
+}
+
+TEST(BitStream, Clear)
+{
+    BitStream bs = BitStream::fromString("111");
+    bs.clear();
+    EXPECT_TRUE(bs.empty());
+    bs.append(true);
+    EXPECT_EQ(bs.toString(), "1");
+}
+
+TEST(BitStream, ToPlusMinusOne)
+{
+    BitStream bs = BitStream::fromString("10");
+    const auto pm = bs.toPlusMinusOne();
+    ASSERT_EQ(pm.size(), 2u);
+    EXPECT_EQ(pm[0], 1);
+    EXPECT_EQ(pm[1], -1);
+}
+
+TEST(BitStream, ToBytesMsbFirst)
+{
+    BitStream bs = BitStream::fromString("10000001" "1");
+    const auto bytes = bs.toBytesMsbFirst();
+    ASSERT_EQ(bytes.size(), 2u);
+    EXPECT_EQ(bytes[0], 0x81);
+    EXPECT_EQ(bytes[1], 0x80);
+}
+
+TEST(BitStream, WindowMsbFirst)
+{
+    BitStream bs = BitStream::fromString("101101");
+    EXPECT_EQ(bs.window(0, 3), 0b101u);
+    EXPECT_EQ(bs.window(1, 4), 0b0110u);
+    EXPECT_EQ(bs.window(5, 1), 0b1u);
+}
+
+TEST(BitStream, LargeStreamConsistency)
+{
+    drange::util::Xoshiro256ss rng(99);
+    BitStream bs;
+    std::vector<bool> mirror;
+    for (int i = 0; i < 10000; ++i) {
+        const bool b = rng.nextBernoulli(0.3);
+        bs.append(b);
+        mirror.push_back(b);
+    }
+    std::size_t ones = 0;
+    for (std::size_t i = 0; i < mirror.size(); ++i) {
+        ASSERT_EQ(bs.at(i), mirror[i]) << "index " << i;
+        ones += mirror[i];
+    }
+    EXPECT_EQ(bs.popcount(), ones);
+}
+
+} // namespace

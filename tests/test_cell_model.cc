@@ -1,0 +1,292 @@
+/**
+ * @file
+ * Unit and property tests for the analog cell model: determinism, the
+ * factory-repair guarantee at default timing, spatial structure, data
+ * pattern and temperature dependence.
+ */
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "dram/cell_model.hh"
+
+namespace {
+
+using namespace drange::dram;
+
+DeviceConfig
+testConfig(Manufacturer m = Manufacturer::A, std::uint64_t seed = 7)
+{
+    return DeviceConfig::make(m, seed, 1);
+}
+
+SenseContext
+solidZeroContext(double temp = 45.0)
+{
+    SenseContext ctx;
+    ctx.stored = false;
+    ctx.anti_neighbor_frac = 0.0;
+    ctx.same_direction_frac = 1.0;
+    ctx.temperature_c = temp;
+    return ctx;
+}
+
+TEST(CellModelTest, DeterministicAcrossInstances)
+{
+    const auto cfg = testConfig();
+    CellModel m1(cfg), m2(cfg);
+    const SenseContext ctx = solidZeroContext();
+    for (int i = 0; i < 200; ++i) {
+        const CellAddress addr{i % 4, i * 13 % 1024, (i * 37) % 2048};
+        EXPECT_DOUBLE_EQ(m1.margin(addr, 10.0, ctx),
+                         m2.margin(addr, 10.0, ctx));
+        EXPECT_EQ(m1.isWeakColumn(addr), m2.isWeakColumn(addr));
+    }
+}
+
+TEST(CellModelTest, DifferentSeedsGiveDifferentDies)
+{
+    CellModel m1(testConfig(Manufacturer::A, 1));
+    CellModel m2(testConfig(Manufacturer::A, 2));
+    int differing = 0;
+    for (long long c = 0; c < 4096; ++c) {
+        const CellAddress addr{0, 0, c};
+        differing += m1.isWeakColumn(addr) != m2.isWeakColumn(addr);
+    }
+    EXPECT_GT(differing, 0);
+}
+
+TEST(CellModelTest, WeakColumnFractionApproximatelyCalibrated)
+{
+    const auto cfg = testConfig();
+    CellModel model(cfg);
+    int weak = 0;
+    const int total = 16384 * 4;
+    for (int sa = 0; sa < 4; ++sa)
+        for (long long c = 0; c < 16384; ++c)
+            weak += model.columnParams(0, sa, c).weak;
+    const double frac = static_cast<double>(weak) / total;
+    EXPECT_NEAR(frac, cfg.profile.weak_col_fraction,
+                cfg.profile.weak_col_fraction); // Within 2x.
+    EXPECT_GT(weak, 0);
+}
+
+TEST(CellModelTest, WeakColumnsClusterInGroups)
+{
+    // Weak columns come in bursts of up to 4 adjacent columns
+    // (sense-amplifier stripe defects): given one weak column, the
+    // chance an adjacent same-group column is weak must far exceed the
+    // base rate.
+    CellModel model(testConfig());
+    int weak_pairs = 0, weak_cols = 0;
+    for (long long c = 0; c + 1 < 16384; ++c) {
+        const bool w0 = model.columnParams(0, 0, c).weak;
+        if (!w0)
+            continue;
+        ++weak_cols;
+        if (c / 4 == (c + 1) / 4)
+            weak_pairs += model.columnParams(0, 0, c + 1).weak;
+    }
+    ASSERT_GT(weak_cols, 10);
+    EXPECT_GT(static_cast<double>(weak_pairs) / weak_cols, 0.2);
+}
+
+TEST(CellModelTest, NoFailuresAtDefaultTimingWorstCase)
+{
+    // The factory-repair guarantee: at default tRCD, even under the
+    // worst pattern and 70 C, failure probability is negligible.
+    const auto cfg = testConfig();
+    CellModel model(cfg);
+    SenseContext worst;
+    worst.anti_neighbor_frac = 1.0;
+    worst.same_direction_frac = 1.0;
+    worst.temperature_c = 70.0;
+
+    for (int row = 0; row < 512; row += 7) {
+        for (long long c = 0; c < 2048; ++c) {
+            for (bool stored : {false, true}) {
+                worst.stored = stored;
+                const CellAddress addr{0, row, c};
+                EXPECT_LT(model.failureProbability(
+                              addr, cfg.timing.trcd_ns, worst),
+                          1e-3)
+                    << "row " << row << " col " << c;
+            }
+        }
+    }
+}
+
+TEST(CellModelTest, ReducedTrcdInducesFailures)
+{
+    CellModel model(testConfig());
+    const SenseContext ctx = solidZeroContext();
+    double total_p = 0.0;
+    for (int row = 0; row < 512; ++row)
+        for (long long c = 0; c < 512; ++c)
+            total_p +=
+                model.failureProbability({0, row, c}, 10.0, ctx);
+    EXPECT_GT(total_p, 1.0); // Plenty of expected failures at 10 ns.
+}
+
+TEST(CellModelTest, FailureProbabilityMonotonicInTrcd)
+{
+    CellModel model(testConfig());
+    const SenseContext ctx = solidZeroContext();
+    // Find a weak cell and check monotonicity across tRCD.
+    for (long long c = 0; c < 16384; ++c) {
+        const CellAddress addr{0, 100, c};
+        if (!model.isWeakColumn(addr))
+            continue;
+        double prev = 1.1;
+        for (double trcd : {6.0, 8.0, 10.0, 12.0, 14.0, 18.0}) {
+            const double p = model.failureProbability(addr, trcd, ctx);
+            EXPECT_LE(p, prev + 1e-12);
+            prev = p;
+        }
+        return;
+    }
+    FAIL() << "no weak column found";
+}
+
+TEST(CellModelTest, RowDistanceIncreasesFailureProbability)
+{
+    // Within a subarray, farther rows fail more (Figure 4): aggregate
+    // over many weak columns to smooth per-cell jitter.
+    const auto cfg = testConfig();
+    CellModel model(cfg);
+    const SenseContext ctx = solidZeroContext();
+    double near = 0.0, far = 0.0;
+    int count = 0;
+    for (long long c = 0; c < 16384; ++c) {
+        if (!model.columnParams(0, 0, c).weak)
+            continue;
+        ++count;
+        for (int r = 0; r < 64; ++r) {
+            near += model.failureProbability({0, r, c}, 10.0, ctx);
+            far += model.failureProbability({0, 448 + r, c}, 10.0, ctx);
+        }
+    }
+    ASSERT_GT(count, 5);
+    EXPECT_GT(far, near);
+}
+
+TEST(CellModelTest, SubarraysHaveDifferentWeakColumns)
+{
+    const auto cfg = testConfig();
+    CellModel model(cfg);
+    std::vector<long long> weak0, weak1;
+    for (long long c = 0; c < 16384; ++c) {
+        if (model.columnParams(0, 0, c).weak)
+            weak0.push_back(c);
+        if (model.columnParams(0, 1, c).weak)
+            weak1.push_back(c);
+    }
+    EXPECT_NE(weak0, weak1);
+}
+
+TEST(CellModelTest, TemperatureIncreasesFailureProbabilityOnAverage)
+{
+    const auto cfg = testConfig();
+    CellModel model(cfg);
+    double p45 = 0.0, p70 = 0.0;
+    for (long long c = 0; c < 16384; ++c) {
+        const CellAddress addr{0, 200, c};
+        if (!model.isWeakColumn(addr))
+            continue;
+        p45 += model.failureProbability(addr, 10.0,
+                                        solidZeroContext(45.0));
+        p70 += model.failureProbability(addr, 10.0,
+                                        solidZeroContext(70.0));
+    }
+    EXPECT_GT(p70, p45);
+}
+
+TEST(CellModelTest, DataPatternShiftsFailureProbability)
+{
+    // Anti-coupled neighbours reduce margin -> higher Fprob.
+    CellModel model(testConfig());
+    SenseContext calm = solidZeroContext();
+    SenseContext stressed = calm;
+    stressed.anti_neighbor_frac = 1.0;
+
+    double calm_p = 0.0, stress_p = 0.0;
+    for (long long c = 0; c < 16384; ++c) {
+        const CellAddress addr{0, 300, c};
+        if (!model.isWeakColumn(addr))
+            continue;
+        calm_p += model.failureProbability(addr, 10.0, calm);
+        stress_p += model.failureProbability(addr, 10.0, stressed);
+    }
+    EXPECT_GT(stress_p, calm_p);
+}
+
+TEST(CellModelTest, SensitiveValueBiasFollowsProfile)
+{
+    // Manufacturer A is strongly 0-sensitive (zero_pref_prob = 0.88).
+    const auto cfg = testConfig(Manufacturer::A);
+    CellModel model(cfg);
+    int zero_sensitive = 0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i) {
+        const CellAddress addr{0, i % 512, (i * 31) % 16384};
+        zero_sensitive += !model.sensitiveValue(addr);
+    }
+    EXPECT_NEAR(static_cast<double>(zero_sensitive) / n,
+                cfg.profile.zero_pref_prob, 0.02);
+}
+
+TEST(CellModelTest, RetentionTimesLogNormalAndTemperatureDerated)
+{
+    const auto cfg = testConfig();
+    CellModel model(cfg);
+    double sum_log = 0.0;
+    const int n = 5000;
+    for (int i = 0; i < n; ++i) {
+        const CellAddress addr{0, i % 512, i % 16384};
+        const double t45 = model.retentionSeconds(addr, 45.0);
+        const double t55 = model.retentionSeconds(addr, 55.0);
+        EXPECT_GT(t45, 0.0);
+        EXPECT_NEAR(t55 / t45, 0.5, 1e-9); // Halves per +10 C.
+        sum_log += std::log10(t45);
+    }
+    EXPECT_NEAR(sum_log / n, cfg.profile.retention_log10_mean, 0.1);
+}
+
+TEST(CellModelTest, StartupValuesStableExceptNoisyCells)
+{
+    const auto cfg = testConfig();
+    CellModel model(cfg);
+    int noisy = 0, flipped_stable = 0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i) {
+        const CellAddress addr{0, i % 512, (i * 7) % 16384};
+        if (model.startupIsNoisy(addr)) {
+            ++noisy;
+        } else if (model.startupValue(addr, 1) !=
+                   model.startupValue(addr, 2)) {
+            ++flipped_stable;
+        }
+    }
+    EXPECT_EQ(flipped_stable, 0);
+    EXPECT_NEAR(static_cast<double>(noisy) / n,
+                cfg.profile.startup_random_fraction, 0.01);
+}
+
+TEST(CellModelTest, TrueCellAlternatesPerRow)
+{
+    EXPECT_TRUE(CellModel::isTrueCell({0, 0, 5}));
+    EXPECT_FALSE(CellModel::isTrueCell({0, 1, 5}));
+    EXPECT_TRUE(CellModel::isTrueCell({0, 2, 5}));
+}
+
+TEST(CellModelTest, StrongColumnCeilingTightAtModerateTrcd)
+{
+    CellModel model(testConfig());
+    EXPECT_LT(model.strongColumnCeiling(10.0, 45.0), 1e-9);
+    EXPECT_LT(model.strongColumnCeiling(18.0, 45.0), 1e-9);
+    // At very aggressive timing the ceiling must admit failures.
+    EXPECT_GT(model.strongColumnCeiling(4.0, 45.0), 1e-9);
+}
+
+} // namespace

@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Unit tests for the 40 data patterns of Section 5.2.
+ */
+
+#include <bit>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "core/data_pattern.hh"
+
+namespace {
+
+using namespace drange::core;
+using drange::dram::Manufacturer;
+
+TEST(DataPatternTest, FortyPatternsTotal)
+{
+    const auto all = DataPattern::all40();
+    EXPECT_EQ(all.size(), 40u);
+    std::set<std::string> names;
+    for (const auto &p : all)
+        names.insert(p.name());
+    EXPECT_EQ(names.size(), 40u); // All distinct.
+}
+
+TEST(DataPatternTest, SolidPatterns)
+{
+    EXPECT_EQ(DataPattern::solid1().wordAt(3, 7), ~std::uint64_t{0});
+    EXPECT_EQ(DataPattern::solid0().wordAt(3, 7), 0u);
+    EXPECT_EQ(DataPattern::solid0().name(), "SOLID0");
+    EXPECT_EQ(DataPattern::solid1().name(), "SOLID1");
+}
+
+TEST(DataPatternTest, CheckeredAlternatesPerRowAndBit)
+{
+    const auto c = DataPattern::checkered();
+    const std::uint64_t even = c.wordAt(0, 0);
+    const std::uint64_t odd = c.wordAt(1, 0);
+    EXPECT_EQ(even, ~odd);
+    // Within a row, adjacent bits alternate.
+    EXPECT_NE((even >> 0) & 1, (even >> 1) & 1);
+    // Checkered-0 is the inverse.
+    EXPECT_EQ(DataPattern::checkered0().wordAt(0, 0), ~even);
+}
+
+TEST(DataPatternTest, RowStripeUniformWithinRow)
+{
+    const DataPattern rs(DataPattern::Kind::RowStripe, false);
+    for (int w = 0; w < 4; ++w) {
+        EXPECT_EQ(rs.wordAt(0, w), ~std::uint64_t{0});
+        EXPECT_EQ(rs.wordAt(1, w), 0u);
+    }
+}
+
+TEST(DataPatternTest, ColStripeConstantAcrossRows)
+{
+    const DataPattern cs(DataPattern::Kind::ColStripe, false);
+    EXPECT_EQ(cs.wordAt(0, 0), cs.wordAt(17, 5));
+    const std::uint64_t v = cs.wordAt(0, 0);
+    EXPECT_NE((v >> 0) & 1, (v >> 1) & 1);
+}
+
+TEST(DataPatternTest, WalkingOnesDensity)
+{
+    for (int pos = 0; pos < 16; ++pos) {
+        const std::uint64_t v = DataPattern::walk1(pos).wordAt(0, 0);
+        EXPECT_EQ(std::popcount(v), 4); // One per 16-bit group.
+        EXPECT_TRUE((v >> pos) & 1);
+    }
+}
+
+TEST(DataPatternTest, WalkingZerosAreInverse)
+{
+    for (int pos = 0; pos < 16; ++pos) {
+        EXPECT_EQ(DataPattern::walk0(pos).wordAt(2, 3),
+                  ~DataPattern::walk1(pos).wordAt(2, 3));
+    }
+}
+
+TEST(DataPatternTest, BestPatternsMatchSection52)
+{
+    EXPECT_EQ(DataPattern::bestFor(Manufacturer::A).name(), "SOLID0");
+    EXPECT_EQ(DataPattern::bestFor(Manufacturer::B).name(), "CHECK0");
+    EXPECT_EQ(DataPattern::bestFor(Manufacturer::C).name(), "SOLID0");
+}
+
+TEST(DataPatternTest, WalkNamesIncludePosition)
+{
+    EXPECT_EQ(DataPattern::walk1(3).name(), "WALK1[3]");
+    EXPECT_EQ(DataPattern::walk0(15).name(), "WALK0[15]");
+}
+
+TEST(DataPatternTest, InversePairsCoverAll40)
+{
+    // Every non-walk pattern has its inverse in the set.
+    const auto all = DataPattern::all40();
+    int solid = 0, walk = 0;
+    for (const auto &p : all) {
+        if (p.kind() == DataPattern::Kind::Solid)
+            ++solid;
+        if (p.kind() == DataPattern::Kind::Walk)
+            ++walk;
+    }
+    EXPECT_EQ(solid, 2);
+    EXPECT_EQ(walk, 32);
+}
+
+} // namespace

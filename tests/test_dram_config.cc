@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Unit tests for DRAM configuration structures.
+ */
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "dram/config.hh"
+
+namespace {
+
+using namespace drange::dram;
+
+TEST(Geometry, DerivedQuantities)
+{
+    Geometry g;
+    g.words_per_row = 256;
+    g.bits_per_word = 64;
+    g.rows_per_bank = 16384;
+    g.subarray_rows = 512;
+    EXPECT_EQ(g.rowBits(), 16384);
+    EXPECT_EQ(g.subarraysPerBank(), 32);
+}
+
+TEST(Geometry, SubarrayRoundsUp)
+{
+    Geometry g;
+    g.rows_per_bank = 1000;
+    g.subarray_rows = 512;
+    EXPECT_EQ(g.subarraysPerBank(), 2);
+}
+
+TEST(Timing, Lpddr4Preset)
+{
+    const auto t = TimingParams::lpddr4_3200();
+    EXPECT_DOUBLE_EQ(t.trcd_ns, 18.0);
+    EXPECT_DOUBLE_EQ(t.tck_ns, 0.625);
+    EXPECT_GT(t.trc_ns, t.tras_ns);
+    EXPECT_GE(t.trc_ns, t.tras_ns + t.trp_ns - 1e-9);
+}
+
+TEST(Timing, Ddr3Preset)
+{
+    const auto t = TimingParams::ddr3_1600();
+    EXPECT_DOUBLE_EQ(t.tck_ns, 1.25);
+    EXPECT_NEAR(t.trcd_ns, 13.75, 1e-9);
+}
+
+TEST(Timing, CyclesRoundsUp)
+{
+    const auto t = TimingParams::lpddr4_3200();
+    EXPECT_EQ(t.cycles(0.625), 1);
+    EXPECT_EQ(t.cycles(0.626), 2);
+    EXPECT_EQ(t.cycles(18.0), 29); // 18 / 0.625 = 28.8.
+}
+
+TEST(Profiles, ManufacturerDifferences)
+{
+    const auto a = ManufacturerProfile::of(Manufacturer::A);
+    const auto b = ManufacturerProfile::of(Manufacturer::B);
+    const auto c = ManufacturerProfile::of(Manufacturer::C);
+
+    // The paper's structural observations: subarray heights differ by
+    // manufacturer (512 or 1024 rows)...
+    EXPECT_EQ(a.subarray_rows, 512);
+    EXPECT_EQ(c.subarray_rows, 1024);
+    // ...A has the tightest temperature behaviour (Fig. 6)...
+    EXPECT_LT(a.temp_coeff_spread, b.temp_coeff_spread);
+    EXPECT_LT(a.temp_coeff_spread, c.temp_coeff_spread);
+    // ...and C is the least 0-biased (walking-0s coverage, Fig. 5).
+    EXPECT_LT(c.zero_pref_prob, a.zero_pref_prob);
+    EXPECT_LT(c.zero_pref_prob, b.zero_pref_prob);
+}
+
+TEST(Profiles, PositiveTemperatureCoefficient)
+{
+    // Increasing temperature generally increases Fprob (Section 5.3).
+    for (auto m : {Manufacturer::A, Manufacturer::B, Manufacturer::C})
+        EXPECT_GT(ManufacturerProfile::of(m).temp_coeff, 0.0);
+}
+
+TEST(DeviceConfigTest, MakePropagatesProfile)
+{
+    const auto cfg = DeviceConfig::make(Manufacturer::C, 99, 5);
+    EXPECT_EQ(cfg.manufacturer, Manufacturer::C);
+    EXPECT_EQ(cfg.profile.subarray_rows, cfg.geometry.subarray_rows);
+    EXPECT_EQ(cfg.seed, 99u);
+    EXPECT_EQ(cfg.noise_seed, 5u);
+}
+
+TEST(ManufacturerNames, ToString)
+{
+    EXPECT_EQ(toString(Manufacturer::A), "A");
+    EXPECT_EQ(toString(Manufacturer::B), "B");
+    EXPECT_EQ(toString(Manufacturer::C), "C");
+}
+
+} // namespace

@@ -1,0 +1,198 @@
+/**
+ * @file
+ * Tests for the D-RaNGe TRNG engine (Algorithm 2) and the von Neumann
+ * corrector.
+ */
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "core/drange.hh"
+#include "util/entropy.hh"
+
+namespace {
+
+using namespace drange;
+using namespace drange::core;
+
+dram::DeviceConfig
+deviceConfig(std::uint64_t seed = 7, std::uint64_t noise = 31)
+{
+    auto cfg = dram::DeviceConfig::make(dram::Manufacturer::A, seed,
+                                        noise);
+    cfg.geometry.rows_per_bank = 4096;
+    return cfg;
+}
+
+DRangeConfig
+quickConfig(int banks = 2)
+{
+    DRangeConfig cfg;
+    cfg.banks = banks;
+    cfg.profile_rows = 192;
+    cfg.profile_words = 16;
+    cfg.identify.screen_iterations = 50;
+    cfg.identify.samples = 500;
+    cfg.identify.symbol_tolerance = 0.15;
+    return cfg;
+}
+
+TEST(DRangeTest, GenerateBeforeInitializeThrows)
+{
+    dram::DramDevice dev(deviceConfig());
+    DRangeTrng trng(dev, quickConfig());
+    EXPECT_THROW(trng.generate(64), std::logic_error);
+}
+
+TEST(DRangeTest, InitializeSelectsTwoWordsInDistinctRows)
+{
+    dram::DramDevice dev(deviceConfig());
+    DRangeTrng trng(dev, quickConfig());
+    trng.initialize();
+    ASSERT_TRUE(trng.initialized());
+    for (const auto &sel : trng.selection()) {
+        EXPECT_NE(sel.words[0].row, sel.words[1].row);
+        EXPECT_EQ(sel.words[0].bank, sel.bank);
+        EXPECT_EQ(sel.words[1].bank, sel.bank);
+        EXPECT_FALSE(sel.bits[0].empty());
+        EXPECT_FALSE(sel.bits[1].empty());
+    }
+    EXPECT_GT(trng.bitsPerRound(), 0);
+}
+
+TEST(DRangeTest, GeneratesRequestedBits)
+{
+    dram::DramDevice dev(deviceConfig());
+    DRangeTrng trng(dev, quickConfig());
+    trng.initialize();
+    const auto bits = trng.generate(2048);
+    EXPECT_GE(bits.size(), 2048u);
+
+    const auto &st = trng.lastStats();
+    EXPECT_EQ(st.bits, bits.size());
+    EXPECT_GT(st.rounds, 0u);
+    EXPECT_GT(st.durationNs(), 0.0);
+    EXPECT_GT(st.throughputMbps(), 0.0);
+}
+
+TEST(DRangeTest, OutputIsUnbiasedAndHighEntropy)
+{
+    dram::DramDevice dev(deviceConfig());
+    DRangeTrng trng(dev, quickConfig());
+    trng.initialize();
+    const auto bits = trng.generate(20000);
+    EXPECT_NEAR(bits.onesFraction(), 0.5, 0.03);
+    EXPECT_GT(util::symbolEntropy(bits, 3), 0.99);
+}
+
+TEST(DRangeTest, OutputsDifferAcrossRuns)
+{
+    dram::DramDevice dev(deviceConfig());
+    DRangeTrng trng(dev, quickConfig());
+    trng.initialize();
+    const auto a = trng.generate(1024);
+    const auto b = trng.generate(1024);
+    EXPECT_NE(a.toString(), b.toString());
+}
+
+TEST(DRangeTest, ThroughputScalesWithBanks)
+{
+    // Figure 8: more banks, more throughput. Use the same die so the
+    // per-bank cell density is comparable.
+    double tp1, tp4;
+    {
+        dram::DramDevice dev(deviceConfig(11));
+        DRangeTrng trng(dev, quickConfig(1));
+        trng.initialize();
+        trng.generate(4000);
+        tp1 = trng.lastStats().throughputMbps();
+    }
+    {
+        dram::DramDevice dev(deviceConfig(11));
+        DRangeTrng trng(dev, quickConfig(4));
+        trng.initialize();
+        trng.generate(4000);
+        tp4 = trng.lastStats().throughputMbps();
+    }
+    EXPECT_GT(tp4, tp1 * 1.5);
+}
+
+TEST(DRangeTest, FirstWordLatencyRecorded)
+{
+    dram::DramDevice dev(deviceConfig());
+    DRangeTrng trng(dev, quickConfig());
+    trng.initialize();
+    trng.generate(256);
+    const auto &st = trng.lastStats();
+    EXPECT_GT(st.first_word_ns, 0.0);
+    EXPECT_LT(st.first_word_ns, st.durationNs() + 1e-9);
+}
+
+TEST(DRangeTest, RunRoundHarvestsBitsPerRound)
+{
+    dram::DramDevice dev(deviceConfig());
+    DRangeTrng trng(dev, quickConfig());
+    trng.initialize();
+    trng.enterSamplingMode();
+    util::BitStream out;
+    const int harvested = trng.runRound(out);
+    trng.exitSamplingMode();
+    EXPECT_EQ(harvested, trng.bitsPerRound());
+    EXPECT_EQ(out.size(), static_cast<std::size_t>(harvested));
+}
+
+TEST(DRangeTest, SamplingModeTogglesTrcdRegister)
+{
+    dram::DramDevice dev(deviceConfig());
+    DRangeTrng trng(dev, quickConfig());
+    trng.initialize();
+    trng.setReducedTiming(true);
+    EXPECT_TRUE(trng.scheduler().registers().trcdReduced());
+    trng.setReducedTiming(false);
+    EXPECT_FALSE(trng.scheduler().registers().trcdReduced());
+}
+
+TEST(DRangeTest, PatternDefaultsToManufacturerBest)
+{
+    dram::DramDevice dev(deviceConfig());
+    DRangeTrng trng(dev, quickConfig());
+    EXPECT_EQ(trng.pattern().name(), "SOLID0"); // Manufacturer A.
+
+    auto cfg_b = dram::DeviceConfig::make(dram::Manufacturer::B, 3, 5);
+    cfg_b.geometry.rows_per_bank = 4096;
+    dram::DramDevice dev_b(cfg_b);
+    DRangeTrng trng_b(dev_b, quickConfig());
+    EXPECT_EQ(trng_b.pattern().name(), "CHECK0");
+}
+
+TEST(VonNeumann, CorrectsKnownPairs)
+{
+    // 01 -> 0, 10 -> 1, 00/11 dropped.
+    const auto in = util::BitStream::fromString("0110001101");
+    const auto out = vonNeumannCorrect(in);
+    EXPECT_EQ(out.toString(), "010");
+}
+
+TEST(VonNeumann, UnbiasesBiasedStream)
+{
+    util::Xoshiro256ss rng(3);
+    util::BitStream biased;
+    for (int i = 0; i < 100000; ++i)
+        biased.append(rng.nextBernoulli(0.8));
+    const auto corrected = vonNeumannCorrect(biased);
+    EXPECT_NEAR(corrected.onesFraction(), 0.5, 0.02);
+    // Throughput cost: 2 p (1-p) of input pairs survive.
+    EXPECT_LT(corrected.size(), biased.size() / 4);
+}
+
+TEST(VonNeumann, EmptyAndOddInputs)
+{
+    EXPECT_TRUE(vonNeumannCorrect({}).empty());
+    const auto out = vonNeumannCorrect(util::BitStream::fromString("1"));
+    EXPECT_TRUE(out.empty());
+}
+
+} // namespace

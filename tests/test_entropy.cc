@@ -1,0 +1,177 @@
+/**
+ * @file
+ * Unit tests for the entropy estimation helpers, including the paper's
+ * Section 6.1 symbol filter.
+ */
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "util/bitstream.hh"
+#include "util/entropy.hh"
+#include "util/rng.hh"
+
+namespace {
+
+using namespace drange::util;
+
+TEST(BinaryShannon, Extremes)
+{
+    EXPECT_DOUBLE_EQ(binaryShannonEntropy(0.0), 0.0);
+    EXPECT_DOUBLE_EQ(binaryShannonEntropy(1.0), 0.0);
+    EXPECT_DOUBLE_EQ(binaryShannonEntropy(0.5), 1.0);
+}
+
+TEST(BinaryShannon, Symmetry)
+{
+    for (double p : {0.1, 0.25, 0.4}) {
+        EXPECT_NEAR(binaryShannonEntropy(p),
+                    binaryShannonEntropy(1.0 - p), 1e-12);
+    }
+}
+
+TEST(BinaryShannon, KnownValue)
+{
+    // H(0.25) = 0.811278...
+    EXPECT_NEAR(binaryShannonEntropy(0.25), 0.8112781245, 1e-9);
+}
+
+TEST(SymbolCounts, CountsOverlappingWindows)
+{
+    const BitStream bs = BitStream::fromString("1011");
+    const auto counts = symbolCounts(bs, 2);
+    // Windows: 10, 01, 11.
+    EXPECT_EQ(counts[0b10], 1u);
+    EXPECT_EQ(counts[0b01], 1u);
+    EXPECT_EQ(counts[0b11], 1u);
+    EXPECT_EQ(counts[0b00], 0u);
+}
+
+TEST(SymbolCounts, TotalIsNMinusMPlus1)
+{
+    Xoshiro256ss rng(3);
+    BitStream bs;
+    for (int i = 0; i < 1000; ++i)
+        bs.append(rng.nextBernoulli(0.5));
+    const auto counts = symbolCounts(bs, 3);
+    std::size_t total = 0;
+    for (auto c : counts)
+        total += c;
+    EXPECT_EQ(total, 998u);
+}
+
+TEST(SymbolCounts, ShortStreamAllZero)
+{
+    const BitStream bs = BitStream::fromString("10");
+    const auto counts = symbolCounts(bs, 3);
+    for (auto c : counts)
+        EXPECT_EQ(c, 0u);
+}
+
+TEST(SymbolEntropy, ConstantStreamIsZero)
+{
+    BitStream bs;
+    for (int i = 0; i < 100; ++i)
+        bs.append(true);
+    EXPECT_NEAR(symbolEntropy(bs, 3), 0.0, 1e-12);
+}
+
+TEST(SymbolEntropy, RandomStreamNearOne)
+{
+    Xoshiro256ss rng(5);
+    BitStream bs;
+    for (int i = 0; i < 100000; ++i)
+        bs.append(rng.nextBernoulli(0.5));
+    EXPECT_GT(symbolEntropy(bs, 3), 0.999);
+}
+
+TEST(SymbolFilter, AcceptsUnbiasedRandom)
+{
+    // A fair random 1000-bit stream should pass the paper's filter most
+    // of the time; check that a large majority of trials pass.
+    Xoshiro256ss rng(7);
+    int passed = 0;
+    for (int trial = 0; trial < 50; ++trial) {
+        BitStream bs;
+        for (int i = 0; i < 1000; ++i)
+            bs.append(rng.nextBernoulli(0.5));
+        passed += passesSymbolFilter(bs);
+    }
+    EXPECT_GE(passed, 5); // The filter is strict; a nonzero share pass.
+}
+
+TEST(SymbolFilter, RejectsBiasedStream)
+{
+    Xoshiro256ss rng(9);
+    int passed = 0;
+    for (int trial = 0; trial < 20; ++trial) {
+        BitStream bs;
+        for (int i = 0; i < 1000; ++i)
+            bs.append(rng.nextBernoulli(0.8));
+        passed += passesSymbolFilter(bs);
+    }
+    EXPECT_EQ(passed, 0);
+}
+
+TEST(SymbolFilter, RejectsPeriodicStream)
+{
+    BitStream bs;
+    for (int i = 0; i < 1000; ++i)
+        bs.append(i % 2 == 0);
+    EXPECT_FALSE(passesSymbolFilter(bs));
+}
+
+TEST(SymbolFilter, RejectsConstantStream)
+{
+    BitStream bs;
+    for (int i = 0; i < 1000; ++i)
+        bs.append(false);
+    EXPECT_FALSE(passesSymbolFilter(bs));
+}
+
+TEST(SymbolFilter, TooShortStreamRejected)
+{
+    EXPECT_FALSE(passesSymbolFilter(BitStream::fromString("10")));
+}
+
+TEST(SymbolFilter, ToleranceWidensAcceptance)
+{
+    Xoshiro256ss rng(11);
+    int strict = 0, loose = 0;
+    for (int trial = 0; trial < 40; ++trial) {
+        BitStream bs;
+        for (int i = 0; i < 1000; ++i)
+            bs.append(rng.nextBernoulli(0.5));
+        strict += passesSymbolFilter(bs, 0.05);
+        loose += passesSymbolFilter(bs, 0.50);
+    }
+    EXPECT_GE(loose, strict);
+    EXPECT_EQ(loose, 40);
+}
+
+TEST(MinEntropy, ConstantIsZeroRandomIsHigh)
+{
+    BitStream constant;
+    for (int i = 0; i < 1000; ++i)
+        constant.append(true);
+    EXPECT_NEAR(minEntropy(constant, 3), 0.0, 1e-12);
+
+    Xoshiro256ss rng(13);
+    BitStream random;
+    for (int i = 0; i < 100000; ++i)
+        random.append(rng.nextBernoulli(0.5));
+    EXPECT_GT(minEntropy(random, 3), 0.95);
+}
+
+TEST(ShannonEntropyStream, MatchesOnesFraction)
+{
+    BitStream bs;
+    for (int i = 0; i < 100; ++i)
+        bs.append(i < 25);
+    EXPECT_NEAR(shannonEntropy(bs), binaryShannonEntropy(0.25), 1e-12);
+}
+
+} // namespace

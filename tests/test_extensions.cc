@@ -1,0 +1,171 @@
+/**
+ * @file
+ * Tests for the extension modules: the multi-channel aggregator and the
+ * DRAM latency PUF.
+ */
+
+#include <algorithm>
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "core/latency_puf.hh"
+#include "core/multichannel.hh"
+#include "util/entropy.hh"
+
+namespace {
+
+using namespace drange;
+using namespace drange::core;
+
+dram::DeviceConfig
+baseConfig(std::uint64_t seed = 7, std::uint64_t noise = 91)
+{
+    auto cfg = dram::DeviceConfig::make(dram::Manufacturer::A, seed,
+                                        noise);
+    cfg.geometry.rows_per_bank = 4096;
+    return cfg;
+}
+
+DRangeConfig
+quickConfig()
+{
+    DRangeConfig cfg;
+    cfg.banks = 2;
+    cfg.profile_rows = 192;
+    cfg.profile_words = 16;
+    cfg.identify.screen_iterations = 40;
+    cfg.identify.samples = 400;
+    cfg.identify.symbol_tolerance = 0.15;
+    return cfg;
+}
+
+TEST(MultiChannel, AggregatesChannels)
+{
+    MultiChannelTrng trng(baseConfig(), 2, quickConfig());
+    trng.initialize();
+    EXPECT_EQ(trng.channels(), 2);
+    EXPECT_GT(trng.bitsPerRound(),
+              trng.channel(0).bitsPerRound());
+
+    const auto bits = trng.generate(4096);
+    EXPECT_GE(bits.size(), 4096u);
+    EXPECT_GT(trng.throughputMbps(), 0.0);
+}
+
+TEST(MultiChannel, ThroughputScalesAcrossChannels)
+{
+    MultiChannelTrng one(baseConfig(11), 1, quickConfig());
+    one.initialize();
+    one.generate(4096);
+
+    MultiChannelTrng four(baseConfig(11), 4, quickConfig());
+    four.initialize();
+    four.generate(4096);
+
+    // Channels run concurrently, so 4 channels must deliver well over
+    // 2x the single-channel rate (cell-count variation aside).
+    EXPECT_GT(four.throughputMbps(), 2.0 * one.throughputMbps());
+}
+
+TEST(MultiChannel, OutputQualityPreserved)
+{
+    MultiChannelTrng trng(baseConfig(13), 2, quickConfig());
+    trng.initialize();
+    const auto bits = trng.generate(20000);
+    EXPECT_NEAR(bits.onesFraction(), 0.5, 0.04);
+    EXPECT_GT(util::symbolEntropy(bits, 3), 0.985);
+}
+
+TEST(MultiChannel, ChannelsAreDistinctDies)
+{
+    MultiChannelTrng trng(baseConfig(17), 2, quickConfig());
+    trng.initialize();
+    // Different seeds: the selected sampling words should differ.
+    const auto &a = trng.channel(0).selection();
+    const auto &b = trng.channel(1).selection();
+    ASSERT_FALSE(a.empty());
+    ASSERT_FALSE(b.empty());
+    const bool same_first =
+        a[0].words[0].row == b[0].words[0].row &&
+        a[0].words[0].word == b[0].words[0].word;
+    EXPECT_FALSE(same_first);
+}
+
+TEST(LatencyPufTest, SameDieReproducesFingerprint)
+{
+    auto cfg = baseConfig(21, 33);
+    dram::DramDevice dev(cfg);
+    dram::DirectHost host(dev);
+    LatencyPuf puf(host);
+
+    const dram::Region region{0, 0, 128, 0, 16};
+    const auto r1 = puf.evaluate(region);
+    const auto r2 = puf.evaluate(region);
+
+    // Intra-die distance must be tiny (only RNG-cell noise survives
+    // the majority filter).
+    EXPECT_LT(r1.distanceTo(r2), 0.002);
+    // And the fingerprint must not be empty.
+    const auto ones = std::count(r1.bits.begin(), r1.bits.end(), 1);
+    EXPECT_GT(ones, 0);
+}
+
+TEST(LatencyPufTest, DifferentDiesDiffer)
+{
+    const dram::Region region{0, 0, 128, 0, 16};
+
+    dram::DramDevice dev_a(baseConfig(100, 1));
+    dram::DirectHost host_a(dev_a);
+    LatencyPuf puf_a(host_a);
+    const auto fp_a1 = puf_a.evaluate(region);
+    const auto fp_a2 = puf_a.evaluate(region);
+
+    dram::DramDevice dev_b(baseConfig(200, 1));
+    dram::DirectHost host_b(dev_b);
+    const auto fp_b = LatencyPuf(host_b).evaluate(region);
+
+    // The fingerprints are sparse (only weak-column cells fail), so
+    // absolute fractional distances are small; what authentication
+    // needs is a wide margin between intra-die noise and inter-die
+    // distance.
+    const double intra = fp_a1.distanceTo(fp_a2);
+    const double inter = fp_a1.distanceTo(fp_b);
+    EXPECT_GT(inter, 4.0 * std::max(intra, 1e-5));
+    EXPECT_GT(inter, 5e-4); // Both dies contribute failing columns.
+}
+
+TEST(LatencyPufTest, MajorityFilterSuppressesRngCells)
+{
+    auto cfg = baseConfig(23, 55);
+    dram::DramDevice dev(cfg);
+    dram::DirectHost host(dev);
+    LatencyPuf puf(host);
+
+    const dram::Region region{0, 0, 128, 0, 16};
+    LatencyPufParams strict;
+    strict.majority = 0.9;
+    LatencyPufParams loose;
+    loose.majority = 0.2;
+
+    const auto f_strict = puf.evaluate(region, strict);
+    const auto f_loose = puf.evaluate(region, loose);
+    const auto strict_ones =
+        std::count(f_strict.bits.begin(), f_strict.bits.end(), 1);
+    const auto loose_ones =
+        std::count(f_loose.bits.begin(), f_loose.bits.end(), 1);
+    EXPECT_GE(loose_ones, strict_ones);
+}
+
+TEST(LatencyPufTest, ResponseShapeMatchesRegion)
+{
+    auto cfg = baseConfig(29, 77);
+    dram::DramDevice dev(cfg);
+    dram::DirectHost host(dev);
+    const dram::Region region{0, 10, 42, 2, 6};
+    const auto fp = LatencyPuf(host).evaluate(region);
+    EXPECT_EQ(fp.bits.size(),
+              static_cast<std::size_t>(region.cells()));
+}
+
+} // namespace

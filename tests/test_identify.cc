@@ -1,0 +1,159 @@
+/**
+ * @file
+ * Tests for RNG-cell identification (Section 6.1) and the RngCellTable.
+ */
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "core/identify.hh"
+#include "util/entropy.hh"
+
+namespace {
+
+using namespace drange;
+using namespace drange::core;
+
+struct Rig
+{
+    explicit Rig(std::uint64_t seed = 7, std::uint64_t noise = 29)
+        : cfg(makeCfg(seed, noise)), dev(cfg), host(dev),
+          identifier(host)
+    {
+    }
+    static dram::DeviceConfig makeCfg(std::uint64_t seed,
+                                      std::uint64_t noise)
+    {
+        auto cfg = dram::DeviceConfig::make(dram::Manufacturer::A, seed,
+                                            noise);
+        cfg.geometry.rows_per_bank = 2048;
+        return cfg;
+    }
+    dram::DeviceConfig cfg;
+    dram::DramDevice dev;
+    dram::DirectHost host;
+    RngCellIdentifier identifier;
+};
+
+IdentifyParams
+quickParams()
+{
+    IdentifyParams p;
+    p.screen_iterations = 50;
+    p.samples = 600;
+    return p;
+}
+
+const dram::Region kRegion{0, 0, 256, 0, 16};
+
+TEST(IdentifyTest, FindsRngCellsWithHighEntropy)
+{
+    Rig rig;
+    const auto cells = rig.identifier.identify(
+        kRegion, DataPattern::solid0(), quickParams());
+    ASSERT_FALSE(cells.empty());
+    for (const auto &c : cells) {
+        EXPECT_GT(c.entropy, 0.99) << "RNG cells must be unbiased";
+        EXPECT_GT(c.fprob, 0.35);
+        EXPECT_LT(c.fprob, 0.65);
+        EXPECT_GE(c.bit, 0);
+        EXPECT_LT(c.bit, 64);
+    }
+}
+
+TEST(IdentifyTest, RngCellsLieInWeakColumns)
+{
+    Rig rig;
+    const auto cells = rig.identifier.identify(
+        kRegion, DataPattern::solid0(), quickParams());
+    for (const auto &c : cells)
+        EXPECT_TRUE(rig.dev.cellModel().isWeakColumn(c.cell()));
+}
+
+TEST(IdentifyTest, SampleWordProducesRequestedSamples)
+{
+    Rig rig;
+    ActivationFailureProfiler profiler(rig.host);
+    profiler.writePattern(kRegion, DataPattern::solid0());
+    const auto streams = rig.identifier.sampleWord(
+        {0, 10, 3}, DataPattern::solid0(), 10.0, 200);
+    ASSERT_EQ(streams.size(), 64u);
+    for (const auto &s : streams)
+        EXPECT_EQ(s.size(), 200u);
+}
+
+TEST(IdentifyTest, SampledRngCellStreamPassesSymbolFilter)
+{
+    // End-to-end: re-sample an identified cell and check the stream
+    // still behaves like a coin flip.
+    Rig rig;
+    const auto cells = rig.identifier.identify(
+        kRegion, DataPattern::solid0(), quickParams());
+    ASSERT_FALSE(cells.empty());
+    const auto &cell = cells.front();
+
+    const auto streams = rig.identifier.sampleWord(
+        cell.word, DataPattern::solid0(), 10.0, 1000);
+    const auto &s = streams[cell.bit];
+    EXPECT_NEAR(s.onesFraction(), 0.5, 0.08);
+    EXPECT_GT(util::symbolEntropy(s, 3), 0.98);
+}
+
+TEST(IdentifyTest, StricterToleranceYieldsFewerCells)
+{
+    Rig a;
+    IdentifyParams loose = quickParams();
+    loose.symbol_tolerance = 0.25;
+    const auto many =
+        a.identifier.identify(kRegion, DataPattern::solid0(), loose);
+
+    Rig b;
+    IdentifyParams strict = quickParams();
+    strict.symbol_tolerance = 0.05;
+    const auto few =
+        b.identifier.identify(kRegion, DataPattern::solid0(), strict);
+    EXPECT_GE(many.size(), few.size());
+}
+
+TEST(IdentifyTest, StableAcrossReidentification)
+{
+    // Section 5.4: identified cells stay RNG cells over time. Identify
+    // twice on the same device; the overlap must be substantial.
+    Rig rig;
+    IdentifyParams p = quickParams();
+    p.symbol_tolerance = 0.25;
+    const auto first = rig.identifier.identify(
+        kRegion, DataPattern::solid0(), p);
+    const auto second = rig.identifier.identify(
+        kRegion, DataPattern::solid0(), p);
+    ASSERT_FALSE(first.empty());
+
+    int overlap = 0;
+    for (const auto &c1 : first)
+        for (const auto &c2 : second)
+            overlap += c1.word == c2.word && c1.bit == c2.bit;
+    EXPECT_GT(overlap, 0);
+}
+
+TEST(RngCellTableTest, LookupNearestTemperature)
+{
+    RngCellTable table;
+    EXPECT_TRUE(table.empty());
+    EXPECT_THROW(table.lookup(50.0), std::out_of_range);
+
+    RngCell a;
+    a.word = {0, 1, 2};
+    RngCell b;
+    b.word = {0, 3, 4};
+    table.store(45.0, {a});
+    table.store(60.0, {b, b});
+    EXPECT_EQ(table.temperatures(), 2u);
+    EXPECT_EQ(table.lookup(47.0).size(), 1u);
+    EXPECT_EQ(table.lookup(58.0).size(), 2u);
+    EXPECT_EQ(table.lookup(52.4).size(), 1u); // 45 is closer.
+}
+
+} // namespace

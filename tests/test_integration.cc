@@ -1,0 +1,156 @@
+/**
+ * @file
+ * Integration tests: the full D-RaNGe pipeline (profile -> identify ->
+ * generate) feeding the NIST suite, across manufacturers, temperatures
+ * and DRAM standards.
+ */
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "core/drange.hh"
+#include "nist/nist.hh"
+#include "power/power_model.hh"
+
+namespace {
+
+using namespace drange;
+using namespace drange::core;
+
+dram::DeviceConfig
+deviceConfig(dram::Manufacturer m, std::uint64_t seed,
+             std::uint64_t noise)
+{
+    auto cfg = dram::DeviceConfig::make(m, seed, noise);
+    cfg.geometry.rows_per_bank = 4096;
+    return cfg;
+}
+
+DRangeConfig
+quickConfig(int banks = 2)
+{
+    DRangeConfig cfg;
+    cfg.banks = banks;
+    cfg.profile_rows = 256;
+    cfg.profile_words = 16;
+    cfg.identify.screen_iterations = 50;
+    cfg.identify.samples = 500;
+    cfg.identify.symbol_tolerance = 0.15;
+    return cfg;
+}
+
+class PerManufacturer
+    : public ::testing::TestWithParam<dram::Manufacturer>
+{
+};
+
+TEST_P(PerManufacturer, PipelineProducesRandomBits)
+{
+    dram::DramDevice dev(deviceConfig(GetParam(), 7, 53));
+    DRangeTrng trng(dev, quickConfig());
+    trng.initialize();
+    const auto bits = trng.generate(50000);
+
+    // Core NIST subset on a modest stream (full 1 Mb runs live in the
+    // Table 1 bench).
+    EXPECT_TRUE(nist::monobit(bits).pass(0.0001));
+    EXPECT_TRUE(nist::runs(bits).pass(0.0001));
+    EXPECT_TRUE(nist::frequencyWithinBlock(bits).pass(0.0001));
+    EXPECT_TRUE(nist::serial(bits, 8).pass(0.0001));
+    EXPECT_TRUE(nist::approximateEntropy(bits, 6).pass(0.0001));
+    EXPECT_TRUE(nist::cumulativeSums(bits).pass(0.0001));
+}
+
+INSTANTIATE_TEST_SUITE_P(AllManufacturers, PerManufacturer,
+                         ::testing::Values(dram::Manufacturer::A,
+                                           dram::Manufacturer::B,
+                                           dram::Manufacturer::C));
+
+TEST(Integration, Ddr3SubstrateSupportsThePipeline)
+{
+    // Section 4: the paper validates on DDR3 via SoftMC.
+    auto cfg = deviceConfig(dram::Manufacturer::A, 9, 57);
+    cfg.timing = dram::TimingParams::ddr3_1600();
+    dram::DramDevice dev(cfg);
+
+    DRangeConfig dcfg = quickConfig();
+    dcfg.reduced_trcd_ns = 8.0; // DDR3 default tRCD is 13.75 ns.
+    DRangeTrng trng(dev, dcfg);
+    trng.initialize();
+    const auto bits = trng.generate(20000);
+    EXPECT_TRUE(nist::monobit(bits).pass(0.0001));
+    EXPECT_TRUE(nist::runs(bits).pass(0.0001));
+}
+
+TEST(Integration, HotDeviceStillGeneratesRandomBits)
+{
+    auto cfg = deviceConfig(dram::Manufacturer::A, 7, 59);
+    cfg.conditions.temperature_c = 70.0;
+    dram::DramDevice dev(cfg);
+    DRangeTrng trng(dev, quickConfig());
+    trng.initialize();
+    const auto bits = trng.generate(20000);
+    EXPECT_TRUE(nist::monobit(bits).pass(0.0001));
+    EXPECT_TRUE(nist::runs(bits).pass(0.0001));
+}
+
+TEST(Integration, EnergyPerBitInTheRightRegime)
+{
+    // Section 7.3: ~4.4 nJ/b. Accept the right order of magnitude.
+    dram::DramDevice dev(deviceConfig(dram::Manufacturer::A, 7, 61));
+    DRangeTrng trng(dev, quickConfig(4));
+    trng.initialize();
+
+    trng.scheduler().clearTrace();
+    const auto bits = trng.generate(20000);
+    const auto &st = trng.lastStats();
+
+    power::PowerModel pm(power::PowerSpec::lpddr4(),
+                         dev.config().timing);
+    const auto energy = pm.traceEnergy(trng.scheduler().trace(),
+                                       st.durationNs(),
+                                       trng.scheduler().activeTime());
+    const double idle = pm.idleEnergyNj(st.durationNs());
+    const double nj_per_bit =
+        (energy.total_nj() - idle) / static_cast<double>(bits.size());
+    EXPECT_GT(nj_per_bit, 0.1);
+    EXPECT_LT(nj_per_bit, 50.0);
+}
+
+TEST(Integration, ThroughputInPaperRegime)
+{
+    // Paper Figure 8: a full 8-bank channel sustains tens to hundreds
+    // of Mb/s. Use a wider profiling region so every bank finds cells.
+    dram::DramDevice dev(deviceConfig(dram::Manufacturer::A, 15, 67));
+    auto cfg = quickConfig(8);
+    DRangeTrng trng(dev, cfg);
+    trng.initialize();
+    trng.generate(50000);
+    const double mbps = trng.lastStats().throughputMbps();
+    EXPECT_GT(mbps, 5.0);
+    EXPECT_LT(mbps, 1000.0);
+}
+
+TEST(Integration, MinEntropyMatchesPaperBallpark)
+{
+    // Section 7.1: minimum Shannon entropy across RNG cells 0.9507.
+    dram::DramDevice dev(deviceConfig(dram::Manufacturer::A, 7, 71));
+    dram::DirectHost host(dev);
+    RngCellIdentifier ident(host);
+    IdentifyParams p;
+    p.screen_iterations = 50;
+    p.samples = 600;
+    p.symbol_tolerance = 0.15;
+    const auto cells = ident.identify({0, 0, 256, 0, 16},
+                                      DataPattern::solid0(), p);
+    ASSERT_FALSE(cells.empty());
+    double min_h = 1.0;
+    for (const auto &c : cells)
+        min_h = std::min(min_h, c.entropy);
+    EXPECT_GT(min_h, 0.95);
+}
+
+} // namespace

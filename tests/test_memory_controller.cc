@@ -1,0 +1,143 @@
+/**
+ * @file
+ * Unit tests for the FR-FCFS request-level memory controller.
+ */
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "controller/memory_controller.hh"
+
+namespace {
+
+using namespace drange::ctrl;
+using namespace drange::dram;
+
+struct Rig
+{
+    Rig()
+        : cfg(makeCfg()), dev(cfg), regs(cfg.timing), sched(dev, regs),
+          mc(sched)
+    {
+    }
+    static DeviceConfig makeCfg()
+    {
+        auto cfg = DeviceConfig::make(Manufacturer::A, 5, 19);
+        cfg.geometry.rows_per_bank = 1024;
+        return cfg;
+    }
+    DeviceConfig cfg;
+    DramDevice dev;
+    TimingRegisterFile regs;
+    CommandScheduler sched;
+    MemoryController mc;
+};
+
+Request
+req(double t, int bank, int row, int word, bool write = false)
+{
+    Request r;
+    r.arrival_ns = t;
+    r.bank = bank;
+    r.row = row;
+    r.word = word;
+    r.is_write = write;
+    return r;
+}
+
+TEST(MemoryControllerTest, EmptyQueue)
+{
+    Rig rig;
+    EXPECT_FALSE(rig.mc.pending());
+    EXPECT_FALSE(rig.mc.serviceOne());
+    EXPECT_TRUE(std::isinf(rig.mc.nextArrival()));
+}
+
+TEST(MemoryControllerTest, ServicesSingleRequest)
+{
+    Rig rig;
+    rig.mc.enqueue(req(0.0, 0, 5, 3));
+    EXPECT_TRUE(rig.mc.serviceOne());
+    EXPECT_EQ(rig.mc.stats().served, 1u);
+    EXPECT_EQ(rig.mc.stats().row_misses, 1u);
+    EXPECT_GT(rig.mc.stats().avgLatency(), 0.0);
+}
+
+TEST(MemoryControllerTest, RowHitPreferredOverOlderMiss)
+{
+    Rig rig;
+    // Open row 5 via a first request.
+    rig.mc.enqueue(req(0.0, 0, 5, 0));
+    rig.mc.serviceOne();
+
+    // Now an older request to a different row and a younger row hit.
+    rig.mc.enqueue(req(1.0, 0, 9, 0));
+    rig.mc.enqueue(req(2.0, 0, 5, 1));
+    rig.mc.serviceOne();
+    EXPECT_EQ(rig.mc.stats().row_hits, 1u);
+    // The hit was serviced first; the miss is still queued.
+    EXPECT_EQ(rig.mc.queueDepth(), 1u);
+}
+
+TEST(MemoryControllerTest, DrainServicesEverything)
+{
+    Rig rig;
+    for (int i = 0; i < 64; ++i)
+        rig.mc.enqueue(req(i * 10.0, i % 4, i % 16, i % 8, i % 3 == 0));
+    rig.mc.drain();
+    EXPECT_EQ(rig.mc.stats().served, 64u);
+    EXPECT_FALSE(rig.mc.pending());
+}
+
+TEST(MemoryControllerTest, JumpsToFutureArrivals)
+{
+    Rig rig;
+    rig.mc.enqueue(req(5000.0, 0, 1, 0));
+    EXPECT_TRUE(rig.mc.serviceOne());
+    EXPECT_GE(rig.sched.now(), 5000.0);
+}
+
+TEST(MemoryControllerTest, RowHitRateReflectsLocality)
+{
+    Rig local;
+    for (int i = 0; i < 100; ++i)
+        local.mc.enqueue(req(i * 30.0, 0, 7, i % 32));
+    local.mc.drain();
+
+    Rig random;
+    for (int i = 0; i < 100; ++i)
+        random.mc.enqueue(req(i * 30.0, 0, i % 64, i % 32));
+    random.mc.drain();
+
+    EXPECT_GT(local.mc.stats().rowHitRate(),
+              random.mc.stats().rowHitRate());
+    EXPECT_GT(local.mc.stats().rowHitRate(), 0.9);
+}
+
+TEST(MemoryControllerTest, HigherLoadRaisesLatency)
+{
+    auto avg_latency = [](double gap_ns) {
+        Rig rig;
+        for (int i = 0; i < 300; ++i)
+            rig.mc.enqueue(req(i * gap_ns, i % 8, (i * 13) % 256,
+                               i % 32));
+        rig.mc.drain();
+        return rig.mc.stats().avgLatency();
+    };
+    EXPECT_GT(avg_latency(2.0), avg_latency(200.0));
+}
+
+TEST(MemoryControllerTest, WritesAndReadsBothComplete)
+{
+    Rig rig;
+    rig.mc.enqueue(req(0.0, 0, 3, 1, true));
+    rig.mc.enqueue(req(1.0, 0, 3, 1, false));
+    rig.mc.drain();
+    EXPECT_EQ(rig.mc.stats().served, 2u);
+    EXPECT_EQ(rig.mc.stats().row_hits, 1u); // Second hits the open row.
+}
+
+} // namespace

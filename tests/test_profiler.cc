@@ -1,0 +1,178 @@
+/**
+ * @file
+ * Tests for Algorithm 1 (activation-failure profiling).
+ */
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "core/profiler.hh"
+#include "dram/device.hh"
+
+namespace {
+
+using namespace drange;
+using namespace drange::core;
+
+struct Rig
+{
+    explicit Rig(dram::Manufacturer m = dram::Manufacturer::A,
+                 std::uint64_t seed = 7)
+        : cfg(makeCfg(m, seed)), dev(cfg), host(dev), profiler(host)
+    {
+    }
+    static dram::DeviceConfig makeCfg(dram::Manufacturer m,
+                                      std::uint64_t seed)
+    {
+        auto cfg = dram::DeviceConfig::make(m, seed, 23);
+        cfg.geometry.rows_per_bank = 2048;
+        return cfg;
+    }
+    dram::DeviceConfig cfg;
+    dram::DramDevice dev;
+    dram::DirectHost host;
+    ActivationFailureProfiler profiler;
+};
+
+const dram::Region kRegion{0, 0, 128, 0, 8};
+
+TEST(FailureCountsTest, IndexingAndFprob)
+{
+    FailureCounts fc(kRegion, 10);
+    EXPECT_EQ(fc.count(0, 0, 0), 0u);
+    fc.increment(5, 3, 17);
+    fc.increment(5, 3, 17);
+    EXPECT_EQ(fc.count(5, 3, 17), 2u);
+    EXPECT_DOUBLE_EQ(fc.fprob(5, 3, 17), 0.2);
+    EXPECT_EQ(fc.totalFailures(), 2u);
+    EXPECT_EQ(fc.cellsWithFailures(), 1u);
+    EXPECT_EQ(fc.cellsInFprobRange(0.1, 0.3), 1u);
+    EXPECT_EQ(fc.cellsInFprobRange(0.5, 1.0), 0u);
+}
+
+TEST(FailureCountsTest, CellsInRangeReturnsAbsoluteAddresses)
+{
+    dram::Region r{2, 100, 110, 4, 8};
+    FailureCounts fc(r, 4);
+    fc.increment(3, 1, 60);
+    const auto cells = fc.cellsInRange(0.2, 0.3);
+    ASSERT_EQ(cells.size(), 1u);
+    EXPECT_EQ(cells[0].bank, 2);
+    EXPECT_EQ(cells[0].row, 103);
+    EXPECT_EQ(cells[0].column, (4 + 1) * 64 + 60);
+}
+
+TEST(ProfilerTest, WritePatternFillsRegionAndGuards)
+{
+    Rig rig;
+    const auto pattern = DataPattern::checkered();
+    rig.profiler.writePattern(kRegion, pattern);
+    for (int row : {0, 64, 127}) {
+        for (int w = 0; w < 8; ++w)
+            EXPECT_EQ(rig.dev.peekWord(0, row, w),
+                      pattern.wordAt(row, w));
+    }
+    // Guard row below the region is written too.
+    EXPECT_EQ(rig.dev.peekWord(0, 128, 0), pattern.wordAt(128, 0));
+}
+
+TEST(ProfilerTest, ReducedTrcdFindsFailures)
+{
+    Rig rig;
+    const auto fc = rig.profiler.profile(kRegion,
+                                         DataPattern::solid0(), 20,
+                                         10.0);
+    EXPECT_GT(fc.totalFailures(), 0u);
+    EXPECT_GT(fc.cellsWithFailures(), 0u);
+    EXPECT_LT(fc.cellsWithFailures(),
+              static_cast<std::uint64_t>(kRegion.cells()) / 10);
+}
+
+TEST(ProfilerTest, DefaultTrcdFindsNoFailures)
+{
+    Rig rig;
+    const auto fc = rig.profiler.profile(
+        kRegion, DataPattern::solid0(), 5, rig.cfg.timing.trcd_ns);
+    EXPECT_EQ(fc.totalFailures(), 0u);
+}
+
+TEST(ProfilerTest, MoreIterationsFindMoreCells)
+{
+    // Section 5.2: total failure count across iterations grows because
+    // cells fail probabilistically.
+    Rig rig;
+    const auto fc5 = rig.profiler.profile(kRegion,
+                                          DataPattern::solid0(), 5,
+                                          10.0);
+    Rig rig2;
+    const auto fc40 = rig2.profiler.profile(kRegion,
+                                            DataPattern::solid0(), 40,
+                                            10.0);
+    EXPECT_GE(fc40.cellsWithFailures(), fc5.cellsWithFailures());
+}
+
+TEST(ProfilerTest, DifferentPatternsFindDifferentCells)
+{
+    Rig rig;
+    const auto fc_solid = rig.profiler.profile(
+        kRegion, DataPattern::solid0(), 20, 10.0);
+    Rig rig2;
+    const auto fc_check = rig2.profiler.profile(
+        kRegion, DataPattern::checkered0(), 20, 10.0);
+
+    // Compare failing cell sets; they must not be identical.
+    const auto a = fc_solid.cellsInRange(0.01, 1.0);
+    const auto b = fc_check.cellsInRange(0.01, 1.0);
+    EXPECT_NE(a, b);
+}
+
+TEST(ProfilerTest, FailuresLocalizedToWeakColumns)
+{
+    Rig rig;
+    const auto fc = rig.profiler.profile(kRegion,
+                                         DataPattern::solid0(), 20,
+                                         10.0);
+    const auto &model = rig.dev.cellModel();
+    for (const auto &cell : fc.cellsInRange(0.01, 1.0))
+        EXPECT_TRUE(model.isWeakColumn(cell));
+}
+
+TEST(ProfilerTest, RowGradientWithinSubarray)
+{
+    // Aggregate Fprob should grow towards higher rows of a subarray
+    // (Figure 4). Profile the top and bottom slices of subarray 0.
+    Rig rig;
+    dram::Region low{0, 0, 96, 0, 8};
+    dram::Region high{0, 416, 512, 0, 8};
+    const auto fc_low = rig.profiler.profile(low, DataPattern::solid0(),
+                                             15, 10.0);
+    Rig rig2;
+    const auto fc_high = rig2.profiler.profile(
+        high, DataPattern::solid0(), 15, 10.0);
+    EXPECT_GT(fc_high.totalFailures(), fc_low.totalFailures());
+}
+
+TEST(ProfilerTest, RewriteEachIterationStillFindsFailures)
+{
+    Rig rig;
+    const auto fc = rig.profiler.profile(
+        kRegion, DataPattern::solid0(), 10, 10.0, true);
+    EXPECT_GT(fc.totalFailures(), 0u);
+}
+
+TEST(ProfilerTest, SameSeedSameFprobMap)
+{
+    // Determinism with a fixed noise seed: identical Fprob maps.
+    Rig a(dram::Manufacturer::A, 7);
+    Rig b(dram::Manufacturer::A, 7);
+    const auto fa = a.profiler.profile(kRegion, DataPattern::solid0(),
+                                       10, 10.0);
+    const auto fb = b.profiler.profile(kRegion, DataPattern::solid0(),
+                                       10, 10.0);
+    EXPECT_EQ(fa.totalFailures(), fb.totalFailures());
+}
+
+} // namespace

@@ -1,0 +1,287 @@
+/**
+ * @file
+ * Property-based tests: parameterized sweeps over manufacturers, data
+ * patterns, timing presets, tRCD values and stream lengths, checking
+ * invariants that must hold everywhere in the configuration space.
+ */
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <tuple>
+
+#include <gtest/gtest.h>
+
+#include "controller/scheduler.hh"
+#include "core/profiler.hh"
+#include "dram/device.hh"
+#include "nist/nist.hh"
+#include "util/bitstream.hh"
+#include "util/rng.hh"
+
+namespace {
+
+using namespace drange;
+
+// ---------------------------------------------------------------------
+// Cell model invariants across (manufacturer, seed).
+// ---------------------------------------------------------------------
+
+class CellModelProperty
+    : public ::testing::TestWithParam<
+          std::tuple<dram::Manufacturer, std::uint64_t>>
+{
+};
+
+TEST_P(CellModelProperty, ProbabilitiesAreValidAndMonotonic)
+{
+    const auto [mfr, seed] = GetParam();
+    const auto cfg = dram::DeviceConfig::make(mfr, seed, 1);
+    dram::CellModel model(cfg);
+
+    dram::SenseContext ctx;
+    ctx.stored = false;
+    ctx.same_direction_frac = 1.0;
+
+    for (long long c = 0; c < 2048; c += 7) {
+        const dram::CellAddress addr{0, static_cast<int>(c) % 512, c};
+        double prev = 1.0 + 1e-12;
+        for (double trcd = 5.0; trcd <= 18.0; trcd += 0.5) {
+            const double p = model.failureProbability(addr, trcd, ctx);
+            ASSERT_GE(p, 0.0);
+            ASSERT_LE(p, 1.0);
+            ASSERT_LE(p, prev + 1e-12)
+                << "Fprob must fall as tRCD grows (col " << c << ")";
+            prev = p;
+        }
+        // At the default timing, nothing fails meaningfully.
+        ASSERT_LT(model.failureProbability(addr, cfg.timing.trcd_ns,
+                                           ctx),
+                  1e-3);
+    }
+}
+
+TEST_P(CellModelProperty, MarginPenaltiesNeverHelp)
+{
+    const auto [mfr, seed] = GetParam();
+    const auto cfg = dram::DeviceConfig::make(mfr, seed, 1);
+    dram::CellModel model(cfg);
+
+    dram::SenseContext calm;
+    calm.stored = false;
+    calm.anti_neighbor_frac = 0.0;
+    calm.same_direction_frac = 0.0;
+
+    dram::SenseContext stressed = calm;
+    stressed.anti_neighbor_frac = 1.0;
+    stressed.same_direction_frac = 1.0;
+
+    for (long long c = 0; c < 4096; c += 13) {
+        const dram::CellAddress addr{0, static_cast<int>(c) % 512, c};
+        ASSERT_LE(model.margin(addr, 10.0, stressed),
+                  model.margin(addr, 10.0, calm) + 1e-12);
+    }
+}
+
+TEST_P(CellModelProperty, TemperatureRaisesMeanFailureProbability)
+{
+    const auto [mfr, seed] = GetParam();
+    const auto cfg = dram::DeviceConfig::make(mfr, seed, 1);
+    dram::CellModel model(cfg);
+    dram::SenseContext ctx;
+    ctx.stored = false;
+    ctx.same_direction_frac = 1.0;
+
+    double cold = 0.0, hot = 0.0;
+    for (long long c = 0; c < 16384; ++c) {
+        const dram::CellAddress addr{0, 300, c};
+        if (!model.isWeakColumn(addr))
+            continue;
+        ctx.temperature_c = 50.0;
+        cold += model.failureProbability(addr, 10.0, ctx);
+        ctx.temperature_c = 70.0;
+        hot += model.failureProbability(addr, 10.0, ctx);
+    }
+    EXPECT_GT(hot, cold);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, CellModelProperty,
+    ::testing::Combine(::testing::Values(dram::Manufacturer::A,
+                                         dram::Manufacturer::B,
+                                         dram::Manufacturer::C),
+                       ::testing::Values(1u, 17u, 123456789u)));
+
+// ---------------------------------------------------------------------
+// Profiler invariants across (manufacturer, pattern-kind).
+// ---------------------------------------------------------------------
+
+class ProfilerProperty
+    : public ::testing::TestWithParam<
+          std::tuple<dram::Manufacturer, int>>
+{
+};
+
+TEST_P(ProfilerProperty, FailuresStayInWeakColumnsAndBounds)
+{
+    const auto [mfr, pattern_idx] = GetParam();
+    auto cfg = dram::DeviceConfig::make(mfr, 77, 5);
+    cfg.geometry.rows_per_bank = 2048;
+    dram::DramDevice dev(cfg);
+    dram::DirectHost host(dev);
+    core::ActivationFailureProfiler profiler(host);
+
+    const auto patterns = core::DataPattern::all40();
+    const auto &pattern = patterns[pattern_idx];
+    const dram::Region region{0, 0, 96, 0, 8};
+
+    const auto counts = profiler.profile(region, pattern, 10, 10.0);
+    for (const auto &cell : counts.cellsInRange(0.001, 1.0)) {
+        ASSERT_TRUE(dev.cellModel().isWeakColumn(cell))
+            << pattern.name();
+        ASSERT_GE(cell.row, region.row_begin);
+        ASSERT_LT(cell.row, region.row_end);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, ProfilerProperty,
+    ::testing::Combine(::testing::Values(dram::Manufacturer::A,
+                                         dram::Manufacturer::C),
+                       ::testing::Values(0, 1, 2, 5, 9, 24)));
+
+// ---------------------------------------------------------------------
+// Scheduler invariants across timing presets.
+// ---------------------------------------------------------------------
+
+class SchedulerProperty : public ::testing::TestWithParam<int>
+{
+  public:
+    static dram::TimingParams timing()
+    {
+        return GetParam() == 0 ? dram::TimingParams::lpddr4_3200()
+                               : dram::TimingParams::ddr3_1600();
+    }
+};
+
+TEST_P(SchedulerProperty, RandomCommandStreamRespectsConstraints)
+{
+    auto cfg = dram::DeviceConfig::make(dram::Manufacturer::A, 5, 9);
+    cfg.geometry.rows_per_bank = 1024;
+    cfg.timing = timing();
+    dram::DramDevice dev(cfg);
+    ctrl::TimingRegisterFile regs(cfg.timing);
+    ctrl::CommandScheduler sched(dev, regs);
+
+    util::Xoshiro256ss rng(33);
+    std::vector<double> last_act(cfg.geometry.banks, -1e18);
+    std::vector<double> last_pre(cfg.geometry.banks, -1e18);
+
+    for (int step = 0; step < 3000; ++step) {
+        const int bank =
+            static_cast<int>(rng.nextBelow(cfg.geometry.banks));
+        if (!dev.isOpen(bank)) {
+            const double t = sched.activate(
+                bank, static_cast<int>(rng.nextBelow(512)));
+            ASSERT_GE(t - last_act[bank], cfg.timing.trc_ns - 1e-9);
+            ASSERT_GE(t - last_pre[bank], cfg.timing.trp_ns - 1e-9);
+            last_act[bank] = t;
+        } else {
+            switch (rng.nextBelow(3)) {
+              case 0: {
+                std::uint64_t d;
+                const double t = sched.read(
+                    bank, static_cast<int>(rng.nextBelow(32)), d);
+                ASSERT_GE(t - last_act[bank],
+                          cfg.timing.trcd_ns - 1e-9);
+                break;
+              }
+              case 1:
+                sched.write(bank,
+                            static_cast<int>(rng.nextBelow(32)),
+                            rng.next());
+                break;
+              default: {
+                const double t = sched.precharge(bank);
+                ASSERT_GE(t - last_act[bank],
+                          cfg.timing.tras_ns - 1e-9);
+                last_pre[bank] = t;
+                break;
+              }
+            }
+        }
+        if (step % 500 == 0)
+            sched.maybeRefresh();
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Presets, SchedulerProperty,
+                         ::testing::Values(0, 1));
+
+// ---------------------------------------------------------------------
+// BitStream round trips across lengths.
+// ---------------------------------------------------------------------
+
+class BitStreamProperty : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(BitStreamProperty, StringRoundTrip)
+{
+    util::Xoshiro256ss rng(GetParam());
+    util::BitStream bs;
+    for (int i = 0; i < GetParam() * 37 + 1; ++i)
+        bs.append(rng.nextBernoulli(0.5));
+    const auto round =
+        util::BitStream::fromString(bs.toString());
+    EXPECT_EQ(round.toString(), bs.toString());
+    EXPECT_EQ(round.popcount(), bs.popcount());
+}
+
+TEST_P(BitStreamProperty, SlicePreservesContent)
+{
+    util::Xoshiro256ss rng(GetParam() + 100);
+    util::BitStream bs;
+    const int n = GetParam() * 61 + 8;
+    for (int i = 0; i < n; ++i)
+        bs.append(rng.nextBernoulli(0.4));
+    const std::size_t begin = n / 3, count = n / 2;
+    const auto slice = bs.slice(begin, count);
+    for (std::size_t i = 0; i < count; ++i)
+        ASSERT_EQ(slice.at(i), bs.at(begin + i));
+}
+
+INSTANTIATE_TEST_SUITE_P(Lengths, BitStreamProperty,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 64));
+
+// ---------------------------------------------------------------------
+// NIST p-values stay in [0, 1] on arbitrary (even degenerate) input.
+// ---------------------------------------------------------------------
+
+class NistRobustness : public ::testing::TestWithParam<double>
+{
+};
+
+TEST_P(NistRobustness, PValuesAlwaysInRange)
+{
+    util::Xoshiro256ss rng(7);
+    util::BitStream bits;
+    for (int i = 0; i < 1 << 17; ++i)
+        bits.append(rng.nextBernoulli(GetParam()));
+
+    for (const auto &r : nist::runAll(bits)) {
+        if (!r.applicable)
+            continue;
+        EXPECT_GE(r.p_value, 0.0) << r.name;
+        EXPECT_LE(r.p_value, 1.0) << r.name;
+        for (double p : r.sub_p_values) {
+            EXPECT_GE(p, 0.0) << r.name;
+            EXPECT_LE(p, 1.0) << r.name;
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(BiasLevels, NistRobustness,
+                         ::testing::Values(0.02, 0.3, 0.5, 0.7, 0.98));
+
+} // namespace

@@ -1,0 +1,174 @@
+/**
+ * @file
+ * Unit tests for the hashing / PRNG utilities.
+ */
+
+#include <cmath>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "util/rng.hh"
+
+namespace {
+
+using namespace drange::util;
+
+TEST(SplitMix, Deterministic)
+{
+    std::uint64_t s1 = 42, s2 = 42;
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(splitmix64(s1), splitmix64(s2));
+}
+
+TEST(SplitMix, KnownVector)
+{
+    // Reference values for splitmix64 seeded with 1234567.
+    std::uint64_t s = 1234567;
+    EXPECT_EQ(splitmix64(s), 6457827717110365317ULL);
+    EXPECT_EQ(splitmix64(s), 3203168211198807973ULL);
+}
+
+TEST(HashMix, OrderSensitive)
+{
+    EXPECT_NE(hashMix({1, 2}), hashMix({2, 1}));
+}
+
+TEST(HashMix, LengthSensitive)
+{
+    EXPECT_NE(hashMix({1}), hashMix({1, 0}));
+}
+
+TEST(HashMix, Deterministic)
+{
+    EXPECT_EQ(hashMix({7, 8, 9}), hashMix({7, 8, 9}));
+}
+
+TEST(UnitDouble, RangeAndSpread)
+{
+    std::uint64_t s = 3;
+    double min = 1.0, max = 0.0;
+    for (int i = 0; i < 10000; ++i) {
+        const double u = u64ToUnitDouble(splitmix64(s));
+        ASSERT_GE(u, 0.0);
+        ASSERT_LT(u, 1.0);
+        min = std::min(min, u);
+        max = std::max(max, u);
+    }
+    EXPECT_LT(min, 0.01);
+    EXPECT_GT(max, 0.99);
+}
+
+TEST(GaussianHash, MeanAndVariance)
+{
+    std::uint64_t s = 5;
+    double sum = 0.0, sum2 = 0.0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i) {
+        const double g = u64ToGaussian(splitmix64(s));
+        sum += g;
+        sum2 += g * g;
+    }
+    const double mean = sum / n;
+    const double var = sum2 / n - mean * mean;
+    EXPECT_NEAR(mean, 0.0, 0.03);
+    EXPECT_NEAR(var, 1.0, 0.05);
+}
+
+TEST(InverseNormalCdf, KnownQuantiles)
+{
+    EXPECT_NEAR(inverseNormalCdf(0.5), 0.0, 1e-9);
+    EXPECT_NEAR(inverseNormalCdf(0.975), 1.959963985, 1e-6);
+    EXPECT_NEAR(inverseNormalCdf(0.025), -1.959963985, 1e-6);
+    EXPECT_NEAR(inverseNormalCdf(0.8413447460685429), 1.0, 1e-6);
+}
+
+TEST(InverseNormalCdf, TailsMonotonic)
+{
+    double prev = -1e9;
+    for (double p = 1e-9; p < 1.0; p += 0.037) {
+        const double z = inverseNormalCdf(p);
+        EXPECT_GT(z, prev);
+        prev = z;
+    }
+}
+
+TEST(Xoshiro, DeterministicWithSeed)
+{
+    Xoshiro256ss a(11), b(11);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Xoshiro, DifferentSeedsDiffer)
+{
+    Xoshiro256ss a(1), b(2);
+    int equal = 0;
+    for (int i = 0; i < 100; ++i)
+        equal += a.next() == b.next();
+    EXPECT_LT(equal, 3);
+}
+
+TEST(Xoshiro, NextBelowRespectsBound)
+{
+    Xoshiro256ss rng(7);
+    std::set<std::uint64_t> seen;
+    for (int i = 0; i < 10000; ++i) {
+        const std::uint64_t v = rng.nextBelow(10);
+        ASSERT_LT(v, 10u);
+        seen.insert(v);
+    }
+    EXPECT_EQ(seen.size(), 10u); // All values hit.
+}
+
+TEST(Xoshiro, NextBelowZeroAndOne)
+{
+    Xoshiro256ss rng(7);
+    EXPECT_EQ(rng.nextBelow(0), 0u);
+    EXPECT_EQ(rng.nextBelow(1), 0u);
+}
+
+TEST(Xoshiro, BernoulliExtremes)
+{
+    Xoshiro256ss rng(9);
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_FALSE(rng.nextBernoulli(0.0));
+        EXPECT_TRUE(rng.nextBernoulli(1.0));
+    }
+}
+
+TEST(Xoshiro, BernoulliFrequency)
+{
+    Xoshiro256ss rng(13);
+    int hits = 0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i)
+        hits += rng.nextBernoulli(0.25);
+    EXPECT_NEAR(static_cast<double>(hits) / n, 0.25, 0.01);
+}
+
+TEST(Xoshiro, GaussianMoments)
+{
+    Xoshiro256ss rng(17);
+    double sum = 0.0, sum2 = 0.0;
+    const int n = 200000;
+    for (int i = 0; i < n; ++i) {
+        const double g = rng.nextGaussian();
+        sum += g;
+        sum2 += g * g;
+    }
+    const double mean = sum / n;
+    EXPECT_NEAR(mean, 0.0, 0.01);
+    EXPECT_NEAR(sum2 / n - mean * mean, 1.0, 0.02);
+}
+
+TEST(Xoshiro, NonDeterministicDefaultSeedsDiffer)
+{
+    Xoshiro256ss a, b;
+    int equal = 0;
+    for (int i = 0; i < 10; ++i)
+        equal += a.next() == b.next();
+    EXPECT_LT(equal, 10);
+}
+
+} // namespace

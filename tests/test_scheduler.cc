@@ -1,0 +1,228 @@
+/**
+ * @file
+ * Unit tests for the cycle-level command scheduler: JEDEC constraint
+ * enforcement, bank pipelining, refresh, and the reduced-tRCD register.
+ */
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "controller/scheduler.hh"
+
+namespace {
+
+using namespace drange::ctrl;
+using namespace drange::dram;
+
+struct Rig
+{
+    Rig()
+        : cfg(makeCfg()), dev(cfg), regs(cfg.timing), sched(dev, regs)
+    {
+    }
+    static DeviceConfig makeCfg()
+    {
+        auto cfg = DeviceConfig::make(Manufacturer::A, 5, 19);
+        cfg.geometry.rows_per_bank = 1024;
+        return cfg;
+    }
+    DeviceConfig cfg;
+    DramDevice dev;
+    TimingRegisterFile regs;
+    CommandScheduler sched;
+};
+
+TEST(Scheduler, TrcdEnforcedBetweenActAndRead)
+{
+    Rig rig;
+    const double t_act = rig.sched.activate(0, 10);
+    std::uint64_t data;
+    rig.sched.read(0, 0, data);
+    const double t_rd = rig.sched.now();
+    EXPECT_GE(t_rd - t_act, rig.cfg.timing.trcd_ns - 1e-9);
+}
+
+TEST(Scheduler, ReducedTrcdShortensActToRead)
+{
+    Rig rig;
+    rig.regs.setReducedTrcd(10.0);
+    const double t_act = rig.sched.activate(0, 10);
+    std::uint64_t data;
+    rig.sched.read(0, 0, data);
+    EXPECT_NEAR(rig.sched.now() - t_act, 10.0, 1.0);
+    rig.regs.restoreDefaultTrcd();
+    EXPECT_FALSE(rig.regs.trcdReduced());
+}
+
+TEST(Scheduler, TrasEnforcedBeforePrecharge)
+{
+    Rig rig;
+    const double t_act = rig.sched.activate(0, 10);
+    const double t_pre = rig.sched.precharge(0);
+    EXPECT_GE(t_pre - t_act, rig.cfg.timing.tras_ns - 1e-9);
+}
+
+TEST(Scheduler, TrcEnforcedBetweenActivations)
+{
+    Rig rig;
+    const double t1 = rig.sched.activate(0, 10);
+    rig.sched.precharge(0);
+    const double t2 = rig.sched.activate(0, 11);
+    EXPECT_GE(t2 - t1, rig.cfg.timing.trc_ns - 1e-9);
+}
+
+TEST(Scheduler, TrpEnforcedAfterPrecharge)
+{
+    Rig rig;
+    rig.sched.activate(0, 10);
+    const double t_pre = rig.sched.precharge(0);
+    const double t_act = rig.sched.activate(0, 11);
+    EXPECT_GE(t_act - t_pre, rig.cfg.timing.trp_ns - 1e-9);
+}
+
+TEST(Scheduler, TrrdBetweenBankActivations)
+{
+    Rig rig;
+    const double t1 = rig.sched.activate(0, 1);
+    const double t2 = rig.sched.activate(1, 1);
+    EXPECT_GE(t2 - t1, rig.cfg.timing.trrd_ns - 1e-9);
+    // Different banks pipeline: far less than tRC apart.
+    EXPECT_LT(t2 - t1, rig.cfg.timing.trc_ns);
+}
+
+TEST(Scheduler, FawLimitsFourActivateWindows)
+{
+    Rig rig;
+    std::vector<double> t;
+    for (int b = 0; b < 5; ++b)
+        t.push_back(rig.sched.activate(b, 1));
+    EXPECT_GE(t[4] - t[0], rig.cfg.timing.tfaw_ns - 1e-9);
+}
+
+TEST(Scheduler, CcdBetweenColumnCommands)
+{
+    Rig rig;
+    rig.sched.activate(0, 1);
+    std::uint64_t d;
+    rig.sched.read(0, 0, d);
+    const double t1 = rig.sched.now();
+    rig.sched.read(0, 1, d);
+    EXPECT_GE(rig.sched.now() - t1, rig.cfg.timing.tccd_ns - 1e-9);
+}
+
+TEST(Scheduler, WriteRecoveryDelaysPrecharge)
+{
+    Rig rig;
+    rig.sched.activate(0, 1);
+    rig.sched.write(0, 0, 42);
+    const double t_wr = rig.sched.now();
+    const double t_pre = rig.sched.precharge(0);
+    EXPECT_GE(t_pre - t_wr, rig.cfg.timing.tcwl_ns +
+                                rig.cfg.timing.tbl_ns +
+                                rig.cfg.timing.twr_ns - 1e-9);
+}
+
+TEST(Scheduler, WriteReadTurnaround)
+{
+    Rig rig;
+    rig.sched.activate(0, 1);
+    rig.sched.write(0, 0, 42);
+    const double t_wr = rig.sched.now();
+    std::uint64_t d;
+    rig.sched.read(0, 1, d);
+    EXPECT_GE(rig.sched.now() - t_wr,
+              rig.cfg.timing.tcwl_ns + rig.cfg.timing.tbl_ns +
+                  rig.cfg.timing.twtr_ns - 1e-9);
+}
+
+TEST(Scheduler, WriteReadRoundTripData)
+{
+    Rig rig;
+    rig.sched.activate(0, 1);
+    rig.sched.write(0, 3, 0xabcdef);
+    std::uint64_t d = 0;
+    rig.sched.read(0, 3, d);
+    EXPECT_EQ(d, 0xabcdefu);
+}
+
+TEST(Scheduler, RefreshClosesAllBanksAndBlocks)
+{
+    Rig rig;
+    rig.sched.activate(0, 1);
+    rig.sched.activate(1, 2);
+    const double done = rig.sched.refresh();
+    EXPECT_FALSE(rig.dev.isOpen(0));
+    EXPECT_FALSE(rig.dev.isOpen(1));
+    const double t_act = rig.sched.activate(0, 1);
+    EXPECT_GE(t_act, done - 1e-9);
+}
+
+TEST(Scheduler, MaybeRefreshHonoursTrefi)
+{
+    Rig rig;
+    EXPECT_FALSE(rig.sched.maybeRefresh()); // Too early.
+    rig.sched.advanceTo(rig.cfg.timing.trefi_ns + 1.0);
+    EXPECT_TRUE(rig.sched.maybeRefresh());
+    EXPECT_FALSE(rig.sched.maybeRefresh()); // Interval reset.
+    rig.sched.setAutoRefresh(false);
+    rig.sched.advanceTo(rig.sched.now() + 10 * rig.cfg.timing.trefi_ns);
+    EXPECT_FALSE(rig.sched.maybeRefresh());
+}
+
+TEST(Scheduler, TraceRecordsCommands)
+{
+    Rig rig;
+    rig.sched.activate(0, 1);
+    std::uint64_t d;
+    rig.sched.read(0, 0, d);
+    rig.sched.precharge(0);
+    const auto &trace = rig.sched.trace();
+    ASSERT_EQ(trace.size(), 3u);
+    EXPECT_EQ(trace[0].type, CommandType::ACT);
+    EXPECT_EQ(trace[1].type, CommandType::RD);
+    EXPECT_EQ(trace[2].type, CommandType::PRE);
+    EXPECT_LE(trace[0].issue_ns, trace[1].issue_ns);
+}
+
+TEST(Scheduler, ActiveTimeAccumulates)
+{
+    Rig rig;
+    EXPECT_DOUBLE_EQ(rig.sched.activeTime(), 0.0);
+    rig.sched.activate(0, 1);
+    rig.sched.precharge(0);
+    EXPECT_GE(rig.sched.activeTime(), rig.cfg.timing.tras_ns - 1e-9);
+}
+
+TEST(Scheduler, BankParallelThroughputScales)
+{
+    // 8-bank interleaved ACT/RD/PRE rounds must take far less time than
+    // 8 serialized single-bank rounds (the basis of Figure 8 scaling).
+    auto run_round = [](int banks) {
+        Rig rig;
+        double start = rig.sched.now();
+        for (int round = 0; round < 50; ++round) {
+            for (int b = 0; b < banks; ++b)
+                rig.sched.activate(b, round % 512);
+            std::uint64_t d;
+            for (int b = 0; b < banks; ++b)
+                rig.sched.read(b, 0, d);
+            for (int b = 0; b < banks; ++b)
+                rig.sched.precharge(b);
+        }
+        return (rig.sched.now() - start) / 50.0;
+    };
+    const double t1 = run_round(1);
+    const double t8 = run_round(8);
+    EXPECT_LT(t8, 8.0 * t1 * 0.5); // At least 2x better than serial.
+}
+
+TEST(CommandNames, ToString)
+{
+    EXPECT_EQ(toString(CommandType::ACT), "ACT");
+    EXPECT_EQ(toString(CommandType::REF), "REF");
+}
+
+} // namespace

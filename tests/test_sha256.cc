@@ -1,0 +1,92 @@
+/**
+ * @file
+ * SHA-256 known-answer tests (FIPS 180-4 / NIST CAVP vectors).
+ */
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "util/sha256.hh"
+
+namespace {
+
+using drange::util::Sha256;
+
+std::vector<std::uint8_t>
+bytes(const std::string &s)
+{
+    return {s.begin(), s.end()};
+}
+
+TEST(Sha256Kat, EmptyString)
+{
+    EXPECT_EQ(Sha256::toHex(Sha256::hash({})),
+              "e3b0c44298fc1c149afbf4c8996fb924"
+              "27ae41e4649b934ca495991b7852b855");
+}
+
+TEST(Sha256Kat, Abc)
+{
+    EXPECT_EQ(Sha256::toHex(Sha256::hash(bytes("abc"))),
+              "ba7816bf8f01cfea414140de5dae2223"
+              "b00361a396177a9cb410ff61f20015ad");
+}
+
+TEST(Sha256Kat, TwoBlockMessage)
+{
+    EXPECT_EQ(Sha256::toHex(Sha256::hash(bytes(
+                  "abcdbcdecdefdefgefghfghighijhijk"
+                  "ijkljklmklmnlmnomnopnopq"))),
+              "248d6a61d20638b8e5c026930c3e6039"
+              "a33ce45964ff2167f6ecedd419db06c1");
+}
+
+TEST(Sha256Kat, MillionAs)
+{
+    Sha256 h;
+    const std::vector<std::uint8_t> chunk(1000, 'a');
+    for (int i = 0; i < 1000; ++i)
+        h.update(chunk);
+    EXPECT_EQ(Sha256::toHex(h.digest()),
+              "cdc76e5c9914fb9281a1c7e284d73e67"
+              "f1809a48a497200e046d39ccc7112cd0");
+}
+
+TEST(Sha256, IncrementalMatchesOneShot)
+{
+    const auto data = bytes("the quick brown fox jumps over the lazy dog");
+    Sha256 h;
+    for (std::uint8_t b : data)
+        h.update(&b, 1);
+    EXPECT_EQ(Sha256::toHex(h.digest()),
+              Sha256::toHex(Sha256::hash(data)));
+}
+
+TEST(Sha256, ResetAllowsReuse)
+{
+    Sha256 h;
+    h.update(bytes("abc"));
+    (void)h.digest();
+    h.reset();
+    h.update(bytes("abc"));
+    EXPECT_EQ(Sha256::toHex(h.digest()),
+              "ba7816bf8f01cfea414140de5dae2223"
+              "b00361a396177a9cb410ff61f20015ad");
+}
+
+TEST(Sha256, PaddingBoundaries)
+{
+    // Messages of length 55, 56, 64 exercise padding edge cases; just
+    // assert they differ and are stable.
+    const auto h55 = Sha256::hash(std::vector<std::uint8_t>(55, 0x5a));
+    const auto h56 = Sha256::hash(std::vector<std::uint8_t>(56, 0x5a));
+    const auto h64 = Sha256::hash(std::vector<std::uint8_t>(64, 0x5a));
+    EXPECT_NE(Sha256::toHex(h55), Sha256::toHex(h56));
+    EXPECT_NE(Sha256::toHex(h56), Sha256::toHex(h64));
+    EXPECT_EQ(Sha256::hash(std::vector<std::uint8_t>(55, 0x5a)), h55);
+}
+
+} // namespace

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Unit tests for the special functions backing the NIST suite.
+ */
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "util/special_math.hh"
+
+namespace {
+
+using namespace drange::util;
+
+TEST(Igamc, BoundaryCases)
+{
+    EXPECT_DOUBLE_EQ(igamc(1.0, 0.0), 1.0);
+    EXPECT_DOUBLE_EQ(igamc(0.0, 1.0), 1.0);
+}
+
+TEST(Igamc, ExponentialIdentity)
+{
+    // Q(1, x) = exp(-x).
+    for (double x : {0.1, 0.5, 1.0, 2.0, 5.0, 10.0})
+        EXPECT_NEAR(igamc(1.0, x), std::exp(-x), 1e-12);
+}
+
+TEST(Igamc, HalfIntegerIdentity)
+{
+    // Q(1/2, x) = erfc(sqrt(x)).
+    for (double x : {0.1, 0.5, 1.0, 2.0, 4.0})
+        EXPECT_NEAR(igamc(0.5, x), std::erfc(std::sqrt(x)), 1e-12);
+}
+
+TEST(Igamc, ChiSquaredKnownValues)
+{
+    // Chi-squared survival with k dof: Q(k/2, x/2).
+    // P(chi2_2 > 5.991) = 0.05.
+    EXPECT_NEAR(igamc(1.0, 5.991 / 2.0), 0.05, 1e-3);
+    // P(chi2_5 > 11.070) = 0.05.
+    EXPECT_NEAR(igamc(2.5, 11.070 / 2.0), 0.05, 1e-3);
+    // P(chi2_1 > 3.841) = 0.05.
+    EXPECT_NEAR(igamc(0.5, 3.841 / 2.0), 0.05, 1e-3);
+}
+
+TEST(Igamc, Complementarity)
+{
+    for (double a : {0.5, 1.5, 3.0, 10.0})
+        for (double x : {0.2, 1.0, 4.0, 12.0})
+            EXPECT_NEAR(igam(a, x) + igamc(a, x), 1.0, 1e-12);
+}
+
+TEST(Igamc, Monotonicity)
+{
+    double prev = 1.0;
+    for (double x = 0.1; x < 20.0; x += 0.3) {
+        const double q = igamc(3.0, x);
+        EXPECT_LE(q, prev + 1e-15);
+        prev = q;
+    }
+}
+
+TEST(NormalCdf, KnownValues)
+{
+    EXPECT_NEAR(normalCdf(0.0), 0.5, 1e-12);
+    EXPECT_NEAR(normalCdf(1.0), 0.8413447460685429, 1e-10);
+    EXPECT_NEAR(normalCdf(-1.0), 1.0 - 0.8413447460685429, 1e-10);
+    EXPECT_NEAR(normalCdf(1.959963985), 0.975, 1e-9);
+}
+
+TEST(NormalCdf, Symmetry)
+{
+    for (double z : {0.3, 1.2, 2.5, 4.0})
+        EXPECT_NEAR(normalCdf(z) + normalCdf(-z), 1.0, 1e-12);
+}
+
+TEST(Erfc, MatchesStd)
+{
+    for (double x : {-2.0, -0.5, 0.0, 0.7, 3.0})
+        EXPECT_DOUBLE_EQ(drange::util::erfc(x), std::erfc(x));
+}
+
+} // namespace

@@ -1,0 +1,137 @@
+/**
+ * @file
+ * Unit tests for the statistics helpers.
+ */
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "util/stats.hh"
+
+namespace {
+
+using namespace drange::util;
+
+TEST(Mean, Basic)
+{
+    EXPECT_DOUBLE_EQ(mean({1, 2, 3, 4}), 2.5);
+    EXPECT_DOUBLE_EQ(mean({}), 0.0);
+    EXPECT_DOUBLE_EQ(mean({5}), 5.0);
+}
+
+TEST(Stddev, Basic)
+{
+    EXPECT_DOUBLE_EQ(stddev({2, 4, 4, 4, 5, 5, 7, 9}),
+                     std::sqrt(32.0 / 7.0));
+    EXPECT_DOUBLE_EQ(stddev({1}), 0.0);
+    EXPECT_DOUBLE_EQ(stddev({}), 0.0);
+}
+
+TEST(Quantile, Endpoints)
+{
+    std::vector<double> xs = {3, 1, 2};
+    EXPECT_DOUBLE_EQ(quantile(xs, 0.0), 1.0);
+    EXPECT_DOUBLE_EQ(quantile(xs, 1.0), 3.0);
+    EXPECT_DOUBLE_EQ(quantile(xs, 0.5), 2.0);
+}
+
+TEST(Quantile, Interpolates)
+{
+    std::vector<double> xs = {0, 10};
+    EXPECT_DOUBLE_EQ(quantile(xs, 0.25), 2.5);
+    EXPECT_DOUBLE_EQ(quantile(xs, 0.75), 7.5);
+}
+
+TEST(Quantile, ClampsOutOfRangeQ)
+{
+    std::vector<double> xs = {1, 2};
+    EXPECT_DOUBLE_EQ(quantile(xs, -0.5), 1.0);
+    EXPECT_DOUBLE_EQ(quantile(xs, 1.5), 2.0);
+}
+
+TEST(Correlation, PerfectAndAnti)
+{
+    EXPECT_NEAR(pearsonCorrelation({1, 2, 3}, {2, 4, 6}), 1.0, 1e-12);
+    EXPECT_NEAR(pearsonCorrelation({1, 2, 3}, {6, 4, 2}), -1.0, 1e-12);
+}
+
+TEST(Correlation, DegenerateIsZero)
+{
+    EXPECT_DOUBLE_EQ(pearsonCorrelation({1, 1, 1}, {1, 2, 3}), 0.0);
+}
+
+TEST(BoxWhisker, KnownQuartiles)
+{
+    const auto bw = BoxWhisker::of({1, 2, 3, 4, 5, 6, 7, 8, 9});
+    EXPECT_DOUBLE_EQ(bw.median, 5.0);
+    EXPECT_DOUBLE_EQ(bw.q1, 3.0);
+    EXPECT_DOUBLE_EQ(bw.q3, 7.0);
+    EXPECT_EQ(bw.outliers, 0u);
+    EXPECT_EQ(bw.count, 9u);
+}
+
+TEST(BoxWhisker, DetectsOutlier)
+{
+    std::vector<double> xs = {1, 2, 3, 4, 5, 6, 7, 8, 100};
+    const auto bw = BoxWhisker::of(xs);
+    EXPECT_EQ(bw.outliers, 1u);
+    EXPECT_LT(bw.whisker_hi, 100.0);
+    EXPECT_DOUBLE_EQ(bw.max, 100.0);
+}
+
+TEST(BoxWhisker, EmptyInput)
+{
+    const auto bw = BoxWhisker::of({});
+    EXPECT_EQ(bw.count, 0u);
+}
+
+TEST(BoxWhisker, ToStringContainsFields)
+{
+    const auto bw = BoxWhisker::of({1, 2, 3});
+    const std::string s = bw.toString();
+    EXPECT_NE(s.find("med="), std::string::npos);
+    EXPECT_NE(s.find("n=3"), std::string::npos);
+}
+
+TEST(HistogramTest, BinAssignment)
+{
+    Histogram h(0.0, 10.0, 10);
+    h.add(0.5);
+    h.add(9.5);
+    h.add(5.0);
+    EXPECT_EQ(h.binCount(0), 1u);
+    EXPECT_EQ(h.binCount(9), 1u);
+    EXPECT_EQ(h.binCount(5), 1u);
+    EXPECT_EQ(h.total(), 3u);
+}
+
+TEST(HistogramTest, ClampsOutOfRange)
+{
+    Histogram h(0.0, 1.0, 4);
+    h.add(-5.0);
+    h.add(5.0);
+    EXPECT_EQ(h.binCount(0), 1u);
+    EXPECT_EQ(h.binCount(3), 1u);
+}
+
+TEST(HistogramTest, BinEdges)
+{
+    Histogram h(0.0, 10.0, 5);
+    EXPECT_DOUBLE_EQ(h.binLow(0), 0.0);
+    EXPECT_DOUBLE_EQ(h.binHigh(0), 2.0);
+    EXPECT_DOUBLE_EQ(h.binLow(4), 8.0);
+    EXPECT_DOUBLE_EQ(h.binHigh(4), 10.0);
+}
+
+TEST(HistogramTest, ToStringRendersBars)
+{
+    Histogram h(0.0, 1.0, 2);
+    h.add(0.1);
+    h.add(0.2);
+    h.add(0.9);
+    const std::string s = h.toString(10);
+    EXPECT_NE(s.find('#'), std::string::npos);
+}
+
+} // namespace

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Unit tests for the table formatter.
+ */
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "util/table.hh"
+
+namespace {
+
+using drange::util::Table;
+
+TEST(TableTest, HeaderAndRows)
+{
+    Table t({"name", "value"});
+    t.addRow({"alpha", "1"});
+    t.addRow({"bb", "22"});
+    const std::string s = t.toString();
+    EXPECT_NE(s.find("name"), std::string::npos);
+    EXPECT_NE(s.find("alpha"), std::string::npos);
+    EXPECT_NE(s.find("22"), std::string::npos);
+    EXPECT_NE(s.find("---"), std::string::npos);
+}
+
+TEST(TableTest, ColumnsAligned)
+{
+    Table t({"a", "b"});
+    t.addRow({"xxxxxx", "1"});
+    const std::string s = t.toString();
+    // The header line must be padded to the widest cell.
+    const auto first_line = s.substr(0, s.find('\n'));
+    EXPECT_GE(first_line.size(), std::string("xxxxxx  b").size());
+}
+
+TEST(TableTest, NumFormatsPrecision)
+{
+    EXPECT_EQ(Table::num(3.14159, 2), "3.14");
+    EXPECT_EQ(Table::num(2.0, 0), "2");
+    EXPECT_EQ(Table::num(0.5, 3), "0.500");
+}
+
+TEST(TableTest, EmptyTableHasHeaderOnly)
+{
+    Table t({"x"});
+    const std::string s = t.toString();
+    EXPECT_NE(s.find("x"), std::string::npos);
+}
+
+} // namespace

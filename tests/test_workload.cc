@@ -1,0 +1,144 @@
+/**
+ * @file
+ * Tests for the synthetic workload generator and the interference
+ * experiment plumbing.
+ */
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "sim/interference.hh"
+#include "sim/workload.hh"
+
+namespace {
+
+using namespace drange;
+using namespace drange::sim;
+
+TEST(WorkloadTest, Spec2006SetProperties)
+{
+    const auto set = Workload::spec2006();
+    EXPECT_GE(set.size(), 15u);
+    for (const auto &w : set) {
+        EXPECT_FALSE(w.name.empty());
+        EXPECT_GT(w.intensity, 0.0);
+        EXPECT_LE(w.intensity, 1.0);
+        EXPECT_GE(w.row_locality, 0.0);
+        EXPECT_LE(w.row_locality, 1.0);
+    }
+    // The set must span memory-bound and compute-bound extremes.
+    double min_i = 1.0, max_i = 0.0;
+    for (const auto &w : set) {
+        min_i = std::min(min_i, w.intensity);
+        max_i = std::max(max_i, w.intensity);
+    }
+    EXPECT_LT(min_i, 0.1);
+    EXPECT_GT(max_i, 0.6);
+}
+
+TEST(WorkloadTest, RequestRateTracksIntensity)
+{
+    dram::Geometry geom;
+    WorkloadGenerator gen(geom, 1);
+    Workload light{"light", 0.1, 0.5, 0.3, 128};
+    Workload heavy{"heavy", 0.8, 0.5, 0.3, 128};
+    const auto lr = gen.generate(light, 0.0, 1e6);
+    const auto hr = gen.generate(heavy, 0.0, 1e6);
+    EXPECT_GT(hr.size(), 4 * lr.size());
+}
+
+TEST(WorkloadTest, RequestsWithinBounds)
+{
+    dram::Geometry geom;
+    WorkloadGenerator gen(geom, 2);
+    Workload w{"x", 0.5, 0.6, 0.3, 256};
+    for (const auto &r : gen.generate(w, 1000.0, 1e5)) {
+        EXPECT_GE(r.arrival_ns, 1000.0);
+        EXPECT_GE(r.bank, 0);
+        EXPECT_LT(r.bank, geom.banks);
+        EXPECT_GE(r.row, 0);
+        EXPECT_LT(r.row, geom.rows_per_bank);
+        EXPECT_GE(r.word, 0);
+        EXPECT_LT(r.word, geom.words_per_row);
+    }
+}
+
+TEST(WorkloadTest, ArrivalsSorted)
+{
+    dram::Geometry geom;
+    WorkloadGenerator gen(geom, 3);
+    Workload w{"x", 0.4, 0.6, 0.3, 256};
+    const auto reqs = gen.generate(w, 0.0, 1e5);
+    for (std::size_t i = 1; i < reqs.size(); ++i)
+        EXPECT_GE(reqs[i].arrival_ns, reqs[i - 1].arrival_ns);
+}
+
+TEST(WorkloadTest, LocalityProducesRowRuns)
+{
+    dram::Geometry geom;
+    WorkloadGenerator gen(geom, 4);
+    Workload w{"x", 0.5, 0.95, 0.3, 1024};
+    const auto reqs = gen.generate(w, 0.0, 2e5);
+    ASSERT_GT(reqs.size(), 50u);
+    int same = 0;
+    for (std::size_t i = 1; i < reqs.size(); ++i)
+        same += reqs[i].row == reqs[i - 1].row &&
+                reqs[i].bank == reqs[i - 1].bank;
+    EXPECT_GT(static_cast<double>(same) / reqs.size(), 0.7);
+}
+
+TEST(InterferenceTest, HarvestsBitsWithoutSlowdown)
+{
+    auto dev_cfg = dram::DeviceConfig::make(dram::Manufacturer::A, 7,
+                                            41);
+    dev_cfg.geometry.rows_per_bank = 8192;
+    dram::DramDevice dev(dev_cfg);
+
+    core::DRangeConfig cfg;
+    cfg.banks = 2;
+    cfg.profile_rows = 192;
+    cfg.profile_words = 16;
+    cfg.identify.screen_iterations = 40;
+    cfg.identify.samples = 400;
+    cfg.identify.symbol_tolerance = 0.15;
+    core::DRangeTrng trng(dev, cfg);
+    trng.initialize();
+
+    InterferenceExperiment exp(trng, 99);
+    Workload light{"lighttest", 0.10, 0.7, 0.3, 128};
+    const auto res = exp.run(light, 3e5);
+
+    EXPECT_GT(res.trng_bits, 0u);
+    EXPECT_GT(res.app_requests, 0u);
+    // No significant slowdown for the application.
+    EXPECT_LT(res.slowdown(), 1.35);
+    EXPECT_GT(res.trngThroughputMbps(), 0.0);
+}
+
+TEST(InterferenceTest, HeavierWorkloadLeavesLessIdleBandwidth)
+{
+    auto dev_cfg = dram::DeviceConfig::make(dram::Manufacturer::A, 7,
+                                            43);
+    dev_cfg.geometry.rows_per_bank = 8192;
+    dram::DramDevice dev(dev_cfg);
+
+    core::DRangeConfig cfg;
+    cfg.banks = 2;
+    cfg.profile_rows = 192;
+    cfg.profile_words = 16;
+    cfg.identify.screen_iterations = 40;
+    cfg.identify.samples = 400;
+    cfg.identify.symbol_tolerance = 0.15;
+    core::DRangeTrng trng(dev, cfg);
+    trng.initialize();
+
+    InterferenceExperiment exp(trng, 99);
+    const auto light = exp.run({"l", 0.05, 0.7, 0.3, 128}, 2e5);
+    const auto heavy = exp.run({"h", 0.70, 0.4, 0.3, 512}, 2e5);
+    EXPECT_GT(light.trng_bits, heavy.trng_bits);
+}
+
+} // namespace
