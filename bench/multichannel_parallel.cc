@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Multi-channel harvesting: serial round-robin baseline versus the
+ * thread-parallel engine (one harvesting thread per channel, private
+ * per-channel BitStreams, word-level bulk merge).
+ *
+ * Both modes execute the identical deterministic round plan, so their
+ * output streams are bit-identical — the comparison isolates the host
+ * wall-clock cost of driving four cycle-level channel simulations on
+ * one thread versus four. Simulated throughput (total bits over the
+ * max per-channel interval) is reported for both as a cross-check that
+ * the accounting is unchanged under concurrency.
+ */
+
+#include <algorithm>
+#include <cstdio>
+#include <thread>
+#include <utility>
+
+#include "bench_util.hh"
+#include "core/multichannel.hh"
+#include "util/entropy.hh"
+#include "util/table.hh"
+
+using namespace drange;
+
+namespace {
+
+struct ModeResult
+{
+    double host_ms = 0.0;
+    double sim_mbps = 0.0;
+    util::BitStream bits;
+};
+
+ModeResult
+run(core::HarvestMode mode, int channels, std::size_t num_bits)
+{
+    // Non-zero noise seed: with noise_seed == 0 every device draws a
+    // fresh hardware seed, and the two modes would sample different
+    // dies instead of replaying the same one.
+    core::MultiChannelTrng trng(
+        bench::benchDevice(dram::Manufacturer::A, 500, 91), channels,
+        bench::benchTrngConfig(8), mode);
+    trng.initialize();
+
+    // Warm the per-device lazy cell caches so the timed run compares
+    // harvesting cost, not first-touch materialization.
+    trng.generate(num_bits / 8);
+
+    // Best of three: host timing is noisy under scheduler interference.
+    // Generation is deterministic per (mode-independent) request
+    // sequence, so repetition r of one mode mirrors repetition r of
+    // the other and the first repetition's bits stay comparable.
+    ModeResult r;
+    for (int rep = 0; rep < 3; ++rep) {
+        auto bits = trng.generate(num_bits);
+        if (rep == 0) {
+            r.bits = std::move(bits);
+            r.host_ms = trng.hostWallClockMs();
+        } else {
+            r.host_ms = std::min(r.host_ms, trng.hostWallClockMs());
+        }
+        r.sim_mbps = trng.throughputMbps();
+    }
+    return r;
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::banner("Section 7.3 multi-channel scaling",
+                  "Serial round-robin vs. thread-parallel harvesting, "
+                  "4 channels");
+
+    const int kChannels = 4;
+    const std::size_t kBits = 400000;
+
+    std::printf("host threads available: %u\n\n",
+                std::thread::hardware_concurrency());
+
+    const ModeResult serial =
+        run(core::HarvestMode::Serial, kChannels, kBits);
+    const ModeResult parallel =
+        run(core::HarvestMode::Parallel, kChannels, kBits);
+
+    util::Table table({"mode", "host ms", "sim Mb/s", "bits", "H(sym)"});
+    table.addRow({"serial round-robin",
+                  util::Table::num(serial.host_ms, 1),
+                  util::Table::num(serial.sim_mbps, 1),
+                  std::to_string(serial.bits.size()),
+                  util::Table::num(
+                      util::symbolEntropy(serial.bits, 3), 4)});
+    table.addRow({"thread-parallel",
+                  util::Table::num(parallel.host_ms, 1),
+                  util::Table::num(parallel.sim_mbps, 1),
+                  std::to_string(parallel.bits.size()),
+                  util::Table::num(
+                      util::symbolEntropy(parallel.bits, 3), 4)});
+    std::printf("%s", table.toString().c_str());
+
+    const bool identical =
+        serial.bits.size() == parallel.bits.size() &&
+        serial.bits.words() == parallel.bits.words();
+    std::printf("\noutput streams bit-identical: %s\n",
+                identical ? "yes" : "NO (BUG)");
+    std::printf("host wall-clock speedup: %.2fx\n",
+                parallel.host_ms > 0.0 ? serial.host_ms / parallel.host_ms
+                                       : 0.0);
+    std::printf("\nIdentical output means identical NIST-suite results; "
+                "the speedup is bounded by min(channels, host cores).\n");
+    return identical ? 0 : 1;
+}

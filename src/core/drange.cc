@@ -218,6 +218,13 @@ DRangeTrng::generate(std::size_t num_bits)
 {
     if (selection_.empty())
         throw std::logic_error("D-RaNGe: initialize() before generate()");
+    // Guard the harvest loop against zero progress: with no RNG-cell
+    // bits per round it would never reach num_bits.
+    if (bitsPerRound() <= 0) {
+        throw std::logic_error(
+            "D-RaNGe: active banks harvest zero RNG-cell bits per "
+            "round; generate() would loop forever");
+    }
 
     util::BitStream out;
     enterSamplingMode();

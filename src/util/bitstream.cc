@@ -2,6 +2,7 @@
 
 #include <bit>
 #include <cassert>
+#include <functional>
 #include <stdexcept>
 
 namespace drange::util {
@@ -58,8 +59,75 @@ BitStream::appendBits(std::uint64_t value, int count)
 void
 BitStream::append(const BitStream &other)
 {
-    for (std::size_t i = 0; i < other.size(); ++i)
-        append(other.at(i));
+    appendWords(other.words_.data(), other.size_);
+}
+
+void
+BitStream::appendWords(const std::uint64_t *words, std::size_t bit_count)
+{
+    if (bit_count == 0)
+        return;
+    const std::size_t src_words = (bit_count + 63) / 64;
+    if (!words_.empty() &&
+        std::greater<const std::uint64_t *>{}(words + src_words,
+                                              words_.data()) &&
+        std::less<const std::uint64_t *>{}(words,
+                                           words_.data() + words_.size())) {
+        // Source aliases our own storage (e.g. self-append): snapshot
+        // first, growth below would otherwise invalidate the pointer.
+        const std::vector<std::uint64_t> copy(words, words + src_words);
+        appendWords(copy.data(), bit_count);
+        return;
+    }
+    const std::size_t off = size_ % 64;
+    const std::size_t new_size = size_ + bit_count;
+    // +1: the unaligned path pushes a spill word past the final tail
+    // before the trailing resize trims it.
+    words_.reserve((new_size + 63) / 64 + 1);
+
+    for (std::size_t i = 0; i < src_words; ++i) {
+        std::uint64_t w = words[i];
+        // Bits of the final source word beyond bit_count are not part
+        // of the payload.
+        if (i == src_words - 1 && bit_count % 64 != 0)
+            w &= (std::uint64_t{1} << (bit_count % 64)) - 1;
+        if (off == 0) {
+            words_.push_back(w);
+        } else {
+            words_.back() |= w << off;
+            words_.push_back(w >> (64 - off));
+        }
+    }
+
+    size_ = new_size;
+    // The unaligned path may spill one word past the new tail.
+    words_.resize((size_ + 63) / 64);
+}
+
+void
+BitStream::appendWords(const std::vector<std::uint64_t> &words,
+                       std::size_t bit_count)
+{
+    assert(bit_count <= words.size() * 64);
+    appendWords(words.data(), bit_count);
+}
+
+void
+BitStream::truncate(std::size_t new_size)
+{
+    if (new_size > size_)
+        throw std::out_of_range("BitStream::truncate: growing");
+    size_ = new_size;
+    words_.resize((size_ + 63) / 64);
+    // Keep the invariant that bits >= size() in the last word are zero.
+    if (size_ % 64 != 0)
+        words_.back() &= (std::uint64_t{1} << (size_ % 64)) - 1;
+}
+
+void
+BitStream::reserve(std::size_t bits)
+{
+    words_.reserve((bits + 63) / 64);
 }
 
 bool

@@ -38,8 +38,42 @@ class BitStream
     /** Append the low @p count bits of @p value, LSB first. */
     void appendBits(std::uint64_t value, int count);
 
-    /** Append all bits of another stream. */
+    /**
+     * Append all bits of another stream.
+     *
+     * Word-level fast path: whole 64-bit words of @p other are shifted
+     * into place instead of copying bit by bit. This is the merge hot
+     * path when per-channel harvest streams are concatenated.
+     */
     void append(const BitStream &other);
+
+    /**
+     * Append the first @p bit_count bits stored packed in @p words
+     * (64 bits per word, append order, same layout as words()). Bits of
+     * the final source word above @p bit_count are ignored.
+     * Requires @p words to hold at least ceil(bit_count / 64) words.
+     * A source aliasing this stream's own storage (including
+     * words().data()) is detected and snapshotted, so self-append is
+     * safe.
+     */
+    void appendWords(const std::uint64_t *words, std::size_t bit_count);
+
+    /** Convenience overload over a packed word vector. */
+    void appendWords(const std::vector<std::uint64_t> &words,
+                     std::size_t bit_count);
+
+    /**
+     * Shrink the stream to its first @p new_size bits.
+     * Requires new_size <= size().
+     */
+    void truncate(std::size_t new_size);
+
+    /** Reserve storage for @p bits total bits. */
+    void reserve(std::size_t bits);
+
+    /** Packed backing words, 64 bits each in append order; bits at
+     * positions >= size() in the last word are zero. */
+    const std::vector<std::uint64_t> &words() const { return words_; }
 
     /** @return the bit at @p index (0-based, append order). */
     bool at(std::size_t index) const;

@@ -134,6 +134,155 @@ TEST(BitStream, WindowMsbFirst)
     EXPECT_EQ(bs.window(5, 1), 0b1u);
 }
 
+// ---- bulk append / truncate fast paths ------------------------------
+
+namespace bulk {
+
+BitStream
+randomStream(std::uint64_t seed, std::size_t bits)
+{
+    drange::util::Xoshiro256ss rng(seed);
+    BitStream bs;
+    for (std::size_t i = 0; i < bits; ++i)
+        bs.append(rng.nextBernoulli(0.5));
+    return bs;
+}
+
+/** Reference: bit-by-bit concatenation. */
+BitStream
+slowConcat(const BitStream &a, const BitStream &b)
+{
+    BitStream out;
+    for (std::size_t i = 0; i < a.size(); ++i)
+        out.append(a.at(i));
+    for (std::size_t i = 0; i < b.size(); ++i)
+        out.append(b.at(i));
+    return out;
+}
+
+} // namespace bulk
+
+TEST(BitStreamBulk, AppendEmptyToEmpty)
+{
+    BitStream a, b;
+    a.append(b);
+    EXPECT_TRUE(a.empty());
+}
+
+TEST(BitStreamBulk, AppendEmptyOntoNonEmpty)
+{
+    BitStream a = BitStream::fromString("101");
+    a.append(BitStream{});
+    EXPECT_EQ(a.toString(), "101");
+}
+
+TEST(BitStreamBulk, AppendNonEmptyOntoEmpty)
+{
+    BitStream a;
+    a.append(bulk::randomStream(1, 200));
+    EXPECT_EQ(a.toString(), bulk::randomStream(1, 200).toString());
+}
+
+TEST(BitStreamBulk, WordAlignedDestination)
+{
+    // Destination sizes that are exact word multiples hit the copy
+    // (no-shift) path.
+    for (std::size_t dst_bits : {std::size_t{0}, std::size_t{64},
+                                 std::size_t{128}}) {
+        BitStream a = bulk::randomStream(2, dst_bits);
+        const BitStream b = bulk::randomStream(3, 150);
+        const BitStream ref = bulk::slowConcat(a, b);
+        a.append(b);
+        EXPECT_EQ(a.toString(), ref.toString()) << dst_bits;
+    }
+}
+
+TEST(BitStreamBulk, UnalignedDestinationAndTails)
+{
+    // Sweep destination offsets and source tail lengths around the
+    // word boundary to exercise the shifted merge path.
+    for (std::size_t dst_bits : {1u, 7u, 63u, 65u, 100u}) {
+        for (std::size_t src_bits : {1u, 63u, 64u, 65u, 128u, 131u}) {
+            BitStream a = bulk::randomStream(dst_bits, dst_bits);
+            const BitStream b = bulk::randomStream(src_bits, src_bits);
+            const BitStream ref = bulk::slowConcat(a, b);
+            a.append(b);
+            ASSERT_EQ(a.toString(), ref.toString())
+                << dst_bits << "+" << src_bits;
+        }
+    }
+}
+
+TEST(BitStreamBulk, RoundTripMatchesBitwiseAppendLarge)
+{
+    const BitStream a = bulk::randomStream(7, 1000);
+    const BitStream b = bulk::randomStream(8, 2049);
+    BitStream fast = a;
+    fast.append(b);
+    const BitStream ref = bulk::slowConcat(a, b);
+    ASSERT_EQ(fast.size(), ref.size());
+    EXPECT_EQ(fast.toString(), ref.toString());
+    EXPECT_EQ(fast.popcount(), ref.popcount());
+    // Appending after a bulk merge must keep working (tail invariant).
+    fast.append(true);
+    EXPECT_TRUE(fast.at(fast.size() - 1));
+}
+
+TEST(BitStreamBulk, SelfAppendDoubles)
+{
+    BitStream a = bulk::randomStream(9, 77);
+    const std::string once = a.toString();
+    a.append(a);
+    EXPECT_EQ(a.toString(), once + once);
+}
+
+TEST(BitStreamBulk, AppendWordsAliasingOwnStorage)
+{
+    // Passing a pointer into the stream's own backing store must not
+    // read through a reallocation (self-append via raw words).
+    BitStream a = bulk::randomStream(11, 130);
+    const std::string once = a.toString();
+    a.appendWords(a.words().data(), a.size());
+    EXPECT_EQ(a.toString(), once + once);
+}
+
+TEST(BitStreamBulk, AppendWordsMasksSourceTail)
+{
+    BitStream a = BitStream::fromString("1");
+    // Garbage above the payload bits must not leak into the stream.
+    a.appendWords(std::vector<std::uint64_t>{0xffffffffffffffffull}, 3);
+    EXPECT_EQ(a.toString(), "1111");
+    EXPECT_EQ(a.popcount(), 4u);
+}
+
+TEST(BitStreamBulk, AppendWordsZeroBits)
+{
+    BitStream a = BitStream::fromString("10");
+    a.appendWords(std::vector<std::uint64_t>{}, 0);
+    EXPECT_EQ(a.toString(), "10");
+}
+
+TEST(BitStreamBulk, TruncateExactAndUnaligned)
+{
+    BitStream a = bulk::randomStream(10, 200);
+    const std::string full = a.toString();
+    a.truncate(130);
+    EXPECT_EQ(a.size(), 130u);
+    EXPECT_EQ(a.toString(), full.substr(0, 130));
+    // The invariant (zero bits past the tail) must survive truncation.
+    const std::size_t ones = a.popcount();
+    a.append(false);
+    EXPECT_EQ(a.popcount(), ones);
+    a.truncate(0);
+    EXPECT_TRUE(a.empty());
+}
+
+TEST(BitStreamBulk, TruncateRejectsGrowth)
+{
+    BitStream a = BitStream::fromString("10");
+    EXPECT_THROW(a.truncate(3), std::out_of_range);
+}
+
 TEST(BitStream, LargeStreamConsistency)
 {
     drange::util::Xoshiro256ss rng(99);

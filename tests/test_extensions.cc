@@ -92,6 +92,56 @@ TEST(MultiChannel, ChannelsAreDistinctDies)
     EXPECT_FALSE(same_first);
 }
 
+TEST(MultiChannel, GenerateWithoutInitializeThrows)
+{
+    // Regression: this used to spin forever — runRound() on an
+    // uninitialized engine appends nothing, so the harvest loop never
+    // reached its target.
+    MultiChannelTrng trng(baseConfig(), 2, quickConfig());
+    EXPECT_THROW(trng.generate(16), std::logic_error);
+}
+
+TEST(MultiChannel, GeneratesExactBitCount)
+{
+    // Regression for the overshoot bug: generate() used to finish the
+    // full round sweep after meeting the target and return extra bits.
+    MultiChannelTrng trng(baseConfig(), 2, quickConfig());
+    trng.initialize();
+    for (std::size_t n : {std::size_t{1}, std::size_t{4097}}) {
+        const auto bits = trng.generate(n);
+        EXPECT_EQ(bits.size(), n);
+    }
+}
+
+TEST(MultiChannel, SerialAndParallelBitIdentical)
+{
+    // Both modes run the same deterministic round plan on dies built
+    // from the same seeds, so the merged streams must match exactly.
+    MultiChannelTrng serial(baseConfig(19), 4, quickConfig(),
+                            HarvestMode::Serial);
+    serial.initialize();
+    const auto serial_bits = serial.generate(8192);
+
+    MultiChannelTrng parallel(baseConfig(19), 4, quickConfig(),
+                              HarvestMode::Parallel);
+    parallel.initialize();
+    const auto parallel_bits = parallel.generate(8192);
+
+    ASSERT_EQ(serial_bits.size(), parallel_bits.size());
+    EXPECT_EQ(serial_bits.words(), parallel_bits.words());
+    // Same rounds on the same simulated clocks: identical wall-clock
+    // accounting, hence identical throughput.
+    EXPECT_DOUBLE_EQ(serial.throughputMbps(), parallel.throughputMbps());
+}
+
+TEST(MultiChannel, DRangeGenerateWithoutInitializeThrows)
+{
+    auto cfg = baseConfig();
+    dram::DramDevice dev(cfg);
+    DRangeTrng trng(dev, quickConfig());
+    EXPECT_THROW(trng.generate(16), std::logic_error);
+}
+
 TEST(LatencyPufTest, SameDieReproducesFingerprint)
 {
     auto cfg = baseConfig(21, 33);
