@@ -4,6 +4,7 @@
 #include <map>
 #include <stdexcept>
 
+#include "core/streaming.hh"
 #include "dram/direct_host.hh"
 
 namespace drange::core {
@@ -226,21 +227,21 @@ DRangeTrng::generate(std::size_t num_bits)
             "round; generate() would loop forever");
     }
 
-    util::BitStream out;
-    enterSamplingMode();
-
+    // Thin drain of the streaming pipeline: one producer thread runs
+    // the same rounds the old harvest loop ran (so the output is
+    // bit-identical), and this thread consumes the raw chunks.
     stats_ = GenerationStats{};
-    stats_.start_ns = scheduler_->now();
 
-    while (out.size() < num_bits) {
-        stats_.bits += runRound(out);
-        ++stats_.rounds;
-        if (stats_.first_word_ns == 0.0 && out.size() >= 64)
-            stats_.first_word_ns = scheduler_->now() - stats_.start_ns;
-    }
+    StreamingTrng stream(*this);
+    util::BitStream out = stream.generate(num_bits);
 
-    stats_.end_ns = scheduler_->now();
-    exitSamplingMode();
+    const ProducerStats &ps = stream.producerStats(0);
+    stats_.bits = ps.bits;
+    stats_.rounds = ps.rounds;
+    stats_.start_ns = ps.start_ns;
+    stats_.end_ns = ps.end_ns;
+    stats_.first_word_ns = ps.first_word_ns;
+    // stats_.reads was incremented by runRound on the producer thread.
     return out;
 }
 

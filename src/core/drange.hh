@@ -113,6 +113,8 @@ class DRangeTrng
 
     /**
      * Generate at least @p num_bits truly random bits (Algorithm 2).
+     * Implemented as a thin drain of core::StreamingTrng (one harvest
+     * producer, raw passthrough); output ends on a round boundary.
      */
     util::BitStream generate(std::size_t num_bits);
 

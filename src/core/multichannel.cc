@@ -1,11 +1,9 @@
 #include "core/multichannel.hh"
 
 #include <algorithm>
-#include <chrono>
-#include <exception>
 #include <stdexcept>
-#include <thread>
 
+#include "core/streaming.hh"
 #include "util/rng.hh"
 
 namespace drange::core {
@@ -47,24 +45,6 @@ MultiChannelTrng::bitsPerRound() const
     return bits;
 }
 
-std::vector<int>
-MultiChannelTrng::planRounds(std::size_t num_bits) const
-{
-    // Hand out rounds one at a time, round-robin across channels, until
-    // the planned harvest covers the request. This mirrors the order
-    // the serial harvester visits channels in, keeps the per-channel
-    // budgets balanced (they differ by at most one round), and
-    // overshoots by less than one channel round.
-    std::vector<int> rounds(engines_.size(), 0);
-    std::size_t planned = 0;
-    for (std::size_t i = 0; planned < num_bits; ++i) {
-        const std::size_t ch = i % engines_.size();
-        ++rounds[ch];
-        planned += static_cast<std::size_t>(engines_[ch]->bitsPerRound());
-    }
-    return rounds;
-}
-
 util::BitStream
 MultiChannelTrng::generate(std::size_t num_bits)
 {
@@ -81,88 +61,24 @@ MultiChannelTrng::generate(std::size_t num_bits)
         }
     }
 
-    const std::vector<int> rounds = planRounds(num_bits);
-    std::vector<util::BitStream> streams(engines_.size());
-    std::vector<double> duration(engines_.size(), 0.0);
+    // Thin drain of the streaming pipeline. Serial mode maps to the
+    // single round-robin producer thread, Parallel to one producer per
+    // channel; both execute the same round plan and the consumer
+    // reassembles chunks in deterministic channel-concatenated order,
+    // so the two modes stay bit-identical.
+    StreamingConfig cfg;
+    cfg.serial_producer = (mode_ == HarvestMode::Serial);
+    StreamingTrng stream(*this, cfg);
+    util::BitStream out = stream.generate(num_bits);
 
-    // Harvest one channel's full round budget. Each channel owns its
-    // device, scheduler, and output stream, so workers share no state.
-    auto harvest = [&](std::size_t ch) {
-        DRangeTrng &engine = *engines_[ch];
-        engine.enterSamplingMode();
-        const double start = engine.scheduler().now();
-        streams[ch].reserve(static_cast<std::size_t>(rounds[ch]) *
-                            static_cast<std::size_t>(engine.bitsPerRound()));
-        for (int r = 0; r < rounds[ch]; ++r)
-            engine.runRound(streams[ch]);
-        engine.exitSamplingMode();
-        duration[ch] = engine.scheduler().now() - start;
-    };
-
-    const auto host_start = std::chrono::steady_clock::now();
-
-    if (mode_ == HarvestMode::Parallel && engines_.size() > 1) {
-        std::vector<std::exception_ptr> errors(engines_.size());
-        std::vector<std::thread> workers;
-        workers.reserve(engines_.size() - 1);
-        for (std::size_t ch = 1; ch < engines_.size(); ++ch) {
-            workers.emplace_back([&, ch] {
-                try {
-                    harvest(ch);
-                } catch (...) {
-                    errors[ch] = std::current_exception();
-                }
-            });
-        }
-        try {
-            harvest(0);
-        } catch (...) {
-            // Join before unwinding: destroying a joinable thread
-            // calls std::terminate.
-            errors[0] = std::current_exception();
-        }
-        for (auto &worker : workers)
-            worker.join();
-        for (const auto &error : errors)
-            if (error)
-                std::rethrow_exception(error);
-    } else {
-        // Serial round-robin baseline: identical round plan, one
-        // thread, channels visited in the legacy interleaved order.
-        const int max_rounds =
-            *std::max_element(rounds.begin(), rounds.end());
-        std::vector<double> start(engines_.size());
-        for (std::size_t ch = 0; ch < engines_.size(); ++ch) {
-            engines_[ch]->enterSamplingMode();
-            start[ch] = engines_[ch]->scheduler().now();
-        }
-        for (int r = 0; r < max_rounds; ++r)
-            for (std::size_t ch = 0; ch < engines_.size(); ++ch)
-                if (r < rounds[ch])
-                    engines_[ch]->runRound(streams[ch]);
-        for (std::size_t ch = 0; ch < engines_.size(); ++ch) {
-            engines_[ch]->exitSamplingMode();
-            duration[ch] = engines_[ch]->scheduler().now() - start[ch];
-        }
+    host_ms_ = stream.stats().host_ms;
+    bits_ = 0;
+    duration_ns_ = 0.0;
+    for (int ch = 0; ch < channels(); ++ch) {
+        const ProducerStats &ps = stream.producerStats(ch);
+        bits_ += ps.bits;
+        duration_ns_ = std::max(duration_ns_, ps.durationNs());
     }
-
-    host_ms_ = std::chrono::duration<double, std::milli>(
-                   std::chrono::steady_clock::now() - host_start)
-                   .count();
-
-    // Merge with the word-level bulk append; per-channel order is
-    // deterministic, so Serial and Parallel produce identical streams
-    // (channel blocks concatenated, see HarvestMode docs).
-    std::uint64_t harvested = 0;
-    for (const auto &stream : streams)
-        harvested += stream.size();
-    util::BitStream out = std::move(streams[0]);
-    out.reserve(harvested);
-    for (std::size_t ch = 1; ch < streams.size(); ++ch)
-        out.append(streams[ch]);
-
-    bits_ = harvested;
-    duration_ns_ = *std::max_element(duration.begin(), duration.end());
     if (out.size() > num_bits)
         out.truncate(num_bits);
     return out;

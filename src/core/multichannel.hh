@@ -7,14 +7,17 @@
  * instead, since channels have independent command/data buses and their
  * simulated clocks advance in parallel.
  *
- * generate() plans a deterministic round budget per channel up front,
- * then harvests every channel concurrently (one thread per channel,
- * each filling a private util::BitStream) and merges the per-channel
- * streams with the word-level BitStream bulk-append fast path. The
- * serial round-robin harvester is kept as HarvestMode::Serial: it runs
- * the identical round plan on one thread and therefore produces
+ * generate() is a thin drain of core::StreamingTrng: it plans a
+ * deterministic round budget per channel up front, harvests every
+ * channel concurrently (one producer thread per channel, chunks handed
+ * through a bounded queue), and reassembles the per-channel chunk
+ * streams in channel-concatenated order. The serial round-robin
+ * harvester is kept as HarvestMode::Serial: it runs the identical
+ * round plan on one producer thread and therefore produces
  * bit-identical output, which makes it the reference baseline for the
- * parallel speedup bench (bench/multichannel_parallel.cc).
+ * parallel speedup bench (bench/multichannel_parallel.cc). Callers
+ * that want overlapped conditioning/validation instead of a batch
+ * result should construct a StreamingTrng over this object directly.
  */
 
 #ifndef DRANGE_CORE_MULTICHANNEL_HH
@@ -98,12 +101,6 @@ class MultiChannelTrng
     DRangeTrng &channel(int idx) { return *engines_.at(idx); }
 
   private:
-    /**
-     * Round-robin plan: rounds per channel so the summed harvest just
-     * reaches @p num_bits (at most one round of overshoot).
-     */
-    std::vector<int> planRounds(std::size_t num_bits) const;
-
     std::vector<std::unique_ptr<dram::DramDevice>> devices_;
     std::vector<std::unique_ptr<DRangeTrng>> engines_;
     HarvestMode mode_ = HarvestMode::Parallel;

@@ -1,0 +1,406 @@
+#include "core/streaming.hh"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "core/multichannel.hh"
+#include "nist/nist.hh"
+#include "util/sha256.hh"
+
+namespace drange::core {
+
+namespace {
+
+std::vector<DRangeTrng *>
+channelEngines(MultiChannelTrng &trng)
+{
+    std::vector<DRangeTrng *> engines;
+    engines.reserve(static_cast<std::size_t>(trng.channels()));
+    for (int ch = 0; ch < trng.channels(); ++ch)
+        engines.push_back(&trng.channel(ch));
+    return engines;
+}
+
+} // anonymous namespace
+
+StreamingTrng::StreamingTrng(std::vector<DRangeTrng *> engines,
+                             const StreamingConfig &config)
+    : engines_(std::move(engines)), config_(config)
+{
+    if (engines_.empty())
+        throw std::logic_error("StreamingTrng: no engines");
+    for (const DRangeTrng *engine : engines_) {
+        if (engine == nullptr || !engine->initialized() ||
+            engine->bitsPerRound() <= 0) {
+            throw std::logic_error(
+                "StreamingTrng: every engine must be initialized and "
+                "harvest at least one RNG-cell bit per round");
+        }
+    }
+    if (config_.chunk_bits == 0)
+        config_.chunk_bits = 1;
+    producer_stats_.resize(engines_.size());
+    producer_errors_.resize(engines_.size());
+    next_seq_.resize(engines_.size(), 0);
+}
+
+StreamingTrng::StreamingTrng(DRangeTrng &engine,
+                             const StreamingConfig &config)
+    : StreamingTrng(std::vector<DRangeTrng *>{&engine}, config)
+{
+}
+
+StreamingTrng::StreamingTrng(MultiChannelTrng &trng,
+                             const StreamingConfig &config)
+    : StreamingTrng(channelEngines(trng), config)
+{
+}
+
+StreamingTrng::~StreamingTrng()
+{
+    try {
+        stop();
+    } catch (...) {
+        // Destructor must not throw; producer errors were the
+        // session's problem and the session is being abandoned.
+    }
+}
+
+std::vector<int>
+StreamingTrng::planRounds(std::size_t min_raw_bits) const
+{
+    // Hand out rounds one at a time, round-robin across engines, until
+    // the planned harvest covers the request; budgets stay balanced and
+    // the overshoot is less than one round.
+    std::vector<int> rounds(engines_.size(), 0);
+    std::size_t planned = 0;
+    for (std::size_t i = 0; planned < min_raw_bits; ++i) {
+        const std::size_t ch = i % engines_.size();
+        ++rounds[ch];
+        planned += static_cast<std::size_t>(engines_[ch]->bitsPerRound());
+    }
+    return rounds;
+}
+
+void
+StreamingTrng::start(std::size_t min_raw_bits)
+{
+    launch(planRounds(min_raw_bits), /*continuous=*/false);
+}
+
+void
+StreamingTrng::startContinuous()
+{
+    launch(std::vector<int>(engines_.size(), 0), /*continuous=*/true);
+}
+
+void
+StreamingTrng::launch(std::vector<int> rounds, bool continuous)
+{
+    if (running_)
+        throw std::logic_error("StreamingTrng: session already running");
+
+    running_ = true;
+    ordered_ = !continuous;
+    current_channel_ = 0;
+    expected_seq_ = 0;
+    stash_.clear();
+    vn_have_half_ = false;
+    std::fill(producer_stats_.begin(), producer_stats_.end(),
+              ProducerStats{});
+    std::fill(producer_errors_.begin(), producer_errors_.end(), nullptr);
+    std::fill(next_seq_.begin(), next_seq_.end(), 0);
+    stats_ = StreamingStats{};
+    queue_ = std::make_unique<util::ChunkQueue<StreamChunk>>(
+        config_.queue_capacity);
+    host_start_ = std::chrono::steady_clock::now();
+
+    if (config_.serial_producer || engines_.size() == 1) {
+        producers_.emplace_back([this, rounds = std::move(rounds),
+                                 continuous]() mutable {
+            try {
+                serialProducerLoop(std::move(rounds), continuous);
+            } catch (...) {
+                producer_errors_[0] = std::current_exception();
+            }
+            queue_->close();
+        });
+        return;
+    }
+
+    live_producers_.store(static_cast<int>(engines_.size()));
+    for (std::size_t ch = 0; ch < engines_.size(); ++ch) {
+        producers_.emplace_back([this, ch, r = rounds[ch], continuous] {
+            try {
+                producerLoop(ch, r, continuous);
+            } catch (...) {
+                producer_errors_[ch] = std::current_exception();
+                queue_->close();
+            }
+            // The last producer standing ends the stream.
+            if (--live_producers_ == 0)
+                queue_->close();
+        });
+    }
+}
+
+int
+StreamingTrng::harvestRound(std::size_t engine_idx,
+                            util::BitStream &pending)
+{
+    DRangeTrng &engine = *engines_[engine_idx];
+    ProducerStats &ps = producer_stats_[engine_idx];
+    const int harvested = engine.runRound(pending);
+    ++ps.rounds;
+    ps.bits += static_cast<std::uint64_t>(harvested);
+    if (ps.first_word_ns == 0.0 && ps.bits >= 64)
+        ps.first_word_ns = engine.scheduler().now() - ps.start_ns;
+    return harvested;
+}
+
+bool
+StreamingTrng::pushPending(std::size_t engine_idx,
+                           util::BitStream &pending, bool last)
+{
+    StreamChunk chunk;
+    chunk.channel = static_cast<int>(engine_idx);
+    chunk.seq = next_seq_[engine_idx]++;
+    chunk.last = last;
+    chunk.bits = std::move(pending);
+    pending = util::BitStream{};
+    return queue_->push(std::move(chunk));
+}
+
+void
+StreamingTrng::producerLoop(std::size_t engine_idx, int rounds,
+                            bool continuous)
+{
+    DRangeTrng &engine = *engines_[engine_idx];
+    engine.enterSamplingMode();
+    producer_stats_[engine_idx].start_ns = engine.scheduler().now();
+
+    util::BitStream pending;
+    bool open = true;
+    for (std::uint64_t r = 0;
+         open && (continuous || r < static_cast<std::uint64_t>(rounds));
+         ++r) {
+        harvestRound(engine_idx, pending);
+        if (pending.size() >= config_.chunk_bits)
+            open = pushPending(engine_idx, pending, /*last=*/false);
+    }
+    producer_stats_[engine_idx].end_ns = engine.scheduler().now();
+    engine.exitSamplingMode();
+    if (open)
+        pushPending(engine_idx, pending, /*last=*/true);
+}
+
+void
+StreamingTrng::serialProducerLoop(std::vector<int> rounds,
+                                  bool continuous)
+{
+    // Single-thread round-robin over every engine: the
+    // HarvestMode::Serial baseline. Same per-engine round budget and
+    // per-engine bit order as the parallel producers, so the consumer
+    // assembles an identical stream.
+    const std::size_t n = engines_.size();
+    for (std::size_t ch = 0; ch < n; ++ch) {
+        engines_[ch]->enterSamplingMode();
+        producer_stats_[ch].start_ns = engines_[ch]->scheduler().now();
+    }
+
+    std::vector<util::BitStream> pending(n);
+    const std::uint64_t max_rounds =
+        continuous ? 0
+                   : static_cast<std::uint64_t>(*std::max_element(
+                         rounds.begin(), rounds.end()));
+    bool open = true;
+    for (std::uint64_t r = 0; open && (continuous || r < max_rounds);
+         ++r) {
+        for (std::size_t ch = 0; open && ch < n; ++ch) {
+            if (!continuous &&
+                r >= static_cast<std::uint64_t>(rounds[ch]))
+                continue;
+            harvestRound(ch, pending[ch]);
+            if (pending[ch].size() >= config_.chunk_bits)
+                open = pushPending(ch, pending[ch], /*last=*/false);
+        }
+    }
+
+    for (std::size_t ch = 0; ch < n; ++ch) {
+        producer_stats_[ch].end_ns = engines_[ch]->scheduler().now();
+        engines_[ch]->exitSamplingMode();
+    }
+    for (std::size_t ch = 0; open && ch < n; ++ch)
+        open = pushPending(ch, pending[ch], /*last=*/true);
+}
+
+util::BitStream
+StreamingTrng::condition(const util::BitStream &raw)
+{
+    switch (config_.conditioning) {
+    case Conditioning::Raw:
+        return raw; // Unreached: nextChunk() moves raw chunks instead.
+    case Conditioning::VonNeumann: {
+        // Pairwise corrector with the half-pair carried across chunk
+        // boundaries, so the stream equals vonNeumannCorrect() of the
+        // concatenated raw bits regardless of chunking.
+        util::BitStream out;
+        for (std::size_t i = 0; i < raw.size(); ++i) {
+            const bool bit = raw.at(i);
+            if (!vn_have_half_) {
+                vn_half_ = bit;
+                vn_have_half_ = true;
+            } else {
+                if (vn_half_ != bit)
+                    out.append(vn_half_);
+                vn_have_half_ = false;
+            }
+        }
+        return out;
+    }
+    case Conditioning::Sha256: {
+        // Each raw chunk conditions independently to one digest,
+        // keeping the stage chunk-local (and therefore overlappable).
+        const auto digest = util::Sha256::hash(raw.toBytesMsbFirst());
+        util::BitStream out;
+        for (std::uint8_t byte : digest)
+            for (int b = 7; b >= 0; --b)
+                out.append((byte >> b) & 1);
+        return out;
+    }
+    }
+    return raw;
+}
+
+void
+StreamingTrng::validateChunk(const util::BitStream &raw)
+{
+    const auto results =
+        nist::runAllParallel(raw, config_.validate_threads);
+    ++stats_.validated_chunks;
+    for (const auto &result : results) {
+        if (!result.pass(config_.validate_alpha)) {
+            ++stats_.failed_chunks;
+            return;
+        }
+    }
+}
+
+std::optional<util::BitStream>
+StreamingTrng::nextChunk()
+{
+    if (!running_)
+        return std::nullopt;
+
+    for (;;) {
+        StreamChunk chunk;
+        if (ordered_) {
+            if (current_channel_ >= engines_.size())
+                return std::nullopt; // Every channel fully delivered.
+            const auto key = std::make_pair(
+                static_cast<int>(current_channel_), expected_seq_);
+            if (auto it = stash_.find(key); it != stash_.end()) {
+                chunk = std::move(it->second);
+                stash_.erase(it);
+            } else {
+                auto item = queue_->pop();
+                if (!item) {
+                    // Closed early (stop() or producer error): whatever
+                    // is stashed out of order is not deliverable.
+                    return std::nullopt;
+                }
+                if (static_cast<std::size_t>(item->channel) !=
+                        current_channel_ ||
+                    item->seq != expected_seq_) {
+                    stash_.emplace(
+                        std::make_pair(item->channel, item->seq),
+                        std::move(*item));
+                    continue;
+                }
+                chunk = std::move(*item);
+            }
+            ++expected_seq_;
+            if (chunk.last) {
+                ++current_channel_;
+                expected_seq_ = 0;
+            }
+        } else {
+            auto item = queue_->pop();
+            if (!item)
+                return std::nullopt;
+            chunk = std::move(*item);
+        }
+
+        if (chunk.bits.empty()) {
+            if (ordered_ && current_channel_ >= engines_.size())
+                return std::nullopt;
+            continue; // Empty terminator chunk.
+        }
+
+        stats_.raw_bits += chunk.bits.size();
+        ++stats_.chunks;
+        if (config_.validate_threads > 0)
+            validateChunk(chunk.bits);
+
+        // Raw passthrough moves the chunk instead of copying it: this
+        // is the batch generate() hot path.
+        util::BitStream out =
+            config_.conditioning == Conditioning::Raw
+                ? std::move(chunk.bits)
+                : condition(chunk.bits);
+        stats_.out_bits += out.size();
+        if (out.empty())
+            continue; // Conditioning absorbed the whole chunk.
+        return out;
+    }
+}
+
+util::BitStream
+StreamingTrng::drain()
+{
+    // No per-chunk reserve: an exact-size reserve would defeat the
+    // backing vector's geometric growth and reallocate every chunk.
+    util::BitStream out;
+    while (auto chunk = nextChunk())
+        out.append(*chunk);
+    return out;
+}
+
+util::BitStream
+StreamingTrng::generate(std::size_t min_raw_bits)
+{
+    start(min_raw_bits);
+    util::BitStream out = drain();
+    stop();
+    return out;
+}
+
+void
+StreamingTrng::joinProducers()
+{
+    for (auto &producer : producers_)
+        if (producer.joinable())
+            producer.join();
+    producers_.clear();
+}
+
+void
+StreamingTrng::stop()
+{
+    if (!running_)
+        return;
+    queue_->close();
+    joinProducers();
+    running_ = false;
+    stash_.clear();
+    stats_.producer_waits = queue_->pushWaits();
+    stats_.consumer_waits = queue_->popWaits();
+    stats_.host_ms = std::chrono::duration<double, std::milli>(
+                         std::chrono::steady_clock::now() - host_start_)
+                         .count();
+    for (const auto &error : producer_errors_)
+        if (error)
+            std::rethrow_exception(error);
+}
+
+} // namespace drange::core

@@ -4,6 +4,7 @@
  * excursions variant test.
  */
 
+#include <algorithm>
 #include <cmath>
 #include <vector>
 
@@ -26,7 +27,12 @@ walk(const util::BitStream &bits)
         sum += bits.at(i) ? 1 : -1;
         s.push_back(sum);
     }
-    s.push_back(0);
+    // Close the final cycle only if the walk did not already end at
+    // zero; unconditionally appending used to fabricate an extra
+    // empty cycle (inflating J and the nu[k = 0] counts) for every
+    // sequence whose +/-1 sum is exactly zero.
+    if (sum != 0)
+        s.push_back(0);
     return s;
 }
 
@@ -117,7 +123,12 @@ randomExcursionsVariant(const util::BitStream &bits)
         if (s[i] == 0)
             ++J;
 
-    if (J < 500) {
+    // Same applicability constraint as the random excursions test
+    // (SP 800-22 sections 2.14.5/2.15.5): too few cycles make the
+    // per-state statistics meaningless.
+    if (static_cast<double>(J) <
+        std::max(500.0,
+                 0.005 * std::sqrt(static_cast<double>(bits.size())))) {
         r.applicable = false;
         return r;
     }

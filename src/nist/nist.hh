@@ -69,6 +69,18 @@ TestResult randomExcursionsVariant(const util::BitStream &bits);
 std::vector<TestResult> runAll(const util::BitStream &bits);
 
 /**
+ * Run the full suite with the 15 tests fanned out over a thread pool,
+ * returning the same results in the same Table 1 order as runAll().
+ * Used by the streaming pipeline to validate chunks online while
+ * harvesting continues.
+ *
+ * @param threads Pool size; <= 0 picks the hardware concurrency
+ *        (capped at the number of tests).
+ */
+std::vector<TestResult> runAllParallel(const util::BitStream &bits,
+                                       int threads = 0);
+
+/**
  * Acceptable pass-proportion interval for @p sequences sequences at
  * level @p alpha: (1 - alpha) +/- 3 sqrt(alpha (1 - alpha) / k)
  * (paper Section 7.1).

@@ -1,33 +1,111 @@
 /**
  * @file
- * Full-suite runner in the paper's Table 1 order.
+ * Full-suite runner in the paper's Table 1 order, plus the
+ * thread-parallel variant used for online validation of streamed
+ * chunks.
  */
 
+#include <algorithm>
+#include <atomic>
 #include <cmath>
+#include <exception>
+#include <functional>
+#include <thread>
 
 #include "nist/nist.hh"
 
 namespace drange::nist {
 
+namespace {
+
+/** The suite in Table 1 order, with the default parameters bound. */
+const std::vector<std::function<TestResult(const util::BitStream &)>> &
+suiteTests()
+{
+    static const std::vector<
+        std::function<TestResult(const util::BitStream &)>>
+        tests = {
+            [](const util::BitStream &b) { return monobit(b); },
+            [](const util::BitStream &b) {
+                return frequencyWithinBlock(b);
+            },
+            [](const util::BitStream &b) { return runs(b); },
+            [](const util::BitStream &b) { return longestRunOfOnes(b); },
+            [](const util::BitStream &b) { return binaryMatrixRank(b); },
+            [](const util::BitStream &b) { return dft(b); },
+            [](const util::BitStream &b) {
+                return nonOverlappingTemplateMatching(b);
+            },
+            [](const util::BitStream &b) {
+                return overlappingTemplateMatching(b);
+            },
+            [](const util::BitStream &b) { return maurersUniversal(b); },
+            [](const util::BitStream &b) { return linearComplexity(b); },
+            [](const util::BitStream &b) { return serial(b); },
+            [](const util::BitStream &b) {
+                return approximateEntropy(b);
+            },
+            [](const util::BitStream &b) { return cumulativeSums(b); },
+            [](const util::BitStream &b) { return randomExcursions(b); },
+            [](const util::BitStream &b) {
+                return randomExcursionsVariant(b);
+            },
+        };
+    return tests;
+}
+
+} // anonymous namespace
+
 std::vector<TestResult>
 runAll(const util::BitStream &bits)
 {
     std::vector<TestResult> results;
-    results.push_back(monobit(bits));
-    results.push_back(frequencyWithinBlock(bits));
-    results.push_back(runs(bits));
-    results.push_back(longestRunOfOnes(bits));
-    results.push_back(binaryMatrixRank(bits));
-    results.push_back(dft(bits));
-    results.push_back(nonOverlappingTemplateMatching(bits));
-    results.push_back(overlappingTemplateMatching(bits));
-    results.push_back(maurersUniversal(bits));
-    results.push_back(linearComplexity(bits));
-    results.push_back(serial(bits));
-    results.push_back(approximateEntropy(bits));
-    results.push_back(cumulativeSums(bits));
-    results.push_back(randomExcursions(bits));
-    results.push_back(randomExcursionsVariant(bits));
+    results.reserve(suiteTests().size());
+    for (const auto &test : suiteTests())
+        results.push_back(test(bits));
+    return results;
+}
+
+std::vector<TestResult>
+runAllParallel(const util::BitStream &bits, int threads)
+{
+    const auto &tests = suiteTests();
+    const int num_tests = static_cast<int>(tests.size());
+    if (threads <= 0) {
+        const unsigned hw = std::thread::hardware_concurrency();
+        threads = hw == 0 ? 4 : static_cast<int>(hw);
+    }
+    threads = std::min(threads, num_tests);
+    if (threads <= 1)
+        return runAll(bits);
+
+    std::vector<TestResult> results(tests.size());
+    std::atomic<int> next{0};
+    std::vector<std::exception_ptr> errors(
+        static_cast<std::size_t>(threads));
+
+    auto work = [&](std::size_t worker) {
+        try {
+            for (int i = next.fetch_add(1); i < num_tests;
+                 i = next.fetch_add(1)) {
+                results[static_cast<std::size_t>(i)] =
+                    tests[static_cast<std::size_t>(i)](bits);
+            }
+        } catch (...) {
+            errors[worker] = std::current_exception();
+        }
+    };
+
+    std::vector<std::thread> pool;
+    pool.reserve(static_cast<std::size_t>(threads) - 1);
+    for (int t = 1; t < threads; ++t)
+        pool.emplace_back(work, static_cast<std::size_t>(t));
+    work(0);
+    for (auto &thread : pool)
+        thread.join();
+    for (const auto &error : errors)
+        if (error)
+            std::rethrow_exception(error);
     return results;
 }
 

@@ -52,8 +52,13 @@ void
 BitStream::appendBits(std::uint64_t value, int count)
 {
     assert(count >= 0 && count <= 64);
-    for (int i = 0; i < count; ++i)
-        append((value >> i) & 1);
+    if (count <= 0)
+        return; // Nothing to append; avoids an empty appendWords call.
+    // Mask only below 64: a 64-bit shift by `count == 64` is undefined,
+    // and no masking is needed for a full word.
+    if (count < 64)
+        value &= (std::uint64_t{1} << count) - 1;
+    appendWords(&value, static_cast<std::size_t>(count));
 }
 
 void

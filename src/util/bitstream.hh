@@ -35,7 +35,9 @@ class BitStream
     /** Append a single bit. */
     void append(bool bit);
 
-    /** Append the low @p count bits of @p value, LSB first. */
+    /** Append the low @p count bits of @p value, LSB first.
+     * count must be in [0, 64]; both boundary values are valid
+     * (count == 0 appends nothing, count == 64 the whole word). */
     void appendBits(std::uint64_t value, int count);
 
     /**

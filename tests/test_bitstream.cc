@@ -65,6 +65,72 @@ TEST(BitStream, AppendBitsZeroCount)
     BitStream bs;
     bs.appendBits(0xff, 0);
     EXPECT_TRUE(bs.empty());
+    // Also from a non-empty, non-word-aligned state.
+    bs = BitStream::fromString("101");
+    bs.appendBits(0xff, 0);
+    EXPECT_EQ(bs.toString(), "101");
+}
+
+TEST(BitStream, AppendBitsFullWord)
+{
+    // count == 64 used to be one step from shift-width UB on the mask
+    // path; a full word must append all 64 bits, LSB first.
+    BitStream bs;
+    bs.appendBits(0x8000000000000001ull, 64);
+    ASSERT_EQ(bs.size(), 64u);
+    EXPECT_TRUE(bs.at(0));   // LSB first.
+    EXPECT_TRUE(bs.at(63));  // MSB last.
+    EXPECT_EQ(bs.popcount(), 2u);
+
+    // Full-word append onto an unaligned destination.
+    BitStream odd = BitStream::fromString("110");
+    odd.appendBits(0xffffffffffffffffull, 64);
+    EXPECT_EQ(odd.size(), 67u);
+    EXPECT_EQ(odd.popcount(), 66u);
+    EXPECT_FALSE(odd.at(2));
+    for (std::size_t i = 3; i < 67; ++i)
+        ASSERT_TRUE(odd.at(i)) << i;
+}
+
+TEST(BitStream, AppendBitsMatchesBitwiseReference)
+{
+    drange::util::Xoshiro256ss rng(4242);
+    for (int count = 0; count <= 64; ++count) {
+        const std::uint64_t value = rng.next();
+        BitStream fast;
+        fast.appendBits(value, count);
+        BitStream slow;
+        for (int i = 0; i < count; ++i)
+            slow.append((value >> i) & 1);
+        ASSERT_EQ(fast.toString(), slow.toString()) << "count " << count;
+    }
+}
+
+TEST(BitStream, TruncateUnalignedThenAppend)
+{
+    // truncate() to a non-word boundary must leave the tail invariant
+    // intact for every append flavour that follows.
+    BitStream base;
+    for (int i = 0; i < 100; ++i)
+        base.append(true);
+
+    BitStream a = base;
+    a.truncate(70);
+    a.appendBits(0, 5);
+    EXPECT_EQ(a.size(), 75u);
+    EXPECT_EQ(a.popcount(), 70u);
+
+    BitStream b = base;
+    b.truncate(70);
+    b.appendBits(0xffffffffffffffffull, 64);
+    EXPECT_EQ(b.size(), 134u);
+    EXPECT_EQ(b.popcount(), 134u);
+
+    BitStream c = base;
+    c.truncate(65);
+    c.append(BitStream::fromString("0101"));
+    EXPECT_EQ(c.size(), 69u);
+    EXPECT_EQ(c.toString().substr(65), "0101");
 }
 
 TEST(BitStream, FromWords)
