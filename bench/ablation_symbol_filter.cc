@@ -8,6 +8,7 @@
 
 #include <cmath>
 #include <cstdio>
+#include <string>
 
 #include "bench_util.hh"
 #include "core/identify.hh"
@@ -68,10 +69,15 @@ main()
         params.screen_lo = window.first;
         params.screen_hi = window.second;
         const auto cells = identifier.identify(region, pattern, params);
-        table.addRow({"0.10",
-                      "[" + util::Table::num(window.first, 2) + "," +
-                          util::Table::num(window.second, 2) + "]",
-                      std::to_string(cells.size()), "-", "-"});
+        // Built up from a named string: GCC 12's -Wrestrict misfires
+        // on "literal + std::string&&" concatenation chains.
+        std::string range = "[";
+        range += util::Table::num(window.first, 2);
+        range += ",";
+        range += util::Table::num(window.second, 2);
+        range += "]";
+        table.addRow({"0.10", range, std::to_string(cells.size()), "-",
+                      "-"});
     }
     std::printf("%s", table.toString().c_str());
     std::printf("\nPaper setting: +/-10%% symbol tolerance over 1000 "

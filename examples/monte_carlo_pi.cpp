@@ -9,8 +9,7 @@
 #include <cmath>
 #include <cstdio>
 
-#include "core/drange.hh"
-#include "dram/device.hh"
+#include "trng/registry.hh"
 #include "util/rng.hh"
 
 using namespace drange;
@@ -39,19 +38,17 @@ estimatePi(const util::BitStream &bits)
 int
 main()
 {
-    dram::DramDevice device(
-        dram::DeviceConfig::make(dram::Manufacturer::C, /*seed=*/3));
-    core::DRangeConfig config;
-    config.banks = 4;
-    core::DRangeTrng trng(device, config);
     std::printf("initializing D-RaNGe on a manufacturer-C die...\n");
-    trng.initialize();
+    auto source = trng::Registry::make(
+        "drange", trng::Params{{"manufacturer", "C"},
+                               {"seed", "3"},
+                               {"banks", "4"}});
 
     const std::size_t kBits = 1u << 21; // ~65k darts.
-    std::printf("generating %zu random bits "
-                "(simulated throughput %.1f Mb/s)...\n",
-                kBits, trng.lastStats().throughputMbps());
-    const auto trng_bits = trng.generate(kBits);
+    std::printf("generating %zu random bits...\n", kBits);
+    const auto trng_bits = source->generate(kBits);
+    std::printf("simulated throughput: %.1f Mb/s\n",
+                source->stats().throughputMbps());
 
     util::Xoshiro256ss prng(12345);
     util::BitStream prng_bits;

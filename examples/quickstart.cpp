@@ -1,8 +1,8 @@
 /**
  * @file
- * Quickstart: create a simulated LPDDR4 device, initialize D-RaNGe
- * (profile + RNG-cell identification), and generate 256 truly random
- * bits, printing them with the run statistics.
+ * Quickstart: build a D-RaNGe TRNG by registry name through the
+ * unified trng::EntropySource interface and generate 256 truly random
+ * bits, printing them with the uniform run statistics.
  *
  * Build & run:
  *   cmake -B build -G Ninja && cmake --build build
@@ -11,8 +11,7 @@
 
 #include <cstdio>
 
-#include "core/drange.hh"
-#include "dram/device.hh"
+#include "trng/registry.hh"
 
 using namespace drange;
 
@@ -20,25 +19,18 @@ int
 main()
 {
     // A device from manufacturer A. The seed fixes the die's process
-    // variation; noise_seed = 0 draws fresh physical noise per run, so
-    // every execution yields different random bits.
-    dram::DeviceConfig device_config =
-        dram::DeviceConfig::make(dram::Manufacturer::A, /*seed=*/1);
-    dram::DramDevice device(device_config);
-
-    // D-RaNGe with 4 banks; defaults follow the paper (reduced tRCD of
-    // 10 ns, the manufacturer's best data pattern, the 3-bit-symbol
-    // entropy filter over 1000 samples per candidate cell).
-    core::DRangeConfig config;
-    config.banks = 4;
-    core::DRangeTrng trng(device, config);
-
+    // variation; noise_seed is left at 0, which draws fresh physical
+    // noise per run, so every execution yields different random bits.
+    // D-RaNGe with 4 banks; everything else follows the paper
+    // (reduced tRCD of 10 ns, the manufacturer's best data pattern,
+    // the 3-bit-symbol entropy filter over 1000 samples per cell).
     std::printf("profiling and identifying RNG cells...\n");
-    trng.initialize();
-    std::printf("selected %d banks, %d RNG cells per sampling round\n",
-                trng.activeBanks(), trng.bitsPerRound());
+    auto source = trng::Registry::make(
+        "drange", trng::Params{{"manufacturer", "A"},
+                               {"seed", "1"},
+                               {"banks", "4"}});
 
-    const util::BitStream bits = trng.generate(256);
+    const util::BitStream bits = source->generate(256);
 
     std::printf("\n256 random bits:\n%s\n",
                 bits.prefix(256).toString().c_str());
@@ -47,11 +39,18 @@ main()
     for (std::size_t i = 0; i < bytes.size(); ++i)
         std::printf("%s%02x", i % 16 == 0 ? "\n  " : " ", bytes[i]);
 
-    const auto &stats = trng.lastStats();
+    const auto stats = source->stats();
     std::printf("\n\nstatistics: %llu bits in %.0f simulated ns "
-                "(%.1f Mb/s), first 64 bits after %.0f ns\n",
+                "(%.1f Mb/s), first 64 bits after %.0f ns, "
+                "%.2f nJ/bit, entropy %.3f bits/bit\n",
                 static_cast<unsigned long long>(stats.bits),
-                stats.durationNs(), stats.throughputMbps(),
-                stats.first_word_ns);
+                stats.sim_ns, stats.throughputMbps(),
+                stats.latency64_ns, stats.energy_nj_per_bit,
+                stats.shannon_entropy);
+
+    std::printf("\nother registered sources:");
+    for (const auto &name : trng::Registry::names())
+        std::printf(" %s", name.c_str());
+    std::printf("\n");
     return 0;
 }

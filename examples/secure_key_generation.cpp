@@ -9,8 +9,7 @@
 #include <string>
 #include <vector>
 
-#include "core/drange.hh"
-#include "dram/device.hh"
+#include "trng/registry.hh"
 #include "util/entropy.hh"
 
 using namespace drange;
@@ -34,13 +33,12 @@ hex(const std::vector<std::uint8_t> &bytes)
 int
 main()
 {
-    dram::DramDevice device(
-        dram::DeviceConfig::make(dram::Manufacturer::B, /*seed=*/2));
-    core::DRangeConfig config;
-    config.banks = 4;
-    core::DRangeTrng trng(device, config);
     std::printf("initializing D-RaNGe on a manufacturer-B die...\n");
-    trng.initialize();
+    auto source = trng::Registry::make(
+        "drange", trng::Params{{"manufacturer", "B"},
+                               {"seed", "2"},
+                               {"banks", "4"}});
+    trng::EntropySource &trng = *source;
 
     // --- Symmetric keys ---
     const auto aes128 = trng.generate(128).prefix(128).toBytesMsbFirst();
@@ -76,6 +74,6 @@ main()
                 sample.onesFraction(),
                 util::symbolEntropy(sample, 3));
     std::printf("generation throughput: %.1f Mb/s\n",
-                trng.lastStats().throughputMbps());
+                trng.stats().throughputMbps());
     return 0;
 }

@@ -3,11 +3,15 @@
  * Streaming service: serve continuous random bytes from a running
  * harvest pipeline instead of blocking on batch generate() calls.
  *
- * A 2-channel D-RaNGe engine streams chunks through
- * core::StreamingTrng in continuous mode; this thread plays the role
- * of a request handler that pulls conditioned bytes for a burst of
- * client requests (e.g. key material, nonces), then shuts the
- * pipeline down and prints the session statistics.
+ * The whole stack is selected by registry name through the unified
+ * trng::EntropySource interface: a "streaming" source (2-channel
+ * D-RaNGe pipeline) with the conditioning chosen as flat parameters —
+ * SHA-256 conditioning followed by the SP 800-90B health-test stage,
+ * which monitors the delivered stream for stuck-at and bias failures
+ * while the service runs. This thread plays the role of a request
+ * handler pulling conditioned bytes for a burst of client requests
+ * (key material, nonces), then shuts the pipeline down and prints the
+ * per-stage session statistics.
  *
  * Build & run:
  *   cmake -B build && cmake --build build --target example_streaming_service
@@ -20,8 +24,7 @@
 #include <stdexcept>
 #include <vector>
 
-#include "core/multichannel.hh"
-#include "core/streaming.hh"
+#include "trng/registry.hh"
 
 using namespace drange;
 
@@ -31,8 +34,8 @@ namespace {
 class RandomByteService
 {
   public:
-    explicit RandomByteService(core::StreamingTrng &stream)
-        : stream_(stream)
+    explicit RandomByteService(trng::EntropySource &source)
+        : source_(source)
     {
     }
 
@@ -40,7 +43,7 @@ class RandomByteService
     std::vector<std::uint8_t> bytes(std::size_t count)
     {
         while (buffer_.size() < count) {
-            auto chunk = stream_.nextChunk();
+            auto chunk = source_.nextChunk();
             if (!chunk)
                 throw std::runtime_error("stream ended");
             for (std::uint8_t byte : chunk->toBytesMsbFirst())
@@ -55,7 +58,7 @@ class RandomByteService
     }
 
   private:
-    core::StreamingTrng &stream_;
+    trng::EntropySource &source_;
     std::deque<std::uint8_t> buffer_;
 };
 
@@ -65,31 +68,24 @@ int
 main()
 {
     // Two simulated channels; seed fixes the dies, noise_seed = 0
-    // draws fresh physical noise per run.
-    dram::DeviceConfig device_config =
-        dram::DeviceConfig::make(dram::Manufacturer::A, /*seed=*/1);
-    device_config.geometry.rows_per_bank = 8192;
+    // (the default) draws fresh physical noise per run. SHA-256 is the
+    // paper's recommended post-processing for cryptographic consumers
+    // (Section 5.4); the health stage after it applies the SP 800-90B
+    // continuous tests to exactly the bits clients receive.
+    const trng::Params params{
+        {"channels", "2"},       {"seed", "1"},
+        {"rows_per_bank", "8192"}, {"banks", "4"},
+        {"chunk_bits", "4096"},  {"queue_capacity", "8"},
+        {"conditioning", "sha256,health"},
+    };
 
-    core::DRangeConfig config;
-    config.banks = 4;
-    core::MultiChannelTrng trng(device_config, /*channels=*/2, config);
+    std::printf("building \"streaming\" source (profiling and "
+                "identifying RNG cells)...\n");
+    auto source = trng::Registry::make("streaming", params);
+    std::printf("source: %s\n\n", source->info().description.c_str());
 
-    std::printf("profiling and identifying RNG cells...\n");
-    trng.initialize();
-    std::printf("%d channels, %d RNG-cell bits per aggregate round\n\n",
-                trng.channels(), trng.bitsPerRound());
-
-    // SHA-256 conditioning: each raw chunk is compressed to a 256-bit
-    // digest, the paper's recommended post-processing for
-    // cryptographic consumers (Section 5.4).
-    core::StreamingConfig stream_config;
-    stream_config.chunk_bits = 4096;
-    stream_config.queue_capacity = 8;
-    stream_config.conditioning = core::Conditioning::Sha256;
-
-    core::StreamingTrng stream(trng, stream_config);
-    stream.startContinuous();
-    RandomByteService service(stream);
+    source->startContinuous();
+    RandomByteService service(*source);
 
     // Simulate a burst of client requests while harvesting continues
     // in the background.
@@ -103,17 +99,25 @@ main()
         std::printf("\n");
     }
 
-    stream.stop();
-    const auto &stats = stream.stats();
-    std::printf("\nsession: %llu raw bits harvested -> %llu conditioned "
-                "bits in %llu chunks over %.1f ms\n",
-                static_cast<unsigned long long>(stats.raw_bits),
-                static_cast<unsigned long long>(stats.out_bits),
-                static_cast<unsigned long long>(stats.chunks),
-                stats.host_ms);
-    std::printf("backpressure: producers blocked %llu times, consumer "
-                "blocked %llu times\n",
-                static_cast<unsigned long long>(stats.producer_waits),
-                static_cast<unsigned long long>(stats.consumer_waits));
+    source->stop();
+    const auto stats = source->stats();
+    std::printf("\nsession: %llu conditioned bits delivered over "
+                "%.1f ms host time (output entropy %.4f bits/bit)\n",
+                static_cast<unsigned long long>(stats.bits),
+                stats.host_ms, stats.shannon_entropy);
+    std::printf("\nper-stage entropy accounting:\n");
+    for (const auto &stage : stats.stages) {
+        std::printf("  %-10s %9llu -> %9llu bits, entropy %.4f -> "
+                    "%.4f bits/bit",
+                    stage.stage.c_str(),
+                    static_cast<unsigned long long>(stage.in_bits),
+                    static_cast<unsigned long long>(stage.out_bits),
+                    stage.inEntropy(), stage.outEntropy());
+        if (stage.stage == "health")
+            std::printf(", %llu alarm(s)",
+                        static_cast<unsigned long long>(
+                            stage.health_failures));
+        std::printf("\n");
+    }
     return 0;
 }

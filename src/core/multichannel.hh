@@ -98,6 +98,13 @@ class MultiChannelTrng
     /** Host (real) time spent inside the last generate(), in ms. */
     double hostWallClockMs() const { return host_ms_; }
 
+    /** Bits harvested by the last generate() (before truncation). */
+    std::uint64_t lastBits() const { return bits_; }
+
+    /** Simulated wall-clock interval of the last generate() in ns
+     * (maximum over the concurrently running channels). */
+    double lastDurationNs() const { return duration_ns_; }
+
     DRangeTrng &channel(int idx) { return *engines_.at(idx); }
 
   private:

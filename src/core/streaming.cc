@@ -5,7 +5,6 @@
 
 #include "core/multichannel.hh"
 #include "nist/nist.hh"
-#include "util/sha256.hh"
 
 namespace drange::core {
 
@@ -39,6 +38,8 @@ StreamingTrng::StreamingTrng(std::vector<DRangeTrng *> engines,
     }
     if (config_.chunk_bits == 0)
         config_.chunk_bits = 1;
+    pipeline_ = trng::makePipeline(config_.conditioning,
+                                   config_.stage_params);
     producer_stats_.resize(engines_.size());
     producer_errors_.resize(engines_.size());
     next_seq_.resize(engines_.size(), 0);
@@ -102,10 +103,11 @@ StreamingTrng::launch(std::vector<int> rounds, bool continuous)
 
     running_ = true;
     ordered_ = !continuous;
+    flushed_ = false;
     current_channel_ = 0;
     expected_seq_ = 0;
     stash_.clear();
-    vn_have_half_ = false;
+    pipeline_.reset();
     std::fill(producer_stats_.begin(), producer_stats_.end(),
               ProducerStats{});
     std::fill(producer_errors_.begin(), producer_errors_.end(), nullptr);
@@ -234,42 +236,14 @@ StreamingTrng::serialProducerLoop(std::vector<int> rounds,
         open = pushPending(ch, pending[ch], /*last=*/true);
 }
 
-util::BitStream
-StreamingTrng::condition(const util::BitStream &raw)
+void
+StreamingTrng::setConditioning(trng::ConditioningPipeline pipeline)
 {
-    switch (config_.conditioning) {
-    case Conditioning::Raw:
-        return raw; // Unreached: nextChunk() moves raw chunks instead.
-    case Conditioning::VonNeumann: {
-        // Pairwise corrector with the half-pair carried across chunk
-        // boundaries, so the stream equals vonNeumannCorrect() of the
-        // concatenated raw bits regardless of chunking.
-        util::BitStream out;
-        for (std::size_t i = 0; i < raw.size(); ++i) {
-            const bool bit = raw.at(i);
-            if (!vn_have_half_) {
-                vn_half_ = bit;
-                vn_have_half_ = true;
-            } else {
-                if (vn_half_ != bit)
-                    out.append(vn_half_);
-                vn_have_half_ = false;
-            }
-        }
-        return out;
-    }
-    case Conditioning::Sha256: {
-        // Each raw chunk conditions independently to one digest,
-        // keeping the stage chunk-local (and therefore overlappable).
-        const auto digest = util::Sha256::hash(raw.toBytesMsbFirst());
-        util::BitStream out;
-        for (std::uint8_t byte : digest)
-            for (int b = 7; b >= 0; --b)
-                out.append((byte >> b) & 1);
-        return out;
-    }
-    }
-    return raw;
+    if (running_)
+        throw std::logic_error(
+            "StreamingTrng: cannot swap the conditioning pipeline "
+            "while a session is running");
+    pipeline_ = std::move(pipeline);
 }
 
 void
@@ -286,12 +260,9 @@ StreamingTrng::validateChunk(const util::BitStream &raw)
     }
 }
 
-std::optional<util::BitStream>
-StreamingTrng::nextChunk()
+std::optional<StreamChunk>
+StreamingTrng::nextRawChunk()
 {
-    if (!running_)
-        return std::nullopt;
-
     for (;;) {
         StreamChunk chunk;
         if (ordered_) {
@@ -336,18 +307,47 @@ StreamingTrng::nextChunk()
                 return std::nullopt;
             continue; // Empty terminator chunk.
         }
+        return chunk;
+    }
+}
 
-        stats_.raw_bits += chunk.bits.size();
+std::optional<util::BitStream>
+StreamingTrng::flushConditioning()
+{
+    // The raw stream is exhausted: give stateful stages (von Neumann
+    // carry, future block ciphers) one chance to flush buffered bits
+    // through the rest of the pipeline.
+    if (flushed_ || pipeline_.empty())
+        return std::nullopt;
+    flushed_ = true;
+    util::BitStream tail = pipeline_.finish();
+    if (tail.empty())
+        return std::nullopt;
+    stats_.out_bits += tail.size();
+    return tail;
+}
+
+std::optional<util::BitStream>
+StreamingTrng::nextChunk()
+{
+    if (!running_)
+        return std::nullopt;
+
+    for (;;) {
+        auto chunk = nextRawChunk();
+        if (!chunk)
+            return flushConditioning();
+
+        stats_.raw_bits += chunk->bits.size();
         ++stats_.chunks;
         if (config_.validate_threads > 0)
-            validateChunk(chunk.bits);
+            validateChunk(chunk->bits);
 
-        // Raw passthrough moves the chunk instead of copying it: this
-        // is the batch generate() hot path.
-        util::BitStream out =
-            config_.conditioning == Conditioning::Raw
-                ? std::move(chunk.bits)
-                : condition(chunk.bits);
+        // An empty pipeline moves the chunk instead of copying it:
+        // this is the batch generate() hot path.
+        util::BitStream out = pipeline_.empty()
+                                  ? std::move(chunk->bits)
+                                  : pipeline_.process(chunk->bits);
         stats_.out_bits += out.size();
         if (out.empty())
             continue; // Conditioning absorbed the whole chunk.
@@ -398,6 +398,8 @@ StreamingTrng::stop()
     stats_.host_ms = std::chrono::duration<double, std::milli>(
                          std::chrono::steady_clock::now() - host_start_)
                          .count();
+    stats_.stages = pipeline_.accounting();
+    stats_.healthy = pipeline_.healthy();
     for (const auto &error : producer_errors_)
         if (error)
             std::rethrow_exception(error);

@@ -9,9 +9,10 @@
  * harvesting on one producer thread per channel (or a single
  * round-robin thread in serial mode), hands round-aligned chunks
  * through a bounded util::ChunkQueue, and applies the conditioning
- * stage (raw passthrough, von Neumann, SHA-256) plus optional online
- * NIST validation on the consumer side while later chunks are still
- * being harvested.
+ * pipeline -- any composition of trng::ConditioningStage instances,
+ * e.g. von Neumann -> SP 800-90B health tests, or SHA-256 -- plus
+ * optional online NIST validation on the consumer side while later
+ * chunks are still being harvested.
  *
  * Bounded sessions (start()/generate()) emit bits in a deterministic
  * order -- each channel's bits in harvest order, channels concatenated
@@ -37,19 +38,13 @@
 #include <vector>
 
 #include "core/drange.hh"
+#include "trng/conditioning.hh"
+#include "trng/params.hh"
 #include "util/chunk_queue.hh"
 
 namespace drange::core {
 
 class MultiChannelTrng;
-
-/** Consumer-side post-processing stage applied to each chunk. */
-enum class Conditioning
-{
-    Raw,        //!< Pass harvested bits through unchanged.
-    VonNeumann, //!< Pairwise debias; state carries across chunks.
-    Sha256,     //!< Each raw chunk conditions to a 256-bit digest.
-};
 
 /** One hand-off unit between a producer and the consumer. */
 struct StreamChunk
@@ -70,7 +65,19 @@ struct StreamingConfig
     /** Queue depth before harvesting blocks on conditioning. */
     std::size_t queue_capacity = 8;
 
-    Conditioning conditioning = Conditioning::Raw;
+    /**
+     * Conditioning pipeline as an ordered list of registered stage
+     * names (trng::makeStage: "raw", "vonneumann", "sha256",
+     * "health", plus anything registered at runtime). Empty means raw
+     * passthrough, which is the zero-copy batch-generate() hot path.
+     * Programmatically built stages (custom, unregistered) go through
+     * StreamingTrng::setConditioning instead.
+     */
+    std::vector<std::string> conditioning;
+
+    /** Parameters handed to every conditioning-stage factory (e.g.
+     * "health_alpha" for the SP 800-90B stage). */
+    trng::Params stage_params;
 
     /** Drive all channels from one round-robin producer thread
      * (HarvestMode::Serial) instead of one thread per channel. */
@@ -117,6 +124,17 @@ struct StreamingStats
     double host_ms = 0.0;            //!< Wall clock start() -> stop().
     std::uint64_t producer_waits = 0; //!< Queue-full blocks (backpressure).
     std::uint64_t consumer_waits = 0; //!< Queue-empty blocks.
+
+    /**
+     * Per-conditioning-stage entropy accounting: bits in/out and
+     * input/output Shannon entropy at every stage boundary, plus
+     * SP 800-90B alarm counts for health stages. Snapshotted from the
+     * pipeline at stop(); one entry per stage, in composition order.
+     */
+    std::vector<trng::StageAccounting> stages;
+
+    /** False once any health-test stage in the pipeline alarmed. */
+    bool healthy = true;
 };
 
 /**
@@ -177,6 +195,20 @@ class StreamingTrng
      * Rethrows the first producer error, if any. */
     void stop();
 
+    /**
+     * Replace the conditioning pipeline (e.g. with custom
+     * trng::ConditioningStage implementations that are not registered
+     * by name). Only allowed between sessions.
+     */
+    void setConditioning(trng::ConditioningPipeline pipeline);
+
+    /** The conditioning pipeline (per-stage health state and live
+     * accounting). */
+    const trng::ConditioningPipeline &conditioning() const
+    {
+        return pipeline_;
+    }
+
     bool running() const { return running_; }
     int engines() const { return static_cast<int>(engines_.size()); }
 
@@ -202,7 +234,8 @@ class StreamingTrng
     bool pushPending(std::size_t engine_idx, util::BitStream &pending,
                      bool last);
     void joinProducers();
-    util::BitStream condition(const util::BitStream &raw);
+    std::optional<StreamChunk> nextRawChunk();
+    std::optional<util::BitStream> flushConditioning();
     void validateChunk(const util::BitStream &raw);
 
     std::vector<DRangeTrng *> engines_;
@@ -219,11 +252,11 @@ class StreamingTrng
     // Consumer-side session state.
     bool running_ = false;
     bool ordered_ = true; //!< Deterministic channel-major delivery.
+    bool flushed_ = false; //!< Conditioning tail already emitted.
     std::size_t current_channel_ = 0;
     std::uint64_t expected_seq_ = 0;
     std::map<std::pair<int, std::uint64_t>, StreamChunk> stash_;
-    bool vn_have_half_ = false;
-    bool vn_half_ = false;
+    trng::ConditioningPipeline pipeline_;
     std::chrono::steady_clock::time_point host_start_;
 
     StreamingStats stats_;

@@ -1,0 +1,225 @@
+#include "trng/conditioning.hh"
+
+#include <map>
+#include <stdexcept>
+#include <utility>
+
+#include "trng/health.hh"
+#include "util/entropy.hh"
+#include "util/sha256.hh"
+
+namespace drange::trng {
+
+namespace {
+
+double
+streamEntropy(std::uint64_t bits, std::uint64_t ones)
+{
+    if (bits == 0)
+        return 0.0;
+    return util::binaryShannonEntropy(static_cast<double>(ones) /
+                                      static_cast<double>(bits));
+}
+
+} // anonymous namespace
+
+double
+StageAccounting::inEntropy() const
+{
+    return streamEntropy(in_bits, in_ones);
+}
+
+double
+StageAccounting::outEntropy() const
+{
+    return streamEntropy(out_bits, out_ones);
+}
+
+ConditioningPipeline::ConditioningPipeline(
+    std::vector<std::unique_ptr<ConditioningStage>> stages)
+    : stages_(std::move(stages))
+{
+    for (const auto &stage : stages_) {
+        if (!stage)
+            throw std::invalid_argument(
+                "ConditioningPipeline: null stage");
+        accounting_.push_back(StageAccounting{stage->name()});
+    }
+}
+
+void
+ConditioningPipeline::addStage(std::unique_ptr<ConditioningStage> stage)
+{
+    if (!stage)
+        throw std::invalid_argument("ConditioningPipeline: null stage");
+    accounting_.push_back(StageAccounting{stage->name()});
+    stages_.push_back(std::move(stage));
+}
+
+util::BitStream
+ConditioningPipeline::run(std::size_t first_stage, util::BitStream bits)
+{
+    for (std::size_t i = first_stage; i < stages_.size(); ++i) {
+        StageAccounting &acct = accounting_[i];
+        acct.in_bits += bits.size();
+        acct.in_ones += bits.popcount();
+        bits = stages_[i]->process(bits);
+        acct.out_bits += bits.size();
+        acct.out_ones += bits.popcount();
+        acct.health_failures = stages_[i]->failures();
+    }
+    return bits;
+}
+
+util::BitStream
+ConditioningPipeline::process(const util::BitStream &chunk)
+{
+    return run(0, chunk);
+}
+
+util::BitStream
+ConditioningPipeline::finish()
+{
+    // Flush front to back: bits a stage had buffered still have to
+    // pass through every stage downstream of it.
+    util::BitStream out;
+    for (std::size_t i = 0; i < stages_.size(); ++i) {
+        util::BitStream flushed = stages_[i]->finish();
+        accounting_[i].out_bits += flushed.size();
+        accounting_[i].out_ones += flushed.popcount();
+        if (!flushed.empty())
+            out.append(run(i + 1, std::move(flushed)));
+    }
+    return out;
+}
+
+void
+ConditioningPipeline::reset()
+{
+    for (std::size_t i = 0; i < stages_.size(); ++i) {
+        stages_[i]->reset();
+        accounting_[i] = StageAccounting{stages_[i]->name()};
+    }
+}
+
+bool
+ConditioningPipeline::healthy() const
+{
+    for (const auto &stage : stages_)
+        if (!stage->healthy())
+            return false;
+    return true;
+}
+
+util::BitStream
+VonNeumannStage::process(const util::BitStream &chunk)
+{
+    util::BitStream out;
+    for (std::size_t i = 0; i < chunk.size(); ++i) {
+        const bool bit = chunk.at(i);
+        if (!have_half_) {
+            half_ = bit;
+            have_half_ = true;
+        } else {
+            if (half_ != bit)
+                out.append(half_);
+            have_half_ = false;
+        }
+    }
+    return out;
+}
+
+util::BitStream
+Sha256Stage::process(const util::BitStream &chunk)
+{
+    if (chunk.empty())
+        return {};
+    const auto digest = util::Sha256::hash(chunk.toBytesMsbFirst());
+    util::BitStream out;
+    for (std::uint8_t byte : digest)
+        for (int b = 7; b >= 0; --b)
+            out.append((byte >> b) & 1);
+    return out;
+}
+
+// ------------------------------------------------------- stage factory
+
+namespace {
+
+using StageFactory =
+    std::unique_ptr<ConditioningStage> (*)(const Params &);
+
+std::map<std::string, StageFactory> &
+stageRegistry()
+{
+    static std::map<std::string, StageFactory> registry;
+    return registry;
+}
+
+const bool builtin_stages_registered = [] {
+    registerStage("raw", [](const Params &)
+                  -> std::unique_ptr<ConditioningStage> {
+                      return std::make_unique<RawStage>();
+                  });
+    registerStage("vonneumann", [](const Params &)
+                  -> std::unique_ptr<ConditioningStage> {
+                      return std::make_unique<VonNeumannStage>();
+                  });
+    registerStage("sha256", [](const Params &)
+                  -> std::unique_ptr<ConditioningStage> {
+                      return std::make_unique<Sha256Stage>();
+                  });
+    registerStage("health", [](const Params &params)
+                  -> std::unique_ptr<ConditioningStage> {
+                      return std::make_unique<HealthTestStage>(
+                          HealthTestConfig::fromParams(params));
+                  });
+    return true;
+}();
+
+} // anonymous namespace
+
+bool
+registerStage(const std::string &name, StageFactory factory)
+{
+    return stageRegistry().emplace(name, factory).second;
+}
+
+std::unique_ptr<ConditioningStage>
+makeStage(const std::string &name, const Params &params)
+{
+    const auto &registry = stageRegistry();
+    const auto it = registry.find(name);
+    if (it == registry.end()) {
+        std::string known;
+        for (const auto &[stage_name, factory] : registry) {
+            if (!known.empty())
+                known += ", ";
+            known += "\"" + stage_name + "\"";
+        }
+        throw std::invalid_argument(
+            "makeStage: unknown conditioning stage \"" + name +
+            "\" (known stages: " + known + ")");
+    }
+    return it->second(params);
+}
+
+std::vector<std::string>
+stageNames()
+{
+    std::vector<std::string> out;
+    for (const auto &[name, factory] : stageRegistry())
+        out.push_back(name);
+    return out;
+}
+
+ConditioningPipeline
+makePipeline(const std::vector<std::string> &names, const Params &params)
+{
+    ConditioningPipeline pipeline;
+    for (const auto &name : names)
+        pipeline.addStage(makeStage(name, params));
+    return pipeline;
+}
+
+} // namespace drange::trng

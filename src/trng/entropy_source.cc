@@ -1,0 +1,50 @@
+#include "trng/entropy_source.hh"
+
+#include <stdexcept>
+
+#include "util/entropy.hh"
+
+namespace drange::trng {
+
+void
+EntropySource::startContinuous()
+{
+    if (!info().streaming)
+        throw std::logic_error(
+            info().name +
+            ": mechanism cannot stream (each batch needs an offline "
+            "step), use bounded generate()");
+    if (continuous_)
+        throw std::logic_error(info().name +
+                               ": continuous session already running");
+    continuous_ = true;
+}
+
+std::optional<util::BitStream>
+EntropySource::nextChunk()
+{
+    // Default pseudo-streaming session: serve the continuous consumer
+    // with repeated bounded batches. Genuinely pipelined sources
+    // (StreamingTrng) override this with an overlapped harvest.
+    if (!continuous_)
+        return std::nullopt;
+    return generate(continuous_chunk_bits_);
+}
+
+void
+EntropySource::stop()
+{
+    continuous_ = false;
+}
+
+void
+fillEntropyFields(SourceStats &stats, const util::BitStream &bits)
+{
+    if (bits.empty())
+        return;
+    stats.shannon_entropy = util::shannonEntropy(bits);
+    if (bits.size() >= 3)
+        stats.min_entropy = util::minEntropy(bits, 3);
+}
+
+} // namespace drange::trng

@@ -1,0 +1,151 @@
+#include "trng/health.hh"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace drange::trng {
+
+HealthTestConfig
+HealthTestConfig::fromParams(const Params &params)
+{
+    HealthTestConfig config;
+    config.min_entropy =
+        params.getDouble("health_min_entropy", config.min_entropy);
+    config.alpha = params.getDouble("health_alpha", config.alpha);
+    config.window = static_cast<int>(
+        params.getInt("health_window", config.window));
+    if (!(config.min_entropy > 0.0) || config.min_entropy > 1.0)
+        throw std::invalid_argument(
+            "HealthTestConfig: health_min_entropy must be in (0, 1]");
+    if (!(config.alpha > 0.0) || config.alpha >= 1.0)
+        throw std::invalid_argument(
+            "HealthTestConfig: health_alpha must be in (0, 1)");
+    if (config.window < 2)
+        throw std::invalid_argument(
+            "HealthTestConfig: health_window must be >= 2");
+    return config;
+}
+
+int
+repetitionCountCutoff(double min_entropy, double alpha)
+{
+    // SP 800-90B 4.4.1: C = 1 + ceil(-log2(alpha) / H).
+    return 1 + static_cast<int>(
+                   std::ceil(-std::log2(alpha) / min_entropy));
+}
+
+int
+adaptiveProportionCutoff(double min_entropy, double alpha, int window)
+{
+    // Exact upper binomial tail over the window's trailing
+    // window - 1 samples: accumulate pmf(k) from k = n downward until
+    // the tail first exceeds alpha; the previous k is the cutoff.
+    const int n = window - 1;
+    const double p = std::pow(2.0, -min_entropy);
+    const double log_p = std::log(p);
+    const double log_q = std::log1p(-p);
+    const double lgn = std::lgamma(static_cast<double>(n) + 1.0);
+    double tail = 0.0;
+    for (int k = n; k >= 0; --k) {
+        const double log_pmf =
+            lgn - std::lgamma(static_cast<double>(k) + 1.0) -
+            std::lgamma(static_cast<double>(n - k) + 1.0) +
+            static_cast<double>(k) * log_p +
+            static_cast<double>(n - k) * log_q;
+        tail += std::exp(log_pmf);
+        if (tail > alpha)
+            return k + 1;
+    }
+    return 0;
+}
+
+RepetitionCountTest::RepetitionCountTest(const HealthTestConfig &config)
+    : cutoff_(repetitionCountCutoff(config.min_entropy, config.alpha))
+{
+}
+
+bool
+RepetitionCountTest::feed(bool bit)
+{
+    if (have_last_ && bit == last_) {
+        if (++run_length_ >= cutoff_) {
+            ++failures_;
+            run_length_ = 1; // Re-arm so one long stuck run keeps
+                             // alarming instead of firing once.
+        }
+    } else {
+        last_ = bit;
+        have_last_ = true;
+        run_length_ = 1;
+    }
+    return failures_ == 0;
+}
+
+void
+RepetitionCountTest::reset()
+{
+    have_last_ = false;
+    run_length_ = 0;
+    failures_ = 0;
+}
+
+AdaptiveProportionTest::AdaptiveProportionTest(
+    const HealthTestConfig &config)
+    : window_(config.window),
+      cutoff_(adaptiveProportionCutoff(config.min_entropy, config.alpha,
+                                       config.window))
+{
+}
+
+bool
+AdaptiveProportionTest::feed(bool bit)
+{
+    bool ok = true;
+    if (position_ == 0) {
+        reference_ = bit;
+        matches_ = 0;
+    } else if (bit == reference_) {
+        ++matches_;
+    }
+    if (++position_ == window_) {
+        if (matches_ >= cutoff_) {
+            ++failures_;
+            ok = false;
+        }
+        position_ = 0;
+    }
+    return ok;
+}
+
+void
+AdaptiveProportionTest::reset()
+{
+    position_ = 0;
+    matches_ = 0;
+    failures_ = 0;
+}
+
+HealthTestStage::HealthTestStage(const HealthTestConfig &config)
+    : repetition_(config), proportion_(config)
+{
+}
+
+util::BitStream
+HealthTestStage::process(const util::BitStream &chunk)
+{
+    for (std::size_t i = 0; i < chunk.size(); ++i) {
+        const bool bit = chunk.at(i);
+        repetition_.feed(bit);
+        proportion_.feed(bit);
+    }
+    return chunk;
+}
+
+void
+HealthTestStage::reset()
+{
+    repetition_.reset();
+    proportion_.reset();
+}
+
+} // namespace drange::trng

@@ -1,0 +1,153 @@
+/**
+ * @file
+ * SP 800-90B continuous health tests (Section 4.4) as a conditioning
+ * stage.
+ *
+ * An entropy source must monitor its own output for catastrophic
+ * failures while running. NIST SP 800-90B mandates two continuous
+ * tests, both parameterized by the claimed per-sample min-entropy H
+ * and a false-positive rate alpha (recommended 2^-20):
+ *
+ *  - Repetition Count Test (4.4.1): alarm when one value repeats
+ *    C = 1 + ceil(-log2(alpha) / H) times in a row. Catches stuck-at
+ *    failures (e.g. a DRAM RNG cell that stops failing activation).
+ *  - Adaptive Proportion Test (4.4.2): over a window of W consecutive
+ *    samples (W = 512 for binary sources), alarm when the window's
+ *    first value reoccurs at least C_apt times among the remaining
+ *    W - 1 samples, where C_apt is the smallest c with
+ *    P[Binomial(W - 1, 2^-H) >= c] <= alpha. Catches large bias
+ *    shifts a repetition count never sees.
+ *
+ * HealthTestStage feeds every bit through both tests while passing the
+ * stream through unchanged; alarms are counted (and latched via
+ * healthy()) rather than truncating the stream, so the pipeline's
+ * entropy accounting stays complete and the caller decides the error
+ * policy, as 90B leaves it to the consuming application.
+ */
+
+#ifndef DRANGE_TRNG_HEALTH_HH
+#define DRANGE_TRNG_HEALTH_HH
+
+#include <cstdint>
+
+#include "trng/conditioning.hh"
+#include "trng/params.hh"
+
+namespace drange::trng {
+
+/** Parameters shared by both SP 800-90B continuous tests. */
+struct HealthTestConfig
+{
+    /** Claimed min-entropy per bit, 0 < H <= 1. */
+    double min_entropy = 1.0;
+
+    /** Per-test false-positive rate; 90B recommends 2^-20. */
+    double alpha = 9.5367431640625e-07;
+
+    /** Adaptive-proportion window (90B: 512 for binary sources). */
+    int window = 512;
+
+    /**
+     * Build from Params keys "health_min_entropy", "health_alpha",
+     * "health_window".
+     * @throws std::invalid_argument on out-of-domain values.
+     */
+    static HealthTestConfig fromParams(const Params &params);
+};
+
+/** Repetition-count cutoff C = 1 + ceil(-log2(alpha) / H). */
+int repetitionCountCutoff(double min_entropy, double alpha);
+
+/**
+ * Adaptive-proportion cutoff: smallest c with
+ * P[Binomial(window - 1, 2^-min_entropy) >= c] <= alpha (exact
+ * binomial tail, evaluated in log space). May equal window, in which
+ * case the configured alpha is unreachable within the window and the
+ * test never fires.
+ */
+int adaptiveProportionCutoff(double min_entropy, double alpha,
+                             int window);
+
+/** SP 800-90B 4.4.1, streamed bit-at-a-time. */
+class RepetitionCountTest
+{
+  public:
+    explicit RepetitionCountTest(const HealthTestConfig &config);
+
+    /** Feed one sample; returns false iff this bit raised an alarm. */
+    bool feed(bool bit);
+
+    void reset();
+    std::uint64_t failures() const { return failures_; }
+    int cutoff() const { return cutoff_; }
+
+  private:
+    int cutoff_;
+    bool have_last_ = false;
+    bool last_ = false;
+    int run_length_ = 0;
+    std::uint64_t failures_ = 0;
+};
+
+/** SP 800-90B 4.4.2, streamed bit-at-a-time. */
+class AdaptiveProportionTest
+{
+  public:
+    explicit AdaptiveProportionTest(const HealthTestConfig &config);
+
+    /** Feed one sample; returns false iff this bit closed a window
+     * over the cutoff. */
+    bool feed(bool bit);
+
+    void reset();
+    std::uint64_t failures() const { return failures_; }
+    int cutoff() const { return cutoff_; }
+    int window() const { return window_; }
+
+  private:
+    int window_;
+    int cutoff_;
+    bool reference_ = false;
+    int position_ = 0; //!< Samples consumed of the current window.
+    int matches_ = 0;  //!< Occurrences of reference_ after the first.
+    std::uint64_t failures_ = 0;
+};
+
+/**
+ * Conditioning stage running both continuous tests over the stream
+ * flowing through it (passthrough; see file comment for the alarm
+ * policy). Compose it after the final conditioning step to monitor
+ * delivered output, or directly after harvest to monitor the raw
+ * source as 90B actually requires.
+ */
+class HealthTestStage final : public ConditioningStage
+{
+  public:
+    explicit HealthTestStage(const HealthTestConfig &config = {});
+
+    std::string name() const override { return "health"; }
+    util::BitStream process(const util::BitStream &chunk) override;
+    void reset() override;
+    bool healthy() const override { return failures() == 0; }
+    std::uint64_t failures() const override
+    {
+        return repetition_.failures() + proportion_.failures();
+    }
+
+    const RepetitionCountTest &repetitionCount() const
+    {
+        return repetition_;
+    }
+    const AdaptiveProportionTest &adaptiveProportion() const
+    {
+        return proportion_;
+    }
+
+  private:
+    RepetitionCountTest repetition_;
+    AdaptiveProportionTest proportion_;
+};
+
+} // namespace drange::trng
+
+#endif // DRANGE_TRNG_HEALTH_HH

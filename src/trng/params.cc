@@ -1,0 +1,190 @@
+#include "trng/params.hh"
+
+#include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
+
+namespace drange::trng {
+
+namespace {
+
+[[noreturn]] void
+badValue(const std::string &key, const std::string &value,
+         const char *wanted)
+{
+    throw std::invalid_argument("Params: key \"" + key + "\" holds \"" +
+                                value + "\", expected " + wanted);
+}
+
+} // anonymous namespace
+
+Params::Params(
+    std::initializer_list<std::pair<std::string, std::string>> entries)
+{
+    for (const auto &[key, value] : entries)
+        values_[key] = value;
+}
+
+Params &
+Params::set(const std::string &key, const std::string &value)
+{
+    values_[key] = value;
+    return *this;
+}
+
+Params &
+Params::set(const std::string &key, const char *value)
+{
+    return set(key, std::string(value));
+}
+
+Params &
+Params::set(const std::string &key, std::int64_t value)
+{
+    return set(key, std::to_string(value));
+}
+
+Params &
+Params::set(const std::string &key, int value)
+{
+    return set(key, std::to_string(value));
+}
+
+Params &
+Params::set(const std::string &key, double value)
+{
+    // Round-trip precision: std::to_string's fixed 6 decimals would
+    // destroy values like the 2^-20 health-test alpha.
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.17g", value);
+    return set(key, std::string(buf));
+}
+
+Params &
+Params::set(const std::string &key, bool value)
+{
+    return set(key, std::string(value ? "true" : "false"));
+}
+
+const std::string *
+Params::find(const std::string &key) const
+{
+    const auto it = values_.find(key);
+    if (it == values_.end())
+        return nullptr;
+    consumed_.insert(key);
+    return &it->second;
+}
+
+bool
+Params::has(const std::string &key) const
+{
+    return values_.count(key) != 0;
+}
+
+std::string
+Params::getString(const std::string &key,
+                  const std::string &fallback) const
+{
+    const std::string *value = find(key);
+    return value ? *value : fallback;
+}
+
+std::int64_t
+Params::getInt(const std::string &key, std::int64_t fallback) const
+{
+    const std::string *value = find(key);
+    if (!value)
+        return fallback;
+    try {
+        std::size_t end = 0;
+        const std::int64_t parsed = std::stoll(*value, &end);
+        if (end != value->size())
+            badValue(key, *value, "an integer");
+        return parsed;
+    } catch (const std::invalid_argument &) {
+        badValue(key, *value, "an integer");
+    } catch (const std::out_of_range &) {
+        badValue(key, *value, "an integer in range");
+    }
+}
+
+double
+Params::getDouble(const std::string &key, double fallback) const
+{
+    const std::string *value = find(key);
+    if (!value)
+        return fallback;
+    try {
+        std::size_t end = 0;
+        const double parsed = std::stod(*value, &end);
+        if (end != value->size())
+            badValue(key, *value, "a number");
+        return parsed;
+    } catch (const std::invalid_argument &) {
+        badValue(key, *value, "a number");
+    } catch (const std::out_of_range &) {
+        badValue(key, *value, "a number in range");
+    }
+}
+
+bool
+Params::getBool(const std::string &key, bool fallback) const
+{
+    const std::string *value = find(key);
+    if (!value)
+        return fallback;
+    if (*value == "true" || *value == "1")
+        return true;
+    if (*value == "false" || *value == "0")
+        return false;
+    badValue(key, *value, "a boolean (true/false/1/0)");
+}
+
+std::vector<std::string>
+Params::getList(const std::string &key) const
+{
+    std::vector<std::string> out;
+    const std::string *value = find(key);
+    if (!value)
+        return out;
+    std::size_t begin = 0;
+    while (begin <= value->size()) {
+        std::size_t end = value->find(',', begin);
+        if (end == std::string::npos)
+            end = value->size();
+        if (end > begin)
+            out.push_back(value->substr(begin, end - begin));
+        begin = end + 1;
+    }
+    return out;
+}
+
+std::vector<std::string>
+Params::keys() const
+{
+    std::vector<std::string> out;
+    out.reserve(values_.size());
+    for (const auto &[key, value] : values_)
+        out.push_back(key);
+    return out;
+}
+
+void
+Params::rejectUnknown(const std::string &context) const
+{
+    std::string unknown;
+    for (const auto &[key, value] : values_) {
+        if (consumed_.count(key))
+            continue;
+        if (!unknown.empty())
+            unknown += ", ";
+        unknown += "\"" + key + "\"";
+    }
+    if (!unknown.empty())
+        throw std::invalid_argument(context +
+                                    ": unknown parameter key(s) " +
+                                    unknown);
+}
+
+} // namespace drange::trng

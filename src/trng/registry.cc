@@ -1,0 +1,105 @@
+#include "trng/registry.hh"
+
+#include <map>
+#include <stdexcept>
+#include <utility>
+
+namespace drange::trng {
+
+namespace detail {
+// Defined in sources.cc. Calling it from the registry's own
+// implementation file forces the built-in sources' object file (and
+// with it their static self-registrations) into the link even from a
+// static library, where unreferenced objects are otherwise dropped.
+void linkBuiltinSources();
+} // namespace detail
+
+namespace {
+
+struct Entry
+{
+    std::string description;
+    Registry::Factory factory;
+};
+
+std::map<std::string, Entry> &
+entries()
+{
+    static std::map<std::string, Entry> map;
+    return map;
+}
+
+void
+ensureBuiltins()
+{
+    detail::linkBuiltinSources();
+}
+
+std::string
+knownNames()
+{
+    std::string known;
+    for (const auto &[name, entry] : entries()) {
+        if (!known.empty())
+            known += ", ";
+        known += "\"" + name + "\"";
+    }
+    return known;
+}
+
+} // anonymous namespace
+
+bool
+Registry::add(const std::string &name, const std::string &description,
+              Factory factory)
+{
+    if (!factory)
+        throw std::invalid_argument("Registry: null factory for \"" +
+                                    name + "\"");
+    return entries()
+        .emplace(name, Entry{description, std::move(factory)})
+        .second;
+}
+
+std::unique_ptr<EntropySource>
+Registry::make(const std::string &name, const Params &params)
+{
+    ensureBuiltins();
+    const auto it = entries().find(name);
+    if (it == entries().end())
+        throw std::invalid_argument(
+            "Registry: unknown entropy source \"" + name +
+            "\" (registered: " + knownNames() + ")");
+    return it->second.factory(params);
+}
+
+std::vector<std::string>
+Registry::names()
+{
+    ensureBuiltins();
+    std::vector<std::string> out;
+    for (const auto &[name, entry] : entries())
+        out.push_back(name);
+    return out;
+}
+
+std::string
+Registry::description(const std::string &name)
+{
+    ensureBuiltins();
+    const auto it = entries().find(name);
+    if (it == entries().end())
+        throw std::invalid_argument(
+            "Registry: unknown entropy source \"" + name +
+            "\" (registered: " + knownNames() + ")");
+    return it->second.description;
+}
+
+bool
+Registry::contains(const std::string &name)
+{
+    ensureBuiltins();
+    return entries().count(name) != 0;
+}
+
+} // namespace drange::trng

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * String-keyed factory for trng::EntropySource backends.
+ *
+ * Sources self-register a name + description + factory (the built-ins
+ * via DRANGE_TRNG_REGISTER in sources.cc; external code can use the
+ * same macro in any linked translation unit), and callers build a
+ * fully-configured TRNG -- simulated device(s) included -- from a name
+ * and a flat Params bag:
+ *
+ *     auto source = trng::Registry::make(
+ *         "drange", trng::Params{{"banks", "4"}, {"seed", "7"}});
+ *     auto bits = source->generate(100000);
+ *
+ * Unknown names throw std::invalid_argument listing the registered
+ * names; unknown Params keys throw from the factory (see
+ * Params::rejectUnknown), so runtime configuration fails loudly.
+ */
+
+#ifndef DRANGE_TRNG_REGISTRY_HH
+#define DRANGE_TRNG_REGISTRY_HH
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "trng/entropy_source.hh"
+#include "trng/params.hh"
+
+namespace drange::trng {
+
+class Registry
+{
+  public:
+    using Factory =
+        std::function<std::unique_ptr<EntropySource>(const Params &)>;
+
+    /**
+     * Register @p factory under @p name. Returns false (keeping the
+     * existing entry) when the name is already taken -- suitable for
+     * static-initializer self-registration.
+     */
+    static bool add(const std::string &name,
+                    const std::string &description, Factory factory);
+
+    /**
+     * Build the source registered under @p name.
+     * @throws std::invalid_argument for an unknown name (the message
+     *         lists every registered name) or bad Params.
+     */
+    static std::unique_ptr<EntropySource>
+    make(const std::string &name, const Params &params = {});
+
+    /** Registered names, sorted. */
+    static std::vector<std::string> names();
+
+    /** One-line description of a registered source. */
+    static std::string description(const std::string &name);
+
+    static bool contains(const std::string &name);
+};
+
+/** Self-registration helper: expands to a static initializer calling
+ * Registry::add. Use at namespace scope in a .cc file. */
+#define DRANGE_TRNG_REGISTER(token, name, description, factory)        \
+    static const bool drange_trng_registered_##token =                 \
+        ::drange::trng::Registry::add(name, description, factory)
+
+} // namespace drange::trng
+
+#endif // DRANGE_TRNG_REGISTRY_HH

@@ -1,0 +1,567 @@
+/**
+ * @file
+ * The built-in trng::EntropySource backends: adapters wrapping the six
+ * legacy TRNG classes (D-RaNGe single/multi-channel/streaming and the
+ * three prior-work baselines) behind the unified interface, each
+ * self-registered with trng::Registry under a flat name.
+ *
+ * Every adapter owns its simulated device(s) and builds them from the
+ * shared Params keys
+ *
+ *   manufacturer (A/B/C), seed, noise_seed, rows_per_bank,
+ *   temperature_c
+ *
+ * plus per-source keys documented at each factory. Misspelled keys
+ * throw (Params::rejectUnknown). Adapters are thin: generation and
+ * statistics come from the legacy classes, so output through this
+ * path is bit-identical to the legacy API for the same configuration
+ * (regression-tested in tests/test_trng_registry.cc).
+ */
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+#include <stdexcept>
+#include <utility>
+
+#include "baselines/cmdsched_trng.hh"
+#include "baselines/retention_trng.hh"
+#include "baselines/startup_trng.hh"
+#include "core/multichannel.hh"
+#include "core/streaming.hh"
+#include "dram/device.hh"
+#include "power/power_model.hh"
+#include "trng/registry.hh"
+#include "util/entropy.hh"
+
+namespace drange::trng {
+
+namespace detail {
+void
+linkBuiltinSources()
+{
+    // Link anchor only: referencing this function from registry.cc
+    // pulls this object file -- and the self-registrations below --
+    // out of the static library.
+}
+} // namespace detail
+
+namespace {
+
+// ------------------------------------------------- shared Params keys
+
+/** getInt with a lower bound, so "chunk_bits = -1" fails loudly
+ * instead of wrapping into a huge unsigned value. */
+std::int64_t
+boundedInt(const Params &params, const std::string &key,
+           std::int64_t fallback, std::int64_t min)
+{
+    const std::int64_t value = params.getInt(key, fallback);
+    if (value < min)
+        throw std::invalid_argument(
+            "trng: parameter \"" + key + "\" must be >= " +
+            std::to_string(min) + " (got " + std::to_string(value) +
+            ")");
+    return value;
+}
+
+dram::DeviceConfig
+deviceConfig(const Params &params)
+{
+    const std::string m = params.getString("manufacturer", "A");
+    dram::Manufacturer manufacturer;
+    if (m == "A")
+        manufacturer = dram::Manufacturer::A;
+    else if (m == "B")
+        manufacturer = dram::Manufacturer::B;
+    else if (m == "C")
+        manufacturer = dram::Manufacturer::C;
+    else
+        throw std::invalid_argument(
+            "trng: manufacturer must be A, B, or C (got \"" + m +
+            "\")");
+
+    auto cfg = dram::DeviceConfig::make(
+        manufacturer,
+        static_cast<std::uint64_t>(boundedInt(params, "seed", 1, 0)),
+        static_cast<std::uint64_t>(
+            boundedInt(params, "noise_seed", 0, 0)));
+    if (const auto rows = boundedInt(params, "rows_per_bank", 0, 0);
+        rows > 0)
+        cfg.geometry.rows_per_bank = static_cast<int>(rows);
+    cfg.conditions.temperature_c =
+        params.getDouble("temperature_c", cfg.conditions.temperature_c);
+    return cfg;
+}
+
+core::DRangeConfig
+drangeConfig(const Params &params)
+{
+    core::DRangeConfig cfg;
+    cfg.banks =
+        static_cast<int>(boundedInt(params, "banks", cfg.banks, 1));
+    cfg.reduced_trcd_ns =
+        params.getDouble("reduced_trcd_ns", cfg.reduced_trcd_ns);
+    cfg.identify.trcd_ns = cfg.reduced_trcd_ns;
+    cfg.profile_rows = static_cast<int>(
+        boundedInt(params, "profile_rows", cfg.profile_rows, 1));
+    cfg.profile_words = static_cast<int>(
+        boundedInt(params, "profile_words", cfg.profile_words, 1));
+    cfg.profile_row_offset = static_cast<int>(boundedInt(
+        params, "profile_row_offset", cfg.profile_row_offset, 0));
+    cfg.identify.screen_iterations =
+        static_cast<int>(boundedInt(params, "screen_iterations",
+                                    cfg.identify.screen_iterations, 1));
+    cfg.identify.samples = static_cast<int>(
+        boundedInt(params, "samples", cfg.identify.samples, 1));
+    cfg.identify.symbol_tolerance = params.getDouble(
+        "symbol_tolerance", cfg.identify.symbol_tolerance);
+    return cfg;
+}
+
+// ------------------------------------------------------------ drange
+
+/** Single-channel D-RaNGe behind the interface. */
+class DRangeSource final : public EntropySource
+{
+  public:
+    explicit DRangeSource(const Params &params)
+        : device_(std::make_unique<dram::DramDevice>(
+              deviceConfig(params))),
+          engine_(std::make_unique<core::DRangeTrng>(
+              *device_, drangeConfig(params)))
+    {
+        setContinuousChunkBits(static_cast<std::size_t>(
+            boundedInt(params, "chunk_bits", 4096, 1)));
+        params.rejectUnknown("trng source \"drange\"");
+        info_ = {"drange",
+                 "D-RaNGe: DRAM activation-failure TRNG (Kim+ HPCA'19)",
+                 true};
+    }
+
+    const SourceInfo &info() const override { return info_; }
+
+    util::BitStream generate(std::size_t num_bits) override
+    {
+        if (!engine_->initialized())
+            engine_->initialize();
+        engine_->scheduler().clearTrace();
+        const util::BitStream bits = engine_->generate(num_bits);
+        const auto &st = engine_->lastStats();
+
+        stats_ = SourceStats{};
+        stats_.bits = bits.size();
+        stats_.sim_ns = st.durationNs();
+        stats_.latency64_ns = st.first_word_ns;
+        fillEntropyFields(stats_, bits);
+
+        // The paper's energy methodology (Section 7.3): trace energy
+        // minus the idle baseline over the same interval, per bit.
+        const power::PowerModel pm(power::PowerSpec::lpddr4(),
+                                   device_->config().timing);
+        const auto energy = pm.traceEnergy(
+            engine_->scheduler().trace(), st.durationNs(),
+            engine_->scheduler().activeTime());
+        if (st.bits > 0)
+            stats_.energy_nj_per_bit =
+                (energy.total_nj() - pm.idleEnergyNj(st.durationNs())) /
+                static_cast<double>(st.bits);
+        return bits;
+    }
+
+    SourceStats stats() const override { return stats_; }
+
+  private:
+    std::unique_ptr<dram::DramDevice> device_;
+    std::unique_ptr<core::DRangeTrng> engine_;
+    SourceInfo info_;
+    SourceStats stats_;
+};
+
+// ------------------------------------------------------ multichannel
+
+/** Thread-parallel multi-channel D-RaNGe behind the interface. */
+class MultiChannelSource final : public EntropySource
+{
+  public:
+    explicit MultiChannelSource(const Params &params)
+    {
+        const int channels =
+            static_cast<int>(boundedInt(params, "channels", 2, 1));
+        const bool serial = params.getBool("serial", false);
+        trng_ = std::make_unique<core::MultiChannelTrng>(
+            deviceConfig(params), channels, drangeConfig(params),
+            serial ? core::HarvestMode::Serial
+                   : core::HarvestMode::Parallel);
+        setContinuousChunkBits(static_cast<std::size_t>(
+            boundedInt(params, "chunk_bits", 4096, 1)));
+        params.rejectUnknown("trng source \"multichannel\"");
+        info_ = {"multichannel",
+                 "D-RaNGe across independent DRAM channels, "
+                 "thread-parallel harvest",
+                 true};
+    }
+
+    const SourceInfo &info() const override { return info_; }
+
+    util::BitStream generate(std::size_t num_bits) override
+    {
+        if (!initialized_) {
+            trng_->initialize();
+            initialized_ = true;
+        }
+        const util::BitStream bits = trng_->generate(num_bits);
+        stats_ = SourceStats{};
+        stats_.bits = bits.size();
+        stats_.sim_ns = trng_->lastDurationNs();
+        stats_.host_ms = trng_->hostWallClockMs();
+        fillEntropyFields(stats_, bits);
+        return bits;
+    }
+
+    SourceStats stats() const override { return stats_; }
+
+  private:
+    std::unique_ptr<core::MultiChannelTrng> trng_;
+    bool initialized_ = false;
+    SourceInfo info_;
+    SourceStats stats_;
+};
+
+// --------------------------------------------------------- streaming
+
+/** The overlapped harvest/conditioning pipeline behind the interface:
+ * a StreamingTrng over a multi-channel engine, with the conditioning
+ * pipeline (and its SP 800-90B health stage) chosen via Params. */
+class StreamingSource final : public EntropySource
+{
+  public:
+    explicit StreamingSource(const Params &params)
+    {
+        const int channels =
+            static_cast<int>(boundedInt(params, "channels", 2, 1));
+        trng_ = std::make_unique<core::MultiChannelTrng>(
+            deviceConfig(params), channels, drangeConfig(params));
+
+        stream_config_.chunk_bits = static_cast<std::size_t>(
+            boundedInt(params, "chunk_bits", 8192, 1));
+        stream_config_.queue_capacity = static_cast<std::size_t>(
+            boundedInt(params, "queue_capacity", 8, 1));
+        stream_config_.serial_producer =
+            params.getBool("serial", false);
+        stream_config_.validate_threads = static_cast<int>(
+            boundedInt(params, "validate_threads", 0, 0));
+        stream_config_.validate_alpha = params.getDouble(
+            "validate_alpha", stream_config_.validate_alpha);
+        stream_config_.conditioning = params.getList("conditioning");
+        stream_config_.stage_params = params;
+
+        // Validate stage names (and their params) eagerly so a typo
+        // fails at make() time, not at the first generate().
+        trng::makePipeline(stream_config_.conditioning, params);
+        params.rejectUnknown("trng source \"streaming\"");
+        info_ = {"streaming",
+                 "D-RaNGe streaming pipeline: overlapped harvest, "
+                 "pluggable conditioning, online validation",
+                 true};
+    }
+
+    const SourceInfo &info() const override { return info_; }
+
+    util::BitStream generate(std::size_t num_bits) override
+    {
+        delivered_bits_ = 0;
+        delivered_ones_ = 0;
+        const util::BitStream bits = ensureStream().generate(num_bits);
+        captureStats();
+        fillEntropyFields(stats_, bits);
+        return bits;
+    }
+
+    void startContinuous() override
+    {
+        // Per-session counters: stop() reports the entropy of the
+        // session that just ended, not of everything ever delivered.
+        delivered_bits_ = 0;
+        delivered_ones_ = 0;
+        ensureStream().startContinuous();
+    }
+
+    std::optional<util::BitStream> nextChunk() override
+    {
+        if (!stream_)
+            return std::nullopt;
+        auto chunk = stream_->nextChunk();
+        if (chunk) {
+            delivered_bits_ += chunk->size();
+            delivered_ones_ += chunk->popcount();
+        }
+        return chunk;
+    }
+
+    void stop() override
+    {
+        if (!stream_ || !stream_->running())
+            return; // Keep the stats of the last completed activity.
+        stream_->stop();
+        captureStats();
+        if (delivered_bits_ > 0)
+            stats_.shannon_entropy = util::binaryShannonEntropy(
+                static_cast<double>(delivered_ones_) /
+                static_cast<double>(delivered_bits_));
+    }
+
+    SourceStats stats() const override { return stats_; }
+
+    /** The underlying pipeline, for callers that need the full
+     * streaming API (producer stats, custom stages). */
+    core::StreamingTrng &stream() { return ensureStream(); }
+
+  private:
+    core::StreamingTrng &ensureStream()
+    {
+        if (!stream_) {
+            trng_->initialize();
+            stream_ = std::make_unique<core::StreamingTrng>(
+                *trng_, stream_config_);
+        }
+        return *stream_;
+    }
+
+    void captureStats()
+    {
+        const core::StreamingStats &st = stream_->stats();
+        stats_ = SourceStats{};
+        stats_.bits = st.out_bits;
+        stats_.host_ms = st.host_ms;
+        stats_.stages = st.stages;
+        double sim_ns = 0.0;
+        double first = 0.0;
+        for (int ch = 0; ch < stream_->engines(); ++ch) {
+            const core::ProducerStats &ps = stream_->producerStats(ch);
+            sim_ns = std::max(sim_ns, ps.durationNs());
+            if (ps.first_word_ns > 0.0)
+                first = first == 0.0
+                            ? ps.first_word_ns
+                            : std::min(first, ps.first_word_ns);
+        }
+        stats_.sim_ns = sim_ns;
+        stats_.latency64_ns = first;
+    }
+
+    std::unique_ptr<core::MultiChannelTrng> trng_;
+    std::unique_ptr<core::StreamingTrng> stream_;
+    core::StreamingConfig stream_config_;
+    std::uint64_t delivered_bits_ = 0;
+    std::uint64_t delivered_ones_ = 0;
+    SourceInfo info_;
+    SourceStats stats_;
+};
+
+// ---------------------------------------------------------- cmdsched
+
+/** Command-schedule jitter baseline (Pyo+) behind the interface. */
+class CmdSchedSource final : public EntropySource
+{
+  public:
+    explicit CmdSchedSource(const Params &params)
+        : device_(std::make_unique<dram::DramDevice>(
+              deviceConfig(params)))
+    {
+        baselines::CmdSchedTrngConfig cfg;
+        cfg.banks = static_cast<int>(
+            boundedInt(params, "banks", cfg.banks, 1));
+        cfg.accesses_per_bit = static_cast<int>(boundedInt(
+            params, "accesses_per_bit", cfg.accesses_per_bit, 1));
+        cfg.rows_touched = static_cast<int>(
+            boundedInt(params, "rows_touched", cfg.rows_touched, 1));
+        trng_ =
+            std::make_unique<baselines::CmdSchedTrng>(*device_, cfg);
+        setContinuousChunkBits(static_cast<std::size_t>(
+            boundedInt(params, "chunk_bits", 4096, 1)));
+        params.rejectUnknown("trng source \"cmdsched\"");
+        info_ = {"cmdsched",
+                 "Command-schedule jitter TRNG (Pyo+; deterministic, "
+                 "fails NIST)",
+                 true};
+    }
+
+    const SourceInfo &info() const override { return info_; }
+
+    util::BitStream generate(std::size_t num_bits) override
+    {
+        const util::BitStream bits = trng_->generate(num_bits);
+        const auto &st = trng_->lastStats();
+        stats_ = SourceStats{};
+        stats_.bits = bits.size();
+        stats_.sim_ns = st.duration_ns;
+        if (st.bits > 0)
+            stats_.latency64_ns =
+                st.duration_ns / static_cast<double>(st.bits) * 64.0;
+        fillEntropyFields(stats_, bits);
+        return bits;
+    }
+
+    SourceStats stats() const override { return stats_; }
+
+  private:
+    std::unique_ptr<dram::DramDevice> device_;
+    std::unique_ptr<baselines::CmdSchedTrng> trng_;
+    SourceInfo info_;
+    SourceStats stats_;
+};
+
+// --------------------------------------------------------- retention
+
+/** Data-retention baseline (Keller+/Sutar+) behind the interface. */
+class RetentionSource final : public EntropySource
+{
+  public:
+    explicit RetentionSource(const Params &params)
+        : device_(std::make_unique<dram::DramDevice>(
+              deviceConfig(params)))
+    {
+        cfg_.wait_seconds =
+            params.getDouble("wait_seconds", cfg_.wait_seconds);
+        cfg_.bank =
+            static_cast<int>(boundedInt(params, "bank", cfg_.bank, 0));
+        cfg_.row_begin = static_cast<int>(
+            boundedInt(params, "row_begin", cfg_.row_begin, 0));
+        cfg_.rows =
+            static_cast<int>(boundedInt(params, "rows", cfg_.rows, 1));
+        cfg_.words = static_cast<int>(
+            boundedInt(params, "words", cfg_.words, 0));
+        trng_ =
+            std::make_unique<baselines::RetentionTrng>(*device_, cfg_);
+        setContinuousChunkBits(static_cast<std::size_t>(
+            boundedInt(params, "chunk_bits", 256, 1)));
+        params.rejectUnknown("trng source \"retention\"");
+        info_ = {"retention",
+                 "Data-retention-failure TRNG (Keller+/Sutar+; one "
+                 "256-bit hash per wait interval)",
+                 true};
+    }
+
+    const SourceInfo &info() const override { return info_; }
+
+    util::BitStream generate(std::size_t num_bits) override
+    {
+        const util::BitStream bits = trng_->generate(num_bits);
+        const auto &st = trng_->lastStats();
+        stats_ = SourceStats{};
+        stats_.bits = bits.size();
+        stats_.sim_ns = st.sim_seconds * 1e9;
+        stats_.latency64_ns = cfg_.wait_seconds * 1e9;
+        fillEntropyFields(stats_, bits);
+        // Energy: the idle background power burnt across the
+        // refresh-disabled wait, amortized over one 256-bit hash.
+        const power::PowerModel pm(power::PowerSpec::lpddr4(),
+                                   device_->config().timing);
+        stats_.energy_nj_per_bit =
+            pm.idleEnergyNj(cfg_.wait_seconds * 1e9) / 256.0;
+        return bits;
+    }
+
+    SourceStats stats() const override { return stats_; }
+
+  private:
+    std::unique_ptr<dram::DramDevice> device_;
+    baselines::RetentionTrngConfig cfg_;
+    std::unique_ptr<baselines::RetentionTrng> trng_;
+    SourceInfo info_;
+    SourceStats stats_;
+};
+
+// ----------------------------------------------------------- startup
+
+/** Startup-values baseline (Tehranipoor+) behind the interface. The
+ * only non-streaming source: every batch costs a power cycle. */
+class StartupSource final : public EntropySource
+{
+  public:
+    explicit StartupSource(const Params &params)
+        : device_(std::make_unique<dram::DramDevice>(
+              deviceConfig(params)))
+    {
+        cfg_.bank =
+            static_cast<int>(boundedInt(params, "bank", cfg_.bank, 0));
+        cfg_.row_begin = static_cast<int>(
+            boundedInt(params, "row_begin", cfg_.row_begin, 0));
+        cfg_.rows =
+            static_cast<int>(boundedInt(params, "rows", cfg_.rows, 1));
+        cfg_.enroll_cycles = static_cast<int>(boundedInt(
+            params, "enroll_cycles", cfg_.enroll_cycles, 1));
+        cfg_.power_cycle_seconds = params.getDouble(
+            "power_cycle_seconds", cfg_.power_cycle_seconds);
+        trng_ =
+            std::make_unique<baselines::StartupTrng>(*device_, cfg_);
+        params.rejectUnknown("trng source \"startup\"");
+        info_ = {"startup",
+                 "Startup-values TRNG (Tehranipoor+; reboot per batch, "
+                 "cannot stream)",
+                 false};
+    }
+
+    const SourceInfo &info() const override { return info_; }
+
+    util::BitStream generate(std::size_t num_bits) override
+    {
+        if (trng_->enrolledCells() == 0)
+            trng_->enroll();
+        const util::BitStream bits = trng_->generate(num_bits);
+        const auto &st = trng_->lastStats();
+        stats_ = SourceStats{};
+        stats_.bits = bits.size();
+        stats_.sim_ns = st.sim_seconds * 1e9;
+        stats_.latency64_ns = cfg_.power_cycle_seconds * 1e9;
+        fillEntropyFields(stats_, bits);
+        return bits;
+    }
+
+    SourceStats stats() const override { return stats_; }
+
+    std::size_t enrolledCells() const { return trng_->enrolledCells(); }
+
+  private:
+    std::unique_ptr<dram::DramDevice> device_;
+    baselines::StartupTrngConfig cfg_;
+    std::unique_ptr<baselines::StartupTrng> trng_;
+    SourceInfo info_;
+    SourceStats stats_;
+};
+
+// ---------------------------------------------------- registrations
+
+template <typename Source>
+std::unique_ptr<EntropySource>
+makeSource(const Params &params)
+{
+    return std::make_unique<Source>(params);
+}
+
+} // anonymous namespace
+
+DRANGE_TRNG_REGISTER(drange, "drange",
+                     "D-RaNGe activation-failure TRNG (the paper's "
+                     "mechanism, single channel)",
+                     makeSource<DRangeSource>);
+DRANGE_TRNG_REGISTER(multichannel, "multichannel",
+                     "D-RaNGe across independent DRAM channels, "
+                     "thread-parallel harvest",
+                     makeSource<MultiChannelSource>);
+DRANGE_TRNG_REGISTER(streaming, "streaming",
+                     "D-RaNGe streaming pipeline with pluggable "
+                     "conditioning stages and online validation",
+                     makeSource<StreamingSource>);
+DRANGE_TRNG_REGISTER(cmdsched, "cmdsched",
+                     "command-schedule jitter baseline (Pyo+)",
+                     makeSource<CmdSchedSource>);
+DRANGE_TRNG_REGISTER(retention, "retention",
+                     "data-retention-failure baseline "
+                     "(Keller+/Sutar+)",
+                     makeSource<RetentionSource>);
+DRANGE_TRNG_REGISTER(startup, "startup",
+                     "startup-values baseline (Tehranipoor+)",
+                     makeSource<StartupSource>);
+
+} // namespace drange::trng

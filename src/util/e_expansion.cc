@@ -1,0 +1,70 @@
+#include "util/e_expansion.hh"
+
+#include <cstdint>
+#include <vector>
+
+namespace drange::util {
+
+BitStream
+eExpansion(std::size_t count)
+{
+    // Fractional part sum_{k>=2} 1/k! in fixed point with F bits.
+    const std::size_t F = count + 64;
+    const std::size_t L = (F + 63) / 64 + 1;
+    // Big-endian limbs; 1.0 is represented by bit F counted from the
+    // value's LSB, i.e. big-endian bit `top`.
+    std::vector<std::uint64_t> term(L, 0), acc(L, 0);
+    const std::size_t top = 64 * L - 1 - F;
+    term[top / 64] = std::uint64_t{1} << (63 - top % 64);
+
+    std::size_t lead = 0; // First nonzero limb of term (it only shrinks).
+    for (std::uint64_t k = 2;; ++k) {
+        // term /= k: long division, 32 bits at a time (k < 2^32).
+        std::uint64_t rem = 0;
+        bool zero = true;
+        for (std::size_t i = lead; i < L; ++i) {
+            const std::uint64_t hi = (rem << 32) | (term[i] >> 32);
+            const std::uint64_t qhi = hi / k;
+            rem = hi % k;
+            const std::uint64_t lo =
+                (rem << 32) | (term[i] & 0xFFFFFFFFu);
+            const std::uint64_t qlo = lo / k;
+            rem = lo % k;
+            term[i] = (qhi << 32) | qlo;
+            if (term[i])
+                zero = false;
+        }
+        if (zero)
+            break;
+        while (lead < L && term[lead] == 0)
+            ++lead;
+        // acc += term.
+        unsigned carry = 0;
+        for (std::size_t i = L; i-- > 0;) {
+            if (i < lead && !carry)
+                break;
+            const std::uint64_t add = i >= lead ? term[i] : 0;
+            const std::uint64_t sum = acc[i] + add + carry;
+            carry = (sum < acc[i] || (carry && sum == acc[i])) ? 1 : 0;
+            acc[i] = sum;
+        }
+    }
+
+    BitStream bits;
+    bits.append(true);  // Integer part of e = 2 = binary "10".
+    bits.append(false);
+    for (std::size_t i = 1; bits.size() < count; ++i) {
+        const std::size_t pos = top + i; // Fraction bit i, big-endian.
+        bits.append((acc[pos / 64] >> (63 - pos % 64)) & 1);
+    }
+    return bits;
+}
+
+const BitStream &
+eExpansion1M()
+{
+    static const BitStream bits = eExpansion(1000000);
+    return bits;
+}
+
+} // namespace drange::util

@@ -1,0 +1,39 @@
+/**
+ * @file
+ * The canonical NIST SP 800-22 reference sequence: the binary
+ * expansion of e.
+ *
+ * The spec's large worked examples (sections 2.x.8) all use "the first
+ * 1,000,000 binary digits in the expansion of e" (the sts data/data.e
+ * file: the digits of e in base 2 with the radix point dropped, so the
+ * stream starts with the integer part "10"). Rather than shipping a
+ * megabit data file the sequence is regenerated bit-exactly with
+ * fixed-point big-integer arithmetic; the NIST KATs, the health-test
+ * KATs, and benches that want a known-good high-entropy stream all
+ * share this generator.
+ */
+
+#ifndef DRANGE_UTIL_E_EXPANSION_HH
+#define DRANGE_UTIL_E_EXPANSION_HH
+
+#include <cstddef>
+
+#include "util/bitstream.hh"
+
+namespace drange::util {
+
+/**
+ * First @p count binary digits of e ("101011011111100001010100...").
+ *
+ * Computed as the fractional sum e - 2 = sum_{k>=2} 1/k! in fixed
+ * point with 64 guard bits, which is bit-exact for at least the first
+ * 10^6 digits (verified against the SP 800-22 worked examples).
+ */
+BitStream eExpansion(std::size_t count);
+
+/** The canonical 10^6-digit sequence, computed once per process. */
+const BitStream &eExpansion1M();
+
+} // namespace drange::util
+
+#endif // DRANGE_UTIL_E_EXPANSION_HH

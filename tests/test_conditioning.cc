@@ -1,0 +1,347 @@
+/**
+ * @file
+ * Tests for the pluggable conditioning layer: stage behaviour, the
+ * name-keyed stage factory, pipeline composition order and flushing,
+ * per-stage entropy accounting, and the SP 800-90B health tests
+ * (repetition count + adaptive proportion), including their cutoff
+ * formulas and alarm behaviour on injected failure streams.
+ */
+
+#include <memory>
+#include <stdexcept>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "trng/conditioning.hh"
+#include "trng/health.hh"
+#include "util/bitstream.hh"
+#include "util/e_expansion.hh"
+#include "util/rng.hh"
+#include "util/sha256.hh"
+
+namespace {
+
+using namespace drange;
+using namespace drange::trng;
+using drange::util::BitStream;
+
+BitStream
+sha256Of(const BitStream &bits)
+{
+    const auto digest = util::Sha256::hash(bits.toBytesMsbFirst());
+    BitStream out;
+    for (std::uint8_t byte : digest)
+        for (int b = 7; b >= 0; --b)
+            out.append((byte >> b) & 1);
+    return out;
+}
+
+BitStream
+vonNeumannReference(const BitStream &bits)
+{
+    BitStream out;
+    for (std::size_t i = 0; i + 1 < bits.size(); i += 2)
+        if (bits.at(i) != bits.at(i + 1))
+            out.append(bits.at(i));
+    return out;
+}
+
+BitStream
+bernoulliStream(std::uint64_t seed, std::size_t n, double p)
+{
+    util::Xoshiro256ss rng(seed);
+    BitStream bits;
+    for (std::size_t i = 0; i < n; ++i)
+        bits.append(rng.nextBernoulli(p));
+    return bits;
+}
+
+// ----------------------------------------------------- stage factory
+
+TEST(StageFactory, KnowsTheBuiltins)
+{
+    for (const char *name : {"raw", "vonneumann", "sha256", "health"}) {
+        SCOPED_TRACE(name);
+        EXPECT_NE(makeStage(name), nullptr);
+    }
+}
+
+TEST(StageFactory, UnknownNameThrowsListingKnownStages)
+{
+    try {
+        makeStage("sha512");
+        FAIL() << "expected std::invalid_argument";
+    } catch (const std::invalid_argument &e) {
+        const std::string message = e.what();
+        EXPECT_NE(message.find("sha512"), std::string::npos);
+        EXPECT_NE(message.find("vonneumann"), std::string::npos);
+        EXPECT_NE(message.find("sha256"), std::string::npos);
+    }
+}
+
+TEST(StageFactory, CustomStagesRegisterByName)
+{
+    struct InvertStage final : ConditioningStage
+    {
+        std::string name() const override { return "test_invert"; }
+        util::BitStream process(const util::BitStream &chunk) override
+        {
+            BitStream out;
+            for (std::size_t i = 0; i < chunk.size(); ++i)
+                out.append(!chunk.at(i));
+            return out;
+        }
+    };
+    // First registration wins; duplicates are refused, not replaced.
+    const auto factory = [](const Params &)
+        -> std::unique_ptr<ConditioningStage> {
+        return std::make_unique<InvertStage>();
+    };
+    registerStage("test_invert", factory);
+    EXPECT_FALSE(registerStage("test_invert", factory));
+
+    auto stage = makeStage("test_invert");
+    const auto out = stage->process(BitStream::fromString("1100"));
+    EXPECT_EQ(out.toString(), "0011");
+
+    bool listed = false;
+    for (const auto &name : stageNames())
+        listed |= name == "test_invert";
+    EXPECT_TRUE(listed);
+}
+
+// ------------------------------------------------------------ stages
+
+TEST(Stages, RawIsIdentity)
+{
+    RawStage stage;
+    const auto bits = BitStream::fromString("101100111000");
+    EXPECT_EQ(stage.process(bits).toString(), bits.toString());
+}
+
+TEST(Stages, VonNeumannCarriesAcrossChunks)
+{
+    // Odd chunk sizes split pairs across chunk boundaries; the stage
+    // must still equal the whole-stream correction.
+    const auto raw = bernoulliStream(11, 4001, 0.5);
+    VonNeumannStage stage;
+    BitStream streamed;
+    for (std::size_t off = 0; off < raw.size();) {
+        const std::size_t len = std::min<std::size_t>(333,
+                                                      raw.size() - off);
+        streamed.append(stage.process(raw.slice(off, len)));
+        off += len;
+    }
+    streamed.append(stage.finish());
+    EXPECT_EQ(streamed.toString(),
+              vonNeumannReference(raw).toString());
+}
+
+TEST(Stages, Sha256IsChunkLocal)
+{
+    Sha256Stage stage;
+    const auto chunk_a = bernoulliStream(13, 2048, 0.5);
+    const auto chunk_b = bernoulliStream(17, 2048, 0.5);
+    EXPECT_EQ(stage.process(chunk_a).toString(),
+              sha256Of(chunk_a).toString());
+    // No state: a second chunk digests independently.
+    EXPECT_EQ(stage.process(chunk_b).toString(),
+              sha256Of(chunk_b).toString());
+    EXPECT_TRUE(stage.process(BitStream{}).empty());
+}
+
+// ---------------------------------------------------------- pipeline
+
+TEST(Pipeline, AppliesStagesFrontToBack)
+{
+    const auto raw = bernoulliStream(19, 4096, 0.5);
+
+    auto pipeline = makePipeline({"vonneumann", "sha256"});
+    const auto piped = pipeline.process(raw);
+
+    VonNeumannStage vn;
+    const auto reference = sha256Of(vn.process(raw));
+    EXPECT_EQ(piped.toString(), reference.toString());
+}
+
+TEST(Pipeline, CompositionOrderMatters)
+{
+    const auto raw = bernoulliStream(23, 4096, 0.5);
+    auto vn_then_sha = makePipeline({"vonneumann", "sha256"});
+    auto sha_then_vn = makePipeline({"sha256", "vonneumann"});
+    const auto a = vn_then_sha.process(raw);
+    const auto b = sha_then_vn.process(raw);
+    // sha256 -> vonneumann debiases a 256-bit digest (~64 bits out);
+    // vonneumann -> sha256 digests the corrected stream (256 bits).
+    EXPECT_EQ(a.size(), 256u);
+    EXPECT_LT(b.size(), 256u);
+    EXPECT_NE(a.toString(), b.toString().substr(0, a.size()));
+}
+
+TEST(Pipeline, AccountingTracksEveryStageBoundary)
+{
+    const auto raw = bernoulliStream(29, 8192, 0.5);
+    auto pipeline = makePipeline({"vonneumann", "sha256"});
+    pipeline.process(raw);
+
+    const auto &acct = pipeline.accounting();
+    ASSERT_EQ(acct.size(), 2u);
+    EXPECT_EQ(acct[0].stage, "vonneumann");
+    EXPECT_EQ(acct[1].stage, "sha256");
+    EXPECT_EQ(acct[0].in_bits, raw.size());
+    // Von Neumann keeps ~25% of an unbiased stream, exactly feeding
+    // the next stage.
+    EXPECT_GT(acct[0].out_bits, 0u);
+    EXPECT_LT(acct[0].out_bits, raw.size() / 2);
+    EXPECT_EQ(acct[1].in_bits, acct[0].out_bits);
+    EXPECT_EQ(acct[1].out_bits, 256u);
+    // Entropy estimates live in (0, 1].
+    EXPECT_GT(acct[0].inEntropy(), 0.9);
+    EXPECT_LE(acct[0].inEntropy(), 1.0);
+    EXPECT_GT(acct[1].outEntropy(), 0.9);
+
+    pipeline.reset();
+    EXPECT_EQ(pipeline.accounting()[0].in_bits, 0u);
+}
+
+TEST(Pipeline, FinishFlushesBufferedBitsThroughDownstreamStages)
+{
+    // A stage that buffers everything until finish(): its flushed bits
+    // must still traverse the stages after it.
+    struct BufferAllStage final : ConditioningStage
+    {
+        util::BitStream held;
+        std::string name() const override { return "buffer_all"; }
+        util::BitStream process(const util::BitStream &chunk) override
+        {
+            held.append(chunk);
+            return {};
+        }
+        util::BitStream finish() override
+        {
+            util::BitStream out = std::move(held);
+            held = util::BitStream{};
+            return out;
+        }
+        void reset() override { held = util::BitStream{}; }
+    };
+
+    const auto raw = bernoulliStream(31, 2048, 0.5);
+    ConditioningPipeline pipeline;
+    pipeline.addStage(std::make_unique<BufferAllStage>());
+    pipeline.addStage(std::make_unique<Sha256Stage>());
+
+    EXPECT_TRUE(pipeline.process(raw).empty());
+    const auto tail = pipeline.finish();
+    EXPECT_EQ(tail.toString(), sha256Of(raw).toString());
+}
+
+// ------------------------------------------------ SP 800-90B health
+
+TEST(Health, RepetitionCountCutoffMatchesSpecFormula)
+{
+    // SP 800-90B 4.4.1: C = 1 + ceil(-log2(alpha) / H).
+    const double alpha = 9.5367431640625e-07; // 2^-20.
+    EXPECT_EQ(repetitionCountCutoff(1.0, alpha), 21);
+    EXPECT_EQ(repetitionCountCutoff(0.5, alpha), 41);
+    EXPECT_EQ(repetitionCountCutoff(1.0, 0.5), 2);
+}
+
+TEST(Health, AdaptiveProportionCutoffIsAnExactBinomialTail)
+{
+    const double alpha = 9.5367431640625e-07;
+    const int cutoff = adaptiveProportionCutoff(1.0, alpha, 512);
+    // Mean of Binomial(511, 0.5) is 255.5, sigma ~11.3; the 1 - 2^-20
+    // quantile sits near +4.8 sigma.
+    EXPECT_GT(cutoff, 290);
+    EXPECT_LT(cutoff, 330);
+    // Monotonicity: a laxer alpha lowers the cutoff, a lower claimed
+    // entropy raises the expected count and with it the cutoff.
+    EXPECT_LT(adaptiveProportionCutoff(1.0, 1e-3, 512), cutoff);
+    EXPECT_GT(adaptiveProportionCutoff(0.5, alpha, 512), cutoff);
+}
+
+TEST(Health, PassesOnTheCanonicalESequence)
+{
+    // 100k digits of e: full-entropy reference data must raise no
+    // alarms at the 90B-recommended alpha.
+    HealthTestStage stage;
+    const auto bits = util::eExpansion(100000);
+    const auto out = stage.process(bits);
+    EXPECT_EQ(out.toString(), bits.toString()); // Pure passthrough.
+    EXPECT_TRUE(stage.healthy());
+    EXPECT_EQ(stage.failures(), 0u);
+}
+
+TEST(Health, RepetitionCountFlagsAStuckSource)
+{
+    HealthTestStage stage;
+    BitStream stuck;
+    for (int i = 0; i < 1000; ++i)
+        stuck.append(true);
+    stage.process(stuck);
+    EXPECT_FALSE(stage.healthy());
+    // A 1000-bit stuck run re-arms every cutoff (21) repeats.
+    EXPECT_GE(stage.repetitionCount().failures(), 40u);
+    EXPECT_EQ(stage.repetitionCount().cutoff(), 21);
+}
+
+TEST(Health, AdaptiveProportionFlagsALargeBiasShift)
+{
+    // 75%-ones noise: runs stay mostly short but nearly every 512-bit
+    // window blows through the proportion cutoff.
+    HealthTestStage stage;
+    stage.process(bernoulliStream(37, 64 * 512, 0.75));
+    EXPECT_FALSE(stage.healthy());
+    EXPECT_GT(stage.adaptiveProportion().failures(), 20u);
+}
+
+TEST(Health, ResetRearmsTheTests)
+{
+    HealthTestStage stage;
+    BitStream stuck;
+    for (int i = 0; i < 100; ++i)
+        stuck.append(false);
+    stage.process(stuck);
+    ASSERT_FALSE(stage.healthy());
+    stage.reset();
+    EXPECT_TRUE(stage.healthy());
+    stage.process(util::eExpansion(4096));
+    EXPECT_TRUE(stage.healthy());
+}
+
+TEST(Health, ConfigComesFromParamsAndRejectsBadDomains)
+{
+    const Params params{{"health_min_entropy", "0.5"},
+                        {"health_alpha", "0.001"},
+                        {"health_window", "128"}};
+    const auto config = HealthTestConfig::fromParams(params);
+    EXPECT_DOUBLE_EQ(config.min_entropy, 0.5);
+    EXPECT_DOUBLE_EQ(config.alpha, 0.001);
+    EXPECT_EQ(config.window, 128);
+
+    EXPECT_THROW(HealthTestConfig::fromParams(
+                     Params{{"health_min_entropy", "0"}}),
+                 std::invalid_argument);
+    EXPECT_THROW(
+        HealthTestConfig::fromParams(Params{{"health_alpha", "1.5"}}),
+        std::invalid_argument);
+    EXPECT_THROW(
+        HealthTestConfig::fromParams(Params{{"health_window", "1"}}),
+        std::invalid_argument);
+}
+
+TEST(Health, StageIsBuildableFromTheFactoryWithParams)
+{
+    auto stage = makeStage(
+        "health", Params{{"health_min_entropy", "0.5"}});
+    BitStream stuck;
+    for (int i = 0; i < 200; ++i)
+        stuck.append(true);
+    stage->process(stuck);
+    EXPECT_FALSE(stage->healthy());
+    EXPECT_GT(stage->failures(), 0u);
+}
+
+} // namespace

@@ -44,8 +44,9 @@ TEST_P(NistFullSuite, GoodPrngPassesEverything)
     ASSERT_EQ(results.size(), 15u);
     for (const auto &r : results) {
         EXPECT_TRUE(r.pass(kDefaultAlpha)) << r.name << " p=" << r.p_value;
-        if (r.applicable)
+        if (r.applicable) {
             EXPECT_GT(r.p_value, 0.0) << r.name;
+        }
     }
 }
 

@@ -21,6 +21,7 @@
 #include "nist/fft.hh"
 #include "nist/nist.hh"
 #include "util/bitstream.hh"
+#include "util/e_expansion.hh"
 #include "util/rng.hh"
 
 namespace {
@@ -234,76 +235,18 @@ TEST(NistKat, AcceptableProportionMatchesPaper)
 
 // ---- SP 800-22 worked-example KATs on the binary expansion of e -----
 //
-// The spec's large per-test examples (sections 2.x.8) all use "the
-// first 1,000,000 binary digits in the expansion of e" (the sts
-// data/data.e file: the digits of e in base 2 with the radix point
-// dropped, so the stream starts with the integer part "10"). Rather
-// than shipping a megabit data file we regenerate the digits exactly
-// with fixed-point big-integer arithmetic: e = sum 1/k!, accumulated
-// with 64 guard bits, which is bit-exact for the first 10^6 digits.
+// The spec's large per-test examples (sections 2.x.8) all use the
+// first 10^6 binary digits of e, regenerated bit-exactly by
+// util::eExpansion (moved to src/util so the health-test KATs and
+// benches share the canonical sequence).
 
-/** First @p count binary digits of e ("101011011111100001010100..."). */
-BitStream
-eExpansion(std::size_t count)
-{
-    // Fractional part sum_{k>=2} 1/k! in fixed point with F bits.
-    const std::size_t F = count + 64;
-    const std::size_t L = (F + 63) / 64 + 1;
-    // Big-endian limbs; 1.0 is represented by bit F counted from the
-    // value's LSB, i.e. big-endian bit `top`.
-    std::vector<std::uint64_t> term(L, 0), acc(L, 0);
-    const std::size_t top = 64 * L - 1 - F;
-    term[top / 64] = std::uint64_t{1} << (63 - top % 64);
+using drange::util::eExpansion;
+using drange::util::eExpansion1M;
 
-    std::size_t lead = 0; // First nonzero limb of term (it only shrinks).
-    for (std::uint64_t k = 2;; ++k) {
-        // term /= k: long division, 32 bits at a time (k < 2^32).
-        std::uint64_t rem = 0;
-        bool zero = true;
-        for (std::size_t i = lead; i < L; ++i) {
-            const std::uint64_t hi = (rem << 32) | (term[i] >> 32);
-            const std::uint64_t qhi = hi / k;
-            rem = hi % k;
-            const std::uint64_t lo =
-                (rem << 32) | (term[i] & 0xFFFFFFFFu);
-            const std::uint64_t qlo = lo / k;
-            rem = lo % k;
-            term[i] = (qhi << 32) | qlo;
-            if (term[i])
-                zero = false;
-        }
-        if (zero)
-            break;
-        while (lead < L && term[lead] == 0)
-            ++lead;
-        // acc += term.
-        unsigned carry = 0;
-        for (std::size_t i = L; i-- > 0;) {
-            if (i < lead && !carry)
-                break;
-            const std::uint64_t add = i >= lead ? term[i] : 0;
-            const std::uint64_t sum = acc[i] + add + carry;
-            carry = (sum < acc[i] || (carry && sum == acc[i])) ? 1 : 0;
-            acc[i] = sum;
-        }
-    }
-
-    BitStream bits;
-    bits.append(true);  // Integer part of e = 2 = binary "10".
-    bits.append(false);
-    for (std::size_t i = 1; bits.size() < count; ++i) {
-        const std::size_t pos = top + i; // Fraction bit i, big-endian.
-        bits.append((acc[pos / 64] >> (63 - pos % 64)) & 1);
-    }
-    return bits;
-}
-
-/** The canonical 10^6-digit sequence, computed once per process. */
 const BitStream &
 e1M()
 {
-    static const BitStream bits = eExpansion(1000000);
-    return bits;
+    return eExpansion1M();
 }
 
 TEST(NistEKat, ExpansionSelfCheck)

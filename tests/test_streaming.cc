@@ -131,7 +131,7 @@ TEST(Streaming, VonNeumannMatchesWholeStreamCorrection)
     auto trng = makeTrng(2, HarvestMode::Parallel, 31);
     StreamingConfig cfg;
     cfg.chunk_bits = 333;
-    cfg.conditioning = Conditioning::VonNeumann;
+    cfg.conditioning = {"vonneumann"};
     StreamingTrng stream(trng, cfg);
     const auto corrected = stream.generate(8000);
 
@@ -152,7 +152,7 @@ TEST(Streaming, Sha256ConditioningIsDeterministicPerChunk)
 {
     StreamingConfig cfg;
     cfg.chunk_bits = 2048;
-    cfg.conditioning = Conditioning::Sha256;
+    cfg.conditioning = {"sha256"};
 
     auto trng_a = makeTrng(2, HarvestMode::Parallel, 37);
     StreamingTrng stream_a(trng_a, cfg);
