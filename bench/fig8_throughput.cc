@@ -4,8 +4,13 @@
  * TRNG throughput versus the number of banks used, for several dies of
  * each manufacturer, plus the 4-channel maximum / average projection
  * (paper: 717.4 / 435.7 Mb/s).
+ *
+ * Flags: --out <path> redirects the BENCH_fig8_throughput.json report;
+ * --quick runs one die per manufacturer with fewer bits per point
+ * (CI-sized, same metrics).
  */
 
+#include <chrono>
 #include <cstdio>
 #include <map>
 #include <vector>
@@ -18,13 +23,17 @@
 using namespace drange;
 
 int
-main()
+main(int argc, char **argv)
 {
     bench::banner("Figure 8 / Section 7.3 throughput",
                   "TRNG throughput vs banks used; 4-channel projection");
 
-    const int kDies = 3;
-    const std::size_t kBitsPerPoint = 30000;
+    const bool quick = bench::hasFlag(argc, argv, "--quick");
+    const int kDies = quick ? 1 : 3;
+    const std::size_t kBitsPerPoint = quick ? 10000 : 30000;
+
+    bench::BenchReport report("fig8_throughput", argc, argv);
+    const auto host_t0 = std::chrono::steady_clock::now();
 
     double best_channel = 0.0;
     std::vector<double> all_8bank;
@@ -64,6 +73,12 @@ main()
                           util::Table::num(bw.max, 1)});
         }
         std::printf("%s", table.toString().c_str());
+
+        if (!by_banks[8].empty()) {
+            report.add("mbps_8bank_median_" + dram::toString(mfr),
+                       util::BoxWhisker::of(by_banks[8]).median, "Mb/s",
+                       bench::BenchReport::Better::Higher);
+        }
     }
 
     const double avg_8bank = util::mean(all_8bank);
@@ -79,14 +94,27 @@ main()
             bench::benchDevice(dram::Manufacturer::A, 500, 0), 4,
             bench::benchTrngConfig(8));
         four.initialize();
-        four.generate(60000);
+        four.generate(quick ? 20000 : 60000);
         std::printf("  measured 4-channel aggregate (mfr A dies): "
                     "%.1f Mb/s\n",
                     four.throughputMbps());
+        report.add("mbps_4channel_measured", four.throughputMbps(),
+                   "Mb/s", bench::BenchReport::Better::Higher);
     }
     std::printf("\nPaper reference: throughput scales linearly with "
                 "banks; every device exceeds 40 Mb/s at 8 banks; "
                 "single-channel peaks 179.4/134.5/179.4 Mb/s for "
                 "A/B/C.\n");
+
+    const double host_s =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      host_t0)
+            .count();
+    std::printf("host wall clock: %.1f s\n", host_s);
+    report.add("host_total_s", host_s, "s",
+               bench::BenchReport::Better::Lower, /*host=*/true);
+    report.add("projection_max_mbps", 4.0 * best_channel, "Mb/s",
+               bench::BenchReport::Better::Higher);
+    report.write();
     return 0;
 }

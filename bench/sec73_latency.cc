@@ -40,11 +40,12 @@ analyticLatencyNs(const dram::TimingParams &t, int total_bits,
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
     bench::banner("Section 7.3 latency",
                   "Latency to generate a 64-bit random value");
 
+    bench::BenchReport report("sec73_latency", argc, argv);
     const auto t = dram::TimingParams::lpddr4_3200();
     util::Table table(
         {"Scenario", "analytic", "paper", "note"});
@@ -81,5 +82,14 @@ main()
 
     std::printf("\nPaper reference: 960 ns worst case, 220 ns fully "
                 "parallel, 100 ns empirical minimum.\n");
+
+    report.add("analytic_worst_ns", analyticLatencyNs(t, 64, 1, 1, 10.0),
+               "ns", bench::BenchReport::Better::Lower);
+    report.add("analytic_parallel_ns",
+               analyticLatencyNs(t, 64, 32, 1, 10.0), "ns",
+               bench::BenchReport::Better::Lower);
+    report.add("measured_first_word_ns", trng.lastStats().first_word_ns,
+               "ns", bench::BenchReport::Better::Lower);
+    report.write();
     return 0;
 }

@@ -195,10 +195,17 @@ DRangeTrng::runRound(util::BitStream &out)
             std::uint64_t value = 0;
             scheduler_->read(sel.bank, sel.words[d].word, value);
             ++stats_.reads;
+            // Gather the word's RNG-cell bits locally and append them
+            // in one word-level operation (a word holds at most ~4
+            // cells, paper Figure 7, so one gather always suffices).
+            std::uint64_t gathered = 0;
+            int count = 0;
             for (int bit : sel.bits[d]) {
-                out.append((value >> bit) & 1);
-                ++harvested;
+                gathered |= ((value >> bit) & 1) << count;
+                ++count;
             }
+            out.appendBits(gathered, count);
+            harvested += count;
         }
         for (std::size_t i = 0; i < n; ++i) {
             const auto &sel = selection_[i];

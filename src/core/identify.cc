@@ -1,15 +1,35 @@
 #include "core/identify.hh"
 
 #include <algorithm>
+#include <array>
 #include <map>
 
 #include "util/entropy.hh"
 
 namespace drange::core {
 
-RngCellIdentifier::RngCellIdentifier(dram::DirectHost &host) : host_(host)
+namespace {
+
+/**
+ * In-place 64x64 bit-matrix transpose (Hacker's Delight 7-3): after the
+ * call, bit s of out[b] is bit b of the s-th input word. Lets
+ * sampleWord turn 64 reads into one 64-bit append per bit stream
+ * instead of 64 single-bit appends.
+ */
+void
+transpose64(std::array<std::uint64_t, 64> &m)
 {
+    std::uint64_t mask = 0x00000000FFFFFFFFULL;
+    for (int j = 32; j != 0; j >>= 1, mask ^= mask << j) {
+        for (int k = 0; k < 64; k = (k + j + 1) & ~j) {
+            const std::uint64_t t = (m[k + j] ^ (m[k] >> j)) & mask;
+            m[k + j] ^= t;
+            m[k] ^= t << j;
+        }
+    }
 }
+
+} // anonymous namespace
 
 std::vector<util::BitStream>
 RngCellIdentifier::sampleWord(const dram::WordAddress &word,
@@ -17,17 +37,42 @@ RngCellIdentifier::sampleWord(const dram::WordAddress &word,
                               int samples)
 {
     std::vector<util::BitStream> streams(64);
+    for (auto &s : streams)
+        s.reserve(samples);
     const std::uint64_t original = pattern.wordAt(word.row, word.word);
 
+    // Collect reads in 64-sample blocks and bit-transpose each block so
+    // the per-bit streams grow by whole words (the per-bit append loop
+    // used to dominate identification).
+    std::array<std::uint64_t, 64> block;
+    int fill = 0;
+    auto flush = [&]() {
+        if (fill == 0)
+            return;
+        std::fill(block.begin() + fill, block.end(), 0);
+        transpose64(block);
+        for (int b = 0; b < 64; ++b) {
+            // Transposed lane b holds this bit's value per sample, with
+            // sample index s in bit position s.
+            streams[b].appendBits(block[b], fill);
+        }
+        fill = 0;
+    };
+
     for (int s = 0; s < samples; ++s) {
-        const std::uint64_t value =
+        block[fill++] =
             host_.actReadPre(word.bank, word.row, word.word, trcd_ns);
-        for (int b = 0; b < 64; ++b)
-            streams[b].append((value >> b) & 1);
         // Restore the original pattern (Algorithm 2 lines 10/14).
         host_.writeWord(word.bank, word.row, word.word, original);
+        if (fill == 64)
+            flush();
     }
+    flush();
     return streams;
+}
+
+RngCellIdentifier::RngCellIdentifier(dram::DirectHost &host) : host_(host)
+{
 }
 
 std::vector<RngCell>

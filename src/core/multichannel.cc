@@ -1,7 +1,9 @@
 #include "core/multichannel.hh"
 
 #include <algorithm>
+#include <exception>
 #include <stdexcept>
+#include <thread>
 
 #include "core/streaming.hh"
 #include "util/rng.hh"
@@ -32,8 +34,27 @@ MultiChannelTrng::MultiChannelTrng(const dram::DeviceConfig &base_config,
 void
 MultiChannelTrng::initialize()
 {
-    for (auto &engine : engines_)
-        engine->initialize();
+    // Profiling + identification touch only the channel's own device,
+    // so channels initialize concurrently just like they harvest; the
+    // result is identical to the serial order since each engine is a
+    // pure function of its own (die seed, noise seed) pair.
+    std::vector<std::thread> workers;
+    std::vector<std::exception_ptr> errors(engines_.size());
+    workers.reserve(engines_.size());
+    for (std::size_t i = 0; i < engines_.size(); ++i) {
+        workers.emplace_back([this, &errors, i] {
+            try {
+                engines_[i]->initialize();
+            } catch (...) {
+                errors[i] = std::current_exception();
+            }
+        });
+    }
+    for (auto &w : workers)
+        w.join();
+    for (const auto &error : errors)
+        if (error)
+            std::rethrow_exception(error);
 }
 
 int

@@ -170,6 +170,13 @@ StreamingTrng::pushPending(std::size_t engine_idx,
     chunk.last = last;
     chunk.bits = std::move(pending);
     pending = util::BitStream{};
+    // Chunks end on round boundaries, so the next buffer fills to
+    // chunk_bits plus at most one round's harvest; reserving up front
+    // keeps the harvest loop free of reallocations.
+    if (!last) {
+        pending.reserve(config_.chunk_bits +
+                        engines_[engine_idx]->bitsPerRound());
+    }
     return queue_->push(std::move(chunk));
 }
 
@@ -182,6 +189,7 @@ StreamingTrng::producerLoop(std::size_t engine_idx, int rounds,
     producer_stats_[engine_idx].start_ns = engine.scheduler().now();
 
     util::BitStream pending;
+    pending.reserve(config_.chunk_bits + engine.bitsPerRound());
     bool open = true;
     for (std::uint64_t r = 0;
          open && (continuous || r < static_cast<std::uint64_t>(rounds));
@@ -211,6 +219,9 @@ StreamingTrng::serialProducerLoop(std::vector<int> rounds,
     }
 
     std::vector<util::BitStream> pending(n);
+    for (std::size_t ch = 0; ch < n; ++ch)
+        pending[ch].reserve(config_.chunk_bits +
+                            engines_[ch]->bitsPerRound());
     const std::uint64_t max_rounds =
         continuous ? 0
                    : static_cast<std::uint64_t>(*std::max_element(

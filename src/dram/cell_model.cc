@@ -1,7 +1,9 @@
 #include "dram/cell_model.hh"
 
 #include <algorithm>
+#include <cassert>
 #include <cmath>
+#include <limits>
 
 #include "util/rng.hh"
 #include "util/special_math.hh"
@@ -30,11 +32,38 @@ enum HashTag : std::uint64_t {
  */
 const double kStrongColumnBonus = 0.25;
 
+/**
+ * Margin shift (normalized volts, expressed in noise sigmas) beyond a
+ * read failure at which the sense amplifier itself latches the wrong
+ * value, corrupting the cell. Read failures shallower than this are
+ * transient: the amplifier recovers and restores the correct value after
+ * the READ already sampled garbage.
+ */
+const double kLatchDepthSigma = 1.0;
+
+/** Failure probabilities below this are treated as zero: the device
+ * consumes no noise draw for them. Must match the fixed-point fill. */
+const double kNegligibleDrawProb = 1e-12;
+
 // (The repair floor is derived from the profile's plateau and edge
 // parameters; see cellJitter.)
 
 /** Worst-case characterized temperature (paper tests up to 70 C). */
 const double kWorstTempC = 70.0;
+
+/** 2^53: the fixed-point scale of ThresholdPair (the top 53 bits of a
+ * Xoshiro draw are exactly the uniform double the scalar path used). */
+const double kFixedOne = 9007199254740992.0;
+
+std::uint64_t
+fixedPoint53(double p)
+{
+    if (p < kNegligibleDrawProb)
+        return 0;
+    if (p >= 1.0)
+        return static_cast<std::uint64_t>(kFixedOne);
+    return static_cast<std::uint64_t>(std::ceil(p * kFixedOne));
+}
 
 } // anonymous namespace
 
@@ -44,77 +73,98 @@ CellModel::CellModel(const DeviceConfig &config)
 {
 }
 
-namespace {
-
-std::uint64_t
-cacheKey(int bank, int subarray, long long column)
+int
+CellModel::subarraysPerBank() const
 {
-    return (static_cast<std::uint64_t>(bank) << 44) |
-           (static_cast<std::uint64_t>(subarray) << 24) |
-           static_cast<std::uint64_t>(column);
+    return (geometry_.rows_per_bank + profile_.subarray_rows - 1) /
+           profile_.subarray_rows;
 }
 
-} // anonymous namespace
+// ---------------------------------------------------------------------
+// Flat per-(bank, subarray) tables.
+// ---------------------------------------------------------------------
 
-ColumnParams
-CellModel::columnParams(int bank, int subarray, long long column) const
+CellModel::SubarrayStatics &
+CellModel::subarray(int bank, int subarray) const
 {
-    const std::uint64_t key = cacheKey(bank, subarray, column);
-    auto it = col_cache_.find(key);
-    if (it != col_cache_.end())
-        return it->second;
+    if (subarrays_.empty()) {
+        subarrays_.resize(static_cast<std::size_t>(geometry_.banks) *
+                          subarraysPerBank());
+    }
+    auto &slot = subarrays_.at(static_cast<std::size_t>(bank) *
+                                   subarraysPerBank() +
+                               subarray);
+    if (slot)
+        return *slot;
 
-    ColumnParams p;
-    // Weak columns cluster: sense-amplifier stripe defects make groups
-    // of adjacent columns weak together, which is what lets single DRAM
-    // words contain up to 4 RNG cells (paper Figure 7).
-    const long long group = column / 4;
-    const std::uint64_t hg = util::hashMix(
-        {seed_, kTagWeakCol, static_cast<std::uint64_t>(bank),
-         static_cast<std::uint64_t>(subarray),
-         static_cast<std::uint64_t>(group)});
-    const bool group_weak = util::u64ToUnitDouble(hg) <
-                            profile_.weak_col_fraction / 0.7;
-    if (group_weak) {
-        const std::uint64_t hw = util::hashMix(
-            {seed_, kTagWeakCol + 1, static_cast<std::uint64_t>(bank),
+    auto table = std::make_unique<SubarrayStatics>();
+    const long long row_bits = geometry_.rowBits();
+    table->cols.resize(row_bits);
+    table->weak_slot.assign(row_bits, -1);
+    table->weak_mask.assign((row_bits + 63) / 64, 0);
+    table->col_statics.resize(row_bits);
+
+    for (long long c = 0; c < row_bits; ++c) {
+        ColumnParams p;
+        // Weak columns cluster: sense-amplifier stripe defects make
+        // groups of adjacent columns weak together, which is what lets
+        // single DRAM words contain up to 4 RNG cells (paper Figure 7).
+        const long long group = c / 4;
+        const std::uint64_t hg = util::hashMix(
+            {seed_, kTagWeakCol, static_cast<std::uint64_t>(bank),
              static_cast<std::uint64_t>(subarray),
-             static_cast<std::uint64_t>(column)});
-        p.weak = util::u64ToUnitDouble(hw) < 0.7;
-    }
+             static_cast<std::uint64_t>(group)});
+        const bool group_weak = util::u64ToUnitDouble(hg) <
+                                profile_.weak_col_fraction / 0.7;
+        if (group_weak) {
+            const std::uint64_t hw = util::hashMix(
+                {seed_, kTagWeakCol + 1, static_cast<std::uint64_t>(bank),
+                 static_cast<std::uint64_t>(subarray),
+                 static_cast<std::uint64_t>(c)});
+            p.weak = util::u64ToUnitDouble(hw) < 0.7;
+        }
 
-    const std::uint64_t ht = util::hashMix(
-        {seed_, kTagTau, static_cast<std::uint64_t>(bank),
-         static_cast<std::uint64_t>(subarray),
-         static_cast<std::uint64_t>(column)});
-    const double g = util::u64ToGaussian(ht);
-    if (p.weak) {
-        p.tau_ns = profile_.tau_weak_ns *
-                   std::exp(profile_.tau_weak_sigma * g);
-    } else {
-        p.tau_ns = profile_.tau_strong_ns *
-                   std::exp(profile_.tau_strong_sigma * g);
+        const std::uint64_t ht = util::hashMix(
+            {seed_, kTagTau, static_cast<std::uint64_t>(bank),
+             static_cast<std::uint64_t>(subarray),
+             static_cast<std::uint64_t>(c)});
+        const double g = util::u64ToGaussian(ht);
+        if (p.weak) {
+            p.tau_ns = profile_.tau_weak_ns *
+                       std::exp(profile_.tau_weak_sigma * g);
+            table->weak_slot[c] = table->weak_count++;
+            table->weak_mask[c / 64] |= std::uint64_t{1} << (c % 64);
+        } else {
+            p.tau_ns = profile_.tau_strong_ns *
+                       std::exp(profile_.tau_strong_sigma * g);
+        }
+        table->cols[c] = p;
     }
-    col_cache_.emplace(key, p);
-    return p;
+    slot = std::move(table);
+    return *slot;
+}
+
+const ColumnParams &
+CellModel::columnParams(int bank, int sa, long long column) const
+{
+    return subarray(bank, sa).cols.at(column);
 }
 
 const CellModel::CellStatics &
 CellModel::cellStatics(const CellAddress &addr) const
 {
-    const int subarray = addr.row / profile_.subarray_rows;
+    const int sa_idx = addr.row / profile_.subarray_rows;
     const int row_in = addr.row % profile_.subarray_rows;
-    const std::uint64_t key = cacheKey(addr.bank, subarray, addr.column);
+    SubarrayStatics &sa = subarray(addr.bank, sa_idx);
 
-    auto it = statics_cache_.find(key);
-    if (it == statics_cache_.end()) {
+    auto &col = sa.col_statics.at(addr.column);
+    if (!col) {
         // Fill the whole column of this subarray in one pass.
-        const ColumnParams cp =
-            columnParams(addr.bank, subarray, addr.column);
-        std::vector<CellStatics> column(profile_.subarray_rows);
+        const ColumnParams &cp = sa.cols[addr.column];
+        col = std::make_unique<CellStatics[]>(profile_.subarray_rows);
         for (int r = 0; r < profile_.subarray_rows; ++r) {
             const CellAddress a{addr.bank,
-                                subarray * profile_.subarray_rows + r,
+                                sa_idx * profile_.subarray_rows + r,
                                 addr.column};
             const double row_frac =
                 static_cast<double>(r) /
@@ -124,19 +174,127 @@ CellModel::cellStatics(const CellAddress &addr) const
             cs.jitter = cellJitter(a, cs.tau_ns);
             cs.temp_coeff = tempCoeff(a);
             cs.sensitive = sensitiveValue(a);
-            column[r] = cs;
+            col[r] = cs;
         }
-        it = statics_cache_.emplace(key, std::move(column)).first;
     }
-    return it->second[row_in];
+    return col[row_in];
 }
 
 bool
 CellModel::isWeakColumn(const CellAddress &addr) const
 {
-    const int subarray = addr.row / profile_.subarray_rows;
-    return columnParams(addr.bank, subarray, addr.column).weak;
+    const int sa = addr.row / profile_.subarray_rows;
+    return subarray(addr.bank, sa).cols.at(addr.column).weak;
 }
+
+// ---------------------------------------------------------------------
+// Operating-point threshold tables.
+// ---------------------------------------------------------------------
+
+CellModel::SubarrayStatics::OperatingPoint &
+CellModel::operatingPoint(int bank, int sa_idx, double elapsed_ns,
+                          double temp_c) const
+{
+    SubarrayStatics &sa = subarray(bank, sa_idx);
+    SubarrayStatics::OperatingPoint *lru = nullptr;
+    for (auto &op : sa.ops) {
+        if (op->elapsed_ns == elapsed_ns && op->temp_c == temp_c) {
+            op->stamp = ++op_clock_;
+            return *op;
+        }
+        if (!lru || op->stamp < lru->stamp)
+            lru = op.get();
+    }
+
+    SubarrayStatics::OperatingPoint *op;
+    if (static_cast<int>(sa.ops.size()) < kMaxOperatingPoints) {
+        sa.ops.push_back(
+            std::make_unique<SubarrayStatics::OperatingPoint>());
+        op = sa.ops.back().get();
+    } else {
+        // Evict the least recently used point: timing/temperature
+        // changed more often than the cache can hold, so its
+        // thresholds are stale for the new operating conditions.
+        op = lru;
+        op->cells.clear();
+    }
+    op->elapsed_ns = elapsed_ns;
+    op->temp_c = temp_c;
+    op->stamp = ++op_clock_;
+    op->bank = bank;
+    op->subarray = sa_idx;
+    op->owner = &sa;
+    op->cells.resize(static_cast<std::size_t>(sa.weak_count) *
+                     profile_.subarray_rows);
+    return *op;
+}
+
+CellModel::CellThresholds &
+CellModel::cellThresholds(SubarrayStatics::OperatingPoint &op,
+                          long long column, int row_in) const
+{
+    const std::int32_t slot = op.owner->weak_slot[column];
+    assert(slot >= 0 && "thresholds requested for a strong column");
+    auto &cell = op.cells[static_cast<std::size_t>(slot) *
+                              profile_.subarray_rows +
+                          row_in];
+    if (!cell) {
+        cell = std::make_unique<CellThresholds>();
+        const CellAddress addr{
+            op.bank, op.subarray * profile_.subarray_rows + row_in,
+            column};
+        cell->sensitive = cellStatics(addr).sensitive;
+    }
+    return *cell;
+}
+
+void
+CellModel::fillBucket(const SubarrayStatics::OperatingPoint &op,
+                      CellThresholds &ct, long long column, int row_in,
+                      int bucket) const
+{
+    const int d_idx = bucket % kDroopLevels;
+    const int rest = bucket / kDroopLevels;
+    const int a_idx = rest % kAntiLevels;
+    const bool sv = rest / kAntiLevels != 0;
+    const double a = a_idx / 4.0;
+    const double d = d_idx / 16.0;
+
+    const ColumnParams &cp = op.owner->cols[column];
+    const CellAddress addr{
+        op.bank, op.subarray * profile_.subarray_rows + row_in, column};
+    const CellStatics &cs = cellStatics(addr);
+
+    double m = development(op.elapsed_ns, cs.tau_ns) -
+               profile_.sense_threshold;
+    if (!cp.weak)
+        m += kStrongColumnBonus;
+    m += cs.jitter;
+    if (sv)
+        m -= profile_.value_weight;
+    m -= profile_.neighbor_weight * a;
+    m -= profile_.droop_weight * d;
+    m -= cs.temp_coeff * (op.temp_c - profile_.reference_temp_c);
+
+    double scale = 1.0;
+    if (sv)
+        scale += profile_.window_value_boost;
+    scale += profile_.window_neighbor_boost * a;
+    scale += profile_.window_droop_boost * d;
+
+    ThresholdPair pair;
+    const double p = failureFromMargin(m, scale);
+    if (p >= kNegligibleDrawProb) {
+        pair.fail = fixedPoint53(p);
+        pair.deep = fixedPoint53(deepFailureProbability(m, scale));
+    }
+    ct.t[bucket] = pair;
+    ct.valid[bucket >> 6] |= std::uint64_t{1} << (bucket & 63);
+}
+
+// ---------------------------------------------------------------------
+// The double-precision margin model (bucket fill + analytic queries).
+// ---------------------------------------------------------------------
 
 double
 CellModel::development(double elapsed_ns, double tau_ns) const
@@ -204,9 +362,8 @@ double
 CellModel::margin(const CellAddress &addr, double elapsed_ns,
                   const SenseContext &ctx) const
 {
-    const int subarray = addr.row / profile_.subarray_rows;
-    const ColumnParams cp =
-        columnParams(addr.bank, subarray, addr.column);
+    const int sa = addr.row / profile_.subarray_rows;
+    const ColumnParams &cp = columnParams(addr.bank, sa, addr.column);
     const CellStatics &cs = cellStatics(addr);
 
     // Rows farther from the local sense amplifiers develop more slowly
@@ -240,6 +397,14 @@ CellModel::failureFromMargin(double m, double window_scale) const
         return 0.5; // Metastable plateau: a perfectly fair coin.
     return util::normalCdf(
         -m_eff / (profile_.edge_sigma_ratio * profile_.noise_sigma));
+}
+
+double
+CellModel::deepFailureProbability(double m, double window_scale) const
+{
+    const double p_shift = failureFromMargin(
+        m + kLatchDepthSigma * profile_.noise_sigma, window_scale);
+    return std::clamp(2.0 * (p_shift - 0.5), 0.0, 1.0);
 }
 
 double
@@ -285,6 +450,10 @@ CellModel::strongColumnCeiling(double elapsed_ns, double temp_c) const
                                     profile_.window_droop_boost);
 }
 
+// ---------------------------------------------------------------------
+// Retention.
+// ---------------------------------------------------------------------
+
 double
 CellModel::retentionSeconds(const CellAddress &addr, double temp_c) const
 {
@@ -301,38 +470,145 @@ CellModel::retentionSeconds(const CellAddress &addr, double temp_c) const
     return std::pow(10.0, log10_t45 - derate);
 }
 
+double
+CellModel::rowRetentionFloorSeconds(int bank, int row,
+                                    double temp_c) const
+{
+    if (row_min_ret_log10_.empty()) {
+        row_min_ret_log10_.assign(
+            static_cast<std::size_t>(geometry_.banks) *
+                geometry_.rows_per_bank,
+            std::numeric_limits<double>::quiet_NaN());
+    }
+    double &slot = row_min_ret_log10_.at(
+        static_cast<std::size_t>(bank) * geometry_.rows_per_bank + row);
+    if (std::isnan(slot)) {
+        // u64ToGaussian is monotone in the hash's top 53 bits, so the
+        // row minimum needs one inverse-CDF, not one per cell.
+        std::uint64_t min_top = ~std::uint64_t{0} >> 11;
+        for (long long c = 0; c < geometry_.rowBits(); ++c) {
+            const std::uint64_t h = util::hashMix(
+                {seed_, kTagRetention, static_cast<std::uint64_t>(bank),
+                 static_cast<std::uint64_t>(row),
+                 static_cast<std::uint64_t>(c)});
+            min_top = std::min(min_top, h >> 11);
+        }
+        const double g = util::inverseNormalCdf(
+            (static_cast<double>(min_top) + 0.5) * 0x1.0p-53);
+        slot = profile_.retention_log10_mean +
+               profile_.retention_log10_sigma * g;
+    }
+    const double derate = (temp_c - profile_.reference_temp_c) /
+                          profile_.retention_temp_halving_c *
+                          std::log10(2.0);
+    return std::pow(10.0, slot - derate -
+                              kVrtGuardSigma *
+                                  profile_.retention_vrt_sigma);
+}
+
 bool
 CellModel::isTrueCell(const CellAddress &addr)
 {
     return addr.row % 2 == 0;
 }
 
-bool
-CellModel::startupIsNoisy(const CellAddress &addr) const
+// ---------------------------------------------------------------------
+// Startup values (word-granular).
+// ---------------------------------------------------------------------
+
+std::uint64_t
+CellModel::frozenBernoulliWord(std::uint64_t tag, int bank, int row,
+                               int word, double p) const
 {
-    const std::uint64_t h = util::hashMix(
-        {seed_, kTagStartupNoisy, static_cast<std::uint64_t>(addr.bank),
-         static_cast<std::uint64_t>(addr.row),
-         static_cast<std::uint64_t>(addr.column)});
-    return util::u64ToUnitDouble(h) < profile_.startup_random_fraction;
+    // Bitsliced fixed-point comparison: each cell's frozen uniform is
+    // built one bitplane at a time (MSB first) and compared against
+    // round(p * 2^16); planes stop as soon as every lane has resolved,
+    // which takes ~7 hashes per word instead of one per bit.
+    const auto t = static_cast<std::uint64_t>(
+        std::clamp(std::llround(p * 65536.0), 0LL, 65536LL));
+    if (t == 0)
+        return 0;
+    if (t >= 65536)
+        return ~std::uint64_t{0};
+
+    std::uint64_t lt = 0;
+    std::uint64_t eq = ~std::uint64_t{0};
+    for (int plane = 15; plane >= 0 && eq != 0; --plane) {
+        const std::uint64_t h = util::hashMix(
+            {seed_, tag, static_cast<std::uint64_t>(bank),
+             static_cast<std::uint64_t>(row),
+             static_cast<std::uint64_t>(word),
+             static_cast<std::uint64_t>(plane)});
+        if ((t >> plane) & 1) {
+            lt |= eq & ~h;
+            eq &= h;
+        } else {
+            eq &= ~h;
+        }
+    }
+    return lt;
+}
+
+const CellModel::StartupRow &
+CellModel::startupRow(int bank, int row) const
+{
+    if (startup_rows_.empty()) {
+        startup_rows_.resize(static_cast<std::size_t>(geometry_.banks) *
+                             geometry_.rows_per_bank);
+    }
+    auto &slot = startup_rows_.at(
+        static_cast<std::size_t>(bank) * geometry_.rows_per_bank + row);
+    if (slot)
+        return *slot;
+
+    auto sr = std::make_unique<StartupRow>();
+    const int words = static_cast<int>((geometry_.rowBits() + 63) / 64);
+    sr->fixed.resize(words);
+    sr->noisy.resize(words);
+    for (int w = 0; w < words; ++w) {
+        sr->fixed[w] = util::hashMix(
+            {seed_, kTagStartupFixed, static_cast<std::uint64_t>(bank),
+             static_cast<std::uint64_t>(row),
+             static_cast<std::uint64_t>(w)});
+        sr->noisy[w] = frozenBernoulliWord(
+            kTagStartupNoisy, bank, row, w,
+            profile_.startup_random_fraction);
+    }
+    slot = std::move(sr);
+    return *slot;
+}
+
+std::uint64_t
+CellModel::startupWord(const StartupRow &sr, int bank, int row, int word,
+                       std::uint64_t epoch) const
+{
+    std::uint64_t value = sr.fixed[word];
+    if (const std::uint64_t noisy = sr.noisy[word]; noisy != 0) {
+        const std::uint64_t draw = util::hashMix(
+            {seed_, kTagStartupEpoch, epoch,
+             static_cast<std::uint64_t>(bank),
+             static_cast<std::uint64_t>(row),
+             static_cast<std::uint64_t>(word)});
+        value = (value & ~noisy) | (draw & noisy);
+    }
+    return value;
 }
 
 bool
 CellModel::startupValue(const CellAddress &addr, std::uint64_t epoch) const
 {
-    if (startupIsNoisy(addr)) {
-        const std::uint64_t h = util::hashMix(
-            {seed_, kTagStartupEpoch, epoch,
-             static_cast<std::uint64_t>(addr.bank),
-             static_cast<std::uint64_t>(addr.row),
-             static_cast<std::uint64_t>(addr.column)});
-        return h & 1;
-    }
-    const std::uint64_t h = util::hashMix(
-        {seed_, kTagStartupFixed, static_cast<std::uint64_t>(addr.bank),
-         static_cast<std::uint64_t>(addr.row),
-         static_cast<std::uint64_t>(addr.column)});
-    return h & 1;
+    const StartupRow &sr = startupRow(addr.bank, addr.row);
+    const int word = static_cast<int>(addr.column / 64);
+    return (startupWord(sr, addr.bank, addr.row, word, epoch) >>
+            (addr.column % 64)) &
+           1;
+}
+
+bool
+CellModel::startupIsNoisy(const CellAddress &addr) const
+{
+    const StartupRow &sr = startupRow(addr.bank, addr.row);
+    return (sr.noisy[addr.column / 64] >> (addr.column % 64)) & 1;
 }
 
 } // namespace drange::dram

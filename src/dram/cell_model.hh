@@ -17,13 +17,24 @@
  * device seed and cell coordinates, so a device behaves identically
  * across runs and across re-instantiations, mirroring Section 5.4's
  * observation that failure probabilities are stable over time.
+ *
+ * Hot-path layout: instead of hash maps keyed by cell coordinates, the
+ * model keeps one flat SubarrayStatics table per (bank, subarray) --
+ * dense column-parameter vectors, per-word weak-column bitmasks, and,
+ * per operating point (elapsed-after-ACT, temperature), lazily filled
+ * fixed-point failure thresholds per weak cell, indexed by a quantized
+ * SenseContext. The device's first-READ loop then costs one PRNG draw
+ * and one integer compare per weak bit; the double-precision math runs
+ * only when a threshold bucket is first filled, when a strong column
+ * must be evaluated (very aggressive tRCD), and for metastable /
+ * latch-depth resolution bookkeeping at fill time.
  */
 
 #ifndef DRANGE_DRAM_CELL_MODEL_HH
 #define DRANGE_DRAM_CELL_MODEL_HH
 
 #include <cstdint>
-#include <unordered_map>
+#include <memory>
 #include <vector>
 
 #include "dram/address.hh"
@@ -56,16 +67,125 @@ struct ColumnParams
 
 /**
  * The analog cell model. Stateless aside from the configuration; all
- * queries are pure functions.
+ * queries are pure functions of (seed, coordinates, operating point).
+ * The mutable members are caches of derived data only.
  */
 class CellModel
 {
   public:
+    // ------------------------------------------------------------------
+    // SenseContext quantization for the fixed-point threshold tables.
+    //
+    // anti_neighbor_frac is quantized to k/4 (a cell has at most 4
+    // physical neighbours, so interior cells are represented exactly);
+    // same_direction_frac to k/16. stored==sensitive is one bit. A
+    // bucket therefore deviates from the exact context by at most half
+    // a quantization step, which moves the sense margin by less than
+    // droop_weight/32 (~0.03 noise sigmas) -- far inside the metastable
+    // plateau that makes RNG cells fair coins.
+    // ------------------------------------------------------------------
+    static constexpr int kAntiLevels = 5;
+    static constexpr int kDroopLevels = 17;
+    static constexpr int kContextBuckets = 2 * kAntiLevels * kDroopLevels;
+
+    /** 53-bit fixed-point failure thresholds of one context bucket: a
+     * READ fails iff (Xoshiro draw >> 11) < fail; a failing READ also
+     * latches the wrong value into the array iff the same draw < deep.
+     * fail == 0 encodes "negligible, consume no draw". */
+    struct ThresholdPair
+    {
+        std::uint64_t fail = 0;
+        std::uint64_t deep = 0;
+    };
+
+    /** Lazily filled per-cell threshold table for one operating point. */
+    struct CellThresholds
+    {
+        bool sensitive = false; //!< Stored value the cell fails on.
+        std::uint64_t valid[(kContextBuckets + 63) / 64] = {};
+        ThresholdPair t[kContextBuckets];
+    };
+
+    /** Frozen per-cell parameters (flat-cached per column). */
+    struct CellStatics
+    {
+        double tau_ns;     //!< Column tau with the row-distance factor.
+        double jitter;     //!< Margin jitter incl. factory-repair lift.
+        double temp_coeff; //!< Margin loss per +1 C.
+        bool sensitive;    //!< Stored value the cell is sensitive to.
+    };
+
+    /**
+     * Flat frozen state of one (bank, subarray): built in one pass on
+     * first touch, then indexed by plain integers on the hot path.
+     */
+    struct SubarrayStatics
+    {
+        std::vector<ColumnParams> cols; //!< One entry per column.
+        /** Per 64-bit word: bit b set iff column word*64+b is weak. */
+        std::vector<std::uint64_t> weak_mask;
+        /** Dense weak-column slot per column, -1 for strong columns. */
+        std::vector<std::int32_t> weak_slot;
+        int weak_count = 0;
+
+        /** Per-column frozen cell statics (subarray_rows entries each),
+         * filled lazily one column at a time. */
+        std::vector<std::unique_ptr<CellStatics[]>> col_statics;
+
+        /** Threshold tables of one (elapsed_ns, temperature) operating
+         * point. Invalidated (evicted LRU) whenever the device drives
+         * reads at a timing/temperature the table was not built for. */
+        struct OperatingPoint
+        {
+            double elapsed_ns = -1.0;
+            double temp_c = 0.0;
+            std::uint64_t stamp = 0; //!< LRU clock.
+            int bank = 0;
+            int subarray = 0;
+            SubarrayStatics *owner = nullptr;
+            /** weak_count * subarray_rows slots, allocated on demand. */
+            std::vector<std::unique_ptr<CellThresholds>> cells;
+        };
+        std::vector<std::unique_ptr<OperatingPoint>> ops;
+    };
+
+    /** Frozen word-granular startup state of one row. */
+    struct StartupRow
+    {
+        std::vector<std::uint64_t> fixed; //!< Process-fixed power-up bits.
+        std::vector<std::uint64_t> noisy; //!< Cells that re-draw per cycle.
+    };
+
     explicit CellModel(const DeviceConfig &config);
 
+    /** @return the flat frozen table of a (bank, subarray), built on
+     * first touch. The reference is stable for the model's lifetime. */
+    SubarrayStatics &subarray(int bank, int subarray) const;
+
+    /**
+     * @return the threshold table set for (bank, subarray) at the given
+     * operating point, creating (or LRU-recycling) it if necessary. The
+     * reference is valid until kMaxOperatingPoints newer points are
+     * opened on the same subarray.
+     */
+    SubarrayStatics::OperatingPoint &operatingPoint(int bank, int subarray,
+                                                    double elapsed_ns,
+                                                    double temp_c) const;
+
+    /** @return the (lazily allocated) threshold table of a weak cell.
+     * @p column must satisfy weak_slot[column] >= 0. */
+    CellThresholds &cellThresholds(SubarrayStatics::OperatingPoint &op,
+                                   long long column, int row_in) const;
+
+    /** Fill one context bucket of @p ct from the double-precision
+     * margin model (the slow path behind the fixed-point fast path). */
+    void fillBucket(const SubarrayStatics::OperatingPoint &op,
+                    CellThresholds &ct, long long column, int row_in,
+                    int bucket) const;
+
     /** @return frozen sense parameters of a column within a subarray. */
-    ColumnParams columnParams(int bank, int subarray,
-                              long long column) const;
+    const ColumnParams &columnParams(int bank, int subarray,
+                                     long long column) const;
 
     /** @return true if the column is weak in the cell's subarray. */
     bool isWeakColumn(const CellAddress &addr) const;
@@ -92,6 +212,14 @@ class CellModel
                              double window_scale = 1.0) const;
 
     /**
+     * Probability that a *failing* read also latched the wrong value
+     * into the array (deep, non-metastable failures; Algorithm 2's
+     * restore writes exist because of these).
+     */
+    double deepFailureProbability(double margin,
+                                  double window_scale) const;
+
+    /**
      * Pattern-dependent widening of the metastable window: storing the
      * sensitive value and anti-coupled neighbours push the cell deeper
      * into the noise-dominated regime.
@@ -116,14 +244,36 @@ class CellModel
      */
     double retentionSeconds(const CellAddress &addr, double temp_c) const;
 
+    /**
+     * Lower bound (seconds) on the retention time of *any* cell of the
+     * row at @p temp_c, including a kVrtGuardSigma-sigma allowance for
+     * per-trial VRT jitter. Rows refreshed more recently than this
+     * cannot have decayed, so the device skips their per-bit scan.
+     */
+    double rowRetentionFloorSeconds(int bank, int row,
+                                    double temp_c) const;
+
     /** True if the cell holds charge for logical 1 ("true cell"); anti
      * cells hold charge for logical 0. Alternates per row. */
     static bool isTrueCell(const CellAddress &addr);
 
+    /** @return the frozen word-granular startup state of a row, built
+     * on first touch (the per-bit hashes run once, not per cycle). */
+    const StartupRow &startupRow(int bank, int row) const;
+
+    /**
+     * Power-up value of word @p word of a row for power cycle
+     * @p epoch: process-fixed bits from the frozen startup table,
+     * noisy bits re-drawn per epoch from one word-granular hash.
+     */
+    std::uint64_t startupWord(const StartupRow &sr, int bank, int row,
+                              int word, std::uint64_t epoch) const;
+
     /**
      * Power-up value of a cell for power cycle @p epoch. A
      * startup_random_fraction of cells re-draw their value each cycle;
-     * the rest are fixed by process variation.
+     * the rest are fixed by process variation. (Bit view of
+     * startupWord.)
      */
     bool startupValue(const CellAddress &addr, std::uint64_t epoch) const;
 
@@ -133,16 +283,14 @@ class CellModel
 
     const ManufacturerProfile &profile() const { return profile_; }
 
-  private:
-    /** Frozen per-cell parameters, cached per weak/evaluated column. */
-    struct CellStatics
-    {
-        double tau_ns;     //!< Column tau with the row-distance factor.
-        double jitter;     //!< Margin jitter incl. factory-repair lift.
-        double temp_coeff; //!< Margin loss per +1 C.
-        bool sensitive;    //!< Stored value the cell is sensitive to.
-    };
+    /** Operating points cached per subarray before LRU eviction. */
+    static constexpr int kMaxOperatingPoints = 4;
 
+    /** VRT jitter allowance (in lognormal sigmas) baked into
+     * rowRetentionFloorSeconds. */
+    static constexpr double kVrtGuardSigma = 6.0;
+
+  private:
     /** Frozen per-cell margin jitter including the factory-repair lift
      * (no cell may fail under worst-case conditions at default tRCD). */
     double cellJitter(const CellAddress &addr, double tau_ns) const;
@@ -156,16 +304,24 @@ class CellModel
     /** Cached statics of a cell (fills the whole column lazily). */
     const CellStatics &cellStatics(const CellAddress &addr) const;
 
+    /** Bernoulli(p) word of frozen per-cell coin flips, bitsliced. */
+    std::uint64_t frozenBernoulliWord(std::uint64_t tag, int bank,
+                                      int row, int word, double p) const;
+
+    int subarraysPerBank() const;
+
     ManufacturerProfile profile_;
     Geometry geometry_;
     std::uint64_t seed_;
     double default_trcd_ns_;
 
-    /** Lazy caches keyed by (bank, subarray, column). Purely derived
-     * data; mutation does not change observable behaviour. */
-    mutable std::unordered_map<std::uint64_t, ColumnParams> col_cache_;
-    mutable std::unordered_map<std::uint64_t, std::vector<CellStatics>>
-        statics_cache_;
+    /** Flat lazy caches; purely derived data, so mutation does not
+     * change observable behaviour. Indexed by flattened ids -- no hash
+     * maps anywhere on the per-command path. */
+    mutable std::vector<std::unique_ptr<SubarrayStatics>> subarrays_;
+    mutable std::vector<std::unique_ptr<StartupRow>> startup_rows_;
+    mutable std::vector<double> row_min_ret_log10_; //!< NaN = unbuilt.
+    mutable std::uint64_t op_clock_ = 0;
 };
 
 } // namespace drange::dram

@@ -189,6 +189,15 @@ struct DeviceConfig
     std::uint64_t noise_seed = 0;
 
     /**
+     * Force the scalar double-precision read path: every first-READ
+     * bit is evaluated through the full margin model instead of the
+     * word-parallel fixed-point threshold tables. Much slower;
+     * exists so tests and benches can A/B the fast path against the
+     * reference physics (see tests/test_hotpath_regression.cc).
+     */
+    bool scalar_read_path = false;
+
+    /**
      * Convenience factory: a device of manufacturer @p m with the given
      * manufacturing seed and default geometry/timing.
      */

@@ -12,17 +12,24 @@ namespace {
 /** Below this probability, per-bit evaluation is skipped entirely. */
 const double kNegligibleFailureProb = 1e-9;
 
-/**
- * Margin shift (normalized volts, expressed in noise sigmas) beyond a
- * read failure at which the sense amplifier itself latches the wrong
- * value, corrupting the cell. Read failures shallower than this are
- * transient: the amplifier recovers and restores the correct value after
- * the READ already sampled garbage.
- */
-const double kLatchDepthSigma = 1.0;
+/** Per-bit failure probabilities below this consume no noise draw
+ * (matches the cell model's fixed-point fill). */
+const double kNegligibleDrawProb = 1e-12;
 
 /** Retention decay is only evaluated for gaps longer than this. */
 const double kMinDecayGapNs = 1e7; // 10 ms
+
+/**
+ * Quantized anti-neighbour bucket index by (neighbour count, count of
+ * anti-coupled neighbours): lround(4 * anti / n), n in 0..4.
+ */
+constexpr int kAntiIdx[5][5] = {
+    {0, 0, 0, 0, 0}, // n = 0 (degenerate single-cell geometry)
+    {0, 4, 0, 0, 0}, // n = 1
+    {0, 2, 4, 0, 0}, // n = 2
+    {0, 1, 3, 4, 0}, // n = 3 (lround(4/3) = 1, lround(8/3) = 3)
+    {0, 1, 2, 3, 4}, // n = 4
+};
 
 } // anonymous namespace
 
@@ -33,6 +40,13 @@ DramDevice::DramDevice(const DeviceConfig &config)
       banks_(config.geometry.banks),
       temperature_c_(config.conditions.temperature_c)
 {
+    // The word-granular hot path stores one bitmask lane per word; the
+    // pre-existing bit addressing (peekBit, columns) already assumes
+    // 64-bit words, so the invariant is simply made explicit here.
+    assert(config.geometry.bits_per_word == 64 &&
+           "DramDevice requires 64-bit words");
+    for (auto &bank : banks_)
+        bank.rows.resize(config.geometry.rows_per_bank);
     startup_epoch_ = noise_.next();
 }
 
@@ -51,27 +65,22 @@ DramDevice::openRow(int bank) const
 DramDevice::RowData &
 DramDevice::materialize(int bank, int row, double now_ns)
 {
-    BankState &bs = banks_.at(bank);
-    auto it = bs.rows.find(row);
-    if (it != bs.rows.end())
-        return it->second;
+    auto &slot = banks_.at(bank).rows.at(row);
+    if (slot)
+        return *slot;
 
-    RowData data;
-    data.words.assign(config_.geometry.words_per_row, 0);
-    data.last_refresh_ns = now_ns;
-    const int bits = config_.geometry.bits_per_word;
+    auto data = std::make_unique<RowData>();
+    data->words.resize(config_.geometry.words_per_row);
+    data->last_refresh_ns = now_ns;
+    const CellModel::StartupRow &sr = model_.startupRow(bank, row);
     for (int w = 0; w < config_.geometry.words_per_row; ++w) {
-        std::uint64_t value = 0;
-        for (int b = 0; b < bits; ++b) {
-            const CellAddress addr{bank, row,
-                                   static_cast<long long>(w) * bits + b};
-            if (model_.startupValue(addr, startup_epoch_))
-                value |= (std::uint64_t{1} << b);
-        }
-        data.words[w] = value;
-        data.ones += std::popcount(value);
+        const std::uint64_t value =
+            model_.startupWord(sr, bank, row, w, startup_epoch_);
+        data->words[w] = value;
+        data->ones += std::popcount(value);
     }
-    return bs.rows.emplace(row, std::move(data)).first->second;
+    slot = std::move(data);
+    return *slot;
 }
 
 void
@@ -85,20 +94,32 @@ DramDevice::applyRetention(int bank, int row, RowData &data, double now_ns)
     }
 
     const double elapsed_s = gap_ns * 1e-9;
-    const int bits = config_.geometry.bits_per_word;
+    // Whole-row early-out: if even the leakiest cell of the row (with a
+    // generous VRT allowance) outlives the gap, nothing can have
+    // decayed and the per-bit scan (and its noise draws) is skipped.
+    if (elapsed_s <
+        model_.rowRetentionFloorSeconds(bank, row, temperature_c_)) {
+        data.last_refresh_ns = now_ns;
+        return;
+    }
+
     const double vrt = model_.profile().retention_vrt_sigma;
+    const bool true_cell = CellModel::isTrueCell({bank, row, 0});
     for (int w = 0; w < config_.geometry.words_per_row; ++w) {
-        for (int b = 0; b < bits; ++b) {
-            const long long col = static_cast<long long>(w) * bits + b;
+        // Only charged cells leak: true rows store charge for 1s, anti
+        // rows for 0s, so the eligible bits of a word are one mask op.
+        std::uint64_t charged =
+            true_cell ? data.words[w] : ~data.words[w];
+        while (charged != 0) {
+            const int b = std::countr_zero(charged);
+            charged &= charged - 1;
+            const long long col = static_cast<long long>(w) * 64 + b;
             const CellAddress addr{bank, row, col};
-            const bool stored = (data.words[w] >> b) & 1;
-            const bool charged_value = CellModel::isTrueCell(addr);
-            if (stored != charged_value)
-                continue; // Discharged state does not leak away.
             double t_ret = model_.retentionSeconds(addr, temperature_c_);
             // Variable retention time: per-trial lognormal jitter.
             t_ret *= std::pow(10.0, vrt * noise_.nextGaussian());
             if (elapsed_s > t_ret) {
+                const bool stored = (data.words[w] >> b) & 1;
                 data.words[w] ^= (std::uint64_t{1} << b);
                 data.ones += stored ? -1 : 1;
                 ++counters_.retention_failures;
@@ -140,21 +161,6 @@ DramDevice::prechargeAll(double now_ns)
         precharge(now_ns, b);
 }
 
-const std::vector<ColumnParams> &
-DramDevice::columnCache(int bank, int subarray)
-{
-    const std::uint64_t key = (static_cast<std::uint64_t>(bank) << 32) |
-                              static_cast<std::uint32_t>(subarray);
-    auto it = column_cache_.find(key);
-    if (it != column_cache_.end())
-        return it->second;
-
-    std::vector<ColumnParams> params(config_.geometry.rowBits());
-    for (long long c = 0; c < config_.geometry.rowBits(); ++c)
-        params[c] = model_.columnParams(bank, subarray, c);
-    return column_cache_.emplace(key, std::move(params)).first->second;
-}
-
 SenseContext
 DramDevice::buildContext(int bank, int row, long long column, bool stored,
                          const RowData &data, double now_ns)
@@ -194,6 +200,54 @@ DramDevice::buildContext(int bank, int row, long long column, bool stored,
     return ctx;
 }
 
+bool
+DramDevice::weakOnly(double elapsed_ns)
+{
+    if (elapsed_ns != screen_elapsed_ns_ ||
+        temperature_c_ != screen_temp_c_) {
+        screen_elapsed_ns_ = elapsed_ns;
+        screen_temp_c_ = temperature_c_;
+        screen_weak_only_ =
+            model_.strongColumnCeiling(elapsed_ns, temperature_c_) <
+            kNegligibleFailureProb;
+    }
+    return screen_weak_only_;
+}
+
+void
+DramDevice::evaluateBitScalar(double now_ns, int bank, int row, int word,
+                              int bit, double elapsed_ns, RowData &data,
+                              std::uint64_t &value)
+{
+    const long long col = static_cast<long long>(word) * 64 + bit;
+    const CellAddress addr{bank, row, col};
+    const bool stored = (value >> bit) & 1;
+    const SenseContext ctx =
+        buildContext(bank, row, col, stored, data, now_ns);
+    const double m = model_.margin(addr, elapsed_ns, ctx);
+    const double scale = model_.windowScale(addr, ctx);
+    const double p = model_.failureFromMargin(m, scale);
+    if (p < kNegligibleDrawProb)
+        return;
+    // One uniform draw decides both the failure and, via the nested
+    // deeper tail, whether the amplifier latched the wrong value.
+    const double u = noise_.nextDouble();
+    if (u < p) {
+        value ^= (std::uint64_t{1} << bit);
+        ++counters_.read_bit_failures;
+        // Metastable (noise-dominated) resolutions restore the cell
+        // correctly after the READ sampled garbage; only strongly
+        // wrong resolutions latch into the array.
+        if (u < model_.deepFailureProbability(m, scale)) {
+            // Sense amplifier latched the wrong value: the cell
+            // itself is now corrupted until rewritten.
+            data.words[word] ^= (std::uint64_t{1} << bit);
+            data.ones += stored ? -1 : 1;
+            ++counters_.corrupted_bits;
+        }
+    }
+}
+
 std::uint64_t
 DramDevice::read(double now_ns, int bank, int word)
 {
@@ -212,57 +266,114 @@ DramDevice::read(double now_ns, int bank, int word)
 
     const double elapsed_ns = now_ns - bs.act_time_ns;
     const int subarray = row / config_.profile.subarray_rows;
-    const auto &cols = columnCache(bank, subarray);
-    const int bits = config_.geometry.bits_per_word;
-    const long long base = static_cast<long long>(word) * bits;
+    const CellModel::SubarrayStatics &sa = model_.subarray(bank, subarray);
 
     // When strong columns cannot plausibly fail at this delay, only
-    // evaluate weak bits; the common case is a word with none at all.
-    const bool weak_only =
-        model_.strongColumnCeiling(elapsed_ns, temperature_c_) <
-        kNegligibleFailureProb;
-    if (weak_only) {
-        bool any_weak = false;
-        for (int b = 0; b < bits; ++b)
-            any_weak |= cols[base + b].weak;
-        if (!any_weak)
-            return value;
+    // weak bits need evaluation; the common case is a word with none at
+    // all, answered by one bitmask test.
+    const bool weak_only = weakOnly(elapsed_ns);
+    if (weak_only && sa.weak_mask[word] == 0)
+        return value;
+
+    // RowData blocks are heap-allocated, so `data` stays valid across
+    // these neighbour materializations.
+    const RowData *up =
+        row > 0 ? &materialize(bank, row - 1, now_ns) : nullptr;
+    const RowData *down = row + 1 < config_.geometry.rows_per_bank
+                              ? &materialize(bank, row + 1, now_ns)
+                              : nullptr;
+
+    if (config_.scalar_read_path) {
+        // Reference physics: the pre-threshold scalar evaluation, kept
+        // selectable so tests can A/B the fast path against it.
+        for (int b = 0; b < 64; ++b) {
+            if (weak_only && !((sa.weak_mask[word] >> b) & 1))
+                continue;
+            evaluateBitScalar(now_ns, bank, row, word, b, elapsed_ns,
+                              data, value);
+        }
+        return value;
     }
 
-    // Note: unordered_map guarantees reference stability, so `data`
-    // stays valid across these insertions.
-    if (row > 0)
-        materialize(bank, row - 1, now_ns);
-    if (row + 1 < config_.geometry.rows_per_bank)
-        materialize(bank, row + 1, now_ns);
+    auto &op = model_.operatingPoint(bank, subarray, elapsed_ns,
+                                     temperature_c_);
+    const int row_in = row % config_.profile.subarray_rows;
+    const long long base = static_cast<long long>(word) * 64;
 
-    const double sigma = model_.profile().noise_sigma;
-    for (int b = 0; b < bits; ++b) {
-        if (weak_only && !cols[base + b].weak)
+    // Neighbour-difference bitmasks: bit b of dl/dr/du/dd says whether
+    // the left/right/up/down neighbour of column base+b stores the
+    // opposite value; lvalid/rvalid clear lanes without a neighbour.
+    const std::uint64_t v = value;
+    std::uint64_t left = v << 1;
+    std::uint64_t lvalid = ~std::uint64_t{1};
+    if (word > 0) {
+        left |= data.words[word - 1] >> 63;
+        lvalid = ~std::uint64_t{0};
+    }
+    std::uint64_t right = v >> 1;
+    std::uint64_t rvalid = ~(std::uint64_t{1} << 63);
+    if (word + 1 < config_.geometry.words_per_row) {
+        right |= data.words[word + 1] << 63;
+        rvalid = ~std::uint64_t{0};
+    }
+    const std::uint64_t dl = (v ^ left) & lvalid;
+    const std::uint64_t dr = (v ^ right) & rvalid;
+    const std::uint64_t du = up ? v ^ up->words[word] : 0;
+    const std::uint64_t dd = down ? v ^ down->words[word] : 0;
+    const int vert = (up ? 1 : 0) + (down ? 1 : 0);
+
+    // Quantized supply-droop bucket, one variant per stored value.
+    const double ones_frac =
+        static_cast<double>(data.ones) /
+        static_cast<double>(config_.geometry.rowBits());
+    const int droop1 = static_cast<int>(
+        std::lround(ones_frac * (CellModel::kDroopLevels - 1)));
+    const int droop0 = static_cast<int>(
+        std::lround((1.0 - ones_frac) * (CellModel::kDroopLevels - 1)));
+
+    std::uint64_t pending =
+        weak_only ? sa.weak_mask[word] : ~std::uint64_t{0};
+    while (pending != 0) {
+        const int b = std::countr_zero(pending);
+        pending &= pending - 1;
+        const long long col = base + b;
+        if (sa.weak_slot[col] < 0) {
+            // Strong column under very aggressive timing: rare enough
+            // that the scalar double-math path is fine.
+            evaluateBitScalar(now_ns, bank, row, word, b, elapsed_ns,
+                              data, value);
             continue;
-        const CellAddress addr{bank, row, base + b};
-        const bool stored = (value >> b) & 1;
-        const SenseContext ctx =
-            buildContext(bank, row, base + b, stored, data, now_ns);
-        const double m = model_.margin(addr, elapsed_ns, ctx);
-        const double scale = model_.windowScale(addr, ctx);
-        const double p = model_.failureFromMargin(m, scale);
-        if (p < 1e-12)
-            continue;
-        // One uniform draw decides both the failure and, via the nested
-        // deeper tail, whether the amplifier latched the wrong value.
-        const double u = noise_.nextDouble();
-        if (u < p) {
+        }
+
+        CellModel::CellThresholds &ct =
+            model_.cellThresholds(op, col, row_in);
+        const bool stored = (v >> b) & 1;
+        const int anti =
+            static_cast<int>(((dl >> b) & 1) + ((dr >> b) & 1) +
+                             ((du >> b) & 1) + ((dd >> b) & 1));
+        const int n =
+            static_cast<int>(((lvalid >> b) & 1) + ((rvalid >> b) & 1)) +
+            vert;
+        const int bucket =
+            (((stored == ct.sensitive) ? CellModel::kAntiLevels : 0) +
+             kAntiIdx[n][anti]) *
+                CellModel::kDroopLevels +
+            (stored ? droop1 : droop0);
+        if (!(ct.valid[bucket >> 6] &
+              (std::uint64_t{1} << (bucket & 63))))
+            model_.fillBucket(op, ct, col, row_in, bucket);
+
+        const CellModel::ThresholdPair t = ct.t[bucket];
+        if (t.fail == 0)
+            continue; // Negligible: consume no draw.
+        // One draw decides both the failure and, via the nested deeper
+        // tail, whether the amplifier latched the wrong value (the top
+        // 53 bits are exactly the uniform the scalar path compares).
+        const std::uint64_t draw = noise_.next() >> 11;
+        if (draw < t.fail) {
             value ^= (std::uint64_t{1} << b);
             ++counters_.read_bit_failures;
-            // Metastable (noise-dominated) resolutions restore the cell
-            // correctly after the READ sampled garbage; only strongly
-            // wrong resolutions latch into the array.
-            const double p_shift = model_.failureFromMargin(
-                m + kLatchDepthSigma * sigma, scale);
-            const double p_deep =
-                std::clamp(2.0 * (p_shift - 0.5), 0.0, 1.0);
-            if (u < p_deep) {
+            if (draw < t.deep) {
                 // Sense amplifier latched the wrong value: the cell
                 // itself is now corrupted until rewritten.
                 data.words[word] ^= (std::uint64_t{1} << b);
@@ -293,8 +404,10 @@ DramDevice::refreshAll(double now_ns)
 {
     for (int b = 0; b < config_.geometry.banks; ++b) {
         assert(banks_[b].open_row < 0 && "REF with an open row");
-        for (auto &[row, data] : banks_[b].rows)
-            applyRetention(b, row, data, now_ns);
+        for (int row = 0; row < config_.geometry.rows_per_bank; ++row) {
+            if (auto &data = banks_[b].rows[row])
+                applyRetention(b, row, *data, now_ns);
+        }
     }
     global_refresh_ns_ = now_ns;
     ++counters_.refreshes;
@@ -304,7 +417,8 @@ void
 DramDevice::powerCycle(double now_ns)
 {
     for (auto &bank : banks_) {
-        bank.rows.clear();
+        for (auto &row : bank.rows)
+            row.reset();
         bank.open_row = -1;
         bank.first_read_done = false;
     }

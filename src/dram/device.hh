@@ -1,7 +1,7 @@
 /**
  * @file
- * The simulated DRAM device: bank state machines, sparse row storage,
- * and the integration point of the analog cell model.
+ * The simulated DRAM device: bank state machines, flat per-bank row
+ * storage, and the integration point of the analog cell model.
  *
  * The device exposes the raw DRAM command interface (ACT / PRE / RD / WR
  * / REF) with explicit command timestamps. It does not enforce JEDEC
@@ -9,6 +9,14 @@
  * whatever timing it is given: a READ issued too soon after ACT samples
  * under-developed bitlines and suffers activation failures, which is
  * exactly the mechanism D-RaNGe exploits.
+ *
+ * Hot-path layout (see README "Performance"): rows live in flat
+ * per-bank pointer tables (no hash maps), row contents materialize
+ * word-at-a-time from the cell model's frozen startup tables, and the
+ * first-READ failure loop walks per-word weak-column bitmasks and
+ * compares one fixed-point threshold per weak bit. The double-precision
+ * margin model runs only off the common path (threshold-bucket fills,
+ * strong columns at very aggressive tRCD, analytic queries).
  */
 
 #ifndef DRANGE_DRAM_DEVICE_HH
@@ -16,7 +24,6 @@
 
 #include <cstdint>
 #include <memory>
-#include <unordered_map>
 #include <vector>
 
 #include "dram/cell_model.hh"
@@ -70,9 +77,9 @@ class DramDevice
      * Read the 64-bit word @p word of the open row of @p bank.
      *
      * If this is the first read since the bank was activated, the analog
-     * failure model is applied bit by bit: the returned value may differ
-     * from the stored value, and deeply metastable bits are additionally
-     * latched wrong in the array (hence Algorithm 2's restore writes).
+     * failure model is applied: the returned value may differ from the
+     * stored value, and deeply metastable bits are additionally latched
+     * wrong in the array (hence Algorithm 2's restore writes).
      * Subsequent reads of an open row never fail (paper Section 5.1).
      */
     std::uint64_t read(double now_ns, int bank, int word);
@@ -135,7 +142,10 @@ class DramDevice
 
     struct BankState
     {
-        std::unordered_map<int, RowData> rows;
+        /** Flat row table (one slot per row, materialized on demand).
+         * RowData blocks are heap-allocated, so references stay stable
+         * while neighbouring rows materialize. */
+        std::vector<std::unique_ptr<RowData>> rows;
         int open_row = -1;
         double act_time_ns = 0.0;
         bool first_read_done = false;
@@ -146,19 +156,29 @@ class DramDevice
     SenseContext buildContext(int bank, int row, long long column,
                               bool stored, const RowData &data,
                               double now_ns);
-    const std::vector<ColumnParams> &columnCache(int bank, int subarray);
+    /** Scalar double-math evaluation of one first-READ bit (fallback
+     * for strong columns when the weak-only screen does not apply). */
+    void evaluateBitScalar(double now_ns, int bank, int row, int word,
+                           int bit, double elapsed_ns, RowData &data,
+                           std::uint64_t &value);
+    /** True if strong columns cannot plausibly fail at this delay and
+     * temperature (cached per operating point). */
+    bool weakOnly(double elapsed_ns);
 
     DeviceConfig config_;
     CellModel model_;
     util::Xoshiro256ss noise_;
     std::vector<BankState> banks_;
-    std::unordered_map<std::uint64_t, std::vector<ColumnParams>>
-        column_cache_;
     DeviceCounters counters_;
     double temperature_c_;
     bool auto_refresh_ = true;
     double global_refresh_ns_ = 0.0;
     std::uint64_t startup_epoch_ = 0;
+
+    // Cached weak-only screen of the current operating point.
+    double screen_elapsed_ns_ = -1.0;
+    double screen_temp_c_ = 0.0;
+    bool screen_weak_only_ = false;
 };
 
 } // namespace drange::dram

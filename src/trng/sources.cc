@@ -9,7 +9,8 @@
  * shared Params keys
  *
  *   manufacturer (A/B/C), seed, noise_seed, rows_per_bank,
- *   temperature_c
+ *   temperature_c, scalar_read_path (force the reference scalar
+ *   read path instead of the word-parallel threshold tables)
  *
  * plus per-source keys documented at each factory. Misspelled keys
  * throw (Params::rejectUnknown). Adapters are thin: generation and
@@ -91,6 +92,10 @@ deviceConfig(const Params &params)
         cfg.geometry.rows_per_bank = static_cast<int>(rows);
     cfg.conditions.temperature_c =
         params.getDouble("temperature_c", cfg.conditions.temperature_c);
+    // Debug/validation escape hatch: force the scalar double-precision
+    // read path instead of the word-parallel threshold tables.
+    cfg.scalar_read_path =
+        params.getBool("scalar_read_path", cfg.scalar_read_path);
     return cfg;
 }
 

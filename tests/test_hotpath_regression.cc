@@ -1,0 +1,200 @@
+/**
+ * @file
+ * Statistical regression tests for the DRAM sampling hot path.
+ *
+ * The word-parallel fast path (flat subarray tables, fixed-point
+ * failure thresholds, word-granular startup materialization) must not
+ * shift the simulated physics. These tests pin the per-device
+ * activation-failure rate, the identified RNG-cell density (paper
+ * Figure 7), and the entropy of generated bitstreams against values
+ * measured on the scalar reference implementation (the pre-refactor
+ * seed build, commit 7415d4c), with explicit tolerances sized from the
+ * spread across noise seeds. Future hot-path edits that silently move
+ * the physics fail here even if the plumbing stays correct.
+ *
+ * Reference values measured on the seed build (mfr A, die seed 500,
+ * region bank 0, rows [0,192), words [0,24), tRCD 10 ns):
+ *   noise 77: cells 446, fail rate 0.014579
+ *   noise 78: cells 455, fail rate 0.014606
+ *   noise 79: cells 408, fail rate 0.014672
+ *   noise 91: raw Shannon H 0.999979, ones 0.5027, vN yield 0.2507
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/drange.hh"
+#include "core/identify.hh"
+#include "dram/device.hh"
+#include "dram/direct_host.hh"
+#include "util/entropy.hh"
+
+namespace {
+
+using namespace drange;
+
+dram::DeviceConfig
+pinnedConfig(std::uint64_t noise_seed)
+{
+    auto cfg = dram::DeviceConfig::make(dram::Manufacturer::A, 500,
+                                        noise_seed);
+    cfg.geometry.rows_per_bank = 4096;
+    return cfg;
+}
+
+core::IdentifyParams
+pinnedIdentifyParams()
+{
+    core::IdentifyParams params;
+    params.trcd_ns = 10.0;
+    params.screen_iterations = 60;
+    params.samples = 600;
+    params.symbol_tolerance = 0.15;
+    return params;
+}
+
+struct IdentifyResult
+{
+    std::size_t cells = 0;
+    double fail_rate = 0.0;
+};
+
+IdentifyResult
+runIdentify(std::uint64_t noise_seed)
+{
+    dram::DramDevice dev(pinnedConfig(noise_seed));
+    dram::DirectHost host(dev);
+    core::RngCellIdentifier identifier(host);
+
+    dram::Region region;
+    region.bank = 0;
+    region.row_begin = 0;
+    region.row_end = 192;
+    region.word_begin = 0;
+    region.word_end = 24;
+
+    const auto pattern =
+        core::DataPattern::bestFor(dev.config().manufacturer);
+    const auto cells =
+        identifier.identify(region, pattern, pinnedIdentifyParams());
+
+    IdentifyResult r;
+    r.cells = cells.size();
+    r.fail_rate =
+        static_cast<double>(dev.counters().read_bit_failures) /
+        (static_cast<double>(dev.counters().reads) * 64.0);
+    return r;
+}
+
+// Seed-build reference: 0.014579 / 0.014606 / 0.014672 across noise
+// seeds 77-79 (spread < 1%). 10% relative tolerance leaves room for
+// benign context-quantization drift while still catching any real
+// shift of the margin model.
+TEST(HotPathRegression, ReadBitFailureRatePinned)
+{
+    const IdentifyResult r = runIdentify(77);
+    EXPECT_NEAR(r.fail_rate, 0.01458, 0.00146);
+}
+
+// Seed-build reference: 446 / 455 / 408 RNG cells across noise seeds
+// 77-79 (spread ~11%); the pinned band is ~2.5x that spread. This is
+// the Figure 7 density anchor: a hot-path edit that moves Fprob even a
+// few percent pushes cells out of the [0.40, 0.60] screen and shows up
+// here long before entropy degrades.
+TEST(HotPathRegression, RngCellDensityPinned)
+{
+    const IdentifyResult r = runIdentify(77);
+    EXPECT_GE(r.cells, 320u);
+    EXPECT_LE(r.cells, 560u);
+}
+
+// Seed-build reference: raw Shannon entropy 0.999979, ones fraction
+// 0.5027, post-von-Neumann entropy 0.999989 at ~25% yield.
+TEST(HotPathRegression, GeneratedEntropyPinned)
+{
+    dram::DramDevice dev(pinnedConfig(91));
+    core::DRangeConfig cfg;
+    cfg.banks = 8;
+    cfg.profile_rows = 128;
+    cfg.profile_words = 24;
+    cfg.identify = pinnedIdentifyParams();
+    core::DRangeTrng trng(dev, cfg);
+    trng.initialize();
+
+    const auto bits = trng.generate(40000);
+    ASSERT_GE(bits.size(), 40000u);
+    EXPECT_GT(util::shannonEntropy(bits), 0.9995);
+    EXPECT_NEAR(bits.onesFraction(), 0.5, 0.01);
+
+    const auto vn = core::vonNeumannCorrect(bits);
+    EXPECT_GT(util::shannonEntropy(vn), 0.9995);
+    EXPECT_NEAR(static_cast<double>(vn.size()) /
+                    static_cast<double>(bits.size()),
+                0.25, 0.01);
+}
+
+// A/B the word-parallel fixed-point path against the scalar reference
+// physics in the same build (DeviceConfig::scalar_read_path): the
+// failure rate and identified-cell count must agree closely. The two
+// paths draw from the noise stream in almost the same order, so the
+// agreement here is much tighter than the cross-build pins above.
+TEST(HotPathRegression, FastPathMatchesScalarReference)
+{
+    auto run = [](bool scalar) {
+        auto cfg = pinnedConfig(77);
+        cfg.scalar_read_path = scalar;
+        dram::DramDevice dev(cfg);
+        dram::DirectHost host(dev);
+        core::RngCellIdentifier identifier(host);
+        dram::Region region;
+        region.bank = 0;
+        region.row_begin = 0;
+        region.row_end = 128;
+        region.word_begin = 0;
+        region.word_end = 24;
+        const auto pattern =
+            core::DataPattern::bestFor(dev.config().manufacturer);
+        const auto cells =
+            identifier.identify(region, pattern, pinnedIdentifyParams());
+        IdentifyResult r;
+        r.cells = cells.size();
+        r.fail_rate =
+            static_cast<double>(dev.counters().read_bit_failures) /
+            (static_cast<double>(dev.counters().reads) * 64.0);
+        return r;
+    };
+    const IdentifyResult fast = run(false);
+    const IdentifyResult scalar = run(true);
+    ASSERT_GT(scalar.cells, 100u);
+    EXPECT_NEAR(fast.fail_rate, scalar.fail_rate,
+                0.03 * scalar.fail_rate);
+    EXPECT_NEAR(static_cast<double>(fast.cells),
+                static_cast<double>(scalar.cells),
+                0.08 * static_cast<double>(scalar.cells));
+}
+
+// The refactor may change which bits come out, but for a fixed
+// (die seed, noise seed) the device must stay fully deterministic:
+// identical devices produce identical streams, different noise seeds
+// different streams.
+TEST(HotPathRegression, GenerationDeterministicForFixedSeeds)
+{
+    auto generate = [](std::uint64_t noise_seed) {
+        dram::DramDevice dev(pinnedConfig(noise_seed));
+        core::DRangeConfig cfg;
+        cfg.banks = 4;
+        cfg.profile_rows = 128;
+        cfg.profile_words = 24;
+        cfg.identify = pinnedIdentifyParams();
+        core::DRangeTrng trng(dev, cfg);
+        trng.initialize();
+        return trng.generate(4096);
+    };
+    const auto a = generate(91);
+    const auto b = generate(91);
+    ASSERT_EQ(a.size(), b.size());
+    EXPECT_EQ(a.words(), b.words());
+    const auto c = generate(92);
+    EXPECT_NE(a.words(), c.words());
+}
+
+} // namespace

@@ -1,0 +1,112 @@
+#!/usr/bin/env python3
+"""Compare two BENCH_<name>.json reports and fail on regressions.
+
+Usage:
+    check_bench_regression.py BASELINE.json CURRENT.json [--tolerance R]
+
+Metric semantics (written by bench/bench_util.hh BenchReport):
+  - "better": "higher" | "lower" decides the regression direction.
+  - "host": true marks wall-clock measurements. The baseline value is
+    scaled by the calibration ratio (current calibration_ms /
+    baseline calibration_ms) before comparison, so a slower CI machine
+    is not reported as a regression.
+  - "enforced": false marks metrics whose value depends on host
+    parallelism (core count), which the single-threaded calibration
+    loop cannot normalize: they are reported but never gate.
+  - unit "x" (ratios of two host times) is informational only: the
+    ratio depends on host core count, not on code quality.
+  - unit "bool" must not flip from 1 (pass) to 0 (fail).
+
+Exit code 0 if no metric regresses by more than the tolerance
+(default 0.30 = 30%), 1 otherwise. Metrics present in only one file are
+reported but do not fail the check (benches may gain metrics).
+"""
+
+import argparse
+import json
+import sys
+
+
+def load(path):
+    with open(path, "r", encoding="utf-8") as f:
+        doc = json.load(f)
+    metrics = {m["metric"]: m for m in doc.get("metrics", [])}
+    return doc, metrics
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("baseline")
+    ap.add_argument("current")
+    ap.add_argument("--tolerance", type=float, default=0.30,
+                    help="allowed relative regression (default 0.30)")
+    args = ap.parse_args()
+
+    base_doc, base = load(args.baseline)
+    cur_doc, cur = load(args.current)
+
+    calib_base = float(base_doc.get("calibration_ms", 0.0))
+    calib_cur = float(cur_doc.get("calibration_ms", 0.0))
+    calib_ratio = (calib_cur / calib_base) if calib_base > 0 else 1.0
+    print(f"bench: {cur_doc.get('bench')}  baseline rev: "
+          f"{base_doc.get('git_rev')}  current rev: {cur_doc.get('git_rev')}")
+    print(f"host calibration ratio (current/baseline): {calib_ratio:.3f}")
+
+    failures = []
+    for name, bm in sorted(base.items()):
+        cm = cur.get(name)
+        if cm is None:
+            print(f"  [skip] {name}: missing from current report")
+            continue
+        unit = bm.get("unit", "")
+        base_value = float(bm["value"])
+        cur_value = float(cm["value"])
+        better = bm.get("better", "higher")
+
+        if unit == "x":
+            print(f"  [info] {name}: {base_value:.3g} -> {cur_value:.3g} "
+                  f"(ratio of host times; not enforced)")
+            continue
+        if not bm.get("enforced", True):
+            print(f"  [info] {name}: {base_value:.4g} -> {cur_value:.4g} "
+                  f"{unit} (parallelism-dependent; not enforced)")
+            continue
+        if unit == "bool":
+            ok = not (base_value >= 0.5 > cur_value)
+            print(f"  [{'ok' if ok else 'FAIL'}] {name}: "
+                  f"{base_value:.0f} -> {cur_value:.0f}")
+            if not ok:
+                failures.append(name)
+            continue
+
+        reference = base_value
+        note = ""
+        if bm.get("host", False):
+            reference = base_value * calib_ratio
+            note = f" (baseline scaled to {reference:.4g} by calibration)"
+        if reference == 0:
+            print(f"  [skip] {name}: zero baseline")
+            continue
+
+        if better == "higher":
+            change = (cur_value - reference) / abs(reference)
+        else:
+            change = (reference - cur_value) / abs(reference)
+        ok = change >= -args.tolerance
+        print(f"  [{'ok' if ok else 'FAIL'}] {name}: {base_value:.4g} -> "
+              f"{cur_value:.4g} {unit}{note}  "
+              f"({'+' if change >= 0 else ''}{change * 100.0:.1f}% "
+              f"{'better' if change >= 0 else 'worse'})")
+        if not ok:
+            failures.append(name)
+
+    if failures:
+        print(f"\nREGRESSION: {len(failures)} metric(s) regressed more "
+              f"than {args.tolerance * 100:.0f}%: {', '.join(failures)}")
+        return 1
+    print("\nno regressions beyond tolerance")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
