@@ -1,17 +1,25 @@
 /**
  * @file
- * Streaming service: serve continuous random bytes from a running
- * harvest pipeline instead of blocking on batch generate() calls.
+ * Entropy service example: many concurrent clients served from one
+ * pool of harvesting backends through the multi-client trng::Service
+ * API.
  *
- * The whole stack is selected by registry name through the unified
- * trng::EntropySource interface: a "streaming" source (2-channel
- * D-RaNGe pipeline) with the conditioning chosen as flat parameters —
- * SHA-256 conditioning followed by the SP 800-90B health-test stage,
- * which monitors the delivered stream for stuck-at and bias failures
- * while the service runs. This thread plays the role of a request
- * handler pulling conditioned bytes for a burst of client requests
- * (key material, nonces), then shuts the pipeline down and prints the
- * per-stage session statistics.
+ * A two-member pool of simulated D-RaNGe channels pumps conditioned
+ * bits into the service's shared reservoir; three clients with
+ * different needs read from it concurrently:
+ *
+ *   - "keyserver": priority 3, SHA-256 + SP 800-90B health profile --
+ *     cryptographic keys, served three reservoir bits for every one
+ *     bit of the others when demand collides,
+ *   - "simulation": priority 1, raw bits in bulk,
+ *   - "telemetry": priority 1, small async nonce reads in flight
+ *     while the other two hammer the pool.
+ *
+ * The deficit-round-robin dispatcher keeps the byte shares
+ * proportional to priority, the reservoir applies backpressure to the
+ * harvesters, and the pool adapts its producer chunk size to the
+ * demand (see the stats printed at the end). The same stack is
+ * drivable without C++ through tools/trngd.cc + trng-cli.
  *
  * Build & run:
  *   cmake -B build && cmake --build build --target example_streaming_service
@@ -20,104 +28,108 @@
 
 #include <cstdint>
 #include <cstdio>
-#include <deque>
-#include <stdexcept>
+#include <future>
+#include <thread>
 #include <vector>
 
-#include "trng/registry.hh"
+#include "trng/service.hh"
 
 using namespace drange;
-
-namespace {
-
-/** Pull-based byte dispenser over a continuous streaming session. */
-class RandomByteService
-{
-  public:
-    explicit RandomByteService(trng::EntropySource &source)
-        : source_(source)
-    {
-    }
-
-    /** Blocking: fetch @p count conditioned random bytes. */
-    std::vector<std::uint8_t> bytes(std::size_t count)
-    {
-        while (buffer_.size() < count) {
-            auto chunk = source_.nextChunk();
-            if (!chunk)
-                throw std::runtime_error("stream ended");
-            for (std::uint8_t byte : chunk->toBytesMsbFirst())
-                buffer_.push_back(byte);
-        }
-        std::vector<std::uint8_t> out(buffer_.begin(),
-                                      buffer_.begin() +
-                                          static_cast<long>(count));
-        buffer_.erase(buffer_.begin(),
-                      buffer_.begin() + static_cast<long>(count));
-        return out;
-    }
-
-  private:
-    trng::EntropySource &source_;
-    std::deque<std::uint8_t> buffer_;
-};
-
-} // namespace
 
 int
 main()
 {
-    // Two simulated channels; seed fixes the dies, noise_seed = 0
-    // (the default) draws fresh physical noise per run. SHA-256 is the
-    // paper's recommended post-processing for cryptographic consumers
-    // (Section 5.4); the health stage after it applies the SP 800-90B
-    // continuous tests to exactly the bits clients receive.
-    const trng::Params params{
-        {"channels", "2"},       {"seed", "1"},
-        {"rows_per_bank", "8192"}, {"banks", "4"},
-        {"chunk_bits", "4096"},  {"queue_capacity", "8"},
-        {"conditioning", "sha256,health"},
-    };
+    // Two simulated channels as independent pool members: a health
+    // alarm on one would quarantine only that member while the other
+    // keeps serving. Seeds fix the dies; fresh noise per run.
+    trng::ServiceConfig config;
+    for (int channel = 0; channel < 2; ++channel) {
+        config.pool.push_back(trng::PoolMemberConfig{
+            "drange",
+            trng::Params{}
+                .set("seed", channel + 1)
+                .set("banks", 4)
+                .set("rows_per_bank", 8192)
+                .set("profile_rows", 192)
+                .set("profile_words", 16)
+                .set("screen_iterations", 40)
+                .set("samples", 400),
+            "ch" + std::to_string(channel)});
+    }
+    config.reservoir_bits = 1u << 18;
 
-    std::printf("building \"streaming\" source (profiling and "
+    std::printf("building a 2-member drange pool (profiling and "
                 "identifying RNG cells)...\n");
-    auto source = trng::Registry::make("streaming", params);
-    std::printf("source: %s\n\n", source->info().description.c_str());
+    trng::Service service(config);
 
-    source->startContinuous();
-    RandomByteService service(*source);
+    // Client 1: a key server. Higher priority, and a per-session
+    // conditioning profile -- SHA-256 (the paper's recommended
+    // post-processing for cryptographic consumers, Section 5.4)
+    // followed by the SP 800-90B continuous health tests on exactly
+    // the bits this client receives.
+    trng::SessionConfig key_config;
+    key_config.priority = 3;
+    key_config.conditioning = {"sha256", "health"};
+    trng::Session keys = service.open(key_config);
 
-    // Simulate a burst of client requests while harvesting continues
-    // in the background.
-    const std::size_t kRequests = 24;
-    const std::size_t kBytesPerRequest = 32; // One 256-bit key each.
-    for (std::size_t request = 0; request < kRequests; ++request) {
-        const auto key = service.bytes(kBytesPerRequest);
-        std::printf("request %2zu: ", request);
-        for (std::uint8_t byte : key)
+    // Client 2: a Monte Carlo consumer draining raw bits in bulk.
+    trng::Session bulk = service.open();
+
+    // Client 3: telemetry nonces, queued asynchronously.
+    trng::Session nonces = service.open();
+
+    std::thread bulk_thread([&bulk] {
+        std::uint64_t total = 0;
+        for (int i = 0; i < 16; ++i)
+            total += bulk.read(1u << 15).size();
+        std::printf("simulation: drained %llu raw bits\n",
+                    static_cast<unsigned long long>(total));
+    });
+
+    std::vector<std::future<util::BitStream>> nonce_futures;
+    for (int i = 0; i < 8; ++i)
+        nonce_futures.push_back(nonces.readAsync(64));
+
+    for (int request = 0; request < 8; ++request) {
+        const util::BitStream key = keys.read(256);
+        std::printf("key %d: ", request);
+        for (const std::uint8_t byte : key.toBytesMsbFirst())
             std::printf("%02x", byte);
         std::printf("\n");
     }
-
-    source->stop();
-    const auto stats = source->stats();
-    std::printf("\nsession: %llu conditioned bits delivered over "
-                "%.1f ms host time (output entropy %.4f bits/bit)\n",
-                static_cast<unsigned long long>(stats.bits),
-                stats.host_ms, stats.shannon_entropy);
-    std::printf("\nper-stage entropy accounting:\n");
-    for (const auto &stage : stats.stages) {
-        std::printf("  %-10s %9llu -> %9llu bits, entropy %.4f -> "
-                    "%.4f bits/bit",
-                    stage.stage.c_str(),
-                    static_cast<unsigned long long>(stage.in_bits),
-                    static_cast<unsigned long long>(stage.out_bits),
-                    stage.inEntropy(), stage.outEntropy());
-        if (stage.stage == "health")
-            std::printf(", %llu alarm(s)",
-                        static_cast<unsigned long long>(
-                            stage.health_failures));
-        std::printf("\n");
+    for (auto &future : nonce_futures) {
+        const util::BitStream nonce = future.get();
+        std::printf("nonce: %016llx\n",
+                    static_cast<unsigned long long>(
+                        nonce.words().front()));
     }
+    bulk_thread.join();
+
+    const auto key_stats = keys.stats();
+    const auto bulk_stats = bulk.stats();
+    std::printf("\nshares: keyserver consumed %llu reservoir bits "
+                "(priority 3), simulation %llu (priority 1)\n",
+                static_cast<unsigned long long>(
+                    key_stats.reservoir_bits),
+                static_cast<unsigned long long>(
+                    bulk_stats.reservoir_bits));
+
+    const auto stats = service.stats();
+    std::printf("service: %llu bits harvested, %llu delivered, "
+                "reservoir high watermark %llu/%llu\n",
+                static_cast<unsigned long long>(stats.harvested_bits),
+                static_cast<unsigned long long>(stats.delivered_bits),
+                static_cast<unsigned long long>(
+                    stats.reservoir_high_watermark),
+                static_cast<unsigned long long>(
+                    stats.reservoir_capacity));
+    std::printf("adaptive chunking: %llu grows, %llu shrinks; "
+                "final member chunk sizes:",
+                static_cast<unsigned long long>(stats.chunk_grows),
+                static_cast<unsigned long long>(stats.chunk_shrinks));
+    for (const auto &member : stats.members)
+        std::printf(" %s=%zu", member.label.c_str(),
+                    member.chunk_bits);
+    std::printf("\n");
     return 0;
 }

@@ -38,6 +38,7 @@ StreamingTrng::StreamingTrng(std::vector<DRangeTrng *> engines,
     }
     if (config_.chunk_bits == 0)
         config_.chunk_bits = 1;
+    chunk_bits_.store(config_.chunk_bits, std::memory_order_relaxed);
     pipeline_ = trng::makePipeline(config_.conditioning,
                                    config_.stage_params);
     producer_stats_.resize(engines_.size());
@@ -174,7 +175,7 @@ StreamingTrng::pushPending(std::size_t engine_idx,
     // chunk_bits plus at most one round's harvest; reserving up front
     // keeps the harvest loop free of reallocations.
     if (!last) {
-        pending.reserve(config_.chunk_bits +
+        pending.reserve(chunkBits() +
                         engines_[engine_idx]->bitsPerRound());
     }
     return queue_->push(std::move(chunk));
@@ -189,13 +190,13 @@ StreamingTrng::producerLoop(std::size_t engine_idx, int rounds,
     producer_stats_[engine_idx].start_ns = engine.scheduler().now();
 
     util::BitStream pending;
-    pending.reserve(config_.chunk_bits + engine.bitsPerRound());
+    pending.reserve(chunkBits() + engine.bitsPerRound());
     bool open = true;
     for (std::uint64_t r = 0;
          open && (continuous || r < static_cast<std::uint64_t>(rounds));
          ++r) {
         harvestRound(engine_idx, pending);
-        if (pending.size() >= config_.chunk_bits)
+        if (pending.size() >= chunkBits())
             open = pushPending(engine_idx, pending, /*last=*/false);
     }
     producer_stats_[engine_idx].end_ns = engine.scheduler().now();
@@ -220,8 +221,7 @@ StreamingTrng::serialProducerLoop(std::vector<int> rounds,
 
     std::vector<util::BitStream> pending(n);
     for (std::size_t ch = 0; ch < n; ++ch)
-        pending[ch].reserve(config_.chunk_bits +
-                            engines_[ch]->bitsPerRound());
+        pending[ch].reserve(chunkBits() + engines_[ch]->bitsPerRound());
     const std::uint64_t max_rounds =
         continuous ? 0
                    : static_cast<std::uint64_t>(*std::max_element(
@@ -234,7 +234,7 @@ StreamingTrng::serialProducerLoop(std::vector<int> rounds,
                 r >= static_cast<std::uint64_t>(rounds[ch]))
                 continue;
             harvestRound(ch, pending[ch]);
-            if (pending[ch].size() >= config_.chunk_bits)
+            if (pending[ch].size() >= chunkBits())
                 open = pushPending(ch, pending[ch], /*last=*/false);
         }
     }
@@ -272,8 +272,24 @@ StreamingTrng::validateChunk(const util::BitStream &raw)
 }
 
 std::optional<StreamChunk>
-StreamingTrng::nextRawChunk()
+StreamingTrng::nextRawChunk(bool blocking, bool &would_block)
 {
+    // Pop the next item, honoring the blocking mode. Returns nullopt
+    // with would_block set when a non-blocking pop found the queue
+    // momentarily empty; nullopt with it clear means the stream ended.
+    const auto take = [&]() -> std::optional<StreamChunk> {
+        if (blocking)
+            return queue_->pop();
+        StreamChunk item;
+        if (queue_->tryPop(item))
+            return item;
+        // Empty: either nothing is ready yet, or the session is over.
+        // (Racing a concurrent close() is benign: the caller retries.)
+        would_block = !queue_->closed();
+        return std::nullopt;
+    };
+
+    would_block = false;
     for (;;) {
         StreamChunk chunk;
         if (ordered_) {
@@ -285,10 +301,11 @@ StreamingTrng::nextRawChunk()
                 chunk = std::move(it->second);
                 stash_.erase(it);
             } else {
-                auto item = queue_->pop();
+                auto item = take();
                 if (!item) {
-                    // Closed early (stop() or producer error): whatever
-                    // is stashed out of order is not deliverable.
+                    // Would-block, or closed early (stop() / producer
+                    // error): whatever is stashed out of order is not
+                    // deliverable.
                     return std::nullopt;
                 }
                 if (static_cast<std::size_t>(item->channel) !=
@@ -307,7 +324,7 @@ StreamingTrng::nextRawChunk()
                 expected_seq_ = 0;
             }
         } else {
-            auto item = queue_->pop();
+            auto item = take();
             if (!item)
                 return std::nullopt;
             chunk = std::move(*item);
@@ -341,13 +358,29 @@ StreamingTrng::flushConditioning()
 std::optional<util::BitStream>
 StreamingTrng::nextChunk()
 {
+    return nextChunkImpl(/*blocking=*/true);
+}
+
+std::optional<util::BitStream>
+StreamingTrng::tryNextChunk()
+{
+    return nextChunkImpl(/*blocking=*/false);
+}
+
+std::optional<util::BitStream>
+StreamingTrng::nextChunkImpl(bool blocking)
+{
     if (!running_)
         return std::nullopt;
 
     for (;;) {
-        auto chunk = nextRawChunk();
-        if (!chunk)
+        bool would_block = false;
+        auto chunk = nextRawChunk(blocking, would_block);
+        if (!chunk) {
+            if (would_block)
+                return std::nullopt; // Nothing ready; stream still live.
             return flushConditioning();
+        }
 
         stats_.raw_bits += chunk->bits.size();
         ++stats_.chunks;

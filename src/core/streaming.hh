@@ -185,6 +185,15 @@ class StreamingTrng
      */
     std::optional<util::BitStream> nextChunk();
 
+    /**
+     * Non-blocking variant of nextChunk(): returns nullopt both when
+     * no chunk is ready yet and when the session has ended (poll
+     * running() / use nextChunk() to distinguish). Lets a service
+     * multiplex several pipelines from one thread without parking on
+     * the slowest one.
+     */
+    std::optional<util::BitStream> tryNextChunk();
+
     /** Concatenate every remaining chunk of the session. */
     util::BitStream drain();
 
@@ -213,6 +222,45 @@ class StreamingTrng
     int engines() const { return static_cast<int>(engines_.size()); }
 
     /**
+     * Producer chunk size currently in effect. Unlike the rest of
+     * StreamingConfig this is adjustable mid-session (producers pick
+     * up the new size at their next chunk boundary): the adaptive
+     * chunk sizing in trng::Service grows it when the pipeline is
+     * throughput-bound and shrinks it when consumers need latency.
+     */
+    std::size_t chunkBits() const
+    {
+        return chunk_bits_.load(std::memory_order_relaxed);
+    }
+    void setChunkBits(std::size_t bits)
+    {
+        chunk_bits_.store(bits ? bits : 1, std::memory_order_relaxed);
+    }
+
+    // Live backpressure view of the hand-off queue (zeros between
+    // sessions). Like nextChunk(), call from the consumer thread only:
+    // stop()/launch() swap the queue out underneath other threads.
+    std::size_t queueDepth() const { return queue_ ? queue_->size() : 0; }
+    std::size_t queueCapacity() const
+    {
+        return queue_ ? queue_->capacity() : config_.queue_capacity;
+    }
+    std::size_t queueHighWatermark() const
+    {
+        return queue_ ? queue_->highWatermark() : 0;
+    }
+    /** Times producers blocked on a full queue (consumer-bound). */
+    std::uint64_t queuePushWaits() const
+    {
+        return queue_ ? queue_->pushWaits() : 0;
+    }
+    /** Times the consumer blocked on an empty queue (producer-bound). */
+    std::uint64_t queuePopWaits() const
+    {
+        return queue_ ? queue_->popWaits() : 0;
+    }
+
+    /**
      * Round budget per engine covering @p min_raw_bits, handed out
      * round-robin (budgets differ by at most one round; overshoot is
      * less than one round). This is the plan both harvest modes and the
@@ -234,12 +282,15 @@ class StreamingTrng
     bool pushPending(std::size_t engine_idx, util::BitStream &pending,
                      bool last);
     void joinProducers();
-    std::optional<StreamChunk> nextRawChunk();
+    std::optional<StreamChunk> nextRawChunk(bool blocking,
+                                            bool &would_block);
+    std::optional<util::BitStream> nextChunkImpl(bool blocking);
     std::optional<util::BitStream> flushConditioning();
     void validateChunk(const util::BitStream &raw);
 
     std::vector<DRangeTrng *> engines_;
     StreamingConfig config_;
+    std::atomic<std::size_t> chunk_bits_{1};
 
     // Recreated per session: close() is one-way on a ChunkQueue.
     std::unique_ptr<util::ChunkQueue<StreamChunk>> queue_;

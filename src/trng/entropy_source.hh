@@ -68,6 +68,21 @@ struct SourceStats
 };
 
 /**
+ * Live pressure view of a source's internal producer->consumer hand-off
+ * (the streaming pipeline's util::ChunkQueue). Sources without an
+ * internal queue report all-zero stats. Consumed by trng::Service's
+ * adaptive chunk sizing; read it from the thread driving nextChunk().
+ */
+struct BackpressureStats
+{
+    std::size_t queue_depth = 0;    //!< Chunks buffered right now.
+    std::size_t queue_capacity = 0; //!< Queue bound (0: no queue).
+    std::size_t queue_high_watermark = 0; //!< Deepest fill so far.
+    std::uint64_t producer_waits = 0; //!< Harvest blocked (consumer-bound).
+    std::uint64_t consumer_waits = 0; //!< Drain blocked (producer-bound).
+};
+
+/**
  * Abstract TRNG. Implementations own their simulated device(s);
  * construction happens through trng::Registry so the whole stack is
  * selectable from flat Params.
@@ -104,6 +119,33 @@ class EntropySource
 
     /** Measurements of the most recent generate() or session. */
     virtual SourceStats stats() const = 0;
+
+    /**
+     * Streaming-session chunk size in bits. Adjustable mid-session
+     * (producers pick the new size up at their next chunk boundary):
+     * this is the knob trng::Service's adaptive chunk sizing turns.
+     */
+    virtual std::size_t chunkBits() const
+    {
+        return continuous_chunk_bits_;
+    }
+    virtual void setChunkBits(std::size_t bits)
+    {
+        setContinuousChunkBits(bits);
+    }
+
+    /**
+     * Live health verdict of the open session: false once a
+     * SP 800-90B health stage in the source's conditioning pipeline
+     * has latched an alarm. Sources without health monitoring always
+     * report true. Call from the thread driving nextChunk() -- the
+     * verdict reads state that thread mutates.
+     */
+    virtual bool healthy() const { return true; }
+
+    /** Internal-queue backpressure of the open session (all zeros for
+     * sources without an internal pipeline queue). */
+    virtual BackpressureStats backpressure() const { return {}; }
 
   protected:
     /** Chunk size served by the default generate()-backed session. */

@@ -3,6 +3,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "util/special_math.hh"
+
 namespace drange::trng {
 
 HealthTestConfig
@@ -44,12 +46,12 @@ adaptiveProportionCutoff(double min_entropy, double alpha, int window)
     const double p = std::pow(2.0, -min_entropy);
     const double log_p = std::log(p);
     const double log_q = std::log1p(-p);
-    const double lgn = std::lgamma(static_cast<double>(n) + 1.0);
+    const double lgn = util::logGamma(static_cast<double>(n) + 1.0);
     double tail = 0.0;
     for (int k = n; k >= 0; --k) {
         const double log_pmf =
-            lgn - std::lgamma(static_cast<double>(k) + 1.0) -
-            std::lgamma(static_cast<double>(n - k) + 1.0) +
+            lgn - util::logGamma(static_cast<double>(k) + 1.0) -
+            util::logGamma(static_cast<double>(n - k) + 1.0) +
             static_cast<double>(k) * log_p +
             static_cast<double>(n - k) * log_q;
         tail += std::exp(log_pmf);

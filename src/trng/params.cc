@@ -2,6 +2,7 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
 #include <stdexcept>
 
 namespace drange::trng {
@@ -16,7 +17,74 @@ badValue(const std::string &key, const std::string &value,
                                 value + "\", expected " + wanted);
 }
 
+std::string
+trim(const std::string &text)
+{
+    const auto begin = text.find_first_not_of(" \t\r");
+    if (begin == std::string::npos)
+        return "";
+    const auto end = text.find_last_not_of(" \t\r");
+    return text.substr(begin, end - begin + 1);
+}
+
+[[noreturn]] void
+badLine(const std::string &path, int line, const std::string &why)
+{
+    throw std::invalid_argument("Params::fromFile: " + path + ":" +
+                                std::to_string(line) + ": " + why);
+}
+
 } // anonymous namespace
+
+Params
+Params::fromFile(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in)
+        throw std::invalid_argument("Params::fromFile: cannot read \"" +
+                                    path + "\"");
+
+    Params params;
+    std::string section_prefix;
+    std::string raw;
+    int lineno = 0;
+    while (std::getline(in, raw)) {
+        ++lineno;
+        // Strip comments first so "key = value  # why" works.
+        if (const auto hash = raw.find_first_of("#;");
+            hash != std::string::npos)
+            raw.erase(hash);
+        const std::string line = trim(raw);
+        if (line.empty())
+            continue;
+
+        if (line.front() == '[') {
+            if (line.back() != ']')
+                badLine(path, lineno,
+                        "unterminated section header \"" + line + "\"");
+            const std::string name = trim(line.substr(1, line.size() - 2));
+            if (name.empty())
+                badLine(path, lineno, "empty section name");
+            section_prefix = name + ".";
+            continue;
+        }
+
+        const auto eq = line.find('=');
+        if (eq == std::string::npos)
+            badLine(path, lineno,
+                    "expected \"key = value\" or \"[section]\", got \"" +
+                        line + "\"");
+        const std::string key = trim(line.substr(0, eq));
+        if (key.empty())
+            badLine(path, lineno, "empty key");
+        const std::string full_key = section_prefix + key;
+        if (params.has(full_key))
+            badLine(path, lineno,
+                    "key \"" + full_key + "\" set twice");
+        params.set(full_key, trim(line.substr(eq + 1)));
+    }
+    return params;
+}
 
 Params::Params(
     std::initializer_list<std::pair<std::string, std::string>> entries)
@@ -167,6 +235,40 @@ Params::keys() const
     out.reserve(values_.size());
     for (const auto &[key, value] : values_)
         out.push_back(key);
+    return out;
+}
+
+Params
+Params::section(const std::string &prefix) const
+{
+    const std::string full_prefix = prefix + ".";
+    Params out;
+    for (const auto &[key, value] : values_) {
+        if (key.rfind(full_prefix, 0) != 0)
+            continue;
+        out.set(key.substr(full_prefix.size()), value);
+        consumed_.insert(key);
+    }
+    return out;
+}
+
+std::vector<std::string>
+Params::sections(const std::string &prefix) const
+{
+    const std::string full_prefix = prefix + ".";
+    std::vector<std::string> out;
+    for (const auto &[key, value] : values_) {
+        if (key.rfind(full_prefix, 0) != 0)
+            continue;
+        const auto dot = key.find('.', full_prefix.size());
+        if (dot == std::string::npos)
+            continue; // "pool.x" is a key, not a section, under "pool".
+        const std::string name = key.substr(0, dot);
+        if (out.empty() || out.back() != name)
+            out.push_back(name);
+    }
+    // values_ is sorted, so duplicates are adjacent; the guard above
+    // already dropped them.
     return out;
 }
 

@@ -38,6 +38,22 @@ class Params
     Params(std::initializer_list<std::pair<std::string, std::string>>
                entries);
 
+    /**
+     * Parse an INI-style config file into a flat Params bag:
+     *
+     *     # comment (';' also starts one)
+     *     key = value          -> {"key", "value"}
+     *     [pool.fast]          -> keys below prefixed "pool.fast."
+     *     source = streaming   -> {"pool.fast.source", "streaming"}
+     *
+     * Values run to end of line (commas fine: "conditioning =
+     * sha256,health"). Malformed input -- an unreadable file, a line
+     * with no '=', an empty key, an unterminated or empty [section],
+     * a key set twice -- throws std::invalid_argument naming the line.
+     * Used by tools/trngd.cc; see Params::section() for unpacking.
+     */
+    static Params fromFile(const std::string &path);
+
     /** Set (or overwrite) a key. Returns *this for chaining. */
     Params &set(const std::string &key, const std::string &value);
     Params &set(const std::string &key, const char *value);
@@ -78,6 +94,21 @@ class Params
 
     /** All keys, sorted. */
     std::vector<std::string> keys() const;
+
+    /**
+     * Sub-bag holding every "@p prefix.key" with the prefix stripped
+     * (empty when none). The prefixed keys count as consumed in this
+     * bag, so a factory can hand whole sections on and still call
+     * rejectUnknown() on the rest.
+     */
+    Params section(const std::string &prefix) const;
+
+    /**
+     * Distinct one-level section names under @p prefix, sorted: with
+     * keys "pool.a.source" and "pool.b.seed", sections("pool") is
+     * {"pool.a", "pool.b"}. Does not consume anything.
+     */
+    std::vector<std::string> sections(const std::string &prefix) const;
 
     /**
      * @throws std::invalid_argument naming every key that no getter has

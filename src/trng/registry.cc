@@ -38,8 +38,10 @@ ensureBuiltins()
 std::string
 knownNames()
 {
+    // Built on the public names() enumeration so the error message can
+    // never drift from what callers iterating Registry::names() see.
     std::string known;
-    for (const auto &[name, entry] : entries()) {
+    for (const std::string &name : Registry::names()) {
         if (!known.empty())
             known += ", ";
         known += "\"" + name + "\"";

@@ -1,0 +1,581 @@
+#include "trng/service.hh"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+#include "trng/registry.hh"
+
+namespace drange::trng {
+
+namespace detail {
+
+void
+BitFifo::push(util::BitStream bits)
+{
+    if (bits.empty())
+        return;
+    bits_ += bits.size();
+    chunks_.push_back(std::move(bits));
+}
+
+util::BitStream
+BitFifo::pop(std::size_t count)
+{
+    util::BitStream out;
+    if (count == 0)
+        return out;
+    out.reserve(count);
+    while (count > 0) {
+        util::BitStream &front = chunks_.front();
+        const std::size_t avail = front.size() - front_offset_;
+        if (out.empty() && front_offset_ == 0 && count >= avail) {
+            // Whole-chunk fast path: move instead of copying.
+            out = std::move(front);
+            chunks_.pop_front();
+            bits_ -= avail;
+            count -= avail;
+            continue;
+        }
+        const std::size_t take = std::min(count, avail);
+        out.append(front.slice(front_offset_, take));
+        front_offset_ += take;
+        bits_ -= take;
+        count -= take;
+        if (front_offset_ == front.size()) {
+            chunks_.pop_front();
+            front_offset_ = 0;
+        }
+    }
+    return out;
+}
+
+void
+BitFifo::clear()
+{
+    chunks_.clear();
+    front_offset_ = 0;
+    bits_ = 0;
+}
+
+} // namespace detail
+
+namespace {
+
+[[noreturn]] void
+badConfig(const std::string &why)
+{
+    throw std::invalid_argument("trng::Service: " + why);
+}
+
+std::size_t
+positiveSize(const Params &params, const std::string &key,
+             std::size_t fallback)
+{
+    const std::int64_t value =
+        params.getInt(key, static_cast<std::int64_t>(fallback));
+    if (value < 1)
+        badConfig("[service] " + key + " must be >= 1 (got " +
+                  std::to_string(value) + ")");
+    return static_cast<std::size_t>(value);
+}
+
+ServiceConfig
+singleMemberConfig(const std::string &source, const Params &params)
+{
+    ServiceConfig cfg;
+    cfg.pool.push_back(PoolMemberConfig{source, params, ""});
+    return cfg;
+}
+
+} // anonymous namespace
+
+ServiceConfig
+ServiceConfig::fromParams(const Params &params)
+{
+    ServiceConfig cfg;
+    const Params service = params.section("service");
+    cfg.reservoir_bits =
+        positiveSize(service, "reservoir_bits", cfg.reservoir_bits);
+    cfg.quantum_bits =
+        positiveSize(service, "quantum_bits", cfg.quantum_bits);
+    cfg.adaptive_chunking =
+        service.getBool("adaptive", cfg.adaptive_chunking);
+    cfg.min_chunk_bits =
+        positiveSize(service, "min_chunk_bits", cfg.min_chunk_bits);
+    cfg.max_chunk_bits =
+        positiveSize(service, "max_chunk_bits", cfg.max_chunk_bits);
+    cfg.low_watermark =
+        service.getDouble("low_watermark", cfg.low_watermark);
+    cfg.high_watermark =
+        service.getDouble("high_watermark", cfg.high_watermark);
+    cfg.adapt_interval_chunks = static_cast<int>(positiveSize(
+        service, "adapt_interval_chunks",
+        static_cast<std::size_t>(cfg.adapt_interval_chunks)));
+    service.rejectUnknown("trng::Service config [service]");
+
+    for (const std::string &name : params.sections("pool")) {
+        const Params member = params.section(name);
+        PoolMemberConfig pm;
+        pm.label = name.substr(std::string("pool.").size());
+        pm.source = member.getString("source");
+        if (pm.source.empty())
+            badConfig("[" + name + "] must set \"source\" to a "
+                      "registry name");
+        for (const std::string &key : member.keys())
+            if (key != "source")
+                pm.params.set(key, member.getString(key));
+        cfg.pool.push_back(std::move(pm));
+    }
+    if (cfg.pool.empty())
+        badConfig("config defines no [pool.<label>] sections");
+    return cfg;
+}
+
+Service::Service(ServiceConfig config) : config_(std::move(config))
+{
+    if (config_.pool.empty())
+        badConfig("pool is empty");
+    if (config_.reservoir_bits == 0 || config_.quantum_bits == 0 ||
+        config_.min_chunk_bits == 0)
+        badConfig("reservoir_bits, quantum_bits, and min_chunk_bits "
+                  "must all be >= 1");
+    if (config_.min_chunk_bits > config_.max_chunk_bits)
+        badConfig("min_chunk_bits > max_chunk_bits");
+    if (config_.low_watermark > config_.high_watermark)
+        badConfig("low_watermark > high_watermark");
+    if (config_.adapt_interval_chunks < 1)
+        badConfig("adapt_interval_chunks must be >= 1");
+
+    members_.reserve(config_.pool.size());
+    for (std::size_t i = 0; i < config_.pool.size(); ++i) {
+        const PoolMemberConfig &pm = config_.pool[i];
+        auto member = std::make_unique<Member>();
+        member->label = pm.label.empty()
+                            ? pm.source + "[" + std::to_string(i) + "]"
+                            : pm.label;
+        member->source_name = pm.source;
+        member->source = Registry::make(pm.source, pm.params);
+        if (!member->source->info().streaming)
+            badConfig("pool member \"" + member->label + "\" (" +
+                      pm.source +
+                      ") cannot stream and cannot feed a continuous "
+                      "reservoir; use bounded generate() directly");
+        member->chunk_bits =
+            std::clamp(member->source->chunkBits(),
+                       config_.min_chunk_bits, config_.max_chunk_bits);
+        member->source->setChunkBits(member->chunk_bits);
+        members_.push_back(std::move(member));
+    }
+
+    live_workers_ = static_cast<int>(members_.size());
+    dispatcher_ = std::thread(&Service::dispatcherLoop, this);
+    for (std::size_t i = 0; i < members_.size(); ++i)
+        members_[i]->worker =
+            std::thread(&Service::workerLoop, this, i);
+}
+
+Service::Service(const std::string &source, const Params &params)
+    : Service(singleMemberConfig(source, params))
+{
+}
+
+Service::~Service()
+{
+    close();
+}
+
+void
+Service::workerLoop(std::size_t member_idx)
+{
+    Member &m = *members_[member_idx];
+    bool quarantine = false;
+    try {
+        m.source->startContinuous();
+        int since_adapt = 0;
+        for (;;) {
+            {
+                std::lock_guard<std::mutex> lock(mu_);
+                if (closing_)
+                    break;
+            }
+            std::optional<util::BitStream> chunk =
+                m.source->nextChunk();
+            if (!chunk)
+                break; // Source exhausted or stopped.
+            if (!m.source->healthy()) {
+                // SP 800-90B alarm: the bits that tripped it are
+                // suspect, so the alarming chunk is dropped with the
+                // member.
+                quarantine = true;
+                break;
+            }
+            if (chunk->empty())
+                continue;
+
+            std::size_t new_chunk_bits = 0;
+            {
+                std::unique_lock<std::mutex> lock(mu_);
+                if (!reservoir_.empty() &&
+                    reservoir_.size() + chunk->size() >
+                        config_.reservoir_bits) {
+                    // Backpressure: hold the chunk until clients make
+                    // room (a chunk larger than the reservoir is
+                    // admitted alone).
+                    ++producer_waits_;
+                    space_cv_.wait(lock, [&] {
+                        return closing_ || reservoir_.empty() ||
+                               reservoir_.size() + chunk->size() <=
+                                   config_.reservoir_bits;
+                    });
+                }
+                if (closing_)
+                    break;
+                const std::size_t pushed = chunk->size();
+                reservoir_.push(std::move(*chunk));
+                reservoir_high_watermark_ = std::max(
+                    reservoir_high_watermark_, reservoir_.size());
+                harvested_bits_ += pushed;
+                ++m.chunks;
+                m.bits += pushed;
+                if (config_.adaptive_chunking &&
+                    ++since_adapt >= config_.adapt_interval_chunks) {
+                    since_adapt = 0;
+                    new_chunk_bits = adaptedChunkBits(m);
+                }
+                work_cv_.notify_one();
+            }
+            // Applied outside mu_: only this worker touches its
+            // source, so no lock is needed.
+            if (new_chunk_bits != 0)
+                m.source->setChunkBits(new_chunk_bits);
+        }
+    } catch (...) {
+        // A source that dies mid-session is handled like a tripped
+        // one: quarantine it and fail over to the remaining members.
+        quarantine = true;
+    }
+
+    std::lock_guard<std::mutex> lock(mu_);
+    m.quarantined = m.quarantined || quarantine;
+    m.done = true;
+    --live_workers_;
+    work_cv_.notify_all(); // The dispatcher may need to fail requests.
+}
+
+std::size_t
+Service::adaptedChunkBits(Member &member)
+{
+    // Two pressure signals pick the direction: the reservoir fill
+    // fraction (clients vs. pool) and the source's own hand-off queue
+    // (harvest threads vs. this worker). A starved reservoir wants
+    // throughput, so chunks grow to amortize per-chunk hand-off cost;
+    // a saturated reservoir or source queue means production is ahead,
+    // so chunks shrink back toward low-latency fine grain.
+    const double fill = static_cast<double>(reservoir_.size()) /
+                        static_cast<double>(config_.reservoir_bits);
+    const BackpressureStats bp = member.source->backpressure();
+    const bool source_saturated =
+        bp.queue_capacity > 0 && bp.queue_depth >= bp.queue_capacity;
+
+    std::size_t next = member.chunk_bits;
+    if (fill < config_.low_watermark)
+        next = std::min(member.chunk_bits * 2, config_.max_chunk_bits);
+    else if (fill > config_.high_watermark || source_saturated)
+        next = std::max(member.chunk_bits / 2, config_.min_chunk_bits);
+    if (next == member.chunk_bits)
+        return 0;
+    if (next > member.chunk_bits)
+        ++chunk_grows_;
+    else
+        ++chunk_shrinks_;
+    member.chunk_bits = next;
+    return next;
+}
+
+void
+Service::dispatcherLoop()
+{
+    std::unique_lock<std::mutex> lock(mu_);
+    for (;;) {
+        work_cv_.wait(lock, [&] {
+            return closing_ ||
+                   (pending_requests_ > 0 &&
+                    (!reservoir_.empty() || live_workers_ == 0));
+        });
+        if (closing_)
+            break;
+
+        while (serveRound()) {
+        }
+
+        if (pending_requests_ > 0 && live_workers_ == 0 &&
+            reservoir_.empty()) {
+            // Supply is gone for good: flush session pipelines (a
+            // stateful stage may still hold a tail), then fail
+            // whatever cannot complete.
+            for (auto &[id, state] : sessions_) {
+                if (state->has_pipeline && !state->flushed) {
+                    state->flushed = true;
+                    state->buffer.push(state->pipeline.finish());
+                    completeReady(*state);
+                }
+            }
+            for (auto &[id, state] : sessions_)
+                failRequests(*state,
+                             "entropy service: every pool member is "
+                             "quarantined or exhausted");
+        }
+    }
+    for (auto &[id, state] : sessions_)
+        failRequests(*state, "entropy service closed");
+}
+
+bool
+Service::serveRound()
+{
+    if (sessions_.empty() || reservoir_.empty())
+        return false;
+    bool any = false;
+
+    // One visit per session, resuming after the session served last so
+    // a reservoir that drains mid-round does not starve high ids.
+    std::vector<detail::SessionState *> order;
+    order.reserve(sessions_.size());
+    for (auto it = sessions_.upper_bound(drr_cursor_);
+         it != sessions_.end(); ++it)
+        order.push_back(it->second.get());
+    for (auto it = sessions_.begin();
+         it != sessions_.end() && it->first <= drr_cursor_; ++it)
+        order.push_back(it->second.get());
+
+    for (detail::SessionState *sp : order) {
+        detail::SessionState &s = *sp;
+        if (reservoir_.empty())
+            break;
+        if (!s.healthy)
+            continue; // Alarmed: its reads already failed.
+        if (s.requests.empty()) {
+            s.deficit = 0; // Standard DRR: idle queues bank nothing.
+            continue;
+        }
+        const std::size_t buffered = s.buffer.size();
+        const std::size_t outstanding =
+            s.demand_bits > buffered ? s.demand_bits - buffered : 0;
+        if (outstanding == 0)
+            continue;
+        s.deficit +=
+            config_.quantum_bits * static_cast<std::size_t>(s.weight);
+        // Conditioning may need more input than `outstanding` output
+        // bits (von Neumann eats ~4x); later rounds provide it.
+        const std::size_t take =
+            std::min({s.deficit, reservoir_.size(), outstanding});
+        if (take == 0)
+            continue;
+
+        util::BitStream in = reservoir_.pop(take);
+        space_cv_.notify_all();
+        s.deficit -= take;
+        s.consumed_bits += take;
+        distributed_bits_ += take;
+        util::BitStream out = s.has_pipeline ? s.pipeline.process(in)
+                                             : std::move(in);
+        if (s.has_pipeline && !s.pipeline.healthy()) {
+            // The session's own health stage latched an alarm: the
+            // stream serving this client is suspect, so drop the
+            // alarming output and everything buffered, fail its
+            // reads, and refuse new ones (submit checks healthy).
+            // Pool members keep serving the other sessions.
+            s.healthy = false;
+            s.buffer.clear();
+            failRequests(s, "entropy service session: SP 800-90B "
+                            "health alarm in the session's "
+                            "conditioning pipeline");
+            drr_cursor_ = s.id;
+            any = true;
+            continue;
+        }
+        s.buffer.push(std::move(out));
+        completeReady(s);
+        drr_cursor_ = s.id;
+        any = true;
+    }
+    return any;
+}
+
+void
+Service::completeReady(detail::SessionState &state)
+{
+    while (!state.requests.empty() &&
+           state.buffer.size() >= state.requests.front()->want) {
+        std::unique_ptr<detail::ReadRequest> req =
+            std::move(state.requests.front());
+        state.requests.pop_front();
+        --pending_requests_;
+        state.demand_bits -= req->want;
+        util::BitStream bits = state.buffer.pop(req->want);
+        state.delivered_bits += bits.size();
+        delivered_bits_ += bits.size();
+        ++state.reads;
+        req->promise.set_value(std::move(bits));
+    }
+}
+
+void
+Service::failRequests(detail::SessionState &state,
+                      const std::string &why)
+{
+    while (!state.requests.empty()) {
+        std::unique_ptr<detail::ReadRequest> req =
+            std::move(state.requests.front());
+        state.requests.pop_front();
+        --pending_requests_;
+        state.demand_bits -= req->want;
+        req->promise.set_exception(
+            std::make_exception_ptr(std::runtime_error(why)));
+    }
+}
+
+Session
+Service::open(SessionConfig config)
+{
+    if (config.priority < 1)
+        throw std::invalid_argument(
+            "Service::open: priority must be >= 1 (got " +
+            std::to_string(config.priority) + ")");
+    auto state = std::make_shared<detail::SessionState>();
+    state->weight = config.priority;
+    state->has_pipeline = !config.conditioning.empty();
+    state->pipeline =
+        makePipeline(config.conditioning, config.stage_params);
+    state->pipeline.reset();
+
+    std::lock_guard<std::mutex> lock(mu_);
+    if (closing_)
+        throw std::logic_error("Service::open: service is closed");
+    state->id = next_session_id_++;
+    sessions_.emplace(state->id, state);
+    return Session(this, std::move(state));
+}
+
+std::future<util::BitStream>
+Service::submit(const std::shared_ptr<detail::SessionState> &state,
+                std::size_t num_bits)
+{
+    auto req = std::make_unique<detail::ReadRequest>();
+    req->want = num_bits;
+    std::future<util::BitStream> future = req->promise.get_future();
+
+    std::lock_guard<std::mutex> lock(mu_);
+    if (closing_ || !state->open) {
+        req->promise.set_exception(std::make_exception_ptr(
+            std::runtime_error("entropy service session is closed")));
+        return future;
+    }
+    if (!state->healthy) {
+        req->promise.set_exception(
+            std::make_exception_ptr(std::runtime_error(
+                "entropy service session: SP 800-90B health alarm in "
+                "the session's conditioning pipeline")));
+        return future;
+    }
+    state->requests.push_back(std::move(req));
+    state->demand_bits += num_bits;
+    ++pending_requests_;
+    // Leftover conditioned bits from an earlier round may already
+    // cover the request (and num_bits == 0 always completes here).
+    completeReady(*state);
+    if (pending_requests_ > 0)
+        work_cv_.notify_one();
+    return future;
+}
+
+SessionStats
+Service::sessionStats(
+    const std::shared_ptr<detail::SessionState> &state) const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    SessionStats out;
+    out.id = state->id;
+    out.priority = state->weight;
+    out.reservoir_bits = state->consumed_bits;
+    out.delivered_bits = state->delivered_bits;
+    out.reads = state->reads;
+    out.buffered_bits = state->buffer.size();
+    out.healthy = state->healthy;
+    for (const auto &stage : state->pipeline.accounting())
+        out.health_failures += stage.health_failures;
+    return out;
+}
+
+void
+Service::closeSession(
+    const std::shared_ptr<detail::SessionState> &state)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!state->open)
+        return;
+    state->open = false;
+    failRequests(*state, "entropy service session closed");
+    state->buffer.clear();
+    sessions_.erase(state->id);
+    // Dropping a big consumer may unblock producers' space waits.
+    space_cv_.notify_all();
+}
+
+ServiceStats
+Service::stats() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    ServiceStats out;
+    out.members.reserve(members_.size());
+    for (const auto &member : members_) {
+        MemberStats ms;
+        ms.label = member->label;
+        ms.source = member->source_name;
+        ms.chunks = member->chunks;
+        ms.bits = member->bits;
+        ms.chunk_bits = member->chunk_bits;
+        ms.quarantined = member->quarantined;
+        ms.active = !member->done;
+        out.members.push_back(std::move(ms));
+    }
+    out.healthy_members = live_workers_;
+    out.open_sessions = sessions_.size();
+    out.pending_requests = pending_requests_;
+    out.reservoir_bits = reservoir_.size();
+    out.reservoir_capacity = config_.reservoir_bits;
+    out.reservoir_high_watermark = reservoir_high_watermark_;
+    out.harvested_bits = harvested_bits_;
+    out.distributed_bits = distributed_bits_;
+    out.delivered_bits = delivered_bits_;
+    out.producer_waits = producer_waits_;
+    out.chunk_grows = chunk_grows_;
+    out.chunk_shrinks = chunk_shrinks_;
+    return out;
+}
+
+void
+Service::close()
+{
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        closing_ = true;
+        work_cv_.notify_all();
+        space_cv_.notify_all();
+    }
+    for (auto &member : members_)
+        if (member->worker.joinable())
+            member->worker.join();
+    if (dispatcher_.joinable())
+        dispatcher_.join();
+    for (auto &member : members_) {
+        try {
+            member->source->stop();
+        } catch (...) {
+            // Producer errors belong to the session being torn down.
+        }
+    }
+}
+
+} // namespace drange::trng

@@ -1,0 +1,75 @@
+#include "trng/session.hh"
+
+#include <stdexcept>
+#include <utility>
+
+#include "trng/service.hh"
+
+namespace drange::trng {
+
+Session::Session(Service *service,
+                 std::shared_ptr<detail::SessionState> state)
+    : service_(service), state_(std::move(state))
+{
+}
+
+Session::~Session()
+{
+    close();
+}
+
+Session::Session(Session &&other) noexcept
+    : service_(std::exchange(other.service_, nullptr)),
+      state_(std::move(other.state_))
+{
+}
+
+Session &
+Session::operator=(Session &&other) noexcept
+{
+    if (this != &other) {
+        close();
+        service_ = std::exchange(other.service_, nullptr);
+        state_ = std::move(other.state_);
+    }
+    return *this;
+}
+
+util::BitStream
+Session::read(std::size_t num_bits)
+{
+    return readAsync(num_bits).get();
+}
+
+std::future<util::BitStream>
+Session::readAsync(std::size_t num_bits)
+{
+    if (!service_ || !state_)
+        throw std::logic_error("trng::Session: empty handle");
+    return service_->submit(state_, num_bits);
+}
+
+SessionStats
+Session::stats() const
+{
+    if (!service_ || !state_)
+        throw std::logic_error("trng::Session: empty handle");
+    return service_->sessionStats(state_);
+}
+
+bool
+Session::isOpen() const
+{
+    return service_ != nullptr && state_ != nullptr;
+}
+
+void
+Session::close()
+{
+    if (service_ && state_)
+        service_->closeSession(state_);
+    service_ = nullptr;
+    state_.reset();
+}
+
+} // namespace drange::trng

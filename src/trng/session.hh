@@ -1,0 +1,139 @@
+/**
+ * @file
+ * Client-side handle into the multi-client entropy service
+ * (trng::Service).
+ *
+ * Service::open(SessionConfig) hands out a Session; any number of
+ * sessions read concurrently from the service's shared conditioned-bit
+ * reservoir, and the service's dispatcher splits the reservoir between
+ * them with deficit-round-robin fairness weighted by each session's
+ * priority. read() blocks until the request is filled; readAsync()
+ * queues the request and returns a future, so one session can keep
+ * several requests in flight (they complete in submission order).
+ *
+ * A session may carry its own conditioning profile (an ordered list of
+ * trng::ConditioningStage names): the dispatcher runs every bit served
+ * to the session through that pipeline, so e.g. a "sha256" session and
+ * a raw session can share one pool. Fairness is accounted on the
+ * *input* (reservoir) side -- what the session actually cost the pool
+ * -- not on the conditioned output.
+ *
+ * Sessions must not outlive their Service. Closing a session (or
+ * letting the handle die) fails its outstanding requests and returns
+ * its share of the reservoir to the other clients.
+ */
+
+#ifndef DRANGE_TRNG_SESSION_HH
+#define DRANGE_TRNG_SESSION_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <future>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "trng/params.hh"
+#include "util/bitstream.hh"
+
+namespace drange::trng {
+
+class Service;
+
+namespace detail {
+struct SessionState;
+} // namespace detail
+
+/** Per-client knobs handed to Service::open(). */
+struct SessionConfig
+{
+    /**
+     * Deficit-round-robin weight, >= 1: under contention a
+     * priority-3 session is served three reservoir bits for every one
+     * a priority-1 session gets.
+     */
+    int priority = 1;
+
+    /**
+     * Per-session conditioning profile as an ordered list of
+     * registered stage names (trng::makeStage: "raw", "vonneumann",
+     * "sha256", "health", ...). Empty means raw reservoir bits, which
+     * is the zero-copy path.
+     */
+    std::vector<std::string> conditioning;
+
+    /** Parameters handed to every conditioning-stage factory. */
+    Params stage_params;
+};
+
+/** Lifetime measurements of one session. */
+struct SessionStats
+{
+    int id = 0;
+    int priority = 1;
+    std::uint64_t reservoir_bits = 0; //!< Input bits this session cost
+                                      //!< the pool (the DRR-fair side).
+    std::uint64_t delivered_bits = 0; //!< Conditioned bits returned.
+    std::uint64_t reads = 0;          //!< Completed requests.
+    std::uint64_t buffered_bits = 0;  //!< Conditioned, not yet read.
+
+    /** False once this session's own conditioning pipeline (e.g. its
+     * "health" stage) latched an SP 800-90B alarm; every read after
+     * the alarm fails. */
+    bool healthy = true;
+    std::uint64_t health_failures = 0; //!< Alarms across all stages.
+};
+
+/**
+ * Movable handle to one open service session. The default-constructed
+ * handle is empty; every other handle comes from Service::open().
+ */
+class Session
+{
+  public:
+    Session() = default;
+    ~Session();
+
+    Session(Session &&other) noexcept;
+    Session &operator=(Session &&other) noexcept;
+    Session(const Session &) = delete;
+    Session &operator=(const Session &) = delete;
+
+    /**
+     * Blocking read: exactly @p num_bits conditioned bits.
+     * @throws std::runtime_error if the session or service closes
+     *         first, every pool member is quarantined/exhausted, or
+     *         this session's own conditioning pipeline latches an
+     *         SP 800-90B health alarm (the suspect bits are dropped,
+     *         and every later read on this session fails too).
+     */
+    util::BitStream read(std::size_t num_bits);
+
+    /**
+     * Queue a read and return immediately; the future resolves to
+     * exactly @p num_bits bits (or the error above). Requests of one
+     * session complete in submission order.
+     */
+    std::future<util::BitStream> readAsync(std::size_t num_bits);
+
+    SessionStats stats() const;
+
+    /** True while the handle is attached to an open session. */
+    bool isOpen() const;
+
+    /** Detach from the service: outstanding requests fail, buffered
+     * bits are dropped. Idempotent; the destructor calls it. */
+    void close();
+
+  private:
+    friend class Service;
+    Session(Service *service,
+            std::shared_ptr<detail::SessionState> state);
+
+    Service *service_ = nullptr;
+    std::shared_ptr<detail::SessionState> state_;
+};
+
+} // namespace drange::trng
+
+#endif // DRANGE_TRNG_SESSION_HH

@@ -318,6 +318,40 @@ class StreamingSource final : public EntropySource
 
     SourceStats stats() const override { return stats_; }
 
+    std::size_t chunkBits() const override
+    {
+        return stream_ ? stream_->chunkBits()
+                       : stream_config_.chunk_bits;
+    }
+
+    void setChunkBits(std::size_t bits) override
+    {
+        stream_config_.chunk_bits = bits ? bits : 1;
+        if (stream_)
+            stream_->setChunkBits(bits);
+    }
+
+    bool healthy() const override
+    {
+        // Stage state is mutated by the thread running nextChunk();
+        // per the interface contract that is also the caller here.
+        return !stream_ || stream_->conditioning().healthy();
+    }
+
+    BackpressureStats backpressure() const override
+    {
+        BackpressureStats bp;
+        bp.queue_capacity = stream_config_.queue_capacity;
+        if (stream_) {
+            bp.queue_depth = stream_->queueDepth();
+            bp.queue_capacity = stream_->queueCapacity();
+            bp.queue_high_watermark = stream_->queueHighWatermark();
+            bp.producer_waits = stream_->queuePushWaits();
+            bp.consumer_waits = stream_->queuePopWaits();
+        }
+        return bp;
+    }
+
     /** The underlying pipeline, for callers that need the full
      * streaming API (producer stats, custom stages). */
     core::StreamingTrng &stream() { return ensureStream(); }

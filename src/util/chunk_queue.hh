@@ -16,6 +16,7 @@
 #ifndef DRANGE_UTIL_CHUNK_QUEUE_HH
 #define DRANGE_UTIL_CHUNK_QUEUE_HH
 
+#include <algorithm>
 #include <condition_variable>
 #include <cstddef>
 #include <cstdint>
@@ -55,6 +56,7 @@ class ChunkQueue
             return false;
         items_.push_back(std::move(item));
         ++pushes_;
+        high_watermark_ = std::max(high_watermark_, items_.size());
         not_empty_.notify_one();
         return true;
     }
@@ -116,6 +118,17 @@ class ChunkQueue
 
     std::size_t capacity() const { return capacity_; }
 
+    /** Deepest the queue has ever been (items, not bits). Together
+     * with pushWaits()/popWaits() this is the backpressure signal the
+     * adaptive chunk sizing in trng::Service feeds on: a queue that
+     * never fills is producer-bound, one pinned at capacity is
+     * consumer-bound. */
+    std::size_t highWatermark() const
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        return high_watermark_;
+    }
+
     /** Times push() blocked on a full queue (consumer-bound pipeline). */
     std::uint64_t pushWaits() const
     {
@@ -148,6 +161,7 @@ class ChunkQueue
     std::condition_variable not_full_;
     std::condition_variable not_empty_;
     std::deque<T> items_;
+    std::size_t high_watermark_ = 0;
     bool closed_ = false;
     std::uint64_t pushes_ = 0;
     std::uint64_t pops_ = 0;

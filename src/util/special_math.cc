@@ -5,6 +5,19 @@
 
 namespace drange::util {
 
+// For positive arguments log|Gamma(a)| == log Gamma(a), so the sign
+// output of the reentrant variant can be dropped.
+double
+logGamma(double a)
+{
+#if defined(__unix__) || defined(__APPLE__)
+    int sign = 0;
+    return ::lgamma_r(a, &sign);
+#else
+    return std::lgamma(a);
+#endif
+}
+
 namespace {
 
 const double kMaxLog = 709.0;
@@ -16,7 +29,7 @@ const double kMachEp = std::numeric_limits<double>::epsilon();
 double
 igamSeries(double a, double x)
 {
-    double ax = a * std::log(x) - x - std::lgamma(a);
+    double ax = a * std::log(x) - x - logGamma(a);
     if (ax < -kMaxLog)
         return 0.0;
     ax = std::exp(ax);
@@ -37,7 +50,7 @@ igamSeries(double a, double x)
 double
 igamcFraction(double a, double x)
 {
-    double ax = a * std::log(x) - x - std::lgamma(a);
+    double ax = a * std::log(x) - x - logGamma(a);
     if (ax < -kMaxLog)
         return 0.0;
     ax = std::exp(ax);

@@ -28,6 +28,13 @@ double normalCdf(double z);
 /** erfc wrapper (kept for symmetry with the NIST pseudocode). */
 double erfc(double x);
 
+/**
+ * log Gamma(a) for a > 0, thread-safe: std::lgamma writes the
+ * process-global `signgam`, which races when NIST tests (or health
+ * cutoff computations) run on several threads at once.
+ */
+double logGamma(double a);
+
 } // namespace drange::util
 
 #endif // DRANGE_UTIL_SPECIAL_MATH_HH

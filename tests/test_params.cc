@@ -1,0 +1,156 @@
+/**
+ * @file
+ * Unit tests for trng::Params configuration plumbing: the INI-style
+ * Params::fromFile() parser used by tools/trngd.cc, and the
+ * section()/sections() helpers trng::ServiceConfig::fromParams()
+ * unpacks pool specs with.
+ */
+
+#include <cstdio>
+#include <fstream>
+#include <stdexcept>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "trng/params.hh"
+
+namespace {
+
+using drange::trng::Params;
+
+/** Write @p text to a unique temp file; removed on destruction. */
+class TempConfig
+{
+  public:
+    explicit TempConfig(const std::string &text)
+    {
+        path_ = ::testing::TempDir() + "trng_params_" +
+                std::to_string(counter_++) + ".conf";
+        std::ofstream out(path_);
+        out << text;
+    }
+    ~TempConfig() { std::remove(path_.c_str()); }
+    const std::string &path() const { return path_; }
+
+  private:
+    static int counter_;
+    std::string path_;
+};
+
+int TempConfig::counter_ = 0;
+
+TEST(ParamsFromFile, ParsesKeysSectionsAndComments)
+{
+    const TempConfig file("# service config\n"
+                          "socket = /tmp/t.sock\n"
+                          "\n"
+                          "[service]\n"
+                          "reservoir_bits = 65536   ; inline comment\n"
+                          "adaptive = true\n"
+                          "\n"
+                          "[pool.fast]\n"
+                          "source = streaming\n"
+                          "conditioning = sha256,health\n"
+                          "[pool.backup]\n"
+                          "source = drange\n");
+    const Params params = Params::fromFile(file.path());
+    EXPECT_EQ(params.getString("socket"), "/tmp/t.sock");
+    EXPECT_EQ(params.getInt("service.reservoir_bits"), 65536);
+    EXPECT_TRUE(params.getBool("service.adaptive"));
+    EXPECT_EQ(params.getString("pool.fast.source"), "streaming");
+    const auto cond = params.getList("pool.fast.conditioning");
+    ASSERT_EQ(cond.size(), 2u);
+    EXPECT_EQ(cond[0], "sha256");
+    EXPECT_EQ(cond[1], "health");
+    EXPECT_EQ(params.getString("pool.backup.source"), "drange");
+}
+
+TEST(ParamsFromFile, TrimsWhitespaceAroundKeyAndValue)
+{
+    const TempConfig file("  spaced key   =   some value  \n");
+    const Params params = Params::fromFile(file.path());
+    EXPECT_EQ(params.getString("spaced key"), "some value");
+}
+
+TEST(ParamsFromFile, MissingFileThrows)
+{
+    EXPECT_THROW(Params::fromFile("/nonexistent/trngd.conf"),
+                 std::invalid_argument);
+}
+
+TEST(ParamsFromFile, LineWithoutEqualsThrows)
+{
+    const TempConfig file("[service]\njust some words\n");
+    try {
+        Params::fromFile(file.path());
+        FAIL() << "expected std::invalid_argument";
+    } catch (const std::invalid_argument &e) {
+        // The error names the offending line.
+        EXPECT_NE(std::string(e.what()).find(":2:"), std::string::npos)
+            << e.what();
+    }
+}
+
+TEST(ParamsFromFile, UnterminatedSectionThrows)
+{
+    const TempConfig file("[service\nkey = 1\n");
+    EXPECT_THROW(Params::fromFile(file.path()), std::invalid_argument);
+}
+
+TEST(ParamsFromFile, EmptySectionNameThrows)
+{
+    const TempConfig file("[ ]\nkey = 1\n");
+    EXPECT_THROW(Params::fromFile(file.path()), std::invalid_argument);
+}
+
+TEST(ParamsFromFile, EmptyKeyThrows)
+{
+    const TempConfig file("= orphan value\n");
+    EXPECT_THROW(Params::fromFile(file.path()), std::invalid_argument);
+}
+
+TEST(ParamsFromFile, DuplicateKeyThrows)
+{
+    const TempConfig file("[pool.a]\nseed = 1\nseed = 2\n");
+    EXPECT_THROW(Params::fromFile(file.path()), std::invalid_argument);
+}
+
+TEST(ParamsSection, StripsPrefixAndConsumes)
+{
+    Params params{{"pool.a.source", "drange"},
+                  {"pool.a.seed", "7"},
+                  {"pool.b.source", "counter"},
+                  {"other", "1"}};
+    const Params a = params.section("pool.a");
+    EXPECT_EQ(a.getString("source"), "drange");
+    EXPECT_EQ(a.getInt("seed"), 7);
+    EXPECT_FALSE(a.has("pool.b.source"));
+
+    // Sectioned-out keys no longer count as unknown in the parent.
+    params.section("pool.b").getString("source");
+    params.getInt("other");
+    EXPECT_NO_THROW(params.rejectUnknown("test"));
+}
+
+TEST(ParamsSection, MissingPrefixYieldsEmptyBag)
+{
+    const Params params{{"pool.a.source", "drange"}};
+    EXPECT_TRUE(params.section("pool.z").keys().empty());
+}
+
+TEST(ParamsSections, EnumeratesDistinctGroups)
+{
+    const Params params{{"pool.a.source", "x"},
+                        {"pool.a.seed", "1"},
+                        {"pool.b.source", "y"},
+                        {"pool", "not-a-section"},
+                        {"service.quantum", "9"}};
+    const auto pools = params.sections("pool");
+    ASSERT_EQ(pools.size(), 2u);
+    EXPECT_EQ(pools[0], "pool.a");
+    EXPECT_EQ(pools[1], "pool.b");
+    EXPECT_TRUE(params.sections("nothing").empty());
+}
+
+} // namespace

@@ -8,6 +8,7 @@
 #include <cmath>
 #include <cstddef>
 #include <string>
+#include <thread>
 
 #include <gtest/gtest.h>
 
@@ -233,6 +234,48 @@ TEST(Streaming, ContinuousSessionStops)
     // ...and the object is reusable for a fresh bounded session.
     const auto bits = stream.generate(2048);
     EXPECT_GE(bits.size(), 2048u);
+}
+
+TEST(Streaming, TryNextChunkDrainsWithoutBlocking)
+{
+    // The non-blocking hand-off (used by services multiplexing several
+    // pipelines): tryNextChunk() returning nullopt means "nothing
+    // ready yet", not "stream over", so spinning on it must drain a
+    // bounded session to the same bits the serial reference emits.
+    auto reference_trng = makeTrng(2, HarvestMode::Serial, 23);
+    const auto reference = reference_trng.generate(6000);
+
+    auto trng = makeTrng(2, HarvestMode::Parallel, 23);
+    StreamingConfig cfg;
+    cfg.chunk_bits = 512;
+    StreamingTrng stream(trng, cfg);
+    EXPECT_EQ(stream.chunkBits(), 512u);
+    stream.start(6000);
+
+    util::BitStream bits;
+    bool adjusted = false;
+    while (bits.size() < 6000) {
+        auto chunk = stream.tryNextChunk();
+        if (!chunk) {
+            std::this_thread::yield(); // Producers still harvesting.
+            continue;
+        }
+        bits.append(*chunk);
+        if (!adjusted) {
+            // Chunk size is adjustable mid-session (adaptive sizing);
+            // for a raw bounded session the stream must not change.
+            stream.setChunkBits(2048);
+            EXPECT_EQ(stream.chunkBits(), 2048u);
+            adjusted = true;
+        }
+    }
+    EXPECT_LE(stream.queueDepth(), stream.queueCapacity());
+    EXPECT_GE(stream.queueHighWatermark(), 1u);
+    stream.stop();
+
+    ASSERT_GE(bits.size(), 6000u);
+    bits.truncate(6000);
+    EXPECT_EQ(bits.toString(), reference.toString());
 }
 
 TEST(Streaming, RejectsUninitializedEngines)

@@ -1,0 +1,165 @@
+/**
+ * @file
+ * trng-cli: client for the trngd entropy daemon.
+ *
+ * Connects to trngd's Unix-domain socket, sends framed entropy
+ * requests (trng_proto.hh), and prints the returned bytes as hex (or
+ * writes them raw to stdout for piping into other tools):
+ *
+ *     trng-cli --socket /tmp/trngd.sock --bytes 32            # a key
+ *     trng-cli --bytes 4096 --requests 4 --priority 3 --raw > rand.bin
+ *
+ * One process = one connection = one service session, so --priority
+ * sets this client's deficit-round-robin weight against every other
+ * connected client.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include "trng_proto.hh"
+
+using namespace drange;
+
+namespace {
+
+struct CliOptions
+{
+    std::string socket_path = "/tmp/trngd.sock";
+    std::uint32_t num_bytes = 32;
+    std::uint16_t priority = 1;
+    long requests = 1;
+    bool raw = false;
+};
+
+void
+usage(const char *argv0)
+{
+    std::fprintf(
+        stderr,
+        "usage: %s [--socket PATH] [--bytes N] [--priority P]\n"
+        "          [--requests M] [--raw]\n"
+        "Request entropy from a running trngd and print it as hex\n"
+        "(--raw: write the bytes unformatted to stdout).\n",
+        argv0);
+}
+
+bool
+parseArgs(int argc, char **argv, CliOptions &opts)
+{
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        const auto value = [&]() -> const char * {
+            return i + 1 < argc ? argv[++i] : nullptr;
+        };
+        if (arg == "--socket") {
+            const char *v = value();
+            if (!v)
+                return false;
+            opts.socket_path = v;
+        } else if (arg == "--bytes") {
+            const char *v = value();
+            if (!v)
+                return false;
+            opts.num_bytes =
+                static_cast<std::uint32_t>(std::atoll(v));
+        } else if (arg == "--priority") {
+            const char *v = value();
+            if (!v)
+                return false;
+            opts.priority = static_cast<std::uint16_t>(std::atoi(v));
+        } else if (arg == "--requests") {
+            const char *v = value();
+            if (!v)
+                return false;
+            opts.requests = std::atol(v);
+        } else if (arg == "--raw") {
+            opts.raw = true;
+        } else {
+            if (arg != "--help" && arg != "-h")
+                std::fprintf(stderr, "trng-cli: unknown flag %s\n",
+                             arg.c_str());
+            return false;
+        }
+    }
+    return opts.requests > 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    CliOptions opts;
+    if (!parseArgs(argc, argv, opts)) {
+        usage(argv[0]);
+        return 2;
+    }
+
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0) {
+        std::perror("trng-cli: socket");
+        return 1;
+    }
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (opts.socket_path.size() >= sizeof(addr.sun_path)) {
+        std::fprintf(stderr, "trng-cli: socket path too long\n");
+        return 1;
+    }
+    std::strncpy(addr.sun_path, opts.socket_path.c_str(),
+                 sizeof(addr.sun_path) - 1);
+    if (::connect(fd, reinterpret_cast<sockaddr *>(&addr),
+                  sizeof(addr)) != 0) {
+        std::fprintf(stderr, "trng-cli: cannot connect to %s: %s\n",
+                     opts.socket_path.c_str(), std::strerror(errno));
+        return 1;
+    }
+
+    for (long request = 0; request < opts.requests; ++request) {
+        unsigned char frame[tools::kFrameBytes];
+        tools::encodeRequest(frame, opts.priority, opts.num_bytes);
+        if (!tools::writeFull(fd, frame, sizeof(frame))) {
+            std::fprintf(stderr, "trng-cli: send failed\n");
+            return 1;
+        }
+        unsigned char header[tools::kFrameBytes];
+        if (!tools::readFull(fd, header, sizeof(header)) ||
+            header[0] != tools::kResponseMagic0 ||
+            header[1] != tools::kResponseMagic1) {
+            std::fprintf(stderr, "trng-cli: bad response\n");
+            return 1;
+        }
+        const std::uint16_t status = tools::decode16(header + 2);
+        const std::uint32_t payload_bytes = tools::decode32(header + 4);
+        std::vector<unsigned char> payload(payload_bytes);
+        if (payload_bytes > 0 &&
+            !tools::readFull(fd, payload.data(), payload.size())) {
+            std::fprintf(stderr, "trng-cli: truncated response\n");
+            return 1;
+        }
+        if (status != tools::kStatusOk) {
+            std::fprintf(stderr, "trng-cli: daemon error: %.*s\n",
+                         static_cast<int>(payload.size()),
+                         reinterpret_cast<const char *>(
+                             payload.data()));
+            return 1;
+        }
+        if (opts.raw) {
+            std::fwrite(payload.data(), 1, payload.size(), stdout);
+        } else {
+            for (const unsigned char byte : payload)
+                std::printf("%02x", byte);
+            std::printf("\n");
+        }
+    }
+    ::close(fd);
+    return 0;
+}

@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Wire protocol shared by trngd (daemon) and trng-cli (client): framed
+ * entropy requests over a Unix-domain stream socket.
+ *
+ * Request frame, 8 bytes little-endian:
+ *     'D' 'r' | uint16 priority | uint32 payload bytes requested
+ *
+ * Response frame, 8 bytes little-endian, followed by the payload:
+ *     'd' 'R' | uint16 status   | uint32 payload byte count
+ *
+ * status 0 is success (payload = entropy bytes); any other status is
+ * an error (payload = UTF-8 message). A connection maps to one
+ * service session: the first request's priority opens it, later
+ * requests reuse it, so fairness weights apply per client connection.
+ */
+
+#ifndef DRANGE_TOOLS_TRNG_PROTO_HH
+#define DRANGE_TOOLS_TRNG_PROTO_HH
+
+#include <cerrno>
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+
+#include <unistd.h>
+
+namespace drange::tools {
+
+constexpr unsigned char kRequestMagic0 = 'D';
+constexpr unsigned char kRequestMagic1 = 'r';
+constexpr unsigned char kResponseMagic0 = 'd';
+constexpr unsigned char kResponseMagic1 = 'R';
+
+constexpr std::uint16_t kStatusOk = 0;
+constexpr std::uint16_t kStatusError = 1;
+
+constexpr std::size_t kFrameBytes = 8;
+
+/** Encode a request frame into @p out[kFrameBytes]. */
+inline void
+encodeRequest(unsigned char *out, std::uint16_t priority,
+              std::uint32_t num_bytes)
+{
+    out[0] = kRequestMagic0;
+    out[1] = kRequestMagic1;
+    out[2] = static_cast<unsigned char>(priority & 0xff);
+    out[3] = static_cast<unsigned char>(priority >> 8);
+    for (int i = 0; i < 4; ++i)
+        out[4 + i] =
+            static_cast<unsigned char>((num_bytes >> (8 * i)) & 0xff);
+}
+
+/** Encode a response header into @p out[kFrameBytes]. */
+inline void
+encodeResponse(unsigned char *out, std::uint16_t status,
+               std::uint32_t payload_bytes)
+{
+    out[0] = kResponseMagic0;
+    out[1] = kResponseMagic1;
+    out[2] = static_cast<unsigned char>(status & 0xff);
+    out[3] = static_cast<unsigned char>(status >> 8);
+    for (int i = 0; i < 4; ++i)
+        out[4 + i] = static_cast<unsigned char>(
+            (payload_bytes >> (8 * i)) & 0xff);
+}
+
+inline std::uint16_t
+decode16(const unsigned char *in)
+{
+    return static_cast<std::uint16_t>(in[0] |
+                                      (static_cast<unsigned>(in[1])
+                                       << 8));
+}
+
+inline std::uint32_t
+decode32(const unsigned char *in)
+{
+    return static_cast<std::uint32_t>(in[0]) |
+           (static_cast<std::uint32_t>(in[1]) << 8) |
+           (static_cast<std::uint32_t>(in[2]) << 16) |
+           (static_cast<std::uint32_t>(in[3]) << 24);
+}
+
+/** read() until @p count bytes arrive. @return false on EOF/error. */
+inline bool
+readFull(int fd, void *buffer, std::size_t count)
+{
+    auto *out = static_cast<unsigned char *>(buffer);
+    while (count > 0) {
+        const ssize_t got = ::read(fd, out, count);
+        if (got == 0)
+            return false; // Peer closed.
+        if (got < 0) {
+            if (errno == EINTR)
+                continue;
+            return false;
+        }
+        out += got;
+        count -= static_cast<std::size_t>(got);
+    }
+    return true;
+}
+
+/** write() until @p count bytes are sent. @return false on error. */
+inline bool
+writeFull(int fd, const void *buffer, std::size_t count)
+{
+    const auto *in = static_cast<const unsigned char *>(buffer);
+    while (count > 0) {
+        const ssize_t sent = ::write(fd, in, count);
+        if (sent < 0) {
+            if (errno == EINTR)
+                continue;
+            return false;
+        }
+        in += sent;
+        count -= static_cast<std::size_t>(sent);
+    }
+    return true;
+}
+
+} // namespace drange::tools
+
+#endif // DRANGE_TOOLS_TRNG_PROTO_HH
