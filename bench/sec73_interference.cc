@@ -5,9 +5,18 @@
  * the idle DRAM bandwidth the application leaves behind; the paper
  * reports 83.1 Mb/s average (49.1 min, 98.3 max) with no significant
  * slowdown.
+ *
+ * A second sweep varies memory intensity directly (the workload knob
+ * the paper's conclusion hinges on) and emits BENCH_opportunistic.json:
+ * harvested entropy throughput and application p99 tail latency at
+ * every intensity level, so CI tracks both sides of the
+ * harvest-vs-interference trade. The bench exits nonzero if any level
+ * harvests zero bits -- opportunistic harvesting must survive even
+ * memory-bound traffic.
  */
 
 #include <cstdio>
+#include <vector>
 
 #include "bench_util.hh"
 #include "sim/interference.hh"
@@ -17,7 +26,7 @@
 using namespace drange;
 
 int
-main()
+main(int argc, char **argv)
 {
     bench::banner("Section 7.3 interference",
                   "TRNG throughput from idle DRAM bandwidth under "
@@ -31,10 +40,12 @@ main()
                 trng.activeBanks(), trng.bitsPerRound());
 
     sim::InterferenceExperiment experiment(trng, 2026);
-    const double duration_ns = 4e5;
+    const bool quick = bench::hasFlag(argc, argv, "--quick");
+    const double duration_ns = quick ? 2e5 : 4e5;
 
     util::Table table({"workload", "intensity", "TRNG Mb/s",
-                       "app lat (ns)", "baseline (ns)", "slowdown"});
+                       "app lat (ns)", "baseline (ns)", "slowdown",
+                       "p99 ratio"});
     std::vector<double> rates;
     for (const auto &w : sim::Workload::spec2006()) {
         const auto res = experiment.run(w, duration_ns);
@@ -43,7 +54,8 @@ main()
                       util::Table::num(res.trngThroughputMbps(), 1),
                       util::Table::num(res.app_avg_latency_ns, 1),
                       util::Table::num(res.app_baseline_latency_ns, 1),
-                      util::Table::num(res.slowdown(), 3)});
+                      util::Table::num(res.slowdown(), 3),
+                      util::Table::num(res.p99Ratio(), 3)});
     }
     std::printf("%s", table.toString().c_str());
 
@@ -53,5 +65,61 @@ main()
                 util::quantile(rates, 1.0));
     std::printf("paper: avg 83.1 Mb/s (min 49.1, max 98.3), no "
                 "significant performance impact.\n");
+
+    // --- Intensity sweep: entropy vs tail latency per demand level ---
+    bench::BenchReport report("opportunistic", argc, argv);
+    std::printf("\n--- memory-intensity sweep (opportunistic "
+                "harvesting) ---\n");
+    util::Table sweep({"intensity", "TRNG Mb/s", "p99 co (ns)",
+                       "p99 alone (ns)", "p99 delta", "p99 ratio"});
+
+    struct Level
+    {
+        const char *tag;
+        double intensity;
+    };
+    const std::vector<Level> levels = {{"i05", 0.05}, {"i15", 0.15},
+                                       {"i30", 0.30}, {"i50", 0.50},
+                                       {"i70", 0.70}, {"i85", 0.85}};
+    bool all_harvested = true;
+    for (const auto &level : levels) {
+        sim::Workload w;
+        w.name = level.tag;
+        w.intensity = level.intensity;
+        w.row_locality = 0.6;
+        w.write_fraction = 0.3;
+        w.footprint_rows = 512;
+        const auto res = experiment.run(w, duration_ns);
+
+        sweep.addRow({util::Table::num(level.intensity, 2),
+                      util::Table::num(res.trngThroughputMbps(), 1),
+                      util::Table::num(res.app_p99_latency_ns, 1),
+                      util::Table::num(res.app_baseline_p99_latency_ns, 1),
+                      util::Table::num(res.p99DeltaNs(), 1),
+                      util::Table::num(res.p99Ratio(), 3)});
+
+        const std::string tag = level.tag;
+        report.add("harvest_mbps_" + tag, res.trngThroughputMbps(),
+                   "Mb/s", bench::BenchReport::Better::Higher);
+        report.add("p99_ratio_" + tag, res.p99Ratio(), "ratio",
+                   bench::BenchReport::Better::Lower);
+        // Raw delta can be negative (harvest rounds prefetch-close
+        // rows); report it unenforced, the ratio above gates.
+        report.add("p99_delta_ns_" + tag, res.p99DeltaNs(), "ns",
+                   bench::BenchReport::Better::Lower, /*host=*/false,
+                   /*enforced=*/false);
+        if (res.trng_bits == 0)
+            all_harvested = false;
+    }
+    std::printf("%s", sweep.toString().c_str());
+    std::printf("paper: harvesting rides idle bank slots, so entropy "
+                "persists at every intensity while p99 stays flat.\n");
+
+    report.write();
+    if (!all_harvested) {
+        std::fprintf(stderr, "FAIL: an intensity level harvested zero "
+                             "bits\n");
+        return 1;
+    }
     return 0;
 }

@@ -8,8 +8,9 @@
 #define DRANGE_CONTROLLER_COMMAND_HH
 
 #include <cstdint>
+#include <deque>
+#include <initializer_list>
 #include <string>
-#include <vector>
 
 namespace drange::ctrl {
 
@@ -27,8 +28,80 @@ struct TimedCommand
     double issue_ns;
 };
 
-/** Append-only command trace. */
-using CommandTrace = std::vector<TimedCommand>;
+/**
+ * Command trace with an optional ring-buffer capacity.
+ *
+ * Capacity 0 (the default) keeps every command, matching the historic
+ * append-only std::vector behaviour that the energy model's
+ * per-generate() traces rely on. A positive capacity bounds the trace
+ * to the most recent commands, so continuous multi-hour producers (the
+ * trngd streaming sessions) cannot grow it without limit; evictions are
+ * counted in dropped().
+ */
+class CommandTrace
+{
+  public:
+    explicit CommandTrace(std::size_t capacity = 0) : capacity_(capacity)
+    {
+    }
+
+    /** Unbounded trace from a literal command list (tests, fixtures). */
+    CommandTrace(std::initializer_list<TimedCommand> cmds) : capacity_(0)
+    {
+        for (const auto &cmd : cmds)
+            push_back(cmd);
+    }
+
+    void push_back(const TimedCommand &cmd)
+    {
+        cmds_.push_back(cmd);
+        ++total_;
+        if (capacity_ > 0)
+            while (cmds_.size() > capacity_) {
+                cmds_.pop_front();
+                ++dropped_;
+            }
+    }
+
+    /** Retained commands, oldest first. */
+    const TimedCommand &operator[](std::size_t i) const
+    {
+        return cmds_[i];
+    }
+
+    std::size_t size() const { return cmds_.size(); }
+    bool empty() const { return cmds_.empty(); }
+    void clear() { cmds_.clear(); }
+
+    /** Ring capacity; 0 = unbounded. */
+    std::size_t capacity() const { return capacity_; }
+
+    /** Change the capacity; trims immediately when shrinking. */
+    void setCapacity(std::size_t capacity)
+    {
+        capacity_ = capacity;
+        if (capacity_ > 0)
+            while (cmds_.size() > capacity_) {
+                cmds_.pop_front();
+                ++dropped_;
+            }
+    }
+
+    /** Commands ever logged, including evicted ones. */
+    std::uint64_t totalLogged() const { return total_; }
+
+    /** Commands evicted by the ring bound (clear() is not eviction). */
+    std::uint64_t dropped() const { return dropped_; }
+
+    auto begin() const { return cmds_.begin(); }
+    auto end() const { return cmds_.end(); }
+
+  private:
+    std::deque<TimedCommand> cmds_;
+    std::size_t capacity_;
+    std::uint64_t total_ = 0;
+    std::uint64_t dropped_ = 0;
+};
 
 } // namespace drange::ctrl
 

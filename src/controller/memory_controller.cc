@@ -66,7 +66,7 @@ MemoryController::serviceOne()
     queue_.erase(queue_.begin() + static_cast<long>(best));
 
     auto &dev = scheduler_.device();
-    scheduler_.maybeRefresh();
+    scheduler_.refreshTick();
 
     if (dev.isOpen(req.bank) && dev.openRow(req.bank) != req.row)
         scheduler_.precharge(req.bank);
@@ -87,7 +87,10 @@ MemoryController::serviceOne()
 
     req.completion_ns = done;
     ++stats_.served;
-    stats_.total_latency_ns += std::max(0.0, done - req.arrival_ns);
+    const double latency = std::max(0.0, done - req.arrival_ns);
+    stats_.total_latency_ns += latency;
+    if (record_latencies_)
+        latencies_.push_back(latency);
     return true;
 }
 
@@ -96,6 +99,45 @@ MemoryController::drain()
 {
     while (serviceOne()) {
     }
+}
+
+void
+MemoryController::run(double until_ns)
+{
+    while (scheduler_.now() < until_ns) {
+        const double now = scheduler_.now();
+        const double next = nextArrival();
+        if (pending() && next <= now) {
+            serviceOne();
+            continue;
+        }
+        // Idle until the next arrival (or the horizon): hand the
+        // window to the plugin chain before skipping it.
+        const double horizon = std::min(next, until_ns);
+        if (horizon > now)
+            scheduler_.offerIdleSlot(horizon - now);
+        if (scheduler_.now() <= now) {
+            // Nobody spent the window; jump to the next event.
+            if (!pending() || next >= until_ns) {
+                scheduler_.advanceTo(until_ns);
+                break;
+            }
+            scheduler_.advanceTo(next);
+        }
+    }
+}
+
+double
+MemoryController::latencyQuantile(double q) const
+{
+    if (latencies_.empty())
+        return 0.0;
+    std::vector<double> sorted(latencies_);
+    std::sort(sorted.begin(), sorted.end());
+    const double clamped = std::min(std::max(q, 0.0), 1.0);
+    const auto rank = static_cast<std::size_t>(
+        clamped * static_cast<double>(sorted.size() - 1) + 0.5);
+    return sorted[rank];
 }
 
 } // namespace drange::ctrl

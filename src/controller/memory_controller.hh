@@ -82,6 +82,25 @@ class MemoryController
     /** Service everything in the queue. */
     void drain();
 
+    /**
+     * Event loop until @p until_ns of simulated time: services arrived
+     * requests, and offers every idle window (now .. next arrival) to
+     * the scheduler's plugin chain, where an opportunistic harvester
+     * can spend it. Requests arriving after @p until_ns stay queued.
+     */
+    void run(double until_ns);
+
+    /** Record per-request latencies (for percentiles). Off by default
+     * so long co-simulations do not accumulate a sample per request. */
+    void setRecordLatencies(bool on) { record_latencies_ = on; }
+    const std::vector<double> &latencies() const { return latencies_; }
+
+    /**
+     * Latency quantile in [0, 1] over the recorded samples (nearest
+     * rank); 0 when recording is off or nothing completed.
+     */
+    double latencyQuantile(double q) const;
+
     const ControllerStats &stats() const { return stats_; }
     CommandScheduler &scheduler() { return scheduler_; }
 
@@ -89,6 +108,8 @@ class MemoryController
     CommandScheduler &scheduler_;
     std::deque<Request> queue_;
     ControllerStats stats_;
+    bool record_latencies_ = false;
+    std::vector<double> latencies_;
 };
 
 } // namespace drange::ctrl

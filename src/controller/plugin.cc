@@ -1,0 +1,114 @@
+#include "controller/plugin.hh"
+
+#include <map>
+#include <stdexcept>
+#include <utility>
+
+namespace drange::sim::detail {
+// Defined in sim/harvest_plugin.cc (see the comment on
+// ctrl::detail::linkBuiltinPlugins below).
+void linkHarvestPlugin();
+} // namespace drange::sim::detail
+
+namespace drange::ctrl {
+
+namespace detail {
+// Defined in plugins.cc. Calling it from the registry's own
+// implementation file forces the built-in plugins' object file (and
+// with it their static self-registrations) into the link even from a
+// static library, where unreferenced objects are otherwise dropped.
+void linkBuiltinPlugins();
+} // namespace detail
+
+namespace {
+
+struct Entry
+{
+    std::string description;
+    PluginRegistry::Factory factory;
+};
+
+std::map<std::string, Entry> &
+entries()
+{
+    static std::map<std::string, Entry> map;
+    return map;
+}
+
+void
+ensureBuiltins()
+{
+    detail::linkBuiltinPlugins();
+    sim::detail::linkHarvestPlugin();
+}
+
+std::string
+knownNames()
+{
+    // Built on the public names() enumeration so the error message can
+    // never drift from what callers iterating names() see.
+    std::string known;
+    for (const std::string &name : PluginRegistry::names()) {
+        if (!known.empty())
+            known += ", ";
+        known += "\"" + name + "\"";
+    }
+    return known;
+}
+
+} // anonymous namespace
+
+bool
+PluginRegistry::add(const std::string &name,
+                    const std::string &description, Factory factory)
+{
+    if (!factory)
+        throw std::invalid_argument(
+            "PluginRegistry: null factory for \"" + name + "\"");
+    return entries()
+        .emplace(name, Entry{description, std::move(factory)})
+        .second;
+}
+
+std::unique_ptr<SchedulerPlugin>
+PluginRegistry::make(const std::string &name, const trng::Params &params)
+{
+    ensureBuiltins();
+    const auto it = entries().find(name);
+    if (it == entries().end())
+        throw std::invalid_argument(
+            "PluginRegistry: unknown controller plugin \"" + name +
+            "\" (registered: " + knownNames() + ")");
+    return it->second.factory(params);
+}
+
+std::vector<std::string>
+PluginRegistry::names()
+{
+    ensureBuiltins();
+    std::vector<std::string> out;
+    for (const auto &[name, entry] : entries())
+        out.push_back(name);
+    return out;
+}
+
+std::string
+PluginRegistry::description(const std::string &name)
+{
+    ensureBuiltins();
+    const auto it = entries().find(name);
+    if (it == entries().end())
+        throw std::invalid_argument(
+            "PluginRegistry: unknown controller plugin \"" + name +
+            "\" (registered: " + knownNames() + ")");
+    return it->second.description;
+}
+
+bool
+PluginRegistry::contains(const std::string &name)
+{
+    ensureBuiltins();
+    return entries().count(name) != 0;
+}
+
+} // namespace drange::ctrl

@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Controller plugin interface and name-keyed registry.
+ *
+ * A SchedulerPlugin packages one memory-controller behaviour -- refresh
+ * policy, interference shaping, opportunistic entropy harvesting --
+ * behind lifecycle/dispatch hooks, so new controller features attach to
+ * the CommandScheduler instead of being edited into its core (the
+ * Ramulator2 IControllerPlugin shape). Plugins self-register a name +
+ * description + factory over trng::Params, mirroring trng::Registry:
+ *
+ *     auto plug = ctrl::PluginRegistry::make(
+ *         "refresh", trng::Params{{"max_postpone", "4"}});
+ *     scheduler.attach(std::move(plug));
+ *
+ * Unknown names throw std::invalid_argument listing the registered
+ * names; unknown Params keys throw from the factory (see
+ * Params::rejectUnknown).
+ */
+
+#ifndef DRANGE_CONTROLLER_PLUGIN_HH
+#define DRANGE_CONTROLLER_PLUGIN_HH
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "controller/command.hh"
+#include "trng/params.hh"
+
+namespace drange::ctrl {
+
+class CommandScheduler;
+
+/** One named counter exposed by a plugin. */
+struct PluginStat
+{
+    std::string name;
+    double value = 0.0;
+};
+
+using PluginStats = std::vector<PluginStat>;
+
+/**
+ * One pluggable controller behaviour.
+ *
+ * Hook contract:
+ *  - onInit runs once, when the plugin is attached to a scheduler.
+ *  - onCommandIssued observes every command the scheduler logs (its
+ *    own included). It must only observe -- issuing commands from this
+ *    hook would recurse into the scheduler mid-command.
+ *  - onIdleSlot offers a detected idle window (bank < 0: rank-wide)
+ *    and returns the residual window after the plugin used or shaped
+ *    it; plugins form a filter chain in attach order. A plugin may
+ *    issue scheduler commands here.
+ *  - onRefreshTick is the refresh-policy dispatch point. Solicited
+ *    ticks (opportunistic = false) come from transaction boundaries
+ *    (CommandScheduler::refreshTick); opportunistic ticks come from
+ *    the scheduler's own quiet points and back up callers that never
+ *    tick.
+ */
+class SchedulerPlugin
+{
+  public:
+    virtual ~SchedulerPlugin() = default;
+
+    /** Registry name of this plugin. */
+    virtual std::string name() const = 0;
+
+    virtual void onInit(CommandScheduler &sched) { (void)sched; }
+
+    virtual void onCommandIssued(const TimedCommand &cmd) { (void)cmd; }
+
+    virtual double onIdleSlot(int bank, double window_ns)
+    {
+        (void)bank;
+        return window_ns;
+    }
+
+    virtual void onRefreshTick(double now_ns, bool opportunistic)
+    {
+        (void)now_ns;
+        (void)opportunistic;
+    }
+
+    virtual PluginStats stats() const { return {}; }
+};
+
+/**
+ * String-keyed factory for controller plugins (the built-ins register
+ * in plugins.cc / sim/harvest_plugin.cc; external code can use the
+ * DRANGE_CTRL_REGISTER_PLUGIN macro in any linked translation unit).
+ */
+class PluginRegistry
+{
+  public:
+    using Factory = std::function<std::unique_ptr<SchedulerPlugin>(
+        const trng::Params &)>;
+
+    /**
+     * Register @p factory under @p name. Returns false (keeping the
+     * existing entry) when the name is already taken -- suitable for
+     * static-initializer self-registration.
+     */
+    static bool add(const std::string &name,
+                    const std::string &description, Factory factory);
+
+    /**
+     * Build the plugin registered under @p name.
+     * @throws std::invalid_argument for an unknown name (the message
+     *         lists every registered name) or bad Params.
+     */
+    static std::unique_ptr<SchedulerPlugin>
+    make(const std::string &name, const trng::Params &params = {});
+
+    /** Registered names, sorted. */
+    static std::vector<std::string> names();
+
+    /** One-line description of a registered plugin. */
+    static std::string description(const std::string &name);
+
+    static bool contains(const std::string &name);
+};
+
+/** Self-registration helper: expands to a static initializer calling
+ * PluginRegistry::add. Use at namespace scope in a .cc file. */
+#define DRANGE_CTRL_REGISTER_PLUGIN(token, name, description, factory) \
+    static const bool drange_ctrl_plugin_registered_##token =          \
+        ::drange::ctrl::PluginRegistry::add(name, description, factory)
+
+} // namespace drange::ctrl
+
+#endif // DRANGE_CONTROLLER_PLUGIN_HH

@@ -1,0 +1,151 @@
+#include "controller/plugins.hh"
+
+#include <algorithm>
+#include <memory>
+#include <stdexcept>
+
+#include "controller/scheduler.hh"
+
+namespace drange::ctrl {
+
+namespace detail {
+void
+linkBuiltinPlugins()
+{
+    // Link anchor only: referencing this function from plugin.cc pulls
+    // this object file -- and the self-registrations below -- out of
+    // the static library.
+}
+} // namespace detail
+
+// ----------------------------------------------------------- refresh
+
+RefreshPlugin::RefreshPlugin(const trng::Params &params)
+{
+    trefi_ns_ = params.getDouble("trefi_ns", 0.0);
+    max_postpone_ =
+        static_cast<int>(params.getInt("max_postpone", max_postpone_));
+    if (max_postpone_ < 0)
+        throw std::invalid_argument(
+            "controller plugin \"refresh\": max_postpone must be >= 0");
+    params.rejectUnknown("controller plugin \"refresh\"");
+}
+
+void
+RefreshPlugin::onInit(CommandScheduler &sched)
+{
+    sched_ = &sched;
+    if (trefi_ns_ <= 0.0)
+        trefi_ns_ = sched.registers().defaults().trefi_ns;
+    next_due_ns_ = sched.now() + trefi_ns_;
+}
+
+void
+RefreshPlugin::onCommandIssued(const TimedCommand &cmd)
+{
+    // Any REF -- ours, a direct refresh(), another plugin's -- resets
+    // the obligation clock.
+    if (cmd.type == CommandType::REF) {
+        next_due_ns_ = cmd.issue_ns + trefi_ns_;
+        ++refreshes_;
+    }
+}
+
+void
+RefreshPlugin::onRefreshTick(double now_ns, bool opportunistic)
+{
+    if (!sched_)
+        return;
+    const double deadline =
+        opportunistic ? next_due_ns_ + max_postpone_ * trefi_ns_
+                      : next_due_ns_;
+    if (now_ns < deadline)
+        return;
+    if (opportunistic)
+        ++backstop_refreshes_;
+    sched_->refresh(); // onCommandIssued(REF) advances next_due_ns_.
+}
+
+PluginStats
+RefreshPlugin::stats() const
+{
+    return {
+        {"refreshes", static_cast<double>(refreshes_)},
+        {"backstop_refreshes", static_cast<double>(backstop_refreshes_)},
+        {"next_due_ns", next_due_ns_},
+    };
+}
+
+// ------------------------------------------------------------ shaper
+
+ShaperPlugin::ShaperPlugin(const trng::Params &params)
+{
+    min_window_ns_ = params.getDouble("min_window_ns", min_window_ns_);
+    guard_ns_ = params.getDouble("guard_ns", guard_ns_);
+    max_duty_ = params.getDouble("max_duty", max_duty_);
+    if (min_window_ns_ < 0.0 || guard_ns_ < 0.0 || max_duty_ < 0.0 ||
+        max_duty_ > 1.0) {
+        throw std::invalid_argument(
+            "controller plugin \"shaper\": min_window_ns/guard_ns must "
+            "be >= 0 and max_duty in [0, 1]");
+    }
+    params.rejectUnknown("controller plugin \"shaper\"");
+}
+
+void
+ShaperPlugin::onInit(CommandScheduler &sched)
+{
+    sched_ = &sched;
+    epoch_start_ns_ = sched.now();
+}
+
+double
+ShaperPlugin::onIdleSlot(int bank, double window_ns)
+{
+    (void)bank;
+    ++windows_seen_;
+    const double w = window_ns - guard_ns_;
+    if (w <= 0.0 || w < min_window_ns_) {
+        ++windows_blocked_;
+        return 0.0;
+    }
+    if (max_duty_ < 1.0 && sched_) {
+        const double elapsed = sched_->now() - epoch_start_ns_;
+        if (elapsed > 0.0 && granted_ns_ + w > max_duty_ * elapsed) {
+            ++windows_blocked_;
+            return 0.0;
+        }
+    }
+    granted_ns_ += w;
+    return w;
+}
+
+PluginStats
+ShaperPlugin::stats() const
+{
+    return {
+        {"windows_seen", static_cast<double>(windows_seen_)},
+        {"windows_blocked", static_cast<double>(windows_blocked_)},
+        {"granted_ns", granted_ns_},
+    };
+}
+
+// ---------------------------------------------------- registrations
+
+DRANGE_CTRL_REGISTER_PLUGIN(
+    refresh, "refresh",
+    "tREFI refresh obligation with a JEDEC-style postponement backstop "
+    "(attached to every scheduler by default)",
+    [](const trng::Params &params) {
+        return std::make_unique<RefreshPlugin>(params);
+    });
+
+DRANGE_CTRL_REGISTER_PLUGIN(
+    shaper, "shaper",
+    "idle-window interference shaper: guard time, minimum window, and "
+    "duty-cycle cap ahead of opportunistic plugins",
+    [](const trng::Params &params) {
+        return std::make_unique<ShaperPlugin>(params);
+    });
+
+} // namespace drange::ctrl

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Built-in controller plugins: the refresh obligation ("refresh") and
+ * the idle-window interference shaper ("shaper"). Both are registered
+ * with ctrl::PluginRegistry; the refresh plugin is additionally
+ * attached to every CommandScheduler by default, so the tREFI
+ * obligation no longer depends on callers remembering to tick it.
+ */
+
+#ifndef DRANGE_CONTROLLER_PLUGINS_HH
+#define DRANGE_CONTROLLER_PLUGINS_HH
+
+#include <cstdint>
+
+#include "controller/plugin.hh"
+
+namespace drange::ctrl {
+
+/**
+ * The tREFI refresh obligation as a plugin (the RAIDR shape: refresh
+ * policy is a component, not scheduler core).
+ *
+ * A solicited tick (refreshTick() at a transaction boundary) issues a
+ * REF exactly when tREFI has elapsed since the last one -- the historic
+ * maybeRefresh() behaviour, preserved command-for-command. An
+ * opportunistic tick (the scheduler's all-banks-closed quiet point)
+ * only fires once the obligation is overdue by more than max_postpone
+ * intervals, mirroring the JEDEC postponement allowance (8 for DDR4),
+ * so schedules produced by callers who do tick are untouched while
+ * callers who never tick still refresh.
+ *
+ * Params: trefi_ns (0 = device default), max_postpone (default 8).
+ */
+class RefreshPlugin final : public SchedulerPlugin
+{
+  public:
+    explicit RefreshPlugin(const trng::Params &params = {});
+
+    std::string name() const override { return "refresh"; }
+    void onInit(CommandScheduler &sched) override;
+    void onCommandIssued(const TimedCommand &cmd) override;
+    void onRefreshTick(double now_ns, bool opportunistic) override;
+    PluginStats stats() const override;
+
+    double nextDueNs() const { return next_due_ns_; }
+    std::uint64_t refreshes() const { return refreshes_; }
+    std::uint64_t backstopRefreshes() const { return backstop_refreshes_; }
+
+  private:
+    CommandScheduler *sched_ = nullptr;
+    double trefi_ns_ = 0.0;
+    int max_postpone_ = 8;
+    double next_due_ns_ = 0.0;
+    std::uint64_t refreshes_ = 0;
+    std::uint64_t backstop_refreshes_ = 0;
+};
+
+/**
+ * Interference shaper: clamps the idle windows offered to downstream
+ * plugins so opportunistic work (the harvester) cannot crowd
+ * application traffic. Sits before the harvester in the plugin chain.
+ *
+ * Params: min_window_ns (windows smaller than this pass 0 downstream),
+ * guard_ns (headroom subtracted from every window, left for the next
+ * application request), max_duty (cap on the fraction of simulated
+ * time granted downstream; 1.0 = uncapped).
+ */
+class ShaperPlugin final : public SchedulerPlugin
+{
+  public:
+    explicit ShaperPlugin(const trng::Params &params = {});
+
+    std::string name() const override { return "shaper"; }
+    void onInit(CommandScheduler &sched) override;
+    double onIdleSlot(int bank, double window_ns) override;
+    PluginStats stats() const override;
+
+  private:
+    CommandScheduler *sched_ = nullptr;
+    double min_window_ns_ = 0.0;
+    double guard_ns_ = 0.0;
+    double max_duty_ = 1.0;
+    double epoch_start_ns_ = 0.0;
+    double granted_ns_ = 0.0;
+    std::uint64_t windows_seen_ = 0;
+    std::uint64_t windows_blocked_ = 0;
+};
+
+} // namespace drange::ctrl
+
+#endif // DRANGE_CONTROLLER_PLUGINS_HH

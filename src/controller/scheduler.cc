@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 
+#include "controller/plugins.hh"
+
 namespace drange::ctrl {
 
 namespace {
@@ -40,7 +42,9 @@ CommandScheduler::CommandScheduler(dram::DramDevice &device,
     : device_(device), regs_(regs),
       banks_(device.config().geometry.banks)
 {
-    next_refresh_ns_ = regs_.defaults().trefi_ns;
+    // The refresh obligation is policy, not command legality: it lives
+    // in a plugin, attached by default so every scheduler refreshes.
+    attach(std::make_unique<RefreshPlugin>());
 }
 
 void
@@ -59,7 +63,98 @@ CommandScheduler::recordActiveInterval(double begin_ns, double end_ns)
 void
 CommandScheduler::log(CommandType type, int bank, double t)
 {
-    trace_.push_back({type, bank, t});
+    const TimedCommand cmd{type, bank, t};
+    trace_.push_back(cmd);
+    if (type == CommandType::REF)
+        ++refs_issued_;
+    for (const auto &plugin : plugins_)
+        plugin->onCommandIssued(cmd);
+}
+
+SchedulerPlugin &
+CommandScheduler::attach(std::unique_ptr<SchedulerPlugin> plugin)
+{
+    plugins_.push_back(std::move(plugin));
+    plugins_.back()->onInit(*this);
+    return *plugins_.back();
+}
+
+SchedulerPlugin *
+CommandScheduler::plugin(const std::string &name)
+{
+    for (const auto &p : plugins_)
+        if (p->name() == name)
+            return p.get();
+    return nullptr;
+}
+
+std::unique_ptr<SchedulerPlugin>
+CommandScheduler::detach(const std::string &name)
+{
+    for (auto it = plugins_.begin(); it != plugins_.end(); ++it) {
+        if ((*it)->name() == name) {
+            auto out = std::move(*it);
+            plugins_.erase(it);
+            return out;
+        }
+    }
+    return nullptr;
+}
+
+std::vector<std::string>
+CommandScheduler::pluginNames() const
+{
+    std::vector<std::string> out;
+    for (const auto &p : plugins_)
+        out.push_back(p->name());
+    return out;
+}
+
+double
+CommandScheduler::offerIdleSlot(double window_ns, int bank)
+{
+    double w = window_ns;
+    for (const auto &plugin : plugins_) {
+        if (w <= 0.0)
+            break;
+        w = std::max(0.0, plugin->onIdleSlot(bank, w));
+    }
+    return w;
+}
+
+void
+CommandScheduler::setAutoRefresh(bool enabled)
+{
+    // Entering a maintenance window disarms the opportunistic
+    // backstop; only the next solicited tick (or an issued REF)
+    // re-arms it, so the first transaction after maintenance keeps the
+    // exact schedule it had before the backstop existed.
+    if (!enabled)
+        backstop_armed_ = false;
+    auto_refresh_ = enabled;
+}
+
+bool
+CommandScheduler::refreshTick()
+{
+    if (!auto_refresh_)
+        return false;
+    backstop_armed_ = true;
+    const std::uint64_t before = refs_issued_;
+    for (const auto &plugin : plugins_)
+        plugin->onRefreshTick(now_ns_, /*opportunistic=*/false);
+    return refs_issued_ > before;
+}
+
+void
+CommandScheduler::backstopTick()
+{
+    if (!auto_refresh_ || !backstop_armed_ || in_backstop_)
+        return;
+    in_backstop_ = true;
+    for (const auto &plugin : plugins_)
+        plugin->onRefreshTick(now_ns_, /*opportunistic=*/true);
+    in_backstop_ = false;
 }
 
 double
@@ -101,6 +196,11 @@ CommandScheduler::earliestPrecharge(int bank) const
 double
 CommandScheduler::activate(int bank, int row)
 {
+    // All banks closed is the one provably transaction-free point:
+    // give an overdue refresh obligation its backstop chance here.
+    if (open_banks_ == 0)
+        backstopTick();
+
     auto &bt = banks_.at(bank);
     assert(bt.open_row < 0 && "ACT to an open bank");
 
@@ -225,17 +325,8 @@ CommandScheduler::refresh()
         bt.act_allowed = std::max(bt.act_allowed, done);
     cmd_bus_free_ = t + commandSlot(tp);
     now_ns_ = t;
-    next_refresh_ns_ = t + tp.trefi_ns;
+    backstop_armed_ = true; // Debt cleared; the watchdog re-arms.
     return done;
-}
-
-bool
-CommandScheduler::maybeRefresh()
-{
-    if (!auto_refresh_ || now_ns_ < next_refresh_ns_)
-        return false;
-    refresh();
-    return true;
 }
 
 } // namespace drange::ctrl

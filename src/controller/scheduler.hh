@@ -12,6 +12,15 @@
  * time, so programming a reduced tRCD immediately shortens the ACT->RD
  * distance of subsequent accesses; the device model then sees the short
  * elapsed time and produces activation failures.
+ *
+ * Controller behaviours beyond raw command legality -- refresh policy,
+ * interference shaping, opportunistic harvesting -- live in
+ * SchedulerPlugins (plugin.hh). The scheduler dispatches to the
+ * attached plugins: every logged command (onCommandIssued), solicited
+ * and opportunistic refresh ticks (onRefreshTick), and detected idle
+ * windows (onIdleSlot, a filter chain in attach order). A RefreshPlugin
+ * is attached by default, so the tREFI obligation holds even for
+ * callers that never tick it explicitly.
  */
 
 #ifndef DRANGE_CONTROLLER_SCHEDULER_HH
@@ -19,9 +28,12 @@
 
 #include <cstdint>
 #include <deque>
+#include <memory>
+#include <string>
 #include <vector>
 
 #include "controller/command.hh"
+#include "controller/plugin.hh"
 #include "controller/timing_regs.hh"
 #include "dram/device.hh"
 
@@ -64,17 +76,66 @@ class CommandScheduler
     double refresh();
 
     /**
-     * Issue a REF if tREFI has elapsed since the last one. Callers in
-     * long generation loops invoke this once per iteration to keep
-     * refresh overhead accounted for. @return true if a REF was issued.
+     * Solicited refresh tick: dispatches onRefreshTick to the attached
+     * plugins, letting the refresh policy issue a REF if its obligation
+     * is due. Transaction boundaries (end of a sampling round, one
+     * serviced request) call this; between ticks the scheduler's own
+     * opportunistic backstop covers callers that never do.
+     *
+     * @return true if the tick issued at least one REF.
      */
-    bool maybeRefresh();
+    bool refreshTick();
 
-    /** Enable/disable the periodic-refresh obligation. */
-    void setAutoRefresh(bool enabled) { auto_refresh_ = enabled; }
+    /** Historic name for refreshTick(), kept for callers and tests. */
+    bool maybeRefresh() { return refreshTick(); }
+
+    /**
+     * Enable/disable the periodic-refresh obligation. Disabling also
+     * opens a maintenance window: the opportunistic backstop stays
+     * disarmed after re-enable until the next solicited tick or REF, so
+     * a long maintenance operation (pattern writes) is not punished
+     * with a mid-transaction catch-up REF.
+     */
+    void setAutoRefresh(bool enabled);
+    bool autoRefresh() const { return auto_refresh_; }
+
+    // --- Plugins ---
+
+    /**
+     * Attach @p plugin and run its onInit. Plugins dispatch in attach
+     * order; the constructor pre-attaches a default "refresh" plugin.
+     * @return the attached plugin.
+     */
+    SchedulerPlugin &attach(std::unique_ptr<SchedulerPlugin> plugin);
+
+    /** Attached plugin by name; nullptr when absent. */
+    SchedulerPlugin *plugin(const std::string &name);
+
+    /** Detach by name. @return the plugin, or nullptr when absent. */
+    std::unique_ptr<SchedulerPlugin> detach(const std::string &name);
+
+    /** Names of the attached plugins, in dispatch order. */
+    std::vector<std::string> pluginNames() const;
+
+    /**
+     * Offer an idle window to the plugin chain (bank < 0: rank-wide).
+     * Each plugin may issue commands in the window and/or clamp what
+     * the next plugin sees. @return the residual window.
+     */
+    double offerIdleSlot(double window_ns, int bank = -1);
+
+    /** REF commands issued so far (by any path). */
+    std::uint64_t refsIssued() const { return refs_issued_; }
 
     const CommandTrace &trace() const { return trace_; }
     void clearTrace() { trace_.clear(); }
+
+    /** Bound the command trace (0 = unbounded; see CommandTrace). */
+    void setTraceCapacity(std::size_t capacity)
+    {
+        trace_.setCapacity(capacity);
+    }
+    std::size_t traceCapacity() const { return trace_.capacity(); }
 
     /** Rank-level busy/active statistics for the power model. */
     double activeTime() const { return active_time_ns_; }
@@ -94,6 +155,7 @@ class CommandScheduler
 
     void recordActiveInterval(double begin_ns, double end_ns);
     void log(CommandType type, int bank, double t);
+    void backstopTick();
 
     dram::DramDevice &device_;
     TimingRegisterFile &regs_;
@@ -105,13 +167,16 @@ class CommandScheduler
     double rank_act_allowed_ = 0.0;  //!< tRRD.
     double col_cmd_allowed_ = 0.0;   //!< tCCD / tWTR across the rank.
     std::deque<double> faw_window_;  //!< Last ACT times for tFAW.
-    double next_refresh_ns_ = 0.0;
     bool auto_refresh_ = true;
+    bool backstop_armed_ = true;
+    bool in_backstop_ = false;
+    std::uint64_t refs_issued_ = 0;
 
     double active_time_ns_ = 0.0;
     int open_banks_ = 0;
     double active_since_ = 0.0;
 
+    std::vector<std::unique_ptr<SchedulerPlugin>> plugins_;
     CommandTrace trace_;
 };
 

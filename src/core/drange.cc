@@ -155,13 +155,18 @@ void
 DRangeTrng::enterSamplingMode()
 {
     // Algorithm 2 lines 2-6: write the pattern to the chosen words and
-    // their neighbours at default timing, then reduce tRCD.
+    // their neighbours at default timing, then reduce tRCD. The writes
+    // span many tREFI, so they run as a maintenance window: the
+    // refresh backstop stays out until the first post-round tick.
+    const bool auto_refresh = scheduler_->autoRefresh();
+    scheduler_->setAutoRefresh(false);
     regs_->restoreDefaultTrcd();
     for (std::size_t i = 0; i < activeCount(); ++i)
         for (int d = 0; d < 2; ++d)
             writePatternRows(selection_[i].bank,
                              selection_[i].words[d].row);
     regs_->setReducedTrcd(config_.reduced_trcd_ns);
+    scheduler_->setAutoRefresh(auto_refresh);
 }
 
 void
@@ -217,7 +222,7 @@ DRangeTrng::runRound(util::BitStream &out)
         for (std::size_t i = 0; i < n; ++i)
             scheduler_->precharge(selection_[i].bank);
     }
-    scheduler_->maybeRefresh();
+    scheduler_->refreshTick();
     return harvested;
 }
 

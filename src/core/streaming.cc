@@ -118,6 +118,12 @@ StreamingTrng::launch(std::vector<int> rounds, bool continuous)
         config_.queue_capacity);
     host_start_ = std::chrono::steady_clock::now();
 
+    // Continuous sessions run until stopped and nothing drains their
+    // command traces; bound them so multi-hour trngd runs cannot leak.
+    if (continuous && config_.trace_capacity > 0)
+        for (auto *engine : engines_)
+            engine->scheduler().setTraceCapacity(config_.trace_capacity);
+
     if (config_.serial_producer || engines_.size() == 1) {
         producers_.emplace_back([this, rounds = std::move(rounds),
                                  continuous]() mutable {

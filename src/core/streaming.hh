@@ -99,6 +99,15 @@ struct StreamingConfig
     /** Per-test significance level for online validation (the paper
      * validates at SP 800-22's recommended 0.0001). */
     double validate_alpha = 0.0001;
+
+    /**
+     * Command-trace bound applied to every engine's scheduler for
+     * *continuous* sessions (0 = unbounded). Nothing consumes the
+     * trace of an unbounded session, so without a bound a long-lived
+     * trngd producer grows it without limit. Bounded generate() runs
+     * keep their unbounded trace: the energy model reads it.
+     */
+    std::size_t trace_capacity = 65536;
 };
 
 /** Per-engine harvest measurements of one session. */

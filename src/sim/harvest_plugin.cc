@@ -1,0 +1,172 @@
+#include "sim/harvest_plugin.hh"
+
+#include <algorithm>
+#include <memory>
+#include <stdexcept>
+
+#include "controller/scheduler.hh"
+
+namespace drange::sim {
+
+namespace detail {
+void
+linkHarvestPlugin()
+{
+    // Link anchor only: referencing this function from
+    // controller/plugin.cc pulls this object file -- and the
+    // self-registration below -- out of the static library.
+}
+} // namespace detail
+
+namespace {
+
+/** Relative cost of a k-of-total-banks round: the fixed tail (refresh
+ * tick, write recovery) plus a per-bank pipelined share. Used only to
+ * interpolate between learned widths. */
+double
+widthScale(int k, int total)
+{
+    return 0.25 + 0.75 * static_cast<double>(k) /
+                      static_cast<double>(std::max(total, 1));
+}
+
+} // anonymous namespace
+
+OpportunisticHarvestPlugin::OpportunisticHarvestPlugin(
+    const trng::Params &params)
+{
+    admit_margin_ = params.getDouble("admit_margin", admit_margin_);
+    min_banks_ =
+        static_cast<int>(params.getInt("min_banks", min_banks_));
+    prime_window_ns_ =
+        params.getDouble("prime_window_ns", prime_window_ns_);
+    if (admit_margin_ <= 0.0 || min_banks_ < 1 || prime_window_ns_ < 0.0)
+        throw std::invalid_argument(
+            "controller plugin \"harvest\": admit_margin must be > 0, "
+            "min_banks >= 1, prime_window_ns >= 0");
+    params.rejectUnknown("controller plugin \"harvest\"");
+}
+
+void
+OpportunisticHarvestPlugin::onInit(ctrl::CommandScheduler &sched)
+{
+    if (engine_ && &engine_->scheduler() != &sched)
+        throw std::logic_error(
+            "harvest plugin: attached scheduler is not the bound "
+            "engine's scheduler");
+    sched_ = &sched;
+}
+
+void
+OpportunisticHarvestPlugin::bind(core::DRangeTrng &engine)
+{
+    if (sched_ && &engine.scheduler() != sched_)
+        throw std::logic_error(
+            "harvest plugin: engine's scheduler differs from the "
+            "attached scheduler");
+    engine_ = &engine;
+}
+
+double
+OpportunisticHarvestPlugin::estCost(int k) const
+{
+    if (k < static_cast<int>(cost_ns_.size()) && cost_ns_[k] > 0.0)
+        return cost_ns_[k];
+    // Interpolate from the widest learned width.
+    const int total = static_cast<int>(cost_ns_.size()) - 1;
+    for (int known = total; known >= 1; --known) {
+        if (cost_ns_[known] > 0.0) {
+            return cost_ns_[known] * widthScale(k, total) /
+                   widthScale(known, total);
+        }
+    }
+    return 0.0; // Unreachable after the priming round.
+}
+
+double
+OpportunisticHarvestPlugin::onIdleSlot(int bank, double window_ns)
+{
+    if (bank >= 0)
+        return window_ns; // Only rank-wide windows fit a full round.
+    if (!engine_)
+        throw std::logic_error(
+            "harvest plugin: no engine bound (call bind() before "
+            "offering idle slots)");
+    if (!engine_->initialized())
+        return window_ns;
+
+    ++windows_offered_;
+    const int total = static_cast<int>(engine_->selection().size());
+    int width = 0;
+    if (rounds_ == 0) {
+        // Priming round at full width to learn the base cost. Any
+        // overrun charges at most one round to the first request.
+        if (window_ns < prime_window_ns_)
+            return window_ns;
+        width = total;
+        cost_ns_.assign(static_cast<std::size_t>(total) + 1, 0.0);
+    } else {
+        for (int k = total; k >= std::min(min_banks_, total); --k) {
+            if (estCost(k) * admit_margin_ <= window_ns) {
+                width = k;
+                break;
+            }
+        }
+        if (width == 0) {
+            ++windows_skipped_;
+            return window_ns;
+        }
+    }
+
+    const double t0 = sched_->now();
+    auto &dev = sched_->device();
+    const auto &selection = engine_->selection();
+
+    // Close rows the application left open in the sampling banks.
+    for (int i = 0; i < width; ++i)
+        if (dev.isOpen(selection[i].bank))
+            sched_->precharge(selection[i].bank);
+
+    engine_->setActiveBanks(width == total ? 0 : width);
+    engine_->setReducedTiming(true);
+    const int got = engine_->runRound(bits_);
+    engine_->setReducedTiming(false);
+    engine_->setActiveBanks(0);
+
+    const double cost = sched_->now() - t0;
+    cost_ns_[width] = std::max(cost_ns_[width], cost);
+    harvested_bits_ += static_cast<std::uint64_t>(got);
+    ++rounds_;
+    harvest_ns_ += cost;
+    return std::max(0.0, window_ns - cost);
+}
+
+util::BitStream
+OpportunisticHarvestPlugin::drain()
+{
+    util::BitStream out = std::move(bits_);
+    bits_ = util::BitStream{};
+    return out;
+}
+
+ctrl::PluginStats
+OpportunisticHarvestPlugin::stats() const
+{
+    return {
+        {"harvested_bits", static_cast<double>(harvested_bits_)},
+        {"rounds", static_cast<double>(rounds_)},
+        {"windows_offered", static_cast<double>(windows_offered_)},
+        {"windows_skipped", static_cast<double>(windows_skipped_)},
+        {"harvest_ns", harvest_ns_},
+    };
+}
+
+DRANGE_CTRL_REGISTER_PLUGIN(
+    harvest, "harvest",
+    "opportunistic D-RaNGe harvester: runs width-scaled reduced-tRCD "
+    "rounds in offered idle windows (bind() an engine before use)",
+    [](const trng::Params &params) {
+        return std::make_unique<OpportunisticHarvestPlugin>(params);
+    });
+
+} // namespace drange::sim

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Opportunistic D-RaNGe harvester as a controller plugin.
+ *
+ * The paper's deployment story (Section 7.3): the TRNG lives inside
+ * the memory controller and spends only the idle DRAM bandwidth real
+ * applications leave behind. This plugin is that mechanism -- attached
+ * to the scheduler serving application traffic, it receives idle
+ * windows through the onIdleSlot chain, sizes a reduced-tRCD sampling
+ * round to fit (scaling the number of participating banks down when
+ * the window is short), runs it, and accumulates the harvested bits
+ * for a consumer (the "opportunistic" trng::EntropySource or the
+ * interference experiment) to drain.
+ */
+
+#ifndef DRANGE_SIM_HARVEST_PLUGIN_HH
+#define DRANGE_SIM_HARVEST_PLUGIN_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "controller/plugin.hh"
+#include "core/drange.hh"
+#include "util/bitstream.hh"
+
+namespace drange::sim {
+
+/**
+ * Harvests D-RaNGe rounds in offered idle windows.
+ *
+ * The plugin must be bound to an initialized core::DRangeTrng whose
+ * scheduler is the one it is attached to (the engine owns the command
+ * path; the plugin decides *when* rounds run). Round costs are
+ * learned: the first adequate window runs a full-width priming round,
+ * later windows admit the widest round (by participating banks) whose
+ * learned or interpolated cost fits.
+ *
+ * Params: admit_margin (fit factor, default 0.95), min_banks (narrowest
+ * partial round, default 1), prime_window_ns (minimum window for the
+ * priming round, default 100).
+ */
+class OpportunisticHarvestPlugin final : public ctrl::SchedulerPlugin
+{
+  public:
+    explicit OpportunisticHarvestPlugin(const trng::Params &params = {});
+
+    std::string name() const override { return "harvest"; }
+    void onInit(ctrl::CommandScheduler &sched) override;
+    double onIdleSlot(int bank, double window_ns) override;
+    ctrl::PluginStats stats() const override;
+
+    /** Bind the engine whose rounds this plugin runs. */
+    void bind(core::DRangeTrng &engine);
+
+    /** Take the accumulated harvested bits, leaving the buffer empty. */
+    util::BitStream drain();
+
+    std::uint64_t harvestedBits() const { return harvested_bits_; }
+    std::uint64_t rounds() const { return rounds_; }
+    double harvestNs() const { return harvest_ns_; }
+
+  private:
+    double estCost(int k) const;
+
+    core::DRangeTrng *engine_ = nullptr;
+    ctrl::CommandScheduler *sched_ = nullptr;
+    double admit_margin_ = 0.95;
+    int min_banks_ = 1;
+    double prime_window_ns_ = 100.0;
+
+    std::vector<double> cost_ns_; //!< Max observed round cost per width.
+    util::BitStream bits_;
+    std::uint64_t harvested_bits_ = 0;
+    std::uint64_t rounds_ = 0;
+    std::uint64_t windows_offered_ = 0;
+    std::uint64_t windows_skipped_ = 0;
+    double harvest_ns_ = 0.0;
+};
+
+} // namespace drange::sim
+
+#endif // DRANGE_SIM_HARVEST_PLUGIN_HH

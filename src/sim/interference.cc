@@ -1,6 +1,10 @@
 #include "sim/interference.hh"
 
 #include <algorithm>
+#include <memory>
+
+#include "controller/plugin.hh"
+#include "sim/harvest_plugin.hh"
 
 namespace drange::sim {
 
@@ -41,6 +45,7 @@ InterferenceExperiment::run(const Workload &workload, double duration_ns)
         ctrl::TimingRegisterFile regs(device.config().timing);
         ctrl::CommandScheduler sched(baseline_dev, regs);
         ctrl::MemoryController mc(sched);
+        mc.setRecordLatencies(true);
 
         WorkloadGenerator gen(geom, seed_);
         for (auto &req : shiftRows(
@@ -50,67 +55,45 @@ InterferenceExperiment::run(const Workload &workload, double duration_ns)
         }
         mc.drain();
         result.app_baseline_latency_ns = mc.stats().avgLatency();
+        result.app_baseline_p50_latency_ns = mc.latencyQuantile(0.5);
+        result.app_baseline_p99_latency_ns = mc.latencyQuantile(0.99);
     }
 
-    // --- Co-run: D-RaNGe sampling in the idle gaps ---
-    trng_.enterSamplingMode();
-    trng_.setReducedTiming(false);
-
+    // --- Co-run: D-RaNGe harvesting the idle gaps via the plugin chain
     auto &sched = trng_.scheduler();
-    ctrl::MemoryController mc(sched);
-
-    // Estimate the cost of one sampling round.
-    util::BitStream bits;
-    {
-        trng_.setReducedTiming(true);
-        const double t0 = sched.now();
-        trng_.runRound(bits);
-        trng_.setReducedTiming(false);
-        bits.clear();
-        const double round_cost = sched.now() - t0;
-
-        const double start = sched.now();
-        const double end = start + duration_ns;
-
-        WorkloadGenerator gen(geom, seed_);
-        for (auto &req : shiftRows(
-                 gen.generate(workload, start, duration_ns),
-                 kAppRowOffset, geom.rows_per_bank)) {
-            mc.enqueue(req);
-        }
-
-        while (sched.now() < end) {
-            const double next = mc.nextArrival();
-            if (mc.pending() && next <= sched.now()) {
-                mc.serviceOne();
-                continue;
-            }
-            const double gap =
-                std::min(next, end) - sched.now();
-            // Admit a round only when it fits in the expected gap;
-            // the occasional request arriving mid-round waits a
-            // fraction of a round, which the slowdown metric (pure
-            // DRAM latency, no core-side component) accounts for.
-            if (gap > round_cost * 0.95) {
-                // Close rows the application left open in the sampling
-                // banks, then run one reduced-timing round.
-                for (const auto &sel : trng_.selection())
-                    if (device.isOpen(sel.bank))
-                        sched.precharge(sel.bank);
-                trng_.setReducedTiming(true);
-                result.trng_bits += trng_.runRound(bits);
-                trng_.setReducedTiming(false);
-            } else if (mc.pending()) {
-                sched.advanceTo(next);
-            } else {
-                break;
-            }
-        }
-        mc.drain();
+    if (!sched.plugin("shaper"))
+        sched.attach(ctrl::PluginRegistry::make("shaper"));
+    auto *harvester = dynamic_cast<OpportunisticHarvestPlugin *>(
+        sched.plugin("harvest"));
+    if (!harvester) {
+        auto plug = std::make_unique<OpportunisticHarvestPlugin>();
+        plug->bind(trng_);
+        harvester = plug.get();
+        sched.attach(std::move(plug));
     }
+    harvester->drain(); // Discard bits left over from a previous run.
+    const std::uint64_t bits_before = harvester->harvestedBits();
+
+    trng_.enterSamplingMode();
+    trng_.setReducedTiming(false); // App requests run at default timing.
+
+    ctrl::MemoryController mc(sched);
+    mc.setRecordLatencies(true);
+
+    const double start = sched.now();
+    WorkloadGenerator gen(geom, seed_);
+    for (auto &req : shiftRows(gen.generate(workload, start, duration_ns),
+                               kAppRowOffset, geom.rows_per_bank)) {
+        mc.enqueue(req);
+    }
+    mc.run(start + duration_ns);
+    mc.drain(); // Requests that arrived inside the horizon but late.
     trng_.exitSamplingMode();
 
+    result.trng_bits = harvester->harvestedBits() - bits_before;
     result.app_avg_latency_ns = mc.stats().avgLatency();
+    result.app_p50_latency_ns = mc.latencyQuantile(0.5);
+    result.app_p99_latency_ns = mc.latencyQuantile(0.99);
     result.app_requests = mc.stats().served;
     return result;
 }

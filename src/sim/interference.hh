@@ -5,6 +5,11 @@
  * timing and let D-RaNGe issue sampling rounds only in the idle gaps, so
  * the application sees no added latency while random bits accumulate
  * from otherwise-wasted DRAM bandwidth.
+ *
+ * Built on the controller plugin chain: a ShaperPlugin guards the idle
+ * windows and an OpportunisticHarvestPlugin spends them, both attached
+ * to the TRNG engine's scheduler; the experiment itself only drives
+ * MemoryController::run and reads the results back.
  */
 
 #ifndef DRANGE_SIM_INTERFERENCE_HH
@@ -24,7 +29,11 @@ struct InterferenceResult
     double duration_ns = 0.0;
     std::uint64_t trng_bits = 0;
     double app_avg_latency_ns = 0.0;      //!< With D-RaNGe in the gaps.
+    double app_p50_latency_ns = 0.0;
+    double app_p99_latency_ns = 0.0;
     double app_baseline_latency_ns = 0.0; //!< Workload running alone.
+    double app_baseline_p50_latency_ns = 0.0;
+    double app_baseline_p99_latency_ns = 0.0;
     std::uint64_t app_requests = 0;
 
     /** TRNG throughput harvested from idle bandwidth, Mbit/s. */
@@ -42,6 +51,20 @@ struct InterferenceResult
                    ? app_avg_latency_ns / app_baseline_latency_ns
                    : 1.0;
     }
+
+    /** Added tail latency, co-run p99 minus baseline p99 (ns). */
+    double p99DeltaNs() const
+    {
+        return app_p99_latency_ns - app_baseline_p99_latency_ns;
+    }
+
+    /** Tail-latency ratio, co-run p99 over baseline p99 (1.0 = none). */
+    double p99Ratio() const
+    {
+        return app_baseline_p99_latency_ns > 0.0
+                   ? app_p99_latency_ns / app_baseline_p99_latency_ns
+                   : 1.0;
+    }
 };
 
 /**
@@ -49,7 +72,10 @@ struct InterferenceResult
  *
  * The D-RaNGe engine must already be initialized. Application traffic is
  * placed in rows far from the TRNG's sampling rows (the paper reserves
- * those rows for exclusive memory-controller access).
+ * those rows for exclusive memory-controller access). The experiment
+ * attaches "shaper" and "harvest" plugins to the engine's scheduler on
+ * first use and reuses them across run() calls, so learned round costs
+ * carry over.
  */
 class InterferenceExperiment
 {

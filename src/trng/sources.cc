@@ -28,10 +28,14 @@
 #include "baselines/cmdsched_trng.hh"
 #include "baselines/retention_trng.hh"
 #include "baselines/startup_trng.hh"
+#include "controller/memory_controller.hh"
+#include "controller/plugins.hh"
 #include "core/multichannel.hh"
 #include "core/streaming.hh"
 #include "dram/device.hh"
 #include "power/power_model.hh"
+#include "sim/harvest_plugin.hh"
+#include "sim/workload.hh"
 #include "trng/registry.hh"
 #include "util/entropy.hh"
 
@@ -397,6 +401,191 @@ class StreamingSource final : public EntropySource
     SourceStats stats_;
 };
 
+// ----------------------------------------------------- opportunistic
+
+/** D-RaNGe harvesting only the idle DRAM slots a co-simulated
+ * application workload leaves behind (paper Section 7.3), through the
+ * controller plugin chain: a ShaperPlugin guards the idle windows, an
+ * OpportunisticHarvestPlugin spends them on width-scaled sampling
+ * rounds, and this adapter drives the MemoryController event loop and
+ * drains the harvested bits. Throughput through this source is bits
+ * per *co-simulated wall time* -- entropy that cost the application
+ * only the reported latency delta. */
+class OpportunisticSource final : public EntropySource
+{
+  public:
+    explicit OpportunisticSource(const Params &params)
+        : device_(std::make_unique<dram::DramDevice>(
+              deviceConfig(params))),
+          engine_(std::make_unique<core::DRangeTrng>(
+              *device_, drangeConfig(params)))
+    {
+        // Workload: a spec2006() name, or "custom" tuned by hand; the
+        // intensity/locality knobs override either.
+        workload_.name = params.getString("workload", "custom");
+        if (workload_.name != "custom") {
+            bool found = false;
+            for (const auto &w : sim::Workload::spec2006()) {
+                if (w.name == workload_.name) {
+                    workload_ = w;
+                    found = true;
+                    break;
+                }
+            }
+            if (!found)
+                throw std::invalid_argument(
+                    "trng source \"opportunistic\": unknown workload "
+                    "\"" + workload_.name +
+                    "\" (a sim::Workload::spec2006() name or "
+                    "\"custom\")");
+        }
+        workload_.intensity =
+            params.getDouble("intensity", workload_.intensity);
+        workload_.row_locality =
+            params.getDouble("row_locality", workload_.row_locality);
+        workload_.write_fraction = params.getDouble(
+            "write_fraction", workload_.write_fraction);
+        workload_.footprint_rows = static_cast<int>(boundedInt(
+            params, "footprint_rows", workload_.footprint_rows, 1));
+        if (workload_.intensity <= 0.0 || workload_.intensity > 1.0)
+            throw std::invalid_argument(
+                "trng source \"opportunistic\": intensity must be in "
+                "(0, 1]");
+
+        slice_ns_ = params.getDouble("slice_ns", slice_ns_);
+        peak_request_ns_ =
+            params.getDouble("peak_request_ns", peak_request_ns_);
+        app_row_offset_ = static_cast<int>(
+            boundedInt(params, "app_row_offset", app_row_offset_, 0));
+        workload_seed_ = static_cast<std::uint64_t>(
+            boundedInt(params, "workload_seed", 97, 0));
+
+        auto &sched = engine_->scheduler();
+        // Continuous co-simulation: bound the command trace so a
+        // long-lived trngd pool member cannot grow it without limit.
+        sched.setTraceCapacity(static_cast<std::size_t>(
+            boundedInt(params, "trace_capacity", 65536, 0)));
+
+        Params shaper_params;
+        shaper_params
+            .set("min_window_ns",
+                 params.getDouble("min_window_ns", 0.0))
+            .set("guard_ns", params.getDouble("guard_ns", 0.0))
+            .set("max_duty", params.getDouble("max_duty", 1.0));
+        sched.attach(
+            std::make_unique<ctrl::ShaperPlugin>(shaper_params));
+
+        Params harvest_params;
+        harvest_params
+            .set("admit_margin",
+                 params.getDouble("admit_margin", 0.95))
+            .set("min_banks", params.getInt("min_banks", 1))
+            .set("prime_window_ns",
+                 params.getDouble("prime_window_ns", 100.0));
+        auto harvester =
+            std::make_unique<sim::OpportunisticHarvestPlugin>(
+                harvest_params);
+        harvester->bind(*engine_);
+        harvester_ = harvester.get();
+        sched.attach(std::move(harvester));
+
+        mc_ = std::make_unique<ctrl::MemoryController>(sched);
+        generator_ = std::make_unique<sim::WorkloadGenerator>(
+            device_->config().geometry, workload_seed_);
+
+        setContinuousChunkBits(static_cast<std::size_t>(
+            boundedInt(params, "chunk_bits", 4096, 1)));
+        params.rejectUnknown("trng source \"opportunistic\"");
+        info_ = {"opportunistic",
+                 "D-RaNGe scavenging idle DRAM slots under live "
+                 "workload traffic (Section 7.3)",
+                 true};
+    }
+
+    const SourceInfo &info() const override { return info_; }
+
+    util::BitStream generate(std::size_t num_bits) override
+    {
+        if (!engine_->initialized()) {
+            engine_->initialize();
+            engine_->enterSamplingMode();
+            // Application requests run at default timing; the
+            // harvester flips the reduced tRCD around each round.
+            engine_->setReducedTiming(false);
+        }
+
+        auto &sched = engine_->scheduler();
+        const auto &geom = device_->config().geometry;
+        const double gen_start = sched.now();
+        double first64_ns = 0.0;
+
+        util::BitStream out = harvester_->drain(); // Leftover rounds.
+        int dry_slices = 0;
+        while (out.size() < num_bits) {
+            const double start = sched.now();
+            auto reqs = generator_->generate(workload_, start,
+                                             slice_ns_,
+                                             peak_request_ns_);
+            for (auto &r : reqs) {
+                r.row = (r.row + app_row_offset_) % geom.rows_per_bank;
+                mc_->enqueue(r);
+            }
+            mc_->run(start + slice_ns_);
+            mc_->drain();
+
+            const util::BitStream chunk = harvester_->drain();
+            if (first64_ns == 0.0 && out.size() + chunk.size() >= 64)
+                first64_ns = sched.now() - gen_start;
+            out.append(chunk);
+
+            // A workload can be so intense that no window ever admits
+            // even the narrowest round; fail loudly instead of
+            // co-simulating forever.
+            dry_slices = chunk.empty() ? dry_slices + 1 : 0;
+            if (dry_slices >= 1000)
+                throw std::runtime_error(
+                    "trng source \"opportunistic\": no harvestable "
+                    "idle windows in 1000 consecutive slices "
+                    "(workload too intense?)");
+        }
+
+        stats_ = SourceStats{};
+        stats_.bits = out.size();
+        stats_.sim_ns = sched.now() - gen_start;
+        stats_.latency64_ns = first64_ns;
+        fillEntropyFields(stats_, out);
+        return out;
+    }
+
+    SourceStats stats() const override { return stats_; }
+
+    /** Application-side service statistics of the co-simulation. */
+    const ctrl::ControllerStats &appStats() const
+    {
+        return mc_->stats();
+    }
+
+    /** The harvester plugin (round/window counters). */
+    const sim::OpportunisticHarvestPlugin &harvester() const
+    {
+        return *harvester_;
+    }
+
+  private:
+    std::unique_ptr<dram::DramDevice> device_;
+    std::unique_ptr<core::DRangeTrng> engine_;
+    sim::OpportunisticHarvestPlugin *harvester_ = nullptr;
+    std::unique_ptr<ctrl::MemoryController> mc_;
+    std::unique_ptr<sim::WorkloadGenerator> generator_;
+    sim::Workload workload_;
+    double slice_ns_ = 100000.0;
+    double peak_request_ns_ = 100.0;
+    int app_row_offset_ = 4096;
+    std::uint64_t workload_seed_ = 97;
+    SourceInfo info_;
+    SourceStats stats_;
+};
+
 // ---------------------------------------------------------- cmdsched
 
 /** Command-schedule jitter baseline (Pyo+) behind the interface. */
@@ -592,6 +781,10 @@ DRANGE_TRNG_REGISTER(streaming, "streaming",
                      "D-RaNGe streaming pipeline with pluggable "
                      "conditioning stages and online validation",
                      makeSource<StreamingSource>);
+DRANGE_TRNG_REGISTER(opportunistic, "opportunistic",
+                     "D-RaNGe scavenging idle DRAM slots under live "
+                     "workload traffic (Section 7.3)",
+                     makeSource<OpportunisticSource>);
 DRANGE_TRNG_REGISTER(cmdsched, "cmdsched",
                      "command-schedule jitter baseline (Pyo+)",
                      makeSource<CmdSchedSource>);

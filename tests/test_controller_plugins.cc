@@ -1,0 +1,426 @@
+/**
+ * @file
+ * Unit tests for the controller plugin architecture: the registry
+ * (names, errors, duplicate registration), hook dispatch order, the
+ * idle-slot filter chain, the automatic refresh obligation, the
+ * interference shaper, the command-trace ring bound, and the idle
+ * windows MemoryController::run offers to the chain.
+ */
+
+#include <algorithm>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "controller/memory_controller.hh"
+#include "controller/plugin.hh"
+#include "controller/plugins.hh"
+#include "controller/scheduler.hh"
+#include "sim/harvest_plugin.hh"
+
+namespace {
+
+using namespace drange;
+using namespace drange::ctrl;
+using drange::dram::DeviceConfig;
+using drange::dram::DramDevice;
+using drange::dram::Manufacturer;
+
+struct Rig
+{
+    Rig() : cfg(makeCfg()), dev(cfg), regs(cfg.timing), sched(dev, regs)
+    {
+    }
+    static DeviceConfig makeCfg()
+    {
+        auto cfg = DeviceConfig::make(Manufacturer::A, 5, 19);
+        cfg.geometry.rows_per_bank = 1024;
+        return cfg;
+    }
+    DeviceConfig cfg;
+    DramDevice dev;
+    TimingRegisterFile regs;
+    CommandScheduler sched;
+};
+
+/** Records every hook call; optionally clamps offered idle windows. */
+class ProbePlugin final : public SchedulerPlugin
+{
+  public:
+    ProbePlugin(std::string id, std::vector<std::string> &events,
+                double clamp_factor = -1.0)
+        : id_(std::move(id)), events_(events), clamp_(clamp_factor)
+    {
+    }
+
+    std::string name() const override { return id_; }
+
+    void onInit(CommandScheduler &sched) override
+    {
+        (void)sched;
+        events_.push_back(id_ + ":init");
+    }
+
+    void onCommandIssued(const TimedCommand &cmd) override
+    {
+        events_.push_back(id_ + ":" + toString(cmd.type));
+    }
+
+    double onIdleSlot(int bank, double window_ns) override
+    {
+        (void)bank;
+        windows.push_back(window_ns);
+        return clamp_ >= 0.0 ? window_ns * clamp_ : window_ns;
+    }
+
+    void onRefreshTick(double now_ns, bool opportunistic) override
+    {
+        (void)now_ns;
+        events_.push_back(id_ + (opportunistic ? ":tick-opp"
+                                               : ":tick-sol"));
+    }
+
+    std::vector<double> windows;
+
+  private:
+    std::string id_;
+    std::vector<std::string> &events_;
+    double clamp_;
+};
+
+// ------------------------------------------------------------ registry
+
+TEST(PluginRegistry, ListsBuiltins)
+{
+    const auto names = PluginRegistry::names();
+    EXPECT_TRUE(PluginRegistry::contains("refresh"));
+    EXPECT_TRUE(PluginRegistry::contains("shaper"));
+    EXPECT_TRUE(PluginRegistry::contains("harvest"));
+    EXPECT_TRUE(std::is_sorted(names.begin(), names.end()));
+    for (const auto &name : names)
+        EXPECT_FALSE(PluginRegistry::description(name).empty()) << name;
+}
+
+TEST(PluginRegistry, UnknownNameListsKnownPlugins)
+{
+    try {
+        (void)PluginRegistry::make("no-such-plugin");
+        FAIL() << "expected std::invalid_argument";
+    } catch (const std::invalid_argument &e) {
+        const std::string msg = e.what();
+        EXPECT_NE(msg.find("no-such-plugin"), std::string::npos) << msg;
+        // The error enumerates the registered names, matching the
+        // trng::Registry idiom.
+        EXPECT_NE(msg.find("refresh"), std::string::npos) << msg;
+        EXPECT_NE(msg.find("shaper"), std::string::npos) << msg;
+        EXPECT_NE(msg.find("harvest"), std::string::npos) << msg;
+    }
+}
+
+TEST(PluginRegistry, DuplicateAddKeepsExisting)
+{
+    EXPECT_FALSE(PluginRegistry::add(
+        "refresh", "impostor", [](const trng::Params &) {
+            return std::unique_ptr<SchedulerPlugin>();
+        }));
+    // The original registration (and its description) survives.
+    EXPECT_NE(PluginRegistry::description("refresh"), "impostor");
+    auto plug = PluginRegistry::make("refresh");
+    ASSERT_TRUE(plug);
+    EXPECT_EQ(plug->name(), "refresh");
+}
+
+TEST(PluginRegistry, FactoriesRejectBadParams)
+{
+    EXPECT_THROW((void)PluginRegistry::make(
+                     "refresh", trng::Params{{"max_postpone", "-1"}}),
+                 std::invalid_argument);
+    EXPECT_THROW((void)PluginRegistry::make(
+                     "shaper", trng::Params{{"max_duty", "2.0"}}),
+                 std::invalid_argument);
+    EXPECT_THROW((void)PluginRegistry::make(
+                     "refresh", trng::Params{{"bogus_key", "1"}}),
+                 std::invalid_argument);
+}
+
+// ----------------------------------------------------- attach/dispatch
+
+TEST(SchedulerPlugins, DefaultRefreshPluginAttached)
+{
+    Rig rig;
+    const auto names = rig.sched.pluginNames();
+    ASSERT_EQ(names.size(), 1u);
+    EXPECT_EQ(names[0], "refresh");
+    EXPECT_NE(rig.sched.plugin("refresh"), nullptr);
+    EXPECT_EQ(rig.sched.plugin("shaper"), nullptr);
+}
+
+TEST(SchedulerPlugins, AttachDetachByName)
+{
+    Rig rig;
+    std::vector<std::string> events;
+    rig.sched.attach(std::make_unique<ProbePlugin>("probe", events));
+    EXPECT_EQ(rig.sched.pluginNames(),
+              (std::vector<std::string>{"refresh", "probe"}));
+    ASSERT_EQ(events.size(), 1u);
+    EXPECT_EQ(events[0], "probe:init");
+
+    auto detached = rig.sched.detach("probe");
+    ASSERT_TRUE(detached);
+    EXPECT_EQ(detached->name(), "probe");
+    EXPECT_EQ(rig.sched.plugin("probe"), nullptr);
+    EXPECT_FALSE(rig.sched.detach("probe"));
+}
+
+TEST(SchedulerPlugins, CommandHooksDispatchInAttachOrder)
+{
+    Rig rig;
+    std::vector<std::string> events;
+    rig.sched.attach(std::make_unique<ProbePlugin>("a", events));
+    rig.sched.attach(std::make_unique<ProbePlugin>("b", events));
+    events.clear();
+
+    rig.sched.activate(0, 1);
+    rig.sched.precharge(0);
+    // Quiet points also dispatch opportunistic ticks; keep only the
+    // command observations for the ordering check.
+    std::vector<std::string> cmds;
+    for (const auto &e : events)
+        if (e.find(":tick") == std::string::npos)
+            cmds.push_back(e);
+    ASSERT_EQ(cmds.size(), 4u);
+    EXPECT_EQ(cmds[0], "a:ACT");
+    EXPECT_EQ(cmds[1], "b:ACT");
+    EXPECT_EQ(cmds[2], "a:PRE");
+    EXPECT_EQ(cmds[3], "b:PRE");
+}
+
+TEST(SchedulerPlugins, IdleSlotChainClampsDownstream)
+{
+    Rig rig;
+    std::vector<std::string> events;
+    auto &first = static_cast<ProbePlugin &>(rig.sched.attach(
+        std::make_unique<ProbePlugin>("half", events, 0.5)));
+    auto &second = static_cast<ProbePlugin &>(rig.sched.attach(
+        std::make_unique<ProbePlugin>("tail", events)));
+
+    const double residual = rig.sched.offerIdleSlot(100.0);
+    ASSERT_EQ(first.windows.size(), 1u);
+    ASSERT_EQ(second.windows.size(), 1u);
+    EXPECT_DOUBLE_EQ(first.windows[0], 100.0);
+    EXPECT_DOUBLE_EQ(second.windows[0], 50.0); // Clamped upstream.
+    EXPECT_DOUBLE_EQ(residual, 50.0);
+}
+
+TEST(SchedulerPlugins, SolicitedTickReachesEveryPlugin)
+{
+    Rig rig;
+    std::vector<std::string> events;
+    rig.sched.attach(std::make_unique<ProbePlugin>("p", events));
+    events.clear();
+    rig.sched.refreshTick();
+    ASSERT_EQ(events.size(), 1u);
+    EXPECT_EQ(events[0], "p:tick-sol");
+}
+
+// ----------------------------------------------------------- refresh
+
+TEST(RefreshObligation, SolicitedTicksSpaceRefreshesAtTrefi)
+{
+    Rig rig;
+    auto *refresh =
+        dynamic_cast<RefreshPlugin *>(rig.sched.plugin("refresh"));
+    ASSERT_NE(refresh, nullptr);
+
+    EXPECT_FALSE(rig.sched.refreshTick()); // Too early.
+    EXPECT_EQ(refresh->refreshes(), 0u);
+    rig.sched.advanceTo(rig.cfg.timing.trefi_ns + 1.0);
+    EXPECT_TRUE(rig.sched.refreshTick());
+    EXPECT_EQ(refresh->refreshes(), 1u);
+    EXPECT_EQ(rig.sched.refsIssued(), 1u);
+    EXPECT_FALSE(rig.sched.refreshTick()); // Obligation reset.
+    // The next deadline is one tREFI after the issued REF.
+    EXPECT_GT(refresh->nextDueNs(), rig.cfg.timing.trefi_ns);
+}
+
+TEST(RefreshObligation, BackstopCoversCallersThatNeverTick)
+{
+    Rig rig;
+    auto *refresh =
+        dynamic_cast<RefreshPlugin *>(rig.sched.plugin("refresh"));
+    ASSERT_NE(refresh, nullptr);
+
+    // Past the obligation but inside the JEDEC postponement allowance:
+    // the backstop stays quiet, preserving schedules of callers that
+    // tick at their own boundaries.
+    rig.sched.advanceTo(2.0 * rig.cfg.timing.trefi_ns);
+    rig.sched.activate(0, 1);
+    EXPECT_EQ(refresh->backstopRefreshes(), 0u);
+    rig.sched.precharge(0);
+
+    // Overdue beyond max_postpone (8) intervals: the next quiet point
+    // issues a catch-up REF even though nobody ever ticked.
+    rig.sched.advanceTo(12.0 * rig.cfg.timing.trefi_ns);
+    rig.sched.activate(0, 2);
+    EXPECT_EQ(refresh->backstopRefreshes(), 1u);
+    EXPECT_GE(rig.sched.refsIssued(), 1u);
+}
+
+TEST(RefreshObligation, MaintenanceWindowDisarmsBackstop)
+{
+    Rig rig;
+    rig.sched.setAutoRefresh(false);
+    rig.sched.advanceTo(20.0 * rig.cfg.timing.trefi_ns);
+    rig.sched.activate(0, 1);
+    rig.sched.precharge(0);
+    EXPECT_EQ(rig.sched.refsIssued(), 0u); // Disabled entirely.
+
+    // Re-enabling does not arm the backstop mid-transaction: the stale
+    // obligation waits for the next solicited tick.
+    rig.sched.setAutoRefresh(true);
+    rig.sched.activate(0, 2);
+    rig.sched.precharge(0);
+    EXPECT_EQ(rig.sched.refsIssued(), 0u);
+
+    EXPECT_TRUE(rig.sched.refreshTick()); // Catch-up REF on request.
+    EXPECT_EQ(rig.sched.refsIssued(), 1u);
+
+    // The tick re-armed the backstop: quiet points fire again once the
+    // obligation is overdue past the postponement allowance.
+    rig.sched.advanceTo(rig.sched.now() +
+                        10.0 * rig.cfg.timing.trefi_ns);
+    rig.sched.activate(0, 3);
+    EXPECT_EQ(rig.sched.refsIssued(), 2u);
+}
+
+// ------------------------------------------------------------- shaper
+
+TEST(Shaper, GuardAndMinimumWindow)
+{
+    ShaperPlugin shaper(trng::Params{{"min_window_ns", "100"},
+                                     {"guard_ns", "10"}});
+    EXPECT_DOUBLE_EQ(shaper.onIdleSlot(-1, 50.0), 0.0);  // Below min.
+    EXPECT_DOUBLE_EQ(shaper.onIdleSlot(-1, 109.0), 0.0); // Guard eats it.
+    EXPECT_DOUBLE_EQ(shaper.onIdleSlot(-1, 200.0), 190.0);
+}
+
+TEST(Shaper, DutyCycleCapLimitsGrants)
+{
+    Rig rig;
+    rig.sched.attach(PluginRegistry::make(
+        "shaper", trng::Params{{"max_duty", "0.5"}}));
+
+    rig.sched.advanceTo(1000.0);
+    // A window equal to the full elapsed time exceeds the 50% cap.
+    EXPECT_DOUBLE_EQ(rig.sched.offerIdleSlot(1000.0), 0.0);
+    EXPECT_DOUBLE_EQ(rig.sched.offerIdleSlot(400.0), 400.0);
+    // 400 granted of a 500 ns budget: another 400 would exceed it.
+    EXPECT_DOUBLE_EQ(rig.sched.offerIdleSlot(400.0), 0.0);
+}
+
+// ------------------------------------------------------------ harvest
+
+TEST(Harvest, UnboundPluginRejectsRankWideWindows)
+{
+    Rig rig;
+    rig.sched.attach(PluginRegistry::make("harvest"));
+    // Per-bank windows pass through untouched (a round needs the rank).
+    EXPECT_DOUBLE_EQ(rig.sched.offerIdleSlot(1000.0, 2), 1000.0);
+    EXPECT_THROW((void)rig.sched.offerIdleSlot(1000.0),
+                 std::logic_error);
+}
+
+TEST(Harvest, BindRejectsForeignScheduler)
+{
+    Rig rig;
+    DramDevice dev(Rig::makeCfg());
+    core::DRangeConfig dc;
+    dc.banks = 2;
+    core::DRangeTrng trng(dev, dc); // Owns a different scheduler.
+
+    auto plugin = std::make_unique<sim::OpportunisticHarvestPlugin>();
+    auto &attached = static_cast<sim::OpportunisticHarvestPlugin &>(
+        rig.sched.attach(std::move(plugin)));
+    EXPECT_THROW(attached.bind(trng), std::logic_error);
+}
+
+// -------------------------------------------------------------- trace
+
+TEST(CommandTraceRing, UnboundedByDefault)
+{
+    Rig rig;
+    EXPECT_EQ(rig.sched.traceCapacity(), 0u);
+    for (int i = 0; i < 32; ++i) {
+        rig.sched.activate(0, i);
+        rig.sched.precharge(0);
+    }
+    EXPECT_EQ(rig.sched.trace().size(), 64u);
+    EXPECT_EQ(rig.sched.trace().dropped(), 0u);
+}
+
+TEST(CommandTraceRing, CapacityBoundsAndCountsEvictions)
+{
+    CommandTrace trace(3);
+    for (int i = 0; i < 5; ++i)
+        trace.push_back({CommandType::ACT, i, static_cast<double>(i)});
+    EXPECT_EQ(trace.size(), 3u);
+    EXPECT_EQ(trace.totalLogged(), 5u);
+    EXPECT_EQ(trace.dropped(), 2u);
+    EXPECT_EQ(trace[0].bank, 2); // Oldest retained command.
+    EXPECT_EQ(trace[2].bank, 4);
+
+    trace.clear(); // clear() is not eviction.
+    EXPECT_EQ(trace.dropped(), 2u);
+
+    CommandTrace shrink;
+    for (int i = 0; i < 4; ++i)
+        shrink.push_back({CommandType::RD, i, 0.0});
+    shrink.setCapacity(2); // Shrinking trims immediately.
+    EXPECT_EQ(shrink.size(), 2u);
+    EXPECT_EQ(shrink.dropped(), 2u);
+    EXPECT_EQ(shrink[0].bank, 2);
+}
+
+TEST(CommandTraceRing, SchedulerAppliesCapacity)
+{
+    Rig rig;
+    rig.sched.setTraceCapacity(4);
+    for (int i = 0; i < 8; ++i) {
+        rig.sched.activate(0, i);
+        rig.sched.precharge(0);
+    }
+    EXPECT_EQ(rig.sched.trace().size(), 4u);
+    EXPECT_EQ(rig.sched.trace().totalLogged(), 16u);
+    EXPECT_EQ(rig.sched.trace().dropped(), 12u);
+}
+
+// -------------------------------------------- controller idle windows
+
+TEST(MemoryControllerRun, OffersIdleWindowsToPluginChain)
+{
+    Rig rig;
+    std::vector<std::string> events;
+    auto &probe = static_cast<ProbePlugin &>(
+        rig.sched.attach(std::make_unique<ProbePlugin>("p", events)));
+
+    MemoryController mc(rig.sched);
+    Request req;
+    req.arrival_ns = 5000.0;
+    req.bank = 1;
+    req.row = 7;
+    mc.enqueue(req);
+
+    mc.run(8000.0);
+    EXPECT_EQ(mc.stats().served, 1u);
+    EXPECT_GE(rig.sched.now(), 8000.0 - 1e-9);
+    // Both the pre-arrival gap and the post-service tail were offered.
+    ASSERT_GE(probe.windows.size(), 2u);
+    EXPECT_NEAR(probe.windows[0], 5000.0, 1e-9);
+    for (const double w : probe.windows)
+        EXPECT_GT(w, 0.0);
+}
+
+} // namespace

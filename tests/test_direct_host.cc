@@ -9,7 +9,6 @@
 
 #include <gtest/gtest.h>
 
-#include "controller/softmc.hh"
 #include "dram/direct_host.hh"
 
 namespace {
@@ -23,6 +22,29 @@ smallConfig()
     cfg.geometry.rows_per_bank = 1024;
     return cfg;
 }
+
+/** The paper's SoftMC validation rig (Section 4): a DDR3-timed device
+ * driven through the direct host. Formerly controller/softmc.hh; the
+ * two-member struct lives with its only user now. */
+struct SoftMcRigFixture
+{
+    SoftMcRigFixture(Manufacturer manufacturer, std::uint64_t seed,
+                     std::uint64_t noise_seed)
+        : device(ddr3Config(manufacturer, seed, noise_seed)),
+          host(device)
+    {
+    }
+    static DeviceConfig ddr3Config(Manufacturer manufacturer,
+                                   std::uint64_t seed,
+                                   std::uint64_t noise_seed)
+    {
+        auto cfg = DeviceConfig::make(manufacturer, seed, noise_seed);
+        cfg.timing = TimingParams::ddr3_1600();
+        return cfg;
+    }
+    DramDevice device;
+    DirectHost host;
+};
 
 TEST(DirectHost, ClockAdvancesMonotonically)
 {
@@ -79,17 +101,17 @@ TEST(DirectHost, AdvanceMovesClock)
 
 TEST(SoftMcRig, UsesDdr3Timing)
 {
-    drange::ctrl::SoftMc rig(Manufacturer::A, 11, 13);
-    EXPECT_DOUBLE_EQ(rig.device().config().timing.tck_ns, 1.25);
-    EXPECT_NEAR(rig.device().config().timing.trcd_ns, 13.75, 1e-9);
+    SoftMcRigFixture rig(Manufacturer::A, 11, 13);
+    EXPECT_DOUBLE_EQ(rig.device.config().timing.tck_ns, 1.25);
+    EXPECT_NEAR(rig.device.config().timing.trcd_ns, 13.75, 1e-9);
 }
 
 TEST(SoftMcRig, ReducedTrcdFailuresAlsoOnDdr3)
 {
     // The paper validates activation-failure behaviour on DDR3 devices;
     // the same must hold on our DDR3-timed substrate.
-    drange::ctrl::SoftMc rig(Manufacturer::A, 7, 13);
-    auto &host = rig.host();
+    SoftMcRigFixture rig(Manufacturer::A, 7, 13);
+    auto &host = rig.host;
     for (int row = 0; row < 512; ++row)
         for (int w = 0; w < 24; ++w)
             host.device().pokeWord(0, row, w, 0);
