@@ -16,18 +16,38 @@
  * session end. The pipeline keeps per-stage entropy accounting --
  * bits in/out and the Shannon entropy of each stage's input and output
  * streams -- surfaced through core::StreamingStats.
+ *
+ * Parallelism contract: a stage that is a pure per-chunk function --
+ * no state carried between process() calls, so concurrent calls on
+ * different chunks are safe and chunk results are independent --
+ * declares chunkLocal() == true (SHA-256, Raw). Carry-stateful stages
+ * (von Neumann, health) keep the default false and are fed
+ * sequence-numbered chunks strictly in order. ParallelConditioner
+ * exploits the contract to run one pipeline chunk- and stage-parallel
+ * over a worker pool while emitting output bit-identical to the
+ * serial ConditioningPipeline: chunk-local stages fan out across
+ * workers, stateful stages are serialized by a per-stage sequence
+ * ticket, and a reorder buffer restores submission order at the end.
  */
 
 #ifndef DRANGE_TRNG_CONDITIONING_HH
 #define DRANGE_TRNG_CONDITIONING_HH
 
+#include <atomic>
+#include <condition_variable>
 #include <cstdint>
+#include <exception>
+#include <map>
 #include <memory>
+#include <mutex>
+#include <optional>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "trng/params.hh"
 #include "util/bitstream.hh"
+#include "util/chunk_queue.hh"
 
 namespace drange::trng {
 
@@ -62,6 +82,27 @@ class ConditioningStage
     /** Condition one chunk; may emit fewer/more bits than consumed,
      * including none (state accumulates until a later chunk). */
     virtual util::BitStream process(const util::BitStream &chunk) = 0;
+
+    /**
+     * Move-aware variant of process() for the zero-copy hand-off path:
+     * the caller cedes ownership of @p chunk. The default forwards to
+     * process(); pass-through stages (Raw) override it to move the
+     * chunk instead of copying it.
+     */
+    virtual util::BitStream processOwned(util::BitStream chunk)
+    {
+        return process(chunk);
+    }
+
+    /**
+     * Parallelism contract. True promises process() is a pure
+     * function of its chunk -- no state carried across calls -- and
+     * safe to call concurrently from several threads, so a
+     * ParallelConditioner may reorder and overlap chunks through this
+     * stage freely. Stateful stages keep the default false and are
+     * run strictly in chunk-sequence order.
+     */
+    virtual bool chunkLocal() const { return false; }
 
     /** Flush bits still buffered at session end (default: none). */
     virtual util::BitStream finish() { return {}; }
@@ -101,6 +142,9 @@ class ConditioningPipeline
     /** Run @p chunk through every stage in order. */
     util::BitStream process(const util::BitStream &chunk);
 
+    /** Move-aware overload: no copy on the pass-through (Raw) path. */
+    util::BitStream process(util::BitStream &&chunk);
+
     /** Flush every stage in order, feeding flushed bits downstream. */
     util::BitStream finish();
 
@@ -122,10 +166,142 @@ class ConditioningPipeline
     }
 
   private:
+    friend class ParallelConditioner;
+
     util::BitStream run(std::size_t first_stage, util::BitStream bits);
 
     std::vector<std::unique_ptr<ConditioningStage>> stages_;
     std::vector<StageAccounting> accounting_;
+};
+
+/**
+ * Chunk- and stage-parallel executor over a ConditioningPipeline.
+ *
+ * A worker pool drains a bounded util::ChunkQueue of (seq, BitStream)
+ * records; each worker carries its chunk through the whole stage list.
+ * Chunk-local stages (ConditioningStage::chunkLocal()) run wherever a
+ * worker happens to be -- several chunks may be inside SHA-256 at
+ * once -- while stateful stages are gated by a per-stage sequence
+ * ticket so they consume chunks strictly in submission order (the von
+ * Neumann carry and the health-test windows see the exact serial
+ * stream). Finished chunks land in a reorder buffer that releases the
+ * contiguous prefix into the output queue, so consumers always see
+ * chunks in submission order: for every stage list the output is
+ * bit-identical to running the same chunks through the serial
+ * pipeline, regardless of worker count or scheduling.
+ *
+ * The conditioner borrows the pipeline's stages (reset them via
+ * ConditioningPipeline::reset() before constructing) and writes the
+ * per-stage accounting back into the pipeline when the run completes,
+ * so StreamingStats reporting is unchanged. push() must come from one
+ * thread; pop() from one thread (they may be the same).
+ *
+ * Lifecycle: push() chunks, finishInput() once, pop() until nullopt
+ * (the stateful stages' flushed tail arrives as the final chunk), then
+ * destroy -- or abort() to tear down mid-stream (in-flight chunks are
+ * dropped, workers join, no flush).
+ */
+class ParallelConditioner
+{
+  public:
+    /** Spin up @p workers threads over @p pipeline's stages.
+     * @p queue_capacity bounds both the input and the output queue
+     * (backpressure toward the producer resp. the consumer). */
+    ParallelConditioner(ConditioningPipeline &pipeline, int workers,
+                        std::size_t queue_capacity = 16);
+
+    /** abort()s if the run is still live. */
+    ~ParallelConditioner();
+
+    ParallelConditioner(const ParallelConditioner &) = delete;
+    ParallelConditioner &operator=(const ParallelConditioner &) = delete;
+
+    /** Queue @p chunk (assigned the next sequence number), blocking
+     * while the input queue is full. Single producer thread. */
+    void push(util::BitStream chunk);
+
+    /** No more input: once in-flight chunks drain, the stages are
+     * finish()ed front-to-back and the tail (if any) is emitted as the
+     * final output chunk, then the output closes. */
+    void finishInput();
+
+    /** Next conditioned chunk in submission order; empty per-chunk
+     * results are skipped. nullopt once the run is complete. Rethrows
+     * the first worker error, if any. */
+    std::optional<util::BitStream> pop();
+
+    /** Non-blocking pop(). nullopt with @p would_block set when no
+     * chunk is ready yet; with it clear when the run is complete. */
+    std::optional<util::BitStream> tryPop(bool &would_block);
+
+    /** Tear down mid-stream: closes both queues, drops in-flight
+     * chunks, joins the workers. No flush tail. Idempotent. */
+    void abort();
+
+    /** True once every chunk has been conditioned and the flush tail
+     * emitted (or the run was abort()ed). */
+    bool finished() const;
+
+    /** Conditioned bits emitted so far (including the flush tail). */
+    std::uint64_t outBits() const
+    {
+        return out_bits_.load(std::memory_order_relaxed);
+    }
+
+    /** Raw bits accepted via push(). */
+    std::uint64_t inBits() const
+    {
+        return in_bits_.load(std::memory_order_relaxed);
+    }
+
+    int workers() const { return static_cast<int>(threads_.size()); }
+
+  private:
+    struct Item
+    {
+        std::uint64_t seq = 0;
+        util::BitStream bits;
+    };
+
+    /** Per-stage execution slot: the sequence ticket serializing
+     * stateful stages and the accounting shared by all workers. */
+    struct StageSlot
+    {
+        ConditioningStage *stage = nullptr;
+        bool local = false; //!< chunkLocal(): no ticket needed.
+        std::mutex mu;
+        std::condition_variable turn_cv; //!< next_seq advanced.
+        std::uint64_t next_seq = 0;      //!< Next chunk this stage admits.
+        StageAccounting acct;
+    };
+
+    void workerLoop();
+    util::BitStream runStages(std::uint64_t seq, util::BitStream bits);
+    void deposit(std::uint64_t seq, util::BitStream bits);
+    void failRun();
+    util::BitStream flushStages();
+    void completeRun();
+    void joinWorkers();
+
+    ConditioningPipeline *pipeline_;
+    std::vector<std::unique_ptr<StageSlot>> slots_;
+    util::ChunkQueue<Item> input_;
+    util::ChunkQueue<util::BitStream> output_;
+
+    std::uint64_t next_push_seq_ = 0; //!< Producer thread only.
+    std::atomic<std::uint64_t> in_bits_{0};
+    std::atomic<std::uint64_t> out_bits_{0};
+    std::atomic<int> live_workers_{0};
+    std::atomic<bool> aborted_{false};
+    std::atomic<bool> finished_{false};
+
+    std::mutex out_mu_; //!< Guards the reorder buffer + error slot.
+    std::map<std::uint64_t, util::BitStream> reorder_;
+    std::uint64_t next_out_seq_ = 0;
+    std::exception_ptr error_;
+
+    std::mutex join_mu_; //!< Serializes joinWorkers() callers.
+    std::vector<std::thread> threads_;
 };
 
 /** Identity stage: passes chunks through unchanged. */
@@ -137,6 +313,11 @@ class RawStage final : public ConditioningStage
     {
         return chunk;
     }
+    util::BitStream processOwned(util::BitStream chunk) override
+    {
+        return chunk; // Pass-through: keep the caller's buffer.
+    }
+    bool chunkLocal() const override { return true; }
 };
 
 /**
@@ -163,6 +344,7 @@ class Sha256Stage final : public ConditioningStage
   public:
     std::string name() const override { return "sha256"; }
     util::BitStream process(const util::BitStream &chunk) override;
+    bool chunkLocal() const override { return true; }
 };
 
 /**

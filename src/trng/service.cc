@@ -1,6 +1,7 @@
 #include "trng/service.hh"
 
 #include <algorithm>
+#include <chrono>
 #include <stdexcept>
 #include <utility>
 
@@ -112,6 +113,19 @@ ServiceConfig::fromParams(const Params &params)
     cfg.adapt_interval_chunks = static_cast<int>(positiveSize(
         service, "adapt_interval_chunks",
         static_cast<std::size_t>(cfg.adapt_interval_chunks)));
+    const std::int64_t shards = service.getInt(
+        "shards", static_cast<std::int64_t>(cfg.shards));
+    if (shards < 0)
+        badConfig("[service] shards must be >= 0 (0 = one per pool "
+                  "member; got " + std::to_string(shards) + ")");
+    cfg.shards = static_cast<std::size_t>(shards);
+    const std::int64_t cond_workers = service.getInt(
+        "conditioning_workers",
+        static_cast<std::int64_t>(cfg.conditioning_workers));
+    if (cond_workers < 0)
+        badConfig("[service] conditioning_workers must be >= 0 (got " +
+                  std::to_string(cond_workers) + ")");
+    cfg.conditioning_workers = static_cast<int>(cond_workers);
     service.rejectUnknown("trng::Service config [service]");
 
     for (const std::string &name : params.sections("pool")) {
@@ -125,6 +139,13 @@ ServiceConfig::fromParams(const Params &params)
         for (const std::string &key : member.keys())
             if (key != "source")
                 pm.params.set(key, member.getString(key));
+        // One [service] knob fans parallel conditioning out to the
+        // whole pool; only the "streaming" source takes the key, and
+        // an explicit per-member value wins.
+        if (cfg.conditioning_workers > 0 && pm.source == "streaming" &&
+            !pm.params.has("conditioning_workers"))
+            pm.params.set("conditioning_workers",
+                          std::to_string(cfg.conditioning_workers));
         cfg.pool.push_back(std::move(pm));
     }
     if (cfg.pool.empty())
@@ -147,6 +168,21 @@ Service::Service(ServiceConfig config) : config_(std::move(config))
     if (config_.adapt_interval_chunks < 1)
         badConfig("adapt_interval_chunks must be >= 1");
 
+    // One shard per member by default; explicit counts are clamped to
+    // the pool size (a shard with no member would live off stealing
+    // alone and just add latency).
+    const std::size_t shard_count =
+        std::clamp<std::size_t>(config_.shards == 0 ? config_.pool.size()
+                                                    : config_.shards,
+                                1, config_.pool.size());
+    shards_.reserve(shard_count);
+    for (std::size_t s = 0; s < shard_count; ++s) {
+        auto shard = std::make_unique<Shard>();
+        shard->capacity_bits =
+            std::max<std::size_t>(1, config_.reservoir_bits / shard_count);
+        shards_.push_back(std::move(shard));
+    }
+
     members_.reserve(config_.pool.size());
     for (std::size_t i = 0; i < config_.pool.size(); ++i) {
         const PoolMemberConfig &pm = config_.pool[i];
@@ -165,11 +201,16 @@ Service::Service(ServiceConfig config) : config_(std::move(config))
             std::clamp(member->source->chunkBits(),
                        config_.min_chunk_bits, config_.max_chunk_bits);
         member->source->setChunkBits(member->chunk_bits);
+        member->shard = i % shard_count;
+        ++shards_[member->shard]->member_count;
         members_.push_back(std::move(member));
     }
 
-    live_workers_ = static_cast<int>(members_.size());
-    dispatcher_ = std::thread(&Service::dispatcherLoop, this);
+    live_workers_.store(static_cast<int>(members_.size()),
+                        std::memory_order_relaxed);
+    for (std::size_t s = 0; s < shards_.size(); ++s)
+        shards_[s]->dispatcher =
+            std::thread(&Service::dispatcherLoop, this, s);
     for (std::size_t i = 0; i < members_.size(); ++i)
         members_[i]->worker =
             std::thread(&Service::workerLoop, this, i);
@@ -189,16 +230,14 @@ void
 Service::workerLoop(std::size_t member_idx)
 {
     Member &m = *members_[member_idx];
+    Shard &home = *shards_[m.shard];
     bool quarantine = false;
     try {
         m.source->startContinuous();
         int since_adapt = 0;
         for (;;) {
-            {
-                std::lock_guard<std::mutex> lock(mu_);
-                if (closing_)
-                    break;
-            }
+            if (closing_.load(std::memory_order_acquire))
+                break;
             std::optional<util::BitStream> chunk =
                 m.source->nextChunk();
             if (!chunk)
@@ -215,38 +254,40 @@ Service::workerLoop(std::size_t member_idx)
 
             std::size_t new_chunk_bits = 0;
             {
-                std::unique_lock<std::mutex> lock(mu_);
-                if (!reservoir_.empty() &&
-                    reservoir_.size() + chunk->size() >
-                        config_.reservoir_bits) {
+                std::unique_lock<std::mutex> lock(home.mu);
+                if (!home.reservoir.empty() &&
+                    home.reservoir.size() + chunk->size() >
+                        home.capacity_bits) {
                     // Backpressure: hold the chunk until clients make
-                    // room (a chunk larger than the reservoir is
-                    // admitted alone).
-                    ++producer_waits_;
-                    space_cv_.wait(lock, [&] {
-                        return closing_ || reservoir_.empty() ||
-                               reservoir_.size() + chunk->size() <=
-                                   config_.reservoir_bits;
+                    // room (a chunk larger than the shard's share of
+                    // the reservoir is admitted alone).
+                    ++home.producer_waits;
+                    home.space_cv.wait(lock, [&] {
+                        return closing_.load(
+                                   std::memory_order_acquire) ||
+                               home.reservoir.empty() ||
+                               home.reservoir.size() + chunk->size() <=
+                                   home.capacity_bits;
                     });
                 }
-                if (closing_)
+                if (closing_.load(std::memory_order_acquire))
                     break;
                 const std::size_t pushed = chunk->size();
-                reservoir_.push(std::move(*chunk));
-                reservoir_high_watermark_ = std::max(
-                    reservoir_high_watermark_, reservoir_.size());
-                harvested_bits_ += pushed;
+                home.reservoir.push(std::move(*chunk));
+                home.high_watermark = std::max(home.high_watermark,
+                                               home.reservoir.size());
+                home.harvested_bits += pushed;
                 ++m.chunks;
                 m.bits += pushed;
                 if (config_.adaptive_chunking &&
                     ++since_adapt >= config_.adapt_interval_chunks) {
                     since_adapt = 0;
-                    new_chunk_bits = adaptedChunkBits(m);
+                    new_chunk_bits = adaptedChunkBits(home, m);
                 }
-                work_cv_.notify_one();
+                home.work_cv.notify_one();
             }
-            // Applied outside mu_: only this worker touches its
-            // source, so no lock is needed.
+            // Applied outside the shard lock: only this worker
+            // touches its source, so no lock is needed.
             if (new_chunk_bits != 0)
                 m.source->setChunkBits(new_chunk_bits);
         }
@@ -256,24 +297,31 @@ Service::workerLoop(std::size_t member_idx)
         quarantine = true;
     }
 
-    std::lock_guard<std::mutex> lock(mu_);
-    m.quarantined = m.quarantined || quarantine;
-    m.done = true;
-    --live_workers_;
-    work_cv_.notify_all(); // The dispatcher may need to fail requests.
+    {
+        std::lock_guard<std::mutex> lock(home.mu);
+        m.quarantined = m.quarantined || quarantine;
+        m.done = true;
+    }
+    live_workers_.fetch_sub(1, std::memory_order_acq_rel);
+    // Every dispatcher may need to re-evaluate (fail requests once the
+    // last worker anywhere stops), not just the home shard's.
+    for (const auto &shard : shards_) {
+        std::lock_guard<std::mutex> lock(shard->mu);
+        shard->work_cv.notify_all();
+    }
 }
 
 std::size_t
-Service::adaptedChunkBits(Member &member)
+Service::adaptedChunkBits(Shard &shard, Member &member)
 {
-    // Two pressure signals pick the direction: the reservoir fill
+    // Two pressure signals pick the direction: the home shard's fill
     // fraction (clients vs. pool) and the source's own hand-off queue
     // (harvest threads vs. this worker). A starved reservoir wants
     // throughput, so chunks grow to amortize per-chunk hand-off cost;
     // a saturated reservoir or source queue means production is ahead,
     // so chunks shrink back toward low-latency fine grain.
-    const double fill = static_cast<double>(reservoir_.size()) /
-                        static_cast<double>(config_.reservoir_bits);
+    const double fill = static_cast<double>(shard.reservoir.size()) /
+                        static_cast<double>(shard.capacity_bits);
     const BackpressureStats bp = member.source->backpressure();
     const bool source_saturated =
         bp.queue_capacity > 0 && bp.queue_depth >= bp.queue_capacity;
@@ -286,72 +334,185 @@ Service::adaptedChunkBits(Member &member)
     if (next == member.chunk_bits)
         return 0;
     if (next > member.chunk_bits)
-        ++chunk_grows_;
+        ++shard.chunk_grows;
     else
-        ++chunk_shrinks_;
+        ++shard.chunk_shrinks;
     member.chunk_bits = next;
     return next;
 }
 
 void
-Service::dispatcherLoop()
+Service::dispatcherLoop(std::size_t shard_idx)
 {
-    std::unique_lock<std::mutex> lock(mu_);
-    for (;;) {
-        work_cv_.wait(lock, [&] {
-            return closing_ ||
-                   (pending_requests_ > 0 &&
-                    (!reservoir_.empty() || live_workers_ == 0));
-        });
-        if (closing_)
-            break;
-
-        while (serveRound()) {
+    Shard &sh = *shards_[shard_idx];
+    std::unique_lock<std::mutex> lock(sh.mu);
+    while (!closing_.load(std::memory_order_acquire)) {
+        while (serveRound(sh)) {
         }
 
-        if (pending_requests_ > 0 && live_workers_ == 0 &&
-            reservoir_.empty()) {
-            // Supply is gone for good: flush session pipelines (a
-            // stateful stage may still hold a tail), then fail
-            // whatever cannot complete.
-            for (auto &[id, state] : sessions_) {
-                if (state->has_pipeline && !state->flushed) {
-                    state->flushed = true;
-                    state->buffer.push(state->pipeline.finish());
-                    completeReady(*state);
-                }
+        if (sh.pending_requests == 0) {
+            sh.work_cv.wait(lock, [&] {
+                return closing_.load(std::memory_order_acquire) ||
+                       sh.pending_requests > 0;
+            });
+            continue;
+        }
+
+        // Outstanding demand and (post-serve) a dry reservoir. First
+        // try to steal a refill from another shard -- this is both the
+        // load balancer and the failover path for sessions homed on a
+        // shard whose members all got quarantined.
+        if (shards_.size() > 1) {
+            const std::size_t want = sh.capacity_bits;
+            steals_in_flight_.fetch_add(1, std::memory_order_acq_rel);
+            lock.unlock();
+            util::BitStream loot = stealFor(shard_idx, want);
+            lock.lock();
+            if (!loot.empty()) {
+                ++sh.steals;
+                sh.stolen_bits += loot.size();
+                sh.reservoir.push(std::move(loot));
+                sh.high_watermark = std::max(sh.high_watermark,
+                                             sh.reservoir.size());
+                steals_in_flight_.fetch_sub(1,
+                                            std::memory_order_acq_rel);
+                steal_generation_.fetch_add(1,
+                                            std::memory_order_release);
+                continue; // Serve the refill.
             }
-            for (auto &[id, state] : sessions_)
-                failRequests(*state,
-                             "entropy service: every pool member is "
-                             "quarantined or exhausted");
+            steals_in_flight_.fetch_sub(1, std::memory_order_acq_rel);
+        }
+
+        if (live_workers_.load(std::memory_order_acquire) == 0) {
+            lock.unlock();
+            const bool exhausted = supplyExhausted();
+            lock.lock();
+            if (closing_.load(std::memory_order_acquire))
+                break;
+            if (exhausted && sh.reservoir.empty()) {
+                // Supply is gone for good: flush session pipelines (a
+                // stateful stage may still hold a tail), then fail
+                // whatever cannot complete.
+                for (auto &[id, state] : sh.sessions) {
+                    if (state->has_pipeline && !state->flushed) {
+                        state->flushed = true;
+                        state->buffer.push(state->pipeline.finish());
+                        completeReady(sh, *state);
+                    }
+                }
+                for (auto &[id, state] : sh.sessions)
+                    failRequests(sh, *state,
+                                 "entropy service: every pool member "
+                                 "is quarantined or exhausted");
+                continue;
+            }
+            if (!sh.reservoir.empty())
+                continue; // A steal landed mid-check: serve it.
+        }
+
+        // Bits may arrive from our own workers (notified) or pile up
+        // in other shards (not notified -- hence the timeout, which
+        // paces the steal retries while we starve).
+        sh.work_cv.wait_for(
+            lock, std::chrono::milliseconds(1), [&] {
+                return closing_.load(std::memory_order_acquire) ||
+                       !sh.reservoir.empty() ||
+                       sh.pending_requests == 0;
+            });
+    }
+    for (auto &[id, state] : sh.sessions)
+        failRequests(sh, *state, "entropy service closed");
+}
+
+util::BitStream
+Service::stealFor(std::size_t home_idx, std::size_t max_bits)
+{
+    // Probe sizes first (one victim lock at a time, never two), then
+    // raid the fullest victim. The second lock re-reads the size: the
+    // probe is only a heuristic and the victim may have drained.
+    std::size_t best = shards_.size();
+    std::size_t best_size = 0;
+    for (std::size_t v = 0; v < shards_.size(); ++v) {
+        if (v == home_idx)
+            continue;
+        std::lock_guard<std::mutex> lock(shards_[v]->mu);
+        if (shards_[v]->reservoir.size() > best_size) {
+            best_size = shards_[v]->reservoir.size();
+            best = v;
         }
     }
-    for (auto &[id, state] : sessions_)
-        failRequests(*state, "entropy service closed");
+    if (best == shards_.size())
+        return {};
+
+    Shard &victim = *shards_[best];
+    std::lock_guard<std::mutex> lock(victim.mu);
+    const std::size_t avail = victim.reservoir.size();
+    if (avail == 0)
+        return {};
+    // A victim with pending demand of its own keeps at least half;
+    // an idle one yields everything (its workers keep producing, and
+    // it can steal back if demand arrives).
+    std::size_t grab =
+        victim.pending_requests > 0 ? avail - avail / 2 : avail;
+    grab = std::min(grab, max_bits);
+    if (grab == 0)
+        return {};
+    util::BitStream loot = victim.reservoir.pop(grab);
+    victim.space_cv.notify_all();
+    return loot;
 }
 
 bool
-Service::serveRound()
+Service::supplyExhausted() const
 {
-    if (sessions_.empty() || reservoir_.empty())
+    // Terminal only if every reservoir is empty AND no steal holds
+    // bits in hand mid-move. The generation re-check closes the
+    // window where a steal starts after the in-flight probe and
+    // finishes before the scan does: any bits moved during the scan
+    // bump the generation.
+    for (int attempt = 0; attempt < 8; ++attempt) {
+        if (steals_in_flight_.load(std::memory_order_acquire) != 0)
+            return false;
+        const std::uint64_t gen =
+            steal_generation_.load(std::memory_order_acquire);
+        bool all_empty = true;
+        for (const auto &shard : shards_) {
+            std::lock_guard<std::mutex> lock(shard->mu);
+            if (!shard->reservoir.empty()) {
+                all_empty = false;
+                break;
+            }
+        }
+        if (!all_empty)
+            return false;
+        if (steals_in_flight_.load(std::memory_order_acquire) == 0 &&
+            steal_generation_.load(std::memory_order_acquire) == gen)
+            return true;
+    }
+    return false;
+}
+
+bool
+Service::serveRound(Shard &sh)
+{
+    if (sh.sessions.empty() || sh.reservoir.empty())
         return false;
     bool any = false;
 
     // One visit per session, resuming after the session served last so
     // a reservoir that drains mid-round does not starve high ids.
     std::vector<detail::SessionState *> order;
-    order.reserve(sessions_.size());
-    for (auto it = sessions_.upper_bound(drr_cursor_);
-         it != sessions_.end(); ++it)
+    order.reserve(sh.sessions.size());
+    for (auto it = sh.sessions.upper_bound(sh.drr_cursor);
+         it != sh.sessions.end(); ++it)
         order.push_back(it->second.get());
-    for (auto it = sessions_.begin();
-         it != sessions_.end() && it->first <= drr_cursor_; ++it)
+    for (auto it = sh.sessions.begin();
+         it != sh.sessions.end() && it->first <= sh.drr_cursor; ++it)
         order.push_back(it->second.get());
 
     for (detail::SessionState *sp : order) {
         detail::SessionState &s = *sp;
-        if (reservoir_.empty())
+        if (sh.reservoir.empty())
             break;
         if (!s.healthy)
             continue; // Alarmed: its reads already failed.
@@ -369,17 +530,18 @@ Service::serveRound()
         // Conditioning may need more input than `outstanding` output
         // bits (von Neumann eats ~4x); later rounds provide it.
         const std::size_t take =
-            std::min({s.deficit, reservoir_.size(), outstanding});
+            std::min({s.deficit, sh.reservoir.size(), outstanding});
         if (take == 0)
             continue;
 
-        util::BitStream in = reservoir_.pop(take);
-        space_cv_.notify_all();
+        util::BitStream in = sh.reservoir.pop(take);
+        sh.space_cv.notify_all();
         s.deficit -= take;
         s.consumed_bits += take;
-        distributed_bits_ += take;
-        util::BitStream out = s.has_pipeline ? s.pipeline.process(in)
-                                             : std::move(in);
+        sh.distributed_bits += take;
+        util::BitStream out = s.has_pipeline
+                                  ? s.pipeline.process(std::move(in))
+                                  : std::move(in);
         if (s.has_pipeline && !s.pipeline.healthy()) {
             // The session's own health stage latched an alarm: the
             // stream serving this client is suspect, so drop the
@@ -388,48 +550,49 @@ Service::serveRound()
             // Pool members keep serving the other sessions.
             s.healthy = false;
             s.buffer.clear();
-            failRequests(s, "entropy service session: SP 800-90B "
-                            "health alarm in the session's "
-                            "conditioning pipeline");
-            drr_cursor_ = s.id;
+            failRequests(sh, s,
+                         "entropy service session: SP 800-90B "
+                         "health alarm in the session's "
+                         "conditioning pipeline");
+            sh.drr_cursor = s.id;
             any = true;
             continue;
         }
         s.buffer.push(std::move(out));
-        completeReady(s);
-        drr_cursor_ = s.id;
+        completeReady(sh, s);
+        sh.drr_cursor = s.id;
         any = true;
     }
     return any;
 }
 
 void
-Service::completeReady(detail::SessionState &state)
+Service::completeReady(Shard &sh, detail::SessionState &state)
 {
     while (!state.requests.empty() &&
            state.buffer.size() >= state.requests.front()->want) {
         std::unique_ptr<detail::ReadRequest> req =
             std::move(state.requests.front());
         state.requests.pop_front();
-        --pending_requests_;
+        --sh.pending_requests;
         state.demand_bits -= req->want;
         util::BitStream bits = state.buffer.pop(req->want);
         state.delivered_bits += bits.size();
-        delivered_bits_ += bits.size();
+        sh.delivered_bits += bits.size();
         ++state.reads;
         req->promise.set_value(std::move(bits));
     }
 }
 
 void
-Service::failRequests(detail::SessionState &state,
+Service::failRequests(Shard &sh, detail::SessionState &state,
                       const std::string &why)
 {
     while (!state.requests.empty()) {
         std::unique_ptr<detail::ReadRequest> req =
             std::move(state.requests.front());
         state.requests.pop_front();
-        --pending_requests_;
+        --sh.pending_requests;
         state.demand_bits -= req->want;
         req->promise.set_exception(
             std::make_exception_ptr(std::runtime_error(why)));
@@ -450,11 +613,17 @@ Service::open(SessionConfig config)
         makePipeline(config.conditioning, config.stage_params);
     state->pipeline.reset();
 
-    std::lock_guard<std::mutex> lock(mu_);
-    if (closing_)
+    // Home shard round-robin over open() order; the id is global so
+    // session ids stay unique and monotonic across shards.
+    state->id = next_session_id_.fetch_add(1, std::memory_order_relaxed);
+    state->shard = next_session_shard_.fetch_add(
+                       1, std::memory_order_relaxed) %
+                   shards_.size();
+    Shard &sh = *shards_[state->shard];
+    std::lock_guard<std::mutex> lock(sh.mu);
+    if (closing_.load(std::memory_order_acquire))
         throw std::logic_error("Service::open: service is closed");
-    state->id = next_session_id_++;
-    sessions_.emplace(state->id, state);
+    sh.sessions.emplace(state->id, state);
     return Session(this, std::move(state));
 }
 
@@ -466,8 +635,9 @@ Service::submit(const std::shared_ptr<detail::SessionState> &state,
     req->want = num_bits;
     std::future<util::BitStream> future = req->promise.get_future();
 
-    std::lock_guard<std::mutex> lock(mu_);
-    if (closing_ || !state->open) {
+    Shard &sh = *shards_[state->shard];
+    std::lock_guard<std::mutex> lock(sh.mu);
+    if (closing_.load(std::memory_order_acquire) || !state->open) {
         req->promise.set_exception(std::make_exception_ptr(
             std::runtime_error("entropy service session is closed")));
         return future;
@@ -481,12 +651,12 @@ Service::submit(const std::shared_ptr<detail::SessionState> &state,
     }
     state->requests.push_back(std::move(req));
     state->demand_bits += num_bits;
-    ++pending_requests_;
+    ++sh.pending_requests;
     // Leftover conditioned bits from an earlier round may already
     // cover the request (and num_bits == 0 always completes here).
-    completeReady(*state);
-    if (pending_requests_ > 0)
-        work_cv_.notify_one();
+    completeReady(sh, *state);
+    if (sh.pending_requests > 0)
+        sh.work_cv.notify_one();
     return future;
 }
 
@@ -494,7 +664,7 @@ SessionStats
 Service::sessionStats(
     const std::shared_ptr<detail::SessionState> &state) const
 {
-    std::lock_guard<std::mutex> lock(mu_);
+    std::lock_guard<std::mutex> lock(shards_[state->shard]->mu);
     SessionStats out;
     out.id = state->id;
     out.priority = state->weight;
@@ -512,24 +682,28 @@ void
 Service::closeSession(
     const std::shared_ptr<detail::SessionState> &state)
 {
-    std::lock_guard<std::mutex> lock(mu_);
+    Shard &sh = *shards_[state->shard];
+    std::lock_guard<std::mutex> lock(sh.mu);
     if (!state->open)
         return;
     state->open = false;
-    failRequests(*state, "entropy service session closed");
+    failRequests(sh, *state, "entropy service session closed");
     state->buffer.clear();
-    sessions_.erase(state->id);
+    sh.sessions.erase(state->id);
     // Dropping a big consumer may unblock producers' space waits.
-    space_cv_.notify_all();
+    sh.space_cv.notify_all();
 }
 
 ServiceStats
 Service::stats() const
 {
-    std::lock_guard<std::mutex> lock(mu_);
+    // One shard lock at a time (stealing obeys the same rule, so
+    // there is no ordering to violate); the snapshot is per-shard
+    // consistent, globally approximate -- like any live counter read.
     ServiceStats out;
     out.members.reserve(members_.size());
     for (const auto &member : members_) {
+        std::lock_guard<std::mutex> lock(shards_[member->shard]->mu);
         MemberStats ms;
         ms.label = member->label;
         ms.source = member->source_name;
@@ -540,35 +714,55 @@ Service::stats() const
         ms.active = !member->done;
         out.members.push_back(std::move(ms));
     }
-    out.healthy_members = live_workers_;
-    out.open_sessions = sessions_.size();
-    out.pending_requests = pending_requests_;
-    out.reservoir_bits = reservoir_.size();
-    out.reservoir_capacity = config_.reservoir_bits;
-    out.reservoir_high_watermark = reservoir_high_watermark_;
-    out.harvested_bits = harvested_bits_;
-    out.distributed_bits = distributed_bits_;
-    out.delivered_bits = delivered_bits_;
-    out.producer_waits = producer_waits_;
-    out.chunk_grows = chunk_grows_;
-    out.chunk_shrinks = chunk_shrinks_;
+    out.healthy_members = live_workers_.load(std::memory_order_acquire);
+    out.shards.reserve(shards_.size());
+    for (const auto &shard : shards_) {
+        std::lock_guard<std::mutex> lock(shard->mu);
+        ShardStats ss;
+        ss.members = shard->member_count;
+        ss.sessions = shard->sessions.size();
+        ss.pending_requests = shard->pending_requests;
+        ss.reservoir_bits = shard->reservoir.size();
+        ss.reservoir_capacity = shard->capacity_bits;
+        ss.reservoir_high_watermark = shard->high_watermark;
+        ss.harvested_bits = shard->harvested_bits;
+        ss.distributed_bits = shard->distributed_bits;
+        ss.steals = shard->steals;
+        ss.stolen_bits = shard->stolen_bits;
+
+        out.open_sessions += ss.sessions;
+        out.pending_requests += ss.pending_requests;
+        out.reservoir_bits += ss.reservoir_bits;
+        out.reservoir_capacity += ss.reservoir_capacity;
+        out.reservoir_high_watermark += ss.reservoir_high_watermark;
+        out.harvested_bits += ss.harvested_bits;
+        out.distributed_bits += ss.distributed_bits;
+        out.delivered_bits += shard->delivered_bits;
+        out.producer_waits += shard->producer_waits;
+        out.chunk_grows += shard->chunk_grows;
+        out.chunk_shrinks += shard->chunk_shrinks;
+        out.steals += ss.steals;
+        out.stolen_bits += ss.stolen_bits;
+        out.shards.push_back(std::move(ss));
+    }
     return out;
 }
 
 void
 Service::close()
 {
-    {
-        std::lock_guard<std::mutex> lock(mu_);
-        closing_ = true;
-        work_cv_.notify_all();
-        space_cv_.notify_all();
+    closing_.store(true, std::memory_order_release);
+    for (const auto &shard : shards_) {
+        std::lock_guard<std::mutex> lock(shard->mu);
+        shard->work_cv.notify_all();
+        shard->space_cv.notify_all();
     }
     for (auto &member : members_)
         if (member->worker.joinable())
             member->worker.join();
-    if (dispatcher_.joinable())
-        dispatcher_.join();
+    for (const auto &shard : shards_)
+        if (shard->dispatcher.joinable())
+            shard->dispatcher.join();
     for (auto &member : members_) {
         try {
             member->source->stop();

@@ -31,6 +31,18 @@
  *    (workers block, which in turn blocks the sources' own producer
  *    threads through their internal queues).
  *
+ * The reservoir is sharded (ServiceConfig::shards, default one shard
+ * per pool member): each shard owns its own mutex, BitFifo, DRR
+ * dispatcher thread, and a subset of pool members and sessions, so
+ * aggregate throughput scales with the pool instead of funneling
+ * through one lock. A shard whose reservoir runs dry while it has
+ * outstanding demand steals bits from the fullest other shard
+ * (work-stealing refill; a victim with pending demand of its own
+ * yields at most half), which is also how sessions homed on a shard
+ * whose only member got quarantined keep being served. Fairness and
+ * quarantine/failover semantics are per shard; requests fail only
+ * when every worker has stopped and every shard's reservoir is empty.
+ *
  * A Service with a one-member pool is the old single-consumer path
  * behind the new API (see Service's convenience constructor). The
  * whole stack is configurable from a flat file via
@@ -41,6 +53,7 @@
 #ifndef DRANGE_TRNG_SERVICE_HH
 #define DRANGE_TRNG_SERVICE_HH
 
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
 #include <cstdint>
@@ -94,6 +107,23 @@ struct ServiceConfig
     int adapt_interval_chunks = 4;
 
     /**
+     * Reservoir shards. Members and sessions are assigned home shards
+     * round-robin; each shard gets reservoir_bits / shards capacity
+     * and its own dispatcher. 0 (the default) means one shard per
+     * pool member; values above the pool size are clamped down to it
+     * (a shard with no member would live off stealing alone).
+     */
+    std::size_t shards = 0;
+
+    /**
+     * > 0: forwarded as the "conditioning_workers" Params key to every
+     * "streaming"-source pool member that does not set it explicitly,
+     * so one [service] knob turns on parallel conditioning across the
+     * pool. 0 leaves member params untouched.
+     */
+    int conditioning_workers = 0;
+
+    /**
      * Build from a flat Params bag (typically Params::fromFile):
      * service-level knobs from the [service] section, one pool member
      * per [pool.<label>] section, whose "source" key names the
@@ -119,10 +149,28 @@ struct MemberStats
     bool active = false;         //!< Worker still pumping.
 };
 
+/** Snapshot of one reservoir shard inside ServiceStats. */
+struct ShardStats
+{
+    std::size_t members = 0;  //!< Pool members homed on this shard.
+    std::size_t sessions = 0; //!< Sessions homed on this shard.
+    std::size_t pending_requests = 0;
+
+    std::uint64_t reservoir_bits = 0; //!< Buffered right now.
+    std::uint64_t reservoir_capacity = 0;
+    std::uint64_t reservoir_high_watermark = 0;
+
+    std::uint64_t harvested_bits = 0;   //!< Pushed by home workers.
+    std::uint64_t distributed_bits = 0; //!< Popped for home sessions.
+    std::uint64_t steals = 0;      //!< Refills stolen from others.
+    std::uint64_t stolen_bits = 0; //!< Bits those refills brought in.
+};
+
 /** Aggregate service measurements (all totals since construction). */
 struct ServiceStats
 {
     std::vector<MemberStats> members;
+    std::vector<ShardStats> shards; //!< Per-shard breakdown.
     int healthy_members = 0;      //!< Members still pumping.
     std::size_t open_sessions = 0;
     std::size_t pending_requests = 0;
@@ -138,6 +186,8 @@ struct ServiceStats
                                         //!< reservoir (backpressure).
     std::uint64_t chunk_grows = 0;      //!< Adaptive grow steps.
     std::uint64_t chunk_shrinks = 0;    //!< Adaptive shrink steps.
+    std::uint64_t steals = 0;           //!< Cross-shard refills.
+    std::uint64_t stolen_bits = 0;      //!< Bits moved by steals.
 };
 
 namespace detail {
@@ -172,10 +222,11 @@ struct ReadRequest
 };
 
 /** Service-side state of one session; shared with the Session handle.
- * Everything here is guarded by the service mutex. */
+ * Everything here is guarded by the home shard's mutex. */
 struct SessionState
 {
     int id = 0;
+    std::size_t shard = 0; //!< Home shard index (fixed at open()).
     int weight = 1;
     bool open = true;
     bool has_pipeline = false;
@@ -226,6 +277,7 @@ class Service
     ServiceStats stats() const;
 
     std::size_t poolSize() const { return members_.size(); }
+    std::size_t shardCount() const { return shards_.size(); }
 
     /** Stop harvesting and fail outstanding requests. Idempotent; the
      * destructor calls it. Open Session handles remain safe to close
@@ -241,8 +293,9 @@ class Service
         std::string source_name;
         std::unique_ptr<EntropySource> source;
         std::thread worker;
+        std::size_t shard = 0; //!< Home shard (fixed at construction).
 
-        // Guarded by mu_.
+        // Guarded by the home shard's mu.
         std::uint64_t chunks = 0;
         std::uint64_t bits = 0;
         std::size_t chunk_bits = 0;
@@ -250,20 +303,72 @@ class Service
         bool done = false;
     };
 
+    /**
+     * One reservoir shard: its own lock, BitFifo, DRR dispatcher, and
+     * the sessions/members homed on it. Cross-shard interaction is
+     * limited to work stealing, which never holds two shard mutexes
+     * at once (pop from the victim under its lock, push home under
+     * ours), so there is no lock ordering to get wrong.
+     */
+    struct Shard
+    {
+        mutable std::mutex mu;
+        std::condition_variable work_cv;  //!< Wakes the dispatcher.
+        std::condition_variable space_cv; //!< Wakes blocked workers.
+        std::thread dispatcher;
+        std::size_t capacity_bits = 0; //!< reservoir_bits / shards.
+        std::size_t member_count = 0;  //!< Members homed here.
+
+        // Everything below is guarded by mu.
+        detail::BitFifo reservoir;
+        std::size_t high_watermark = 0;
+        int drr_cursor = 0; //!< Last session id served; rounds resume
+                            //!< after it so a drained reservoir does
+                            //!< not starve high ids.
+        std::map<int, std::shared_ptr<detail::SessionState>> sessions;
+        std::size_t pending_requests = 0;
+        std::uint64_t harvested_bits = 0;
+        std::uint64_t distributed_bits = 0;
+        std::uint64_t delivered_bits = 0;
+        std::uint64_t producer_waits = 0;
+        std::uint64_t chunk_grows = 0;
+        std::uint64_t chunk_shrinks = 0;
+        std::uint64_t steals = 0;      //!< Refills stolen into here.
+        std::uint64_t stolen_bits = 0; //!< Bits those refills moved.
+    };
+
     void workerLoop(std::size_t member_idx);
-    void dispatcherLoop();
+    void dispatcherLoop(std::size_t shard_idx);
 
-    /** One DRR round with mu_ held; true if any bits moved. */
-    bool serveRound();
+    /** One DRR round over @p shard with its mu held; true if any bits
+     * moved. */
+    bool serveRound(Shard &shard);
 
-    /** Pick the member's next chunk size (mu_ held); 0 = keep. */
-    std::size_t adaptedChunkBits(Member &member);
+    /**
+     * Steal up to half (all, if the victim has no pending demand of
+     * its own) of the fullest other shard's reservoir for @p home.
+     * Called with NO shard mutex held; locks one victim at a time.
+     * Empty result: nothing to steal anywhere right now.
+     */
+    util::BitStream stealFor(std::size_t home_idx,
+                             std::size_t max_bits);
 
-    /** Complete every head request the buffer now covers (mu_ held). */
-    void completeReady(detail::SessionState &state);
+    /**
+     * True when supply is gone for good: every worker stopped, every
+     * shard's reservoir empty, and no steal in flight that could make
+     * bits reappear. Called with NO shard mutex held.
+     */
+    bool supplyExhausted() const;
 
-    /** Fail a session's queued requests with @p why (mu_ held). */
-    void failRequests(detail::SessionState &state,
+    /** Pick the member's next chunk size (home mu held); 0 = keep. */
+    std::size_t adaptedChunkBits(Shard &shard, Member &member);
+
+    /** Complete every head request the buffer now covers (home mu
+     * held). */
+    void completeReady(Shard &shard, detail::SessionState &state);
+
+    /** Fail a session's queued requests with @p why (home mu held). */
+    void failRequests(Shard &shard, detail::SessionState &state,
                       const std::string &why);
 
     // Session-handle API (via friend Session).
@@ -278,29 +383,15 @@ class Service
 
     ServiceConfig config_;
     std::vector<std::unique_ptr<Member>> members_;
-    std::thread dispatcher_;
+    std::vector<std::unique_ptr<Shard>> shards_;
 
-    mutable std::mutex mu_;
-    std::condition_variable work_cv_;  //!< Wakes the dispatcher.
-    std::condition_variable space_cv_; //!< Wakes blocked workers.
-
-    // Everything below is guarded by mu_.
-    detail::BitFifo reservoir_;
-    std::size_t reservoir_high_watermark_ = 0;
-    bool closing_ = false;
-    int live_workers_ = 0;
-    int next_session_id_ = 1;
-    int drr_cursor_ = 0; //!< Last session id served; rounds resume
-                         //!< after it so a drained reservoir does not
-                         //!< starve high ids.
-    std::map<int, std::shared_ptr<detail::SessionState>> sessions_;
-    std::size_t pending_requests_ = 0;
-    std::uint64_t harvested_bits_ = 0;
-    std::uint64_t distributed_bits_ = 0;
-    std::uint64_t delivered_bits_ = 0;
-    std::uint64_t producer_waits_ = 0;
-    std::uint64_t chunk_grows_ = 0;
-    std::uint64_t chunk_shrinks_ = 0;
+    std::atomic<bool> closing_{false};
+    std::atomic<int> live_workers_{0};
+    std::atomic<int> next_session_id_{1};
+    std::atomic<std::size_t> next_session_shard_{0};
+    std::atomic<int> steals_in_flight_{0};   //!< Bits held mid-steal.
+    std::atomic<std::uint64_t> steal_generation_{0}; //!< Completed
+                                                     //!< steals.
 };
 
 } // namespace drange::trng

@@ -138,6 +138,104 @@ TEST(Stages, VonNeumannCarriesAcrossChunks)
               vonNeumannReference(raw).toString());
 }
 
+// Bit-at-a-time von Neumann with the carried half-pair: the scalar
+// reference implementation the word-parallel stage must match bit for
+// bit under every chunking.
+class ScalarVonNeumann
+{
+  public:
+    BitStream process(const BitStream &chunk)
+    {
+        BitStream out;
+        for (std::size_t i = 0; i < chunk.size(); ++i) {
+            const bool bit = chunk.at(i);
+            if (!have_half_) {
+                half_ = bit;
+                have_half_ = true;
+            } else {
+                if (half_ != bit)
+                    out.append(half_);
+                have_half_ = false;
+            }
+        }
+        return out;
+    }
+
+  private:
+    bool have_half_ = false;
+    bool half_ = false;
+};
+
+TEST(Stages, VonNeumannMatchesScalarOnAwkwardChunkSizes)
+{
+    // Word-boundary-straddling chunk sizes: every size that makes the
+    // virtual-stream carry shift interesting (empty, single bit, one
+    // bit short of / exactly / one past a word, multi-word odd).
+    const std::size_t sizes[] = {0, 1, 2, 3, 63, 64, 65, 0,
+                                 127, 128, 129, 1, 200, 511};
+    for (double p : {0.5, 0.9}) {
+        SCOPED_TRACE(p);
+        const auto raw = bernoulliStream(41, 4096, p);
+        VonNeumannStage stage;
+        ScalarVonNeumann scalar;
+        BitStream parallel_out, scalar_out;
+        std::size_t off = 0, idx = 0;
+        while (off < raw.size()) {
+            const std::size_t len = std::min(
+                sizes[idx++ % std::size(sizes)], raw.size() - off);
+            const auto chunk = raw.slice(off, len);
+            parallel_out.append(stage.process(chunk));
+            scalar_out.append(scalar.process(chunk));
+            off += len;
+        }
+        EXPECT_EQ(parallel_out.toString(), scalar_out.toString());
+        EXPECT_EQ(parallel_out.toString(),
+                  vonNeumannReference(raw).toString());
+    }
+}
+
+TEST(Stages, VonNeumannEmptyChunksAreNoOps)
+{
+    VonNeumannStage stage;
+    EXPECT_TRUE(stage.process(BitStream{}).empty());
+    // An empty chunk must not disturb a held half-pair either.
+    stage.process(BitStream::fromString("1"));
+    EXPECT_TRUE(stage.process(BitStream{}).empty());
+    // The held 1 pairs with the incoming 0: emits the first bit, 1.
+    EXPECT_EQ(stage.process(BitStream::fromString("0")).toString(),
+              "1");
+}
+
+TEST(Stages, VonNeumannSingleBitChunksCarryEveryBoundary)
+{
+    // Worst-case chunking: every pair straddles a chunk boundary.
+    const auto raw = bernoulliStream(43, 1001, 0.5);
+    VonNeumannStage stage;
+    BitStream out;
+    for (std::size_t i = 0; i < raw.size(); ++i)
+        out.append(stage.process(raw.slice(i, 1)));
+    out.append(stage.finish());
+    EXPECT_EQ(out.toString(), vonNeumannReference(raw).toString());
+}
+
+TEST(Stages, VonNeumannLoneTrailingBitIsDroppedAtFinish)
+{
+    // An odd-length stream leaves a half-pair with no partner; the
+    // serial contract discards it at finish() (emitting it would bias
+    // the output), and reset() must clear it.
+    VonNeumannStage stage;
+    const auto out = stage.process(BitStream::fromString("10011"));
+    // Pairs: 10 -> 1, 01 -> 0; trailing 1 is held.
+    EXPECT_EQ(out.toString(), "10");
+    EXPECT_TRUE(stage.finish().empty());
+
+    stage.reset();
+    // After reset the held bit must be gone: "1" starts a fresh pair.
+    EXPECT_TRUE(stage.process(BitStream::fromString("1")).empty());
+    EXPECT_EQ(stage.process(BitStream::fromString("0")).toString(),
+              "1");
+}
+
 TEST(Stages, Sha256IsChunkLocal)
 {
     Sha256Stage stage;
