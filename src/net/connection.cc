@@ -1,0 +1,264 @@
+#include "net/connection.hh"
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include <fcntl.h>
+#include <sys/epoll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+namespace drange::net {
+
+Connection::Connection(EventLoop &loop, int fd,
+                       std::size_t max_payload_bytes,
+                       std::size_t max_output_bytes)
+    : loop_(loop), fd_(fd), decoder_(max_payload_bytes),
+      max_output_bytes_(max_output_bytes)
+{
+    const int flags = ::fcntl(fd_, F_GETFL, 0);
+    if (flags >= 0)
+        ::fcntl(fd_, F_SETFL, flags | O_NONBLOCK);
+}
+
+Connection::~Connection()
+{
+    if (!closed_ && fd_ >= 0) {
+        if (started_)
+            loop_.remove(fd_);
+        ::close(fd_);
+    }
+}
+
+void
+Connection::start(Callbacks callbacks)
+{
+    callbacks_ = std::move(callbacks);
+    started_ = true;
+    loop_.add(fd_, EPOLLIN,
+              [this](std::uint32_t events) { onEvents(events); });
+}
+
+void
+Connection::onEvents(std::uint32_t events)
+{
+    if (closed_)
+        return;
+    if (events & (EPOLLERR | EPOLLHUP)) {
+        // Flush what the socket will still take (EPOLLHUP with unread
+        // input also raises EPOLLIN below on level-triggered epoll).
+        if (events & EPOLLIN)
+            handleReadable();
+        if (!closed_)
+            close((events & EPOLLERR) ? "socket error" : "peer hung up");
+        return;
+    }
+    if (events & EPOLLOUT)
+        flushOutput();
+    // Draining mode (flush_then_close_) keeps reading even while
+    // paused: the input is discarded, see handleReadable.
+    if (!closed_ && (events & EPOLLIN) &&
+        (!paused_ || flush_then_close_))
+        handleReadable();
+}
+
+void
+Connection::handleReadable()
+{
+    std::uint8_t buffer[64 * 1024];
+    if (flush_then_close_) {
+        // Lingering close: discard whatever the peer still sends so
+        // the final close never fires with unread bytes in the kernel
+        // buffer -- that would turn the FIN into an RST, which can
+        // destroy our own queued output (the error frame the peer is
+        // owed) before it is delivered.
+        for (;;) {
+            const ssize_t got = ::recv(fd_, buffer, sizeof(buffer), 0);
+            if (got > 0)
+                continue;
+            if (got == 0) {
+                close(flush_close_reason_);
+                return;
+            }
+            if (errno == EINTR)
+                continue;
+            if (errno == EAGAIN || errno == EWOULDBLOCK)
+                return;
+            close(flush_close_reason_);
+            return;
+        }
+    }
+    for (;;) {
+        const ssize_t got = ::recv(fd_, buffer, sizeof(buffer), 0);
+        if (got > 0) {
+            bytes_in_ += static_cast<std::uint64_t>(got);
+            decoder_.feed(buffer, static_cast<std::size_t>(got));
+            Frame frame;
+            while (decoder_.next(frame)) {
+                if (callbacks_.on_frame)
+                    callbacks_.on_frame(*this, frame);
+                // A handler may close, or start a graceful close --
+                // later frames in this batch die with the connection.
+                if (closed_ || flush_then_close_)
+                    return;
+            }
+            if (decoder_.error() != FrameDecoder::Error::None) {
+                // The stream is unframeable from here on; stop
+                // listening and let the owner answer + close.
+                pauseReading();
+                if (!decode_error_reported_) {
+                    decode_error_reported_ = true;
+                    if (callbacks_.on_decode_error)
+                        callbacks_.on_decode_error(*this,
+                                                   decoder_.error());
+                }
+                return;
+            }
+            if (paused_ || closed_)
+                return;
+            if (static_cast<std::size_t>(got) < sizeof(buffer))
+                return; // Likely drained; level-trigger re-checks.
+            continue;
+        }
+        if (got == 0) {
+            close("peer closed");
+            return;
+        }
+        if (errno == EINTR)
+            continue;
+        if (errno == EAGAIN || errno == EWOULDBLOCK)
+            return;
+        close(std::string("recv: ") + std::strerror(errno));
+        return;
+    }
+}
+
+bool
+Connection::send(std::vector<std::uint8_t> bytes)
+{
+    if (closed_ || bytes.empty())
+        return !closed_;
+    if (flush_then_close_) {
+        // The output contract ended at closeAfterFlush: the socket may
+        // already be half-closed (SHUT_WR), and a write now would EPIPE
+        // into a hard close whose RST can destroy the final flushed
+        // frame in flight. Drop the bytes instead.
+        return false;
+    }
+    out_bytes_ += bytes.size();
+    out_.push_back(std::move(bytes));
+    flushOutput();
+    if (closed_)
+        return false;
+    if (max_output_bytes_ > 0 && out_bytes_ > max_output_bytes_) {
+        close("output queue overflow (slow reader)");
+        return false;
+    }
+    return true;
+}
+
+void
+Connection::flushOutput()
+{
+    while (!closed_ && !out_.empty()) {
+        const std::vector<std::uint8_t> &front = out_.front();
+        const std::size_t remaining = front.size() - out_front_offset_;
+        const ssize_t sent =
+            ::send(fd_, front.data() + out_front_offset_, remaining,
+                   MSG_NOSIGNAL);
+        if (sent < 0) {
+            if (errno == EINTR)
+                continue;
+            if (errno == EAGAIN || errno == EWOULDBLOCK)
+                break;
+            close(std::string("send: ") + std::strerror(errno));
+            return;
+        }
+        bytes_out_ += static_cast<std::uint64_t>(sent);
+        out_bytes_ -= static_cast<std::size_t>(sent);
+        out_front_offset_ += static_cast<std::size_t>(sent);
+        if (out_front_offset_ == front.size()) {
+            out_.pop_front();
+            out_front_offset_ = 0;
+        } else {
+            break; // Socket buffer full mid-chunk.
+        }
+    }
+    if (!closed_ && out_.empty() && flush_then_close_ &&
+        !shutdown_sent_) {
+        // Output delivered: half-close and wait for the peer's EOF
+        // (see the discard loop in handleReadable). The owner bounds
+        // the wait -- see Server's linger deadline.
+        ::shutdown(fd_, SHUT_WR);
+        shutdown_sent_ = true;
+    }
+    if (!closed_)
+        updateInterest();
+}
+
+void
+Connection::pauseReading()
+{
+    if (closed_ || paused_)
+        return;
+    paused_ = true;
+    updateInterest();
+}
+
+void
+Connection::resumeReading()
+{
+    if (closed_ || !paused_)
+        return;
+    paused_ = false;
+    updateInterest();
+    // Bytes already buffered in the decoder (fed before the pause)
+    // stay queued until the next readable event; the kernel buffer is
+    // non-empty in that case, so level-triggered epoll fires again.
+}
+
+void
+Connection::updateInterest()
+{
+    std::uint32_t events = 0;
+    if (flush_then_close_)
+        events |= EPOLLIN; // Discard-until-EOF, see handleReadable.
+    else if (!paused_ && decoder_.error() == FrameDecoder::Error::None)
+        events |= EPOLLIN;
+    if (!out_.empty())
+        events |= EPOLLOUT;
+    loop_.modify(fd_, events);
+}
+
+void
+Connection::closeAfterFlush(const std::string &reason)
+{
+    if (closed_ || flush_then_close_)
+        return;
+    flush_then_close_ = true;
+    flush_close_reason_ = reason;
+    if (out_.empty() && !shutdown_sent_) {
+        ::shutdown(fd_, SHUT_WR);
+        shutdown_sent_ = true;
+    }
+    updateInterest();
+}
+
+void
+Connection::close(const std::string &reason)
+{
+    if (closed_)
+        return;
+    closed_ = true;
+    if (started_)
+        loop_.remove(fd_);
+    ::close(fd_);
+    fd_ = -1;
+    out_.clear();
+    out_bytes_ = 0;
+    if (callbacks_.on_closed)
+        callbacks_.on_closed(*this, reason);
+}
+
+} // namespace drange::net

@@ -1,0 +1,147 @@
+/**
+ * @file
+ * One non-blocking framed stream connection on an EventLoop.
+ *
+ * Connection is pure transport: it owns the fd, drains readable bytes
+ * through an incremental FrameDecoder (delivering complete frames to
+ * the on_frame callback -- partial reads and coalesced frames are the
+ * decoder's problem, not the handler's), and maintains a bounded
+ * output queue flushed opportunistically on send() and on EPOLLOUT.
+ * Protocol state -- which side is client, sessions, quotas -- lives in
+ * the owner (net::Server, trng_loadgen); both sides of the wire use
+ * this same class.
+ *
+ * Write-side backpressure: send() queues what the socket will not take
+ * immediately and arms EPOLLOUT; once the queue drains, EPOLLOUT is
+ * disarmed again (level-triggered re-arm). If the queue ever exceeds
+ * max_output_bytes, the peer is reading too slowly for the traffic the
+ * owner keeps queueing and the connection is closed -- owners are
+ * expected to stop producing (see Server's admission gate) well before
+ * this hard bound.
+ *
+ * Read-side backpressure: pauseReading() drops EPOLLIN interest so the
+ * kernel socket buffer (and eventually the peer's TCP window) absorbs
+ * a flood the owner is not ready to admit; resumeReading() re-arms it.
+ *
+ * Single-threaded with its loop; no locks. Callbacks may call send(),
+ * pause/resume, and close() re-entrantly. After close() the object is
+ * inert but alive -- the owner deletes it outside the callback stack
+ * (see Server's dead-connection sweep).
+ */
+
+#ifndef DRANGE_NET_CONNECTION_HH
+#define DRANGE_NET_CONNECTION_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "net/event_loop.hh"
+#include "net/frame.hh"
+
+namespace drange::net {
+
+class Connection
+{
+  public:
+    struct Callbacks
+    {
+        /** A complete frame arrived. */
+        std::function<void(Connection &, Frame &)> on_frame;
+        /** The decoder poisoned itself (garbage magic / oversized
+         * payload). The connection is still open; the owner decides
+         * whether to answer before close(). */
+        std::function<void(Connection &, FrameDecoder::Error)>
+            on_decode_error;
+        /** The connection closed (peer EOF, error, or close()). Runs
+         * exactly once; the owner may delete this object afterwards,
+         * but not from inside the callback. */
+        std::function<void(Connection &, const std::string &reason)>
+            on_closed;
+    };
+
+    /**
+     * Adopt @p fd (made non-blocking here). @p max_payload_bytes
+     * bounds decoded response payloads, @p max_output_bytes the
+     * output queue (0 = unbounded).
+     */
+    Connection(EventLoop &loop, int fd, std::size_t max_payload_bytes,
+               std::size_t max_output_bytes);
+
+    /** Closes the fd if still open (without firing on_closed). */
+    ~Connection();
+
+    Connection(const Connection &) = delete;
+    Connection &operator=(const Connection &) = delete;
+
+    /** Register with the loop and start delivering callbacks. */
+    void start(Callbacks callbacks);
+
+    /**
+     * Queue @p bytes and flush as much as the socket accepts now.
+     * @return false when the bytes will not be delivered: the
+     * connection closed (write error, output-queue overflow) or a
+     * closeAfterFlush is in progress (the bytes are dropped -- nothing
+     * may be queued behind the half-close).
+     */
+    bool send(std::vector<std::uint8_t> bytes);
+
+    std::size_t outputQueuedBytes() const { return out_bytes_; }
+
+    void pauseReading();
+    void resumeReading();
+    bool readingPaused() const { return paused_; }
+
+    /** Flush the remaining output, half-close (SHUT_WR), then discard
+     * input until the peer's EOF and close. The lingering read keeps
+     * the kernel receive buffer empty so the close cannot degrade to
+     * an RST that destroys the flushed output in flight; owners bound
+     * the linger with a deadline (see Server). */
+    void closeAfterFlush(const std::string &reason);
+
+    /** True once closeAfterFlush has been requested. */
+    bool closing() const { return flush_then_close_; }
+
+    /** Close now; queued output is dropped. Fires on_closed once. */
+    void close(const std::string &reason);
+
+    bool closed() const { return closed_; }
+    int fd() const { return fd_; }
+    std::uint64_t bytesIn() const { return bytes_in_; }
+    std::uint64_t bytesOut() const { return bytes_out_; }
+
+  private:
+    void onEvents(std::uint32_t events);
+    void handleReadable();
+    /** Write queued bytes until EAGAIN/empty; closes on error. */
+    void flushOutput();
+    /** Recompute the epoll interest mask from the current state. */
+    void updateInterest();
+
+    EventLoop &loop_;
+    int fd_;
+    Callbacks callbacks_;
+    FrameDecoder decoder_;
+    bool started_ = false;
+    bool closed_ = false;
+    bool paused_ = false;
+    bool flush_then_close_ = false;
+    bool shutdown_sent_ = false; //!< SHUT_WR done; draining to EOF.
+    std::string flush_close_reason_;
+    bool decode_error_reported_ = false;
+
+    std::deque<std::vector<std::uint8_t>> out_;
+    std::size_t out_front_offset_ = 0;
+    std::size_t out_bytes_ = 0;
+    std::size_t max_output_bytes_;
+
+    std::uint64_t bytes_in_ = 0;
+    std::uint64_t bytes_out_ = 0;
+};
+
+} // namespace drange::net
+
+#endif // DRANGE_NET_CONNECTION_HH

@@ -1,0 +1,167 @@
+#include "net/event_loop.hh"
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <unistd.h>
+
+namespace drange::net {
+
+EventLoop::EventLoop()
+{
+    epoll_fd_ = ::epoll_create1(EPOLL_CLOEXEC);
+    if (epoll_fd_ < 0)
+        throw std::runtime_error(std::string("epoll_create1: ") +
+                                 std::strerror(errno));
+    wake_fd_ = ::eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK);
+    if (wake_fd_ < 0) {
+        const int err = errno;
+        ::close(epoll_fd_);
+        throw std::runtime_error(std::string("eventfd: ") +
+                                 std::strerror(err));
+    }
+    epoll_event ev{};
+    ev.events = EPOLLIN;
+    ev.data.u64 = 0; // Reserved id for the wakeup fd.
+    if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, wake_fd_, &ev) != 0) {
+        const int err = errno;
+        ::close(wake_fd_);
+        ::close(epoll_fd_);
+        throw std::runtime_error(std::string("epoll_ctl(wakeup): ") +
+                                 std::strerror(err));
+    }
+}
+
+EventLoop::~EventLoop()
+{
+    ::close(wake_fd_);
+    ::close(epoll_fd_);
+}
+
+void
+EventLoop::add(int fd, std::uint32_t events, Callback callback)
+{
+    if (by_fd_.count(fd))
+        throw std::logic_error("EventLoop::add: fd already registered");
+    const std::uint64_t id = next_id_++;
+    epoll_event ev{};
+    ev.events = events;
+    ev.data.u64 = id;
+    if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev) != 0)
+        throw std::runtime_error(std::string("epoll_ctl(add): ") +
+                                 std::strerror(errno));
+    entries_[id] = Entry{fd, events,
+                         std::make_shared<Callback>(
+                             std::move(callback))};
+    by_fd_[fd] = id;
+}
+
+void
+EventLoop::modify(int fd, std::uint32_t events)
+{
+    const auto it = by_fd_.find(fd);
+    if (it == by_fd_.end())
+        return;
+    Entry &entry = entries_[it->second];
+    if (entry.events == events)
+        return;
+    epoll_event ev{};
+    ev.events = events;
+    ev.data.u64 = it->second;
+    if (::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, fd, &ev) == 0)
+        entry.events = events;
+}
+
+void
+EventLoop::remove(int fd)
+{
+    const auto it = by_fd_.find(fd);
+    if (it == by_fd_.end())
+        return;
+    ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, fd, nullptr);
+    entries_.erase(it->second);
+    by_fd_.erase(it);
+}
+
+int
+EventLoop::runOnce(int timeout_ms)
+{
+    epoll_event events[64];
+    int ready = ::epoll_wait(epoll_fd_, events, 64, timeout_ms);
+    if (ready < 0) {
+        if (errno != EINTR)
+            throw std::runtime_error(std::string("epoll_wait: ") +
+                                     std::strerror(errno));
+        ready = 0;
+    }
+
+    int dispatched = 0;
+    for (int i = 0; i < ready; ++i) {
+        const std::uint64_t id = events[i].data.u64;
+        if (id == 0) { // Wakeup eventfd: drain the counter.
+            std::uint64_t value = 0;
+            [[maybe_unused]] const ssize_t n =
+                ::read(wake_fd_, &value, sizeof(value));
+            continue;
+        }
+        // Look the entry up per event: an earlier handler in this
+        // batch may have removed it (stale id finds nothing, even if
+        // the fd number was recycled under a fresh id).
+        const auto it = entries_.find(id);
+        if (it == entries_.end())
+            continue;
+        // Keep the callback alive across the call even if it
+        // remove()s itself.
+        const std::shared_ptr<Callback> callback = it->second.callback;
+        (*callback)(events[i].events);
+        ++dispatched;
+    }
+
+    std::vector<std::function<void()>> tasks;
+    {
+        std::lock_guard<std::mutex> lock(post_mu_);
+        tasks.swap(posted_);
+    }
+    for (auto &task : tasks)
+        task();
+    return dispatched;
+}
+
+void
+EventLoop::run()
+{
+    while (!stop_.load())
+        runOnce(-1);
+}
+
+void
+EventLoop::stop()
+{
+    stop_.store(true);
+    wakeup();
+}
+
+void
+EventLoop::wakeup()
+{
+    const std::uint64_t one = 1;
+    [[maybe_unused]] const ssize_t n =
+        ::write(wake_fd_, &one, sizeof(one));
+}
+
+void
+EventLoop::post(std::function<void()> fn)
+{
+    {
+        std::lock_guard<std::mutex> lock(post_mu_);
+        posted_.push_back(std::move(fn));
+    }
+    wakeup();
+}
+
+} // namespace drange::net

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Minimal epoll event loop: the reactor under net::Server,
+ * net::Listener, net::Connection, and the trng_loadgen client.
+ *
+ * One thread owns the loop and calls runOnce()/run(); add()/modify()/
+ * remove() must be called from that thread (they mutate the handler
+ * table without locking). The two cross-thread entry points are
+ * wakeup() -- async-signal-safe, one eventfd write, used by signal
+ * handlers and Server::stop() -- and post(), which enqueues a closure
+ * the loop thread runs after the next dispatch.
+ *
+ * Dispatch is level-triggered: a handler is invoked with the ready
+ * event mask as long as its condition holds, and interest is adjusted
+ * with modify() (that is how Connection arms/disarms EPOLLOUT for
+ * write-side backpressure). Handlers are keyed by a registration id
+ * rather than the fd, so a handler that closes its own fd -- whose
+ * number the kernel may immediately recycle for an accept() in the
+ * same batch -- cannot receive the stale events of its predecessor.
+ */
+
+#ifndef DRANGE_NET_EVENT_LOOP_HH
+#define DRANGE_NET_EVENT_LOOP_HH
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+namespace drange::net {
+
+class EventLoop
+{
+  public:
+    /** Invoked with the ready epoll event mask (EPOLLIN | ...). */
+    using Callback = std::function<void(std::uint32_t)>;
+
+    /** @throws std::runtime_error when epoll/eventfd creation fails. */
+    EventLoop();
+    ~EventLoop();
+
+    EventLoop(const EventLoop &) = delete;
+    EventLoop &operator=(const EventLoop &) = delete;
+
+    /** Register @p fd for @p events. Loop thread only. */
+    void add(int fd, std::uint32_t events, Callback callback);
+
+    /** Change the interest mask of a registered fd. No-op for an
+     * unregistered fd (the handler may have removed itself). */
+    void modify(int fd, std::uint32_t events);
+
+    /** Unregister @p fd; pending events for it are dropped. Does not
+     * close the fd. */
+    void remove(int fd);
+
+    /**
+     * Wait up to @p timeout_ms (-1 = indefinitely) and dispatch ready
+     * handlers, then run post()ed closures. @return number of fd
+     * events dispatched.
+     */
+    int runOnce(int timeout_ms);
+
+    /** runOnce(-1) until stop(). */
+    void run();
+
+    /** Make run() return after the current iteration. Thread-safe. */
+    void stop();
+
+    bool stopRequested() const { return stop_.load(); }
+
+    /** Wake a blocked runOnce(). Async-signal-safe. */
+    void wakeup();
+
+    /** Run @p fn on the loop thread after the next dispatch.
+     * Thread-safe; wakes the loop. */
+    void post(std::function<void()> fn);
+
+    std::size_t handlerCount() const { return by_fd_.size(); }
+
+  private:
+    struct Entry
+    {
+        int fd = -1;
+        std::uint32_t events = 0;
+        std::shared_ptr<Callback> callback;
+    };
+
+    int epoll_fd_ = -1;
+    int wake_fd_ = -1; //!< eventfd; epoll data id 0.
+    std::uint64_t next_id_ = 1;
+    std::map<std::uint64_t, Entry> entries_;
+    std::map<int, std::uint64_t> by_fd_;
+
+    std::atomic<bool> stop_{false};
+    std::mutex post_mu_;
+    std::vector<std::function<void()>> posted_;
+};
+
+} // namespace drange::net
+
+#endif // DRANGE_NET_EVENT_LOOP_HH

@@ -1,0 +1,181 @@
+/**
+ * @file
+ * Wire framing of the entropy-service protocol, incremental form.
+ *
+ * The frame layout is the one trngd has spoken since the daemon
+ * shipped (see tools/trng_proto.hh for the blocking-I/O helpers built
+ * on top of this header):
+ *
+ *   Request,  8 bytes little-endian, no payload:
+ *       'D' 'r' | uint16 priority | uint32 payload bytes requested
+ *   Response, 8-byte header followed by the payload:
+ *       'd' 'R' | uint16 status   | uint32 payload byte count
+ *
+ * status 0 is success (payload = entropy bytes). kStatusError is a
+ * service-side failure (payload = UTF-8 message), kStatusProtocolError
+ * a rejected request (malformed, or larger than the daemon's
+ * max_request_bytes); after a protocol error on an oversized-but-
+ * well-framed request the connection stays usable.
+ *
+ * FrameDecoder is built for non-blocking transports: feed() it
+ * whatever bytes recv() produced -- a lone byte, half a header, three
+ * coalesced frames -- and next() yields complete frames as they
+ * become decodable. Garbage magic and response payloads beyond the
+ * configured bound poison the decoder (error()), because a byte
+ * stream with a corrupt frame boundary cannot be resynchronized.
+ * FrameEncoder appends wire bytes to a caller-owned buffer so writers
+ * can coalesce frames into one output queue entry.
+ */
+
+#ifndef DRANGE_NET_FRAME_HH
+#define DRANGE_NET_FRAME_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace drange::net {
+
+constexpr unsigned char kRequestMagic0 = 'D';
+constexpr unsigned char kRequestMagic1 = 'r';
+constexpr unsigned char kResponseMagic0 = 'd';
+constexpr unsigned char kResponseMagic1 = 'R';
+
+constexpr std::uint16_t kStatusOk = 0;
+constexpr std::uint16_t kStatusError = 1;         //!< Service failed.
+constexpr std::uint16_t kStatusProtocolError = 2; //!< Request refused.
+
+constexpr std::size_t kHeaderBytes = 8;
+
+/** One decoded frame. Requests carry no payload on the wire: their
+ * length field is the number of entropy bytes the client wants. */
+struct Frame
+{
+    enum class Kind { Request, Response };
+
+    Kind kind = Kind::Request;
+    std::uint16_t code = 0; //!< Request: priority. Response: status.
+    std::uint32_t request_bytes = 0;    //!< Request frames only.
+    std::vector<std::uint8_t> payload;  //!< Response frames only.
+};
+
+inline std::uint16_t
+decode16(const unsigned char *in)
+{
+    return static_cast<std::uint16_t>(
+        in[0] | (static_cast<unsigned>(in[1]) << 8));
+}
+
+inline std::uint32_t
+decode32(const unsigned char *in)
+{
+    return static_cast<std::uint32_t>(in[0]) |
+           (static_cast<std::uint32_t>(in[1]) << 8) |
+           (static_cast<std::uint32_t>(in[2]) << 16) |
+           (static_cast<std::uint32_t>(in[3]) << 24);
+}
+
+/** Encode a request frame into @p out[kHeaderBytes]. */
+inline void
+encodeRequestHeader(unsigned char *out, std::uint16_t priority,
+                    std::uint32_t num_bytes)
+{
+    out[0] = kRequestMagic0;
+    out[1] = kRequestMagic1;
+    out[2] = static_cast<unsigned char>(priority & 0xff);
+    out[3] = static_cast<unsigned char>(priority >> 8);
+    for (int i = 0; i < 4; ++i)
+        out[4 + i] =
+            static_cast<unsigned char>((num_bytes >> (8 * i)) & 0xff);
+}
+
+/** Encode a response header into @p out[kHeaderBytes]. */
+inline void
+encodeResponseHeader(unsigned char *out, std::uint16_t status,
+                     std::uint32_t payload_bytes)
+{
+    out[0] = kResponseMagic0;
+    out[1] = kResponseMagic1;
+    out[2] = static_cast<unsigned char>(status & 0xff);
+    out[3] = static_cast<unsigned char>(status >> 8);
+    for (int i = 0; i < 4; ++i)
+        out[4 + i] = static_cast<unsigned char>(
+            (payload_bytes >> (8 * i)) & 0xff);
+}
+
+/** Appends wire-encoded frames to caller-owned byte buffers. */
+class FrameEncoder
+{
+  public:
+    static void appendRequest(std::vector<std::uint8_t> &out,
+                              std::uint16_t priority,
+                              std::uint32_t num_bytes);
+
+    static void appendResponse(std::vector<std::uint8_t> &out,
+                               std::uint16_t status,
+                               const std::uint8_t *payload,
+                               std::size_t payload_bytes);
+
+    /** Response whose payload is a UTF-8 message (error statuses). */
+    static void appendResponse(std::vector<std::uint8_t> &out,
+                               std::uint16_t status,
+                               const std::string &message);
+
+    static std::vector<std::uint8_t> request(std::uint16_t priority,
+                                             std::uint32_t num_bytes);
+    static std::vector<std::uint8_t>
+    response(std::uint16_t status, const std::uint8_t *payload,
+             std::size_t payload_bytes);
+};
+
+/**
+ * Incremental frame parser for non-blocking reads.
+ *
+ * Zero or more feed() calls accumulate bytes; next() pops the first
+ * complete frame. Once error() != Error::None the decoder is poisoned:
+ * feed() discards input and next() always returns false (the caller
+ * should report the error and close the connection).
+ */
+class FrameDecoder
+{
+  public:
+    enum class Error {
+        None,
+        BadMagic,         //!< First two bytes match neither frame kind.
+        OversizedPayload, //!< Response payload beyond max_payload_bytes.
+    };
+
+    /** @p max_payload_bytes bounds the response payload length this
+     * decoder will buffer; a longer length field is a protocol error
+     * (it would let a peer demand unbounded memory). */
+    explicit FrameDecoder(std::size_t max_payload_bytes = 1u << 20)
+        : max_payload_(max_payload_bytes)
+    {
+    }
+
+    /** Append raw transport bytes. */
+    void feed(const void *data, std::size_t count);
+
+    /** Decode the next complete frame into @p out.
+     * @return false when more bytes are needed (or on error()). */
+    bool next(Frame &out);
+
+    Error error() const { return error_; }
+
+    /** Bytes fed but not yet consumed by next(). */
+    std::size_t buffered() const { return buf_.size() - pos_; }
+
+    /** Forget buffered bytes and clear the error state. */
+    void reset();
+
+  private:
+    std::size_t max_payload_;
+    std::vector<std::uint8_t> buf_;
+    std::size_t pos_ = 0; //!< Consumed prefix of buf_.
+    Error error_ = Error::None;
+};
+
+} // namespace drange::net
+
+#endif // DRANGE_NET_FRAME_HH

@@ -1,0 +1,227 @@
+#include "net/listener.hh"
+
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+#include <stdexcept>
+
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/epoll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+namespace drange::net {
+
+void
+parseHostPort(const std::string &spec, std::string &host,
+              std::uint16_t &port)
+{
+    const std::size_t colon = spec.rfind(':');
+    if (colon == std::string::npos)
+        throw std::invalid_argument(
+            "expected host:port, got \"" + spec + "\"");
+    host = spec.substr(0, colon);
+    const std::string port_str = spec.substr(colon + 1);
+    char *end = nullptr;
+    const long value = std::strtol(port_str.c_str(), &end, 10);
+    if (port_str.empty() || (end && *end != '\0') || value < 0 ||
+        value > 65535)
+        throw std::invalid_argument("bad port in \"" + spec + "\"");
+    port = static_cast<std::uint16_t>(value);
+}
+
+int
+connectTcp(const std::string &host, std::uint16_t port,
+           std::string &error)
+{
+    addrinfo hints{};
+    hints.ai_family = AF_UNSPEC;
+    hints.ai_socktype = SOCK_STREAM;
+    addrinfo *result = nullptr;
+    const std::string service = std::to_string(port);
+    const std::string node = host.empty() ? "127.0.0.1" : host;
+    const int rc =
+        ::getaddrinfo(node.c_str(), service.c_str(), &hints, &result);
+    if (rc != 0) {
+        error = std::string("resolve ") + node + ": " +
+                ::gai_strerror(rc);
+        return -1;
+    }
+    int fd = -1;
+    for (addrinfo *ai = result; ai; ai = ai->ai_next) {
+        fd = ::socket(ai->ai_family, ai->ai_socktype | SOCK_CLOEXEC,
+                      ai->ai_protocol);
+        if (fd < 0)
+            continue;
+        if (::connect(fd, ai->ai_addr, ai->ai_addrlen) == 0)
+            break;
+        error = std::string("connect: ") + std::strerror(errno);
+        ::close(fd);
+        fd = -1;
+    }
+    ::freeaddrinfo(result);
+    if (fd < 0 && error.empty())
+        error = "connect: no usable address";
+    if (fd >= 0) {
+        const int one = 1;
+        ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    }
+    return fd;
+}
+
+int
+connectUnix(const std::string &path, std::string &error)
+{
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+    if (fd < 0) {
+        error = std::string("socket: ") + std::strerror(errno);
+        return -1;
+    }
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (path.size() >= sizeof(addr.sun_path)) {
+        ::close(fd);
+        error = "socket path too long: " + path;
+        return -1;
+    }
+    std::strncpy(addr.sun_path, path.c_str(),
+                 sizeof(addr.sun_path) - 1);
+    if (::connect(fd, reinterpret_cast<sockaddr *>(&addr),
+                  sizeof(addr)) != 0) {
+        error = std::string("connect ") + path + ": " +
+                std::strerror(errno);
+        ::close(fd);
+        return -1;
+    }
+    return fd;
+}
+
+std::unique_ptr<Listener>
+Listener::tcp(EventLoop &loop, const std::string &host,
+              std::uint16_t port, AcceptFn on_accept)
+{
+    addrinfo hints{};
+    hints.ai_family = AF_INET;
+    hints.ai_socktype = SOCK_STREAM;
+    hints.ai_flags = AI_PASSIVE;
+    addrinfo *result = nullptr;
+    const std::string service = std::to_string(port);
+    const int rc = ::getaddrinfo(host.empty() ? nullptr : host.c_str(),
+                                 service.c_str(), &hints, &result);
+    if (rc != 0)
+        throw std::runtime_error(std::string("resolve ") +
+                                 (host.empty() ? "*" : host) + ": " +
+                                 ::gai_strerror(rc));
+
+    int fd = -1;
+    std::string error = "no usable address";
+    for (addrinfo *ai = result; ai; ai = ai->ai_next) {
+        fd = ::socket(ai->ai_family,
+                      ai->ai_socktype | SOCK_NONBLOCK | SOCK_CLOEXEC,
+                      ai->ai_protocol);
+        if (fd < 0)
+            continue;
+        const int one = 1;
+        ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+        if (::bind(fd, ai->ai_addr, ai->ai_addrlen) == 0 &&
+            ::listen(fd, 1024) == 0)
+            break;
+        error = std::string("bind/listen: ") + std::strerror(errno);
+        ::close(fd);
+        fd = -1;
+    }
+    ::freeaddrinfo(result);
+    if (fd < 0)
+        throw std::runtime_error("tcp listener " + host + ":" +
+                                 service + ": " + error);
+
+    sockaddr_in bound{};
+    socklen_t bound_len = sizeof(bound);
+    std::uint16_t actual_port = port;
+    if (::getsockname(fd, reinterpret_cast<sockaddr *>(&bound),
+                      &bound_len) == 0)
+        actual_port = ntohs(bound.sin_port);
+
+    return std::unique_ptr<Listener>(new Listener(
+        loop, fd, actual_port, "", std::move(on_accept)));
+}
+
+std::unique_ptr<Listener>
+Listener::unixSocket(EventLoop &loop, const std::string &path,
+                     AcceptFn on_accept)
+{
+    const int fd =
+        ::socket(AF_UNIX, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC,
+                 0);
+    if (fd < 0)
+        throw std::runtime_error(std::string("socket: ") +
+                                 std::strerror(errno));
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (path.size() >= sizeof(addr.sun_path)) {
+        ::close(fd);
+        throw std::runtime_error("socket path too long: " + path);
+    }
+    std::strncpy(addr.sun_path, path.c_str(),
+                 sizeof(addr.sun_path) - 1);
+    ::unlink(path.c_str());
+    if (::bind(fd, reinterpret_cast<sockaddr *>(&addr),
+               sizeof(addr)) != 0 ||
+        ::listen(fd, 1024) != 0) {
+        const int err = errno;
+        ::close(fd);
+        throw std::runtime_error("unix listener " + path + ": " +
+                                 std::strerror(err));
+    }
+    return std::unique_ptr<Listener>(new Listener(
+        loop, fd, 0, path, std::move(on_accept)));
+}
+
+Listener::Listener(EventLoop &loop, int fd, std::uint16_t port,
+                   std::string unix_path, AcceptFn on_accept)
+    : loop_(loop), fd_(fd), port_(port),
+      unix_path_(std::move(unix_path)),
+      on_accept_(std::move(on_accept))
+{
+    loop_.add(fd_, EPOLLIN, [this](std::uint32_t) { onReadable(); });
+}
+
+Listener::~Listener()
+{
+    close();
+}
+
+void
+Listener::onReadable()
+{
+    for (;;) {
+        const int client = ::accept4(fd_, nullptr, nullptr,
+                                     SOCK_NONBLOCK | SOCK_CLOEXEC);
+        if (client < 0) {
+            // EAGAIN = drained; EMFILE/ENFILE etc. also just stop the
+            // burst -- the listener stays registered and retries on
+            // the next readable event.
+            return;
+        }
+        on_accept_(client);
+        if (closed())
+            return; // The callback closed us (accept limit reached).
+    }
+}
+
+void
+Listener::close()
+{
+    if (fd_ < 0)
+        return;
+    loop_.remove(fd_);
+    ::close(fd_);
+    fd_ = -1;
+    if (!unix_path_.empty())
+        ::unlink(unix_path_.c_str());
+}
+
+} // namespace drange::net

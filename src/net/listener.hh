@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Listening sockets (TCP and Unix-domain) on an EventLoop, plus the
+ * blocking connect helpers the clients (trng-cli, trng_loadgen,
+ * tests) use to reach them.
+ *
+ * A Listener accepts every pending connection when its fd turns
+ * readable (accepted fds are SOCK_NONBLOCK | SOCK_CLOEXEC) and hands
+ * each to the accept callback; the callback typically wraps the fd in
+ * a net::Connection. TCP listeners may bind port 0 and report the
+ * kernel-chosen port via port(), which is how the tests get
+ * collision-free ephemeral endpoints.
+ */
+
+#ifndef DRANGE_NET_LISTENER_HH
+#define DRANGE_NET_LISTENER_HH
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "net/event_loop.hh"
+
+namespace drange::net {
+
+/** Parse "host:port" (host may be empty = all interfaces).
+ * @throws std::invalid_argument on a malformed port. */
+void parseHostPort(const std::string &spec, std::string &host,
+                   std::uint16_t &port);
+
+/** Blocking TCP connect (IPv4 / names via getaddrinfo).
+ * @return fd, or -1 with @p error filled in. */
+int connectTcp(const std::string &host, std::uint16_t port,
+               std::string &error);
+
+/** Blocking Unix-domain connect. @return fd or -1 + @p error. */
+int connectUnix(const std::string &path, std::string &error);
+
+class Listener
+{
+  public:
+    /** Receives each accepted (non-blocking) fd; ownership passes to
+     * the callback. */
+    using AcceptFn = std::function<void(int fd)>;
+
+    /**
+     * Bind + listen on @p host:@p port (empty host = all interfaces,
+     * port 0 = ephemeral) and register with @p loop.
+     * @throws std::runtime_error on resolve/bind/listen failure.
+     */
+    static std::unique_ptr<Listener> tcp(EventLoop &loop,
+                                         const std::string &host,
+                                         std::uint16_t port,
+                                         AcceptFn on_accept);
+
+    /** Bind + listen on a Unix-domain @p path (unlinked first, and
+     * again on close). @throws std::runtime_error on failure. */
+    static std::unique_ptr<Listener> unixSocket(EventLoop &loop,
+                                                const std::string &path,
+                                                AcceptFn on_accept);
+
+    ~Listener();
+
+    Listener(const Listener &) = delete;
+    Listener &operator=(const Listener &) = delete;
+
+    /** Actual bound TCP port (useful after binding port 0). */
+    std::uint16_t port() const { return port_; }
+
+    /** Stop accepting; closes the socket, unlinks a Unix path. */
+    void close();
+
+    bool closed() const { return fd_ < 0; }
+
+  private:
+    Listener(EventLoop &loop, int fd, std::uint16_t port,
+             std::string unix_path, AcceptFn on_accept);
+
+    void onReadable();
+
+    EventLoop &loop_;
+    int fd_;
+    std::uint16_t port_ = 0;
+    std::string unix_path_; //!< Unlinked on close; empty for TCP.
+    AcceptFn on_accept_;
+};
+
+} // namespace drange::net
+
+#endif // DRANGE_NET_LISTENER_HH

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Token-bucket rate limiter for per-client quotas (net::Server).
+ *
+ * Pure arithmetic over caller-supplied timestamps -- no clock access,
+ * no locking -- so quota math is deterministic and unit-testable: the
+ * event loop passes one steady_clock reading per sweep and every
+ * bucket advances on it.
+ *
+ * Semantics: the bucket holds up to `burst` tokens and refills at
+ * `rate` tokens per second. tryConsume(n) succeeds when n tokens are
+ * available, OR when the bucket is full -- a request larger than the
+ * whole burst is admitted at a full bucket and drives the level
+ * negative (a debt), so oversized requests make progress instead of
+ * deadlocking; the debt is repaid before anything else is admitted.
+ * A default-constructed (or rate <= 0) bucket is unlimited.
+ */
+
+#ifndef DRANGE_NET_TOKEN_BUCKET_HH
+#define DRANGE_NET_TOKEN_BUCKET_HH
+
+#include <algorithm>
+#include <cstdint>
+
+namespace drange::net {
+
+class TokenBucket
+{
+  public:
+    /** Unlimited: every tryConsume succeeds. */
+    TokenBucket() = default;
+
+    /** @p rate_per_s tokens/second, up to @p burst banked. The bucket
+     * starts full at @p now_ns. rate_per_s <= 0 means unlimited;
+     * burst is clamped to at least 1 token for a limited bucket. */
+    TokenBucket(double rate_per_s, double burst,
+                std::uint64_t now_ns = 0)
+        : rate_(rate_per_s), burst_(std::max(burst, 1.0)),
+          tokens_(std::max(burst, 1.0)), last_ns_(now_ns)
+    {
+    }
+
+    bool unlimited() const { return rate_ <= 0.0; }
+
+    /** Current token level after refilling to @p now_ns. */
+    double available(std::uint64_t now_ns) const
+    {
+        return unlimited() ? 0.0 : refilled(now_ns);
+    }
+
+    /**
+     * Take @p tokens if the bucket allows it (see file comment for
+     * the oversized-at-full rule). @return true when consumed.
+     */
+    bool tryConsume(double tokens, std::uint64_t now_ns)
+    {
+        if (unlimited())
+            return true;
+        tokens_ = refilled(now_ns);
+        last_ns_ = now_ns;
+        if (tokens_ + 1e-9 < std::min(tokens, burst_))
+            return false;
+        tokens_ -= tokens;
+        return true;
+    }
+
+    /**
+     * Nanoseconds until tryConsume(@p tokens) could succeed; 0 when it
+     * would succeed right now.
+     */
+    std::uint64_t nsUntilAvailable(double tokens,
+                                   std::uint64_t now_ns) const
+    {
+        if (unlimited())
+            return 0;
+        const double have = refilled(now_ns);
+        const double need = std::min(tokens, burst_) - have;
+        if (need <= 0.0)
+            return 0;
+        return static_cast<std::uint64_t>(need / rate_ * 1e9) + 1;
+    }
+
+  private:
+    double refilled(std::uint64_t now_ns) const
+    {
+        const double elapsed_s =
+            now_ns > last_ns_
+                ? static_cast<double>(now_ns - last_ns_) * 1e-9
+                : 0.0;
+        return std::min(burst_, tokens_ + rate_ * elapsed_s);
+    }
+
+    double rate_ = 0.0;  //!< Tokens per second; <= 0 = unlimited.
+    double burst_ = 0.0; //!< Bucket capacity.
+    double tokens_ = 0.0;
+    std::uint64_t last_ns_ = 0;
+};
+
+} // namespace drange::net
+
+#endif // DRANGE_NET_TOKEN_BUCKET_HH

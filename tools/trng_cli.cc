@@ -2,16 +2,18 @@
  * @file
  * trng-cli: client for the trngd entropy daemon.
  *
- * Connects to trngd's Unix-domain socket, sends framed entropy
- * requests (trng_proto.hh), and prints the returned bytes as hex (or
- * writes them raw to stdout for piping into other tools):
+ * Connects to trngd's Unix-domain socket or TCP endpoint, sends framed
+ * entropy requests (trng_proto.hh), and prints the returned bytes as
+ * hex (or writes them raw to stdout for piping into other tools):
  *
  *     trng-cli --socket /tmp/trngd.sock --bytes 32            # a key
+ *     trng-cli --tcp 127.0.0.1:7777 --bytes 32
  *     trng-cli --bytes 4096 --requests 4 --priority 3 --raw > rand.bin
  *
  * One process = one connection = one service session, so --priority
  * sets this client's deficit-round-robin weight against every other
- * connected client.
+ * connected client (and selects its [net.priority.N] quota tier, if
+ * the daemon configures one).
  */
 
 #include <cstdio>
@@ -20,10 +22,9 @@
 #include <string>
 #include <vector>
 
-#include <sys/socket.h>
-#include <sys/un.h>
 #include <unistd.h>
 
+#include "net/listener.hh"
 #include "trng_proto.hh"
 
 using namespace drange;
@@ -33,6 +34,7 @@ namespace {
 struct CliOptions
 {
     std::string socket_path = "/tmp/trngd.sock";
+    std::string tcp; //!< host:port; empty = Unix transport.
     std::uint32_t num_bytes = 32;
     std::uint16_t priority = 1;
     long requests = 1;
@@ -44,8 +46,8 @@ usage(const char *argv0)
 {
     std::fprintf(
         stderr,
-        "usage: %s [--socket PATH] [--bytes N] [--priority P]\n"
-        "          [--requests M] [--raw]\n"
+        "usage: %s [--socket PATH | --tcp HOST:PORT] [--bytes N]\n"
+        "          [--priority P] [--requests M] [--raw]\n"
         "Request entropy from a running trngd and print it as hex\n"
         "(--raw: write the bytes unformatted to stdout).\n",
         argv0);
@@ -64,6 +66,11 @@ parseArgs(int argc, char **argv, CliOptions &opts)
             if (!v)
                 return false;
             opts.socket_path = v;
+        } else if (arg == "--tcp") {
+            const char *v = value();
+            if (!v)
+                return false;
+            opts.tcp = v;
         } else if (arg == "--bytes") {
             const char *v = value();
             if (!v)
@@ -92,6 +99,30 @@ parseArgs(int argc, char **argv, CliOptions &opts)
     return opts.requests > 0;
 }
 
+/** Connect per the options. @return fd, or -1 after reporting. */
+int
+connect(const CliOptions &opts)
+{
+    std::string error;
+    int fd = -1;
+    if (!opts.tcp.empty()) {
+        std::string host;
+        std::uint16_t port = 0;
+        try {
+            net::parseHostPort(opts.tcp, host, port);
+        } catch (const std::exception &e) {
+            std::fprintf(stderr, "trng-cli: %s\n", e.what());
+            return -1;
+        }
+        fd = net::connectTcp(host, port, error);
+    } else {
+        fd = net::connectUnix(opts.socket_path, error);
+    }
+    if (fd < 0)
+        std::fprintf(stderr, "trng-cli: %s\n", error.c_str());
+    return fd;
+}
+
 } // namespace
 
 int
@@ -103,25 +134,9 @@ main(int argc, char **argv)
         return 2;
     }
 
-    const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
-    if (fd < 0) {
-        std::perror("trng-cli: socket");
+    const int fd = connect(opts);
+    if (fd < 0)
         return 1;
-    }
-    sockaddr_un addr{};
-    addr.sun_family = AF_UNIX;
-    if (opts.socket_path.size() >= sizeof(addr.sun_path)) {
-        std::fprintf(stderr, "trng-cli: socket path too long\n");
-        return 1;
-    }
-    std::strncpy(addr.sun_path, opts.socket_path.c_str(),
-                 sizeof(addr.sun_path) - 1);
-    if (::connect(fd, reinterpret_cast<sockaddr *>(&addr),
-                  sizeof(addr)) != 0) {
-        std::fprintf(stderr, "trng-cli: cannot connect to %s: %s\n",
-                     opts.socket_path.c_str(), std::strerror(errno));
-        return 1;
-    }
 
     for (long request = 0; request < opts.requests; ++request) {
         unsigned char frame[tools::kFrameBytes];
@@ -146,7 +161,10 @@ main(int argc, char **argv)
             return 1;
         }
         if (status != tools::kStatusOk) {
-            std::fprintf(stderr, "trng-cli: daemon error: %.*s\n",
+            std::fprintf(stderr, "trng-cli: daemon %s: %.*s\n",
+                         status == tools::kStatusProtocolError
+                             ? "rejected the request"
+                             : "error",
                          static_cast<int>(payload.size()),
                          reinterpret_cast<const char *>(
                              payload.data()));

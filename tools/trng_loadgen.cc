@@ -1,0 +1,727 @@
+/**
+ * @file
+ * trng_loadgen: TCP load harness for the trngd entropy service.
+ *
+ * Drives hundreds of concurrent framed-protocol connections from one
+ * process on the same net::EventLoop + net::Connection machinery the
+ * daemon uses, in closed loop (each connection keeps --pipeline
+ * requests outstanding) or open loop (--open-rate requests/s injected
+ * per connection regardless of completions). Every response is
+ * checked -- status, payload length, strict FIFO pairing with its
+ * request -- and per-connection 64-bit send/receive counters must
+ * reconcile exactly at the end of the run: one dropped, duplicated,
+ * or reordered frame fails the run.
+ *
+ *     trngd tools/trngd.example.conf --tcp 127.0.0.1:7777 &
+ *     trng_loadgen --tcp 127.0.0.1:7777 --connections 200 \
+ *                  --requests 100 --bytes 16 --pipeline 4
+ *
+ * --bench runs the two-phase service benchmark instead and writes
+ * BENCH_service_tcp.json (see tools/check_bench_regression.py):
+ *
+ *   Phase A: --connections unlimited clients hammer the daemon for
+ *            --duration seconds; reports requests/s, p50/p99 latency,
+ *            and the fairness spread (max/min completed requests
+ *            across connections -- DRR should keep this near 1).
+ *   Phase B: --mixed-connections unlimited clients plus
+ *            --limited-connections clients on --limited-priority,
+ *            which the daemon's [net.priority.N] section meters.
+ *            Reports the metered class's delivered bits/s (must sit
+ *            at its configured cap, not its fair share) and the
+ *            unlimited class's p99 alongside.
+ */
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <deque>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <sys/resource.h>
+#include <unistd.h>
+
+#include "bench/bench_util.hh"
+#include "net/connection.hh"
+#include "net/event_loop.hh"
+#include "net/listener.hh"
+
+using namespace drange;
+using Clock = std::chrono::steady_clock;
+
+namespace {
+
+struct Options
+{
+    std::string tcp; //!< host:port (required).
+    std::size_t connections = 8;
+    bool connections_set = false;
+    long requests = 100;   //!< Per connection; 0 = until --duration.
+    std::uint32_t bytes = 16;
+    int pipeline = 1;
+    bool pipeline_set = false;
+    std::uint16_t priority = 1;
+    double duration_s = 0;  //!< 0 = run until --requests complete.
+    double open_rate = 0;   //!< Requests/s per connection; 0 = closed.
+    bool verbose = false;
+
+    bool bench = false;
+    std::size_t mixed_connections = 64;
+    std::size_t limited_connections = 16;
+    std::uint16_t limited_priority = 2;
+    double limited_cap_bits_per_s = 16384;
+};
+
+void
+usage(const char *argv0)
+{
+    std::fprintf(
+        stderr,
+        "usage: %s --tcp HOST:PORT [--connections N] [--requests R]\n"
+        "          [--bytes B] [--pipeline P] [--priority PR]\n"
+        "          [--duration S] [--open-rate RPS] [--verbose]\n"
+        "          [--bench [--out FILE] [--mixed-connections N]\n"
+        "           [--limited-connections N] [--limited-priority PR]\n"
+        "           [--limited-cap-bits-per-s X]]\n"
+        "Load-test a trngd TCP endpoint; --bench writes "
+        "BENCH_service_tcp.json.\n",
+        argv0);
+}
+
+bool
+parseArgs(int argc, char **argv, Options &opts)
+{
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        const auto value = [&]() -> const char * {
+            return i + 1 < argc ? argv[++i] : nullptr;
+        };
+        const auto number = [&](double &out) {
+            const char *v = value();
+            if (!v)
+                return false;
+            out = std::atof(v);
+            return true;
+        };
+        double num = 0;
+        if (arg == "--tcp") {
+            const char *v = value();
+            if (!v)
+                return false;
+            opts.tcp = v;
+        } else if (arg == "--connections" && number(num)) {
+            opts.connections = static_cast<std::size_t>(num);
+            opts.connections_set = true;
+        } else if (arg == "--requests" && number(num)) {
+            opts.requests = static_cast<long>(num);
+        } else if (arg == "--bytes" && number(num)) {
+            opts.bytes = static_cast<std::uint32_t>(num);
+        } else if (arg == "--pipeline" && number(num)) {
+            opts.pipeline = static_cast<int>(num);
+            opts.pipeline_set = true;
+        } else if (arg == "--priority" && number(num)) {
+            opts.priority = static_cast<std::uint16_t>(num);
+        } else if (arg == "--duration" && number(num)) {
+            opts.duration_s = num;
+        } else if (arg == "--open-rate" && number(num)) {
+            opts.open_rate = num;
+        } else if (arg == "--verbose") {
+            opts.verbose = true;
+        } else if (arg == "--bench") {
+            opts.bench = true;
+        } else if (arg == "--out") {
+            value(); // Consumed by BenchReport's own argv scan.
+        } else if (arg == "--mixed-connections" && number(num)) {
+            opts.mixed_connections = static_cast<std::size_t>(num);
+        } else if (arg == "--limited-connections" && number(num)) {
+            opts.limited_connections = static_cast<std::size_t>(num);
+        } else if (arg == "--limited-priority" && number(num)) {
+            opts.limited_priority = static_cast<std::uint16_t>(num);
+        } else if (arg == "--limited-cap-bits-per-s" && number(num)) {
+            opts.limited_cap_bits_per_s = num;
+        } else {
+            if (arg != "--help" && arg != "-h")
+                std::fprintf(stderr, "trng_loadgen: bad flag/value %s\n",
+                             arg.c_str());
+            return false;
+        }
+    }
+    if (opts.tcp.empty() || opts.connections == 0 ||
+        opts.pipeline < 1 || opts.bytes == 0)
+        return false;
+    return true;
+}
+
+/** Raise RLIMIT_NOFILE toward the hard limit so hundreds of sockets
+ * fit under the distro-default 1024 soft limit. Best effort. */
+void
+raiseNofileLimit()
+{
+    rlimit rl{};
+    if (::getrlimit(RLIMIT_NOFILE, &rl) != 0)
+        return;
+    if (rl.rlim_cur >= rl.rlim_max)
+        return;
+    rlimit raised = rl;
+    raised.rlim_cur = rl.rlim_max > 65536 ? 65536 : rl.rlim_max;
+    if (raised.rlim_cur > rl.rlim_cur)
+        ::setrlimit(RLIMIT_NOFILE, &raised);
+}
+
+/** One connection class within a phase (e.g. "the metered tier"). */
+struct ClassSpec
+{
+    std::string label;
+    std::size_t connections = 0;
+    std::uint16_t priority = 1;
+    std::uint32_t bytes = 16;
+    long requests = 0; //!< Per connection; 0 = until the deadline.
+    double open_rate = 0;
+};
+
+struct PhaseConfig
+{
+    std::string host;
+    std::uint16_t port = 0;
+    std::vector<ClassSpec> classes;
+    int pipeline = 1;
+    double duration_s = 0; //!< 0 = run until every target completes.
+};
+
+struct ClassResult
+{
+    std::string label;
+    std::uint64_t sent = 0;
+    std::uint64_t received = 0;
+    std::uint64_t ok = 0; //!< kStatusOk with the right payload size.
+    std::uint64_t payload_bytes = 0;
+    std::uint64_t errors = 0; //!< Transport/framing violations.
+    std::uint64_t service_errors = 0; //!< Well-framed error statuses
+                                      //!< (e.g. health alarms).
+    std::vector<double> latencies_ms;
+    std::uint64_t min_per_conn = 0; //!< OK responses, clean conns.
+    std::uint64_t max_per_conn = 0;
+};
+
+struct PhaseResult
+{
+    bool ok = false; //!< Connected, drained, counters reconciled.
+    std::string error;
+    double elapsed_s = 0;
+    std::vector<ClassResult> classes;
+
+    std::uint64_t totalReceived() const
+    {
+        std::uint64_t total = 0;
+        for (const ClassResult &c : classes)
+            total += c.received;
+        return total;
+    }
+};
+
+double
+percentileMs(std::vector<double> values, double pct)
+{
+    if (values.empty())
+        return 0;
+    std::sort(values.begin(), values.end());
+    const double rank = pct / 100.0 *
+                        static_cast<double>(values.size() - 1);
+    const auto lo = static_cast<std::size_t>(rank);
+    const std::size_t hi = std::min(lo + 1, values.size() - 1);
+    const double frac = rank - static_cast<double>(lo);
+    return values[lo] + (values[hi] - values[lo]) * frac;
+}
+
+struct LoadClient
+{
+    std::unique_ptr<net::Connection> conn;
+    std::size_t class_index = 0;
+    std::uint32_t bytes = 0;
+    std::uint16_t priority = 1;
+    long target = 0;
+    double open_rate = 0;
+
+    std::uint64_t sent = 0;
+    std::uint64_t received = 0;
+    std::uint64_t ok = 0;
+    std::uint64_t payload_bytes = 0;
+    std::uint64_t errors = 0;
+    std::uint64_t service_errors = 0;
+    bool session_failed = false; //!< Server announced it will close.
+    long outstanding = 0;
+    std::deque<Clock::time_point> sent_at; //!< FIFO, one per request.
+    Clock::time_point next_injection;
+    bool done = false;
+    bool closed = false;
+    std::string close_reason;
+};
+
+/** Connect every class, run the load, drain, reconcile counters. */
+PhaseResult
+runPhase(const PhaseConfig &config, bool verbose)
+{
+    PhaseResult result;
+    result.classes.resize(config.classes.size());
+    for (std::size_t i = 0; i < config.classes.size(); ++i)
+        result.classes[i].label = config.classes[i].label;
+
+    net::EventLoop loop;
+    std::vector<std::unique_ptr<LoadClient>> clients;
+
+    std::uint32_t max_bytes = 0;
+    for (const ClassSpec &spec : config.classes)
+        max_bytes = std::max(max_bytes, spec.bytes);
+
+    bool stop_issuing = false;
+
+    const auto issueOne = [&](LoadClient &client) {
+        client.conn->send(net::FrameEncoder::request(client.priority,
+                                                     client.bytes));
+        client.sent_at.push_back(Clock::now());
+        ++client.sent;
+        ++client.outstanding;
+    };
+    const auto refill = [&](LoadClient &client) {
+        if (stop_issuing || client.closed || client.session_failed ||
+            client.open_rate > 0)
+            return;
+        while (client.outstanding < config.pipeline &&
+               (client.target == 0 || client.sent <
+                                          static_cast<std::uint64_t>(
+                                              client.target)))
+            issueOne(client);
+    };
+
+    // Connect every class up front (blocking, loopback-fast).
+    for (std::size_t ci = 0; ci < config.classes.size(); ++ci) {
+        const ClassSpec &spec = config.classes[ci];
+        for (std::size_t i = 0; i < spec.connections; ++i) {
+            std::string error;
+            const int fd =
+                net::connectTcp(config.host, config.port, error);
+            if (fd < 0) {
+                result.error = "connect " + std::to_string(i) + " (" +
+                               spec.label + "): " + error;
+                return result;
+            }
+            auto client = std::make_unique<LoadClient>();
+            client->class_index = ci;
+            client->bytes = spec.bytes;
+            client->priority = spec.priority;
+            client->target = spec.requests;
+            client->open_rate = spec.open_rate;
+            // Output is tiny (8-byte requests); the decoder must take
+            // full entropy responses.
+            client->conn = std::make_unique<net::Connection>(
+                loop, fd, max_bytes + 256, 1u << 20);
+            clients.push_back(std::move(client));
+        }
+    }
+
+    for (std::unique_ptr<LoadClient> &owned : clients) {
+        LoadClient *client = owned.get();
+        net::Connection::Callbacks callbacks;
+        callbacks.on_frame = [&, client](net::Connection &conn,
+                                         net::Frame &frame) {
+            if (frame.kind != net::Frame::Kind::Response ||
+                client->sent_at.empty()) {
+                // Not a response, or a response nothing asked for:
+                // the transport-level accounting is broken.
+                ++client->errors;
+            } else if (frame.code != net::kStatusOk) {
+                // Well-framed error status (e.g. a latched SP 800-90B
+                // health alarm on this session): the frame pairing is
+                // intact, the service refused the bits, and the daemon
+                // closes the connection behind this frame -- any still-
+                // pipelined requests are aborted, not lost.
+                ++client->service_errors;
+                client->session_failed = true;
+                if (verbose)
+                    std::fprintf(stderr,
+                                 "trng_loadgen: service error %u: "
+                                 "%.*s\n",
+                                 frame.code,
+                                 static_cast<int>(frame.payload.size()),
+                                 reinterpret_cast<const char *>(
+                                     frame.payload.data()));
+            } else if (frame.payload.size() != client->bytes) {
+                ++client->errors;
+                if (verbose)
+                    std::fprintf(stderr,
+                                 "trng_loadgen: short payload: %zu of "
+                                 "%u bytes\n",
+                                 frame.payload.size(), client->bytes);
+            } else {
+                const double ms =
+                    std::chrono::duration<double, std::milli>(
+                        Clock::now() - client->sent_at.front())
+                        .count();
+                result.classes[client->class_index]
+                    .latencies_ms.push_back(ms);
+                ++client->ok;
+                client->payload_bytes += frame.payload.size();
+            }
+            if (!client->sent_at.empty())
+                client->sent_at.pop_front();
+            ++client->received;
+            --client->outstanding;
+            refill(*client);
+            if (client->outstanding == 0 &&
+                (stop_issuing ||
+                 (client->target > 0 &&
+                  client->sent >=
+                      static_cast<std::uint64_t>(client->target)))) {
+                client->done = true;
+                conn.close("load complete");
+            }
+        };
+        callbacks.on_decode_error =
+            [&, client](net::Connection &conn, net::FrameDecoder::Error) {
+                ++client->errors;
+                conn.close("decode error");
+            };
+        callbacks.on_closed = [client](net::Connection &,
+                                       const std::string &reason) {
+            client->closed = true;
+            client->close_reason = reason;
+        };
+        client->conn->start(std::move(callbacks));
+    }
+
+    const Clock::time_point start = Clock::now();
+    const double run_s =
+        config.duration_s > 0 ? config.duration_s : 120.0;
+    const Clock::time_point deadline =
+        start + std::chrono::duration_cast<Clock::duration>(
+                    std::chrono::duration<double>(run_s));
+    const Clock::time_point drain_deadline =
+        deadline + std::chrono::seconds(15);
+
+    // Open-loop schedules: spread the first injections over one period
+    // so 500 connections do not fire in phase lockstep.
+    for (std::size_t i = 0; i < clients.size(); ++i) {
+        LoadClient &client = *clients[i];
+        if (client.open_rate > 0)
+            client.next_injection =
+                start + std::chrono::duration_cast<Clock::duration>(
+                            std::chrono::duration<double>(
+                                static_cast<double>(i) /
+                                (client.open_rate *
+                                 static_cast<double>(clients.size()))));
+        else
+            refill(client);
+    }
+
+    bool drained = true;
+    for (;;) {
+        loop.runOnce(1);
+        const Clock::time_point now = Clock::now();
+        if (!stop_issuing && config.duration_s > 0 && now >= deadline)
+            stop_issuing = true;
+
+        bool all_closed = true;
+        for (std::unique_ptr<LoadClient> &owned : clients) {
+            LoadClient &client = *owned;
+            if (client.closed)
+                continue;
+            all_closed = false;
+            if (!stop_issuing && client.open_rate > 0) {
+                while (client.next_injection <= now &&
+                       client.outstanding < 65536 &&
+                       (client.target == 0 ||
+                        client.sent < static_cast<std::uint64_t>(
+                                          client.target))) {
+                    issueOne(client);
+                    client.next_injection +=
+                        std::chrono::duration_cast<Clock::duration>(
+                            std::chrono::duration<double>(
+                                1.0 / client.open_rate));
+                }
+            }
+            if (stop_issuing && client.outstanding == 0) {
+                client.done = true;
+                client.conn->close("phase over");
+            }
+        }
+        if (all_closed)
+            break;
+        if (now >= drain_deadline) {
+            drained = false;
+            break;
+        }
+    }
+    result.elapsed_s = std::chrono::duration<double>(
+                           (config.duration_s > 0 ? deadline
+                                                  : Clock::now()) -
+                           start)
+                           .count();
+    if (config.duration_s == 0)
+        result.elapsed_s = std::chrono::duration<double>(Clock::now() -
+                                                         start)
+                               .count();
+
+    // Reconcile the 64-bit counters: every request got exactly one
+    // response, every payload had the requested length.
+    bool counters_ok = drained;
+    for (std::size_t ci = 0; ci < config.classes.size(); ++ci) {
+        ClassResult &cls = result.classes[ci];
+        // The fairness spread compares connections the service treated
+        // identically, so alarmed sessions (all-error tails) are left
+        // out of min/max.
+        std::uint64_t min_done = UINT64_MAX, max_done = 0;
+        for (const std::unique_ptr<LoadClient> &owned : clients) {
+            const LoadClient &client = *owned;
+            if (client.class_index != ci)
+                continue;
+            cls.sent += client.sent;
+            cls.received += client.received;
+            cls.ok += client.ok;
+            cls.payload_bytes += client.payload_bytes;
+            cls.errors += client.errors;
+            cls.service_errors += client.service_errors;
+            if (client.service_errors == 0) {
+                min_done = std::min(min_done, client.ok);
+                max_done = std::max(max_done, client.ok);
+            }
+            const bool was_ok = counters_ok;
+            if (client.errors > 0 ||
+                client.payload_bytes !=
+                    client.ok * static_cast<std::uint64_t>(
+                                    client.bytes))
+                counters_ok = false;
+            else if (client.session_failed) {
+                // The server dropped the connection after its error
+                // frame; requests pipelined behind it died announced.
+                if (client.received > client.sent || !client.closed)
+                    counters_ok = false;
+            } else if (client.received != client.sent ||
+                       !client.done) {
+                counters_ok = false;
+            }
+            if (verbose && was_ok && !counters_ok)
+                std::fprintf(
+                    stderr,
+                    "trng_loadgen: counter mismatch: sent %llu recv "
+                    "%llu ok %llu err %llu serr %llu done %d closed "
+                    "%d failed %d outstanding %ld (close: %s)\n",
+                    static_cast<unsigned long long>(client.sent),
+                    static_cast<unsigned long long>(client.received),
+                    static_cast<unsigned long long>(client.ok),
+                    static_cast<unsigned long long>(client.errors),
+                    static_cast<unsigned long long>(
+                        client.service_errors),
+                    client.done ? 1 : 0, client.closed ? 1 : 0,
+                    client.session_failed ? 1 : 0,
+                    client.outstanding,
+                    client.close_reason.c_str());
+        }
+        cls.min_per_conn = min_done == UINT64_MAX ? 0 : min_done;
+        cls.max_per_conn = max_done;
+    }
+    result.ok = counters_ok;
+    if (!drained)
+        result.error = "drain timeout: responses still outstanding";
+    else if (!counters_ok)
+        result.error = "frame accounting mismatch";
+    return result;
+}
+
+void
+printPhase(const char *title, const PhaseResult &result)
+{
+    std::printf("%s: %.2f s, %llu responses (%s)\n", title,
+                result.elapsed_s,
+                static_cast<unsigned long long>(result.totalReceived()),
+                result.ok ? "all frames accounted"
+                          : result.error.c_str());
+    for (const ClassResult &cls : result.classes) {
+        std::vector<double> lat = cls.latencies_ms;
+        std::printf(
+            "  %-10s %llu ok / %llu req (%llu transport err, %llu "
+            "service err), %.0f req/s, p50 %.2f ms, p99 %.2f ms, "
+            "per-conn %llu..%llu\n",
+            cls.label.c_str(),
+            static_cast<unsigned long long>(cls.ok),
+            static_cast<unsigned long long>(cls.received),
+            static_cast<unsigned long long>(cls.errors),
+            static_cast<unsigned long long>(cls.service_errors),
+            static_cast<double>(cls.ok) /
+                std::max(result.elapsed_s, 1e-9),
+            percentileMs(lat, 50), percentileMs(lat, 99),
+            static_cast<unsigned long long>(cls.min_per_conn),
+            static_cast<unsigned long long>(cls.max_per_conn));
+    }
+}
+
+int
+runBench(const Options &opts, int argc, char **argv)
+{
+    // Phase A: every connection unlimited (priority 1); proves the
+    // daemon sustains the full fleet with exact frame accounting.
+    PhaseConfig phase_a;
+    {
+        std::uint16_t port = 0;
+        net::parseHostPort(opts.tcp, phase_a.host, port);
+        phase_a.port = port;
+    }
+    phase_a.pipeline = opts.pipeline;
+    phase_a.duration_s = opts.duration_s > 0 ? opts.duration_s : 3.0;
+    ClassSpec unlimited;
+    unlimited.label = "unlimited";
+    unlimited.connections = opts.connections;
+    unlimited.priority = opts.priority;
+    unlimited.bytes = opts.bytes;
+    phase_a.classes.push_back(unlimited);
+
+    std::printf("trng_loadgen: phase A: %zu unlimited connections, "
+                "%u B requests, pipeline %d, %.1f s\n",
+                unlimited.connections, unlimited.bytes, opts.pipeline,
+                phase_a.duration_s);
+    const PhaseResult a = runPhase(phase_a, opts.verbose);
+    printPhase("phase A", a);
+    if (!a.error.empty() && a.totalReceived() == 0) {
+        std::fprintf(stderr, "trng_loadgen: %s\n", a.error.c_str());
+        return 1;
+    }
+
+    // Phase B: a smaller unlimited fleet plus a metered class the
+    // daemon caps via its [net.priority.N] token bucket.
+    PhaseConfig phase_b = phase_a;
+    phase_b.classes.clear();
+    ClassSpec mixed = unlimited;
+    mixed.connections = opts.mixed_connections;
+    phase_b.classes.push_back(mixed);
+    ClassSpec limited = unlimited;
+    limited.label = "limited";
+    limited.connections = opts.limited_connections;
+    limited.priority = opts.limited_priority;
+    phase_b.classes.push_back(limited);
+
+    std::printf("trng_loadgen: phase B: %zu unlimited + %zu limited "
+                "(priority %u) connections, %.1f s\n",
+                mixed.connections, limited.connections,
+                limited.priority, phase_b.duration_s);
+    const PhaseResult b = runPhase(phase_b, opts.verbose);
+    printPhase("phase B", b);
+
+    const ClassResult &cls_a = a.classes[0];
+    const ClassResult &cls_mixed = b.classes[0];
+    const ClassResult &cls_limited = b.classes[1];
+
+    const double requests_per_s =
+        static_cast<double>(cls_a.ok) / std::max(a.elapsed_s, 1e-9);
+    const double spread =
+        cls_a.min_per_conn > 0
+            ? static_cast<double>(cls_a.max_per_conn) /
+                  static_cast<double>(cls_a.min_per_conn)
+            : 0.0;
+    const double limited_per_conn_bits_per_s =
+        opts.limited_connections > 0
+            ? static_cast<double>(cls_limited.payload_bytes) * 8.0 /
+                  std::max(b.elapsed_s, 1e-9) /
+                  static_cast<double>(opts.limited_connections)
+            : 0.0;
+    // The cap holds when each metered connection's delivered rate is
+    // at (or under) its bucket rate, with slack for the initial burst
+    // amortized over the phase.
+    const bool limited_capped =
+        opts.limited_cap_bits_per_s <= 0 ||
+        limited_per_conn_bits_per_s <=
+            1.5 * opts.limited_cap_bits_per_s;
+    const bool frames_ok = a.ok && b.ok;
+
+    std::printf("bench: %.0f req/s over %zu connections, limited "
+                "class %.0f bits/s/conn (cap %.0f, %s)\n",
+                requests_per_s, unlimited.connections,
+                limited_per_conn_bits_per_s,
+                opts.limited_cap_bits_per_s,
+                limited_capped ? "capped" : "NOT capped");
+
+    bench::BenchReport report("service_tcp", argc, argv);
+    report.add("tcp_connections",
+               static_cast<double>(unlimited.connections), "count",
+               bench::BenchReport::Better::Higher);
+    report.add("tcp_requests_per_s", requests_per_s, "req/s",
+               bench::BenchReport::Better::Higher, /*host=*/true,
+               /*enforced=*/false);
+    report.add("tcp_p50_ms", percentileMs(cls_a.latencies_ms, 50),
+               "ms", bench::BenchReport::Better::Lower, /*host=*/true,
+               /*enforced=*/false);
+    report.add("tcp_p99_ms", percentileMs(cls_a.latencies_ms, 99),
+               "ms", bench::BenchReport::Better::Lower, /*host=*/true,
+               /*enforced=*/false);
+    report.add("tcp_conn_spread", spread, "x",
+               bench::BenchReport::Better::Lower, /*host=*/false,
+               /*enforced=*/false);
+    report.add("tcp_frames_ok", frames_ok ? 1.0 : 0.0, "bool",
+               bench::BenchReport::Better::Higher);
+    report.add("tcp_limited_bits_per_s", limited_per_conn_bits_per_s,
+               "bits/s", bench::BenchReport::Better::Lower,
+               /*host=*/true, /*enforced=*/false);
+    report.add("tcp_limited_capped", limited_capped ? 1.0 : 0.0,
+               "bool", bench::BenchReport::Better::Higher);
+    report.add("tcp_mixed_p99_ms",
+               percentileMs(cls_mixed.latencies_ms, 99), "ms",
+               bench::BenchReport::Better::Lower, /*host=*/true,
+               /*enforced=*/false);
+    // Health-alarm refusals; a service property, not a transport one.
+    report.add("tcp_service_errors",
+               static_cast<double>(cls_a.service_errors +
+                                   cls_mixed.service_errors +
+                                   cls_limited.service_errors),
+               "count", bench::BenchReport::Better::Lower,
+               /*host=*/false, /*enforced=*/false);
+    report.write();
+
+    return frames_ok ? 0 : 1;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    Options opts;
+    if (!parseArgs(argc, argv, opts)) {
+        usage(argv[0]);
+        return 2;
+    }
+    if (opts.bench && !opts.connections_set)
+        opts.connections = 512; // Acceptance floor is 500 concurrent.
+    if (opts.bench && !opts.pipeline_set)
+        opts.pipeline = 4;
+    raiseNofileLimit();
+
+    try {
+        if (opts.bench) {
+            return runBench(opts, argc, argv);
+        }
+
+        PhaseConfig phase;
+        std::uint16_t port = 0;
+        net::parseHostPort(opts.tcp, phase.host, port);
+        phase.port = port;
+        phase.pipeline = opts.pipeline;
+        phase.duration_s = opts.duration_s;
+        ClassSpec spec;
+        spec.label = "clients";
+        spec.connections = opts.connections;
+        spec.priority = opts.priority;
+        spec.bytes = opts.bytes;
+        spec.requests = opts.requests;
+        spec.open_rate = opts.open_rate;
+        phase.classes.push_back(spec);
+
+        const PhaseResult result = runPhase(phase, opts.verbose);
+        printPhase("load", result);
+        return result.ok ? 0 : 1;
+    } catch (const std::exception &e) {
+        std::fprintf(stderr, "trng_loadgen: %s\n", e.what());
+        return 1;
+    }
+}

@@ -1,7 +1,13 @@
 /**
  * @file
- * Wire protocol shared by trngd (daemon) and trng-cli (client): framed
- * entropy requests over a Unix-domain stream socket.
+ * Wire protocol shared by trngd (daemon), trng-cli, and trng_loadgen:
+ * framed entropy requests over a stream socket (Unix-domain or TCP).
+ *
+ * The frame layout, constants, and the incremental
+ * FrameDecoder/FrameEncoder now live in net/frame.hh -- this header
+ * re-exports them under the historical drange::tools names and keeps
+ * the small blocking readFull/writeFull helpers the synchronous
+ * client (trng-cli) still uses.
  *
  * Request frame, 8 bytes little-endian:
  *     'D' 'r' | uint16 priority | uint32 payload bytes requested
@@ -9,8 +15,10 @@
  * Response frame, 8 bytes little-endian, followed by the payload:
  *     'd' 'R' | uint16 status   | uint32 payload byte count
  *
- * status 0 is success (payload = entropy bytes); any other status is
- * an error (payload = UTF-8 message). A connection maps to one
+ * status 0 is success (payload = entropy bytes); status 2 is a
+ * protocol error (malformed or over-limit request -- the connection
+ * survives when the stream is still framed); any other status is a
+ * service error (payload = UTF-8 message). A connection maps to one
  * service session: the first request's priority opens it, later
  * requests reuse it, so fairness weights apply per client connection.
  */
@@ -21,34 +29,33 @@
 #include <cerrno>
 #include <cstddef>
 #include <cstdint>
-#include <cstring>
 
 #include <unistd.h>
 
+#include "net/frame.hh"
+
 namespace drange::tools {
 
-constexpr unsigned char kRequestMagic0 = 'D';
-constexpr unsigned char kRequestMagic1 = 'r';
-constexpr unsigned char kResponseMagic0 = 'd';
-constexpr unsigned char kResponseMagic1 = 'R';
+using net::kRequestMagic0;
+using net::kRequestMagic1;
+using net::kResponseMagic0;
+using net::kResponseMagic1;
 
-constexpr std::uint16_t kStatusOk = 0;
-constexpr std::uint16_t kStatusError = 1;
+using net::kStatusError;
+using net::kStatusOk;
+using net::kStatusProtocolError;
 
-constexpr std::size_t kFrameBytes = 8;
+constexpr std::size_t kFrameBytes = net::kHeaderBytes;
+
+using net::decode16;
+using net::decode32;
 
 /** Encode a request frame into @p out[kFrameBytes]. */
 inline void
 encodeRequest(unsigned char *out, std::uint16_t priority,
               std::uint32_t num_bytes)
 {
-    out[0] = kRequestMagic0;
-    out[1] = kRequestMagic1;
-    out[2] = static_cast<unsigned char>(priority & 0xff);
-    out[3] = static_cast<unsigned char>(priority >> 8);
-    for (int i = 0; i < 4; ++i)
-        out[4 + i] =
-            static_cast<unsigned char>((num_bytes >> (8 * i)) & 0xff);
+    net::encodeRequestHeader(out, priority, num_bytes);
 }
 
 /** Encode a response header into @p out[kFrameBytes]. */
@@ -56,30 +63,7 @@ inline void
 encodeResponse(unsigned char *out, std::uint16_t status,
                std::uint32_t payload_bytes)
 {
-    out[0] = kResponseMagic0;
-    out[1] = kResponseMagic1;
-    out[2] = static_cast<unsigned char>(status & 0xff);
-    out[3] = static_cast<unsigned char>(status >> 8);
-    for (int i = 0; i < 4; ++i)
-        out[4 + i] = static_cast<unsigned char>(
-            (payload_bytes >> (8 * i)) & 0xff);
-}
-
-inline std::uint16_t
-decode16(const unsigned char *in)
-{
-    return static_cast<std::uint16_t>(in[0] |
-                                      (static_cast<unsigned>(in[1])
-                                       << 8));
-}
-
-inline std::uint32_t
-decode32(const unsigned char *in)
-{
-    return static_cast<std::uint32_t>(in[0]) |
-           (static_cast<std::uint32_t>(in[1]) << 8) |
-           (static_cast<std::uint32_t>(in[2]) << 16) |
-           (static_cast<std::uint32_t>(in[3]) << 24);
+    net::encodeResponseHeader(out, status, payload_bytes);
 }
 
 /** read() until @p count bytes arrive. @return false on EOF/error. */

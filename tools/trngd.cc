@@ -1,70 +1,71 @@
 /**
  * @file
- * trngd: entropy-service daemon over a Unix-domain socket.
+ * trngd: entropy-service daemon over Unix-domain and/or TCP sockets.
  *
  * Parses an INI-style config file (Params::fromFile) into a
  * trng::Service pool spec, starts the service, and serves framed
- * entropy requests (see trng_proto.hh): each client connection gets
- * its own trng::Session whose priority comes from the client's first
- * request frame, so the service's deficit-round-robin fairness applies
- * per connection. The whole D-RaNGe stack is thereby drivable without
- * writing C++:
+ * entropy requests (see trng_proto.hh / net/frame.hh). Both transports
+ * run on one net::Server -- a single epoll event loop multiplexing
+ * every connection -- so thousands of clients cost neither a thread
+ * nor a blocking read each. Each client connection gets its own
+ * trng::Session whose priority comes from the client's first request
+ * frame, so the service's deficit-round-robin fairness applies per
+ * connection, and [net.priority.N] config sections can attach
+ * token-bucket quotas to individual priority classes. The whole
+ * D-RaNGe stack is thereby drivable without writing C++:
  *
- *     trngd tools/trngd.example.conf --socket /tmp/trngd.sock &
+ *     trngd tools/trngd.example.conf --socket /tmp/trngd.sock \
+ *           --tcp 127.0.0.1:7777 &
  *     trng-cli --socket /tmp/trngd.sock --bytes 32
+ *     trng-cli --tcp 127.0.0.1:7777 --bytes 32
  *
  * Config sections (see tools/trngd.example.conf):
- *   [trngd]    socket, max_request_bytes, accept_limit
+ *   [trngd]    socket, tcp, max_request_bytes, accept_limit
+ *   [net]      event-loop front-end: tcp_listen, connection caps,
+ *              default per-connection quota (ServerConfig::fromParams)
+ *   [net.priority.N]  quota override for priority class N
  *   [service]  reservoir/quantum/adaptive-chunking knobs
  *              (ServiceConfig::fromParams)
  *   [pool.X]   one pool member: source = <registry name> + its Params
  *   [session]  conditioning profile applied to every client session
  *
  * SIGINT/SIGTERM (or --accept-limit N, for scripted smoke tests) shut
- * the daemon down cleanly and print the final service statistics,
- * including quarantined pool members.
+ * the daemon down cleanly and print the final service and network
+ * statistics, including quarantined pool members.
  */
 
-#include <atomic>
 #include <csignal>
 #include <cstdio>
-#include <cstring>
+#include <cstdlib>
 #include <exception>
 #include <memory>
-#include <mutex>
 #include <string>
-#include <thread>
-#include <vector>
 
-#include <poll.h>
-#include <sys/socket.h>
-#include <sys/un.h>
-#include <unistd.h>
+#include <sys/resource.h>
 
+#include "net/listener.hh"
+#include "net/server.hh"
 #include "trng/service.hh"
 #include "trng_proto.hh"
-#include "util/bitstream.hh"
 
 using namespace drange;
 
 namespace {
 
-int g_signal_pipe[2] = {-1, -1};
+net::Server *g_server = nullptr;
 
 void
 onSignal(int)
 {
-    const char byte = 1;
-    // Best-effort wake of the accept loop; the return value only
-    // matters to -Wunused-result.
-    [[maybe_unused]] const ssize_t n =
-        ::write(g_signal_pipe[1], &byte, 1);
+    if (g_server)
+        g_server->stop(); // Atomic flag + eventfd write: signal-safe.
 }
 
 struct DaemonOptions
 {
     std::string config_path;
     std::string socket_path = "/tmp/trngd.sock";
+    std::string tcp_listen; //!< host:port; empty = TCP disabled.
     std::size_t max_request_bytes = 1u << 20;
     long accept_limit = 0; //!< 0 = serve until a signal arrives.
     bool verbose = false;
@@ -72,6 +73,7 @@ struct DaemonOptions
     // Command-line flags win over the [trngd] config section; these
     // record which flags were actually given.
     bool socket_set = false;
+    bool tcp_set = false;
     bool max_request_bytes_set = false;
     bool accept_limit_set = false;
 };
@@ -81,10 +83,12 @@ usage(const char *argv0)
 {
     std::fprintf(
         stderr,
-        "usage: %s <config-file> [--socket PATH] [--accept-limit N]\n"
-        "          [--max-request-bytes N] [--verbose]\n"
+        "usage: %s <config-file> [--socket PATH] [--tcp HOST:PORT]\n"
+        "          [--accept-limit N] [--max-request-bytes N] "
+        "[--verbose]\n"
         "Serve framed entropy requests from a trng::Service pool over "
-        "a Unix-domain socket.\n",
+        "a Unix-domain socket\nand/or TCP, multiplexed on one epoll "
+        "event loop.\n",
         argv0);
 }
 
@@ -102,6 +106,12 @@ parseArgs(int argc, char **argv, DaemonOptions &opts)
                 return false;
             opts.socket_path = v;
             opts.socket_set = true;
+        } else if (arg == "--tcp") {
+            const char *v = value();
+            if (!v)
+                return false;
+            opts.tcp_listen = v;
+            opts.tcp_set = true;
         } else if (arg == "--accept-limit") {
             const char *v = value();
             if (!v)
@@ -132,66 +142,6 @@ parseArgs(int argc, char **argv, DaemonOptions &opts)
     return !opts.config_path.empty();
 }
 
-/** Serve one client connection; owns @p fd. */
-void
-serveConnection(int fd, trng::Service &service,
-                const trng::SessionConfig &session_template,
-                const DaemonOptions &opts, int connection_id)
-{
-    trng::Session session;
-    unsigned char frame[tools::kFrameBytes];
-    while (tools::readFull(fd, frame, sizeof(frame))) {
-        if (frame[0] != tools::kRequestMagic0 ||
-            frame[1] != tools::kRequestMagic1) {
-            std::fprintf(stderr,
-                         "trngd: connection %d: bad request magic\n",
-                         connection_id);
-            break;
-        }
-        const std::uint16_t priority = tools::decode16(frame + 2);
-        const std::uint32_t num_bytes = tools::decode32(frame + 4);
-
-        std::uint16_t status = tools::kStatusOk;
-        std::string error;
-        util::BitStream bits;
-        try {
-            if (num_bytes > opts.max_request_bytes)
-                throw std::runtime_error(
-                    "request exceeds max_request_bytes = " +
-                    std::to_string(opts.max_request_bytes));
-            if (!session.isOpen()) {
-                trng::SessionConfig config = session_template;
-                config.priority = priority > 0 ? priority : 1;
-                session = service.open(config);
-            }
-            bits = session.read(static_cast<std::size_t>(num_bytes) *
-                                8);
-        } catch (const std::exception &e) {
-            status = tools::kStatusError;
-            error = e.what();
-        }
-
-        std::vector<std::uint8_t> payload =
-            status == tools::kStatusOk
-                ? bits.toBytesMsbFirst()
-                : std::vector<std::uint8_t>(error.begin(),
-                                            error.end());
-        unsigned char header[tools::kFrameBytes];
-        tools::encodeResponse(
-            header, status,
-            static_cast<std::uint32_t>(payload.size()));
-        if (!tools::writeFull(fd, header, sizeof(header)) ||
-            !tools::writeFull(fd, payload.data(), payload.size()))
-            break;
-        if (opts.verbose)
-            std::printf("trngd: connection %d: %u bytes (status %u)\n",
-                        connection_id, num_bytes, status);
-        if (status != tools::kStatusOk)
-            break; // The service refused; drop the connection.
-    }
-    ::close(fd);
-}
-
 void
 printStats(const trng::ServiceStats &stats)
 {
@@ -215,6 +165,28 @@ printStats(const trng::ServiceStats &stats)
                     member.quarantined ? ", QUARANTINED" : "");
 }
 
+void
+printNetStats(const net::ServerStats &stats)
+{
+    std::printf(
+        "trngd: %llu connections (%llu rejected), %llu requests, "
+        "%llu responses, %llu entropy bytes\n",
+        static_cast<unsigned long long>(stats.accepted),
+        static_cast<unsigned long long>(stats.rejected_accepts),
+        static_cast<unsigned long long>(stats.requests),
+        static_cast<unsigned long long>(stats.responses),
+        static_cast<unsigned long long>(stats.response_bytes));
+    std::printf(
+        "trngd: %llu protocol errors, %llu service errors, "
+        "%llu quota throttles, %llu backpressure stalls, "
+        "%llu read pauses\n",
+        static_cast<unsigned long long>(stats.protocol_errors),
+        static_cast<unsigned long long>(stats.service_errors),
+        static_cast<unsigned long long>(stats.quota_throttles),
+        static_cast<unsigned long long>(stats.backpressure_stalls),
+        static_cast<unsigned long long>(stats.read_pauses));
+}
+
 } // namespace
 
 int
@@ -226,7 +198,17 @@ main(int argc, char **argv)
         return 2;
     }
 
+    // Hundreds of client connections need more than the distro-default
+    // 1024-fd soft limit. Best effort.
+    rlimit rl{};
+    if (::getrlimit(RLIMIT_NOFILE, &rl) == 0 &&
+        rl.rlim_cur < rl.rlim_max) {
+        rl.rlim_cur = rl.rlim_max > 65536 ? 65536 : rl.rlim_max;
+        ::setrlimit(RLIMIT_NOFILE, &rl);
+    }
+
     trng::SessionConfig session_template;
+    net::ServerConfig server_config;
     std::unique_ptr<trng::Service> service;
     try {
         const trng::Params config =
@@ -235,6 +217,7 @@ main(int argc, char **argv)
         // Always read every [trngd] key (so rejectUnknown below stays
         // accurate), but command-line flags win over the config file.
         const std::string config_socket = daemon.getString("socket");
+        const std::string config_tcp = daemon.getString("tcp");
         const auto config_max_bytes = static_cast<std::size_t>(
             daemon.getInt("max_request_bytes",
                           static_cast<std::int64_t>(
@@ -243,11 +226,27 @@ main(int argc, char **argv)
             daemon.getInt("accept_limit", 0);
         if (!opts.socket_set && !config_socket.empty())
             opts.socket_path = config_socket;
+        if (!opts.tcp_set && !config_tcp.empty())
+            opts.tcp_listen = config_tcp;
         if (!opts.max_request_bytes_set)
             opts.max_request_bytes = config_max_bytes;
         if (!opts.accept_limit_set)
             opts.accept_limit = config_accept_limit;
         daemon.rejectUnknown("trngd config [trngd]");
+
+        server_config =
+            net::ServerConfig::fromParams(config.section("net"));
+        server_config.unix_path = opts.socket_path;
+        server_config.max_request_bytes = opts.max_request_bytes;
+        server_config.accept_limit = opts.accept_limit;
+        server_config.verbose = opts.verbose;
+        if (!opts.tcp_listen.empty()) {
+            // --tcp / [trngd] tcp wins over [net] tcp_listen.
+            std::uint16_t port = 0;
+            net::parseHostPort(opts.tcp_listen,
+                               server_config.tcp_host, port);
+            server_config.tcp_port = port;
+        }
 
         session_template.conditioning =
             config.section("session").getList("conditioning");
@@ -265,111 +264,42 @@ main(int argc, char **argv)
         return 1;
     }
 
-    if (::pipe(g_signal_pipe) != 0) {
-        std::perror("trngd: pipe");
-        return 1;
-    }
-    std::signal(SIGINT, onSignal);
-    std::signal(SIGTERM, onSignal);
-    std::signal(SIGPIPE, SIG_IGN);
-
-    const int listen_fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
-    if (listen_fd < 0) {
-        std::perror("trngd: socket");
-        return 1;
-    }
-    ::unlink(opts.socket_path.c_str());
-    sockaddr_un addr{};
-    addr.sun_family = AF_UNIX;
-    if (opts.socket_path.size() >= sizeof(addr.sun_path)) {
-        std::fprintf(stderr, "trngd: socket path too long\n");
-        return 1;
-    }
-    std::strncpy(addr.sun_path, opts.socket_path.c_str(),
-                 sizeof(addr.sun_path) - 1);
-    if (::bind(listen_fd, reinterpret_cast<sockaddr *>(&addr),
-               sizeof(addr)) != 0 ||
-        ::listen(listen_fd, 64) != 0) {
-        std::perror("trngd: bind/listen");
-        return 1;
-    }
-    std::printf("trngd: serving on %s%s\n", opts.socket_path.c_str(),
-                opts.accept_limit > 0 ? " (bounded accept)" : "");
-    std::fflush(stdout);
-
-    // One thread per live connection; finished threads are reaped on
-    // the next accept so a long-running daemon does not accumulate
-    // joinable thread handles. The fd stays recorded so shutdown can
-    // ::shutdown() it and unblock a handler parked in readFull().
-    struct Connection
+    int exit_code = 0;
     {
-        std::thread thread;
-        std::shared_ptr<std::atomic<bool>> done;
-        int fd;
-    };
-    std::vector<Connection> connections;
-    const auto reap = [&connections] {
-        for (auto it = connections.begin();
-             it != connections.end();) {
-            if (it->done->load()) {
-                it->thread.join();
-                it = connections.erase(it);
-            } else {
-                ++it;
-            }
+        net::Server server(*service, server_config, session_template);
+        try {
+            server.start();
+        } catch (const std::exception &e) {
+            std::fprintf(stderr, "trngd: %s\n", e.what());
+            return 1;
         }
-    };
 
-    long accepted = 0;
-    bool signalled = false;
-    for (;;) {
-        if (opts.accept_limit > 0 && accepted >= opts.accept_limit)
-            break;
-        pollfd fds[2] = {{listen_fd, POLLIN, 0},
-                         {g_signal_pipe[0], POLLIN, 0}};
-        if (::poll(fds, 2, -1) < 0) {
-            if (errno == EINTR)
-                continue;
-            std::perror("trngd: poll");
-            break;
-        }
-        if (fds[1].revents != 0) {
-            std::printf("trngd: signal received, shutting down\n");
-            signalled = true;
-            break;
-        }
-        if (fds[0].revents == 0)
-            continue;
-        const int fd = ::accept(listen_fd, nullptr, nullptr);
-        if (fd < 0)
-            continue;
-        reap();
-        ++accepted;
-        auto done = std::make_shared<std::atomic<bool>>(false);
-        std::thread thread([fd, done, &service, &session_template,
-                            &opts, id = accepted] {
-            serveConnection(fd, *service, session_template, opts,
-                            static_cast<int>(id));
-            done->store(true);
-        });
-        connections.push_back(
-            Connection{std::move(thread), std::move(done), fd});
+        g_server = &server;
+        std::signal(SIGINT, onSignal);
+        std::signal(SIGTERM, onSignal);
+        std::signal(SIGPIPE, SIG_IGN);
+
+        std::printf("trngd: serving on %s", opts.socket_path.c_str());
+        if (server_config.tcp_port >= 0)
+            std::printf(" and tcp %s:%u",
+                        server_config.tcp_host.empty()
+                            ? "*"
+                            : server_config.tcp_host.c_str(),
+                        static_cast<unsigned>(server.tcpPort()));
+        std::printf("%s\n", opts.accept_limit > 0
+                                ? " (bounded accept)"
+                                : "");
+        std::fflush(stdout);
+
+        server.run();
+        std::printf("trngd: shutting down\n");
+        g_server = nullptr;
+        std::signal(SIGINT, SIG_DFL);
+        std::signal(SIGTERM, SIG_DFL);
+
+        printNetStats(server.stats());
     }
-
-    ::close(listen_fd);
-    // On a signal, unblock handlers parked on idle client sockets so
-    // the join below cannot hang on a client that never disconnects
-    // (the fd may already be closed by a finished handler — harmless
-    // EBADF). On a completed --accept-limit, in-flight connections
-    // get to finish: their clients disconnect when done.
-    if (signalled)
-        for (auto &connection : connections)
-            if (!connection.done->load())
-                ::shutdown(connection.fd, SHUT_RDWR);
-    for (auto &connection : connections)
-        connection.thread.join();
     printStats(service->stats());
     service->close();
-    ::unlink(opts.socket_path.c_str());
-    return 0;
+    return exit_code;
 }
