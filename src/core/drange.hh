@@ -144,6 +144,9 @@ class DRangeTrng
 
     const GenerationStats &lastStats() const { return stats_; }
     ctrl::CommandScheduler &scheduler() { return *scheduler_; }
+    /** The simulated device this engine samples (environment controls
+     * like DramDevice::setTemperature live there). */
+    dram::DramDevice &device() { return device_; }
     const DRangeConfig &config() const { return config_; }
     const DataPattern &pattern() const { return pattern_; }
 

@@ -98,7 +98,7 @@ DramDevice::applyRetention(int bank, int row, RowData &data, double now_ns)
     // generous VRT allowance) outlives the gap, nothing can have
     // decayed and the per-bit scan (and its noise draws) is skipped.
     if (elapsed_s <
-        model_.rowRetentionFloorSeconds(bank, row, temperature_c_)) {
+        model_.rowRetentionFloorSeconds(bank, row, temperature())) {
         data.last_refresh_ns = now_ns;
         return;
     }
@@ -115,7 +115,7 @@ DramDevice::applyRetention(int bank, int row, RowData &data, double now_ns)
             charged &= charged - 1;
             const long long col = static_cast<long long>(w) * 64 + b;
             const CellAddress addr{bank, row, col};
-            double t_ret = model_.retentionSeconds(addr, temperature_c_);
+            double t_ret = model_.retentionSeconds(addr, temperature());
             // Variable retention time: per-trial lognormal jitter.
             t_ret *= std::pow(10.0, vrt * noise_.nextGaussian());
             if (elapsed_s > t_ret) {
@@ -167,7 +167,7 @@ DramDevice::buildContext(int bank, int row, long long column, bool stored,
 {
     SenseContext ctx;
     ctx.stored = stored;
-    ctx.temperature_c = temperature_c_;
+    ctx.temperature_c = temperature();
 
     // Physical neighbours: same-row adjacent bitlines and adjacent rows
     // on the same bitline. Rows are pre-materialized by the caller.
@@ -203,12 +203,12 @@ DramDevice::buildContext(int bank, int row, long long column, bool stored,
 bool
 DramDevice::weakOnly(double elapsed_ns)
 {
-    if (elapsed_ns != screen_elapsed_ns_ ||
-        temperature_c_ != screen_temp_c_) {
+    const double temp_c = temperature();
+    if (elapsed_ns != screen_elapsed_ns_ || temp_c != screen_temp_c_) {
         screen_elapsed_ns_ = elapsed_ns;
-        screen_temp_c_ = temperature_c_;
+        screen_temp_c_ = temp_c;
         screen_weak_only_ =
-            model_.strongColumnCeiling(elapsed_ns, temperature_c_) <
+            model_.strongColumnCeiling(elapsed_ns, temp_c) <
             kNegligibleFailureProb;
     }
     return screen_weak_only_;
@@ -296,7 +296,7 @@ DramDevice::read(double now_ns, int bank, int word)
     }
 
     auto &op = model_.operatingPoint(bank, subarray, elapsed_ns,
-                                     temperature_c_);
+                                     temperature());
     const int row_in = row % config_.profile.subarray_rows;
     const long long base = static_cast<long long>(word) * 64;
 

@@ -22,6 +22,7 @@
 #ifndef DRANGE_DRAM_DEVICE_HH
 #define DRANGE_DRAM_DEVICE_HH
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <vector>
@@ -101,8 +102,20 @@ class DramDevice
     // Environment controls.
     // ------------------------------------------------------------------
 
-    void setTemperature(double celsius) { temperature_c_ = celsius; }
-    double temperature() const { return temperature_c_; }
+    /**
+     * Ambient temperature. The setter may be called from a different
+     * thread than the one driving commands (the fault injector's
+     * temperature events fire while streaming producers sample);
+     * readers pick the new value up at their next operation.
+     */
+    void setTemperature(double celsius)
+    {
+        temperature_c_.store(celsius, std::memory_order_relaxed);
+    }
+    double temperature() const
+    {
+        return temperature_c_.load(std::memory_order_relaxed);
+    }
 
     /**
      * Model auto-refresh. When enabled (default), rows never decay; when
@@ -170,7 +183,7 @@ class DramDevice
     util::Xoshiro256ss noise_;
     std::vector<BankState> banks_;
     DeviceCounters counters_;
-    double temperature_c_;
+    std::atomic<double> temperature_c_;
     bool auto_refresh_ = true;
     double global_refresh_ns_ = 0.0;
     std::uint64_t startup_epoch_ = 0;

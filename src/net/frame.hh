@@ -15,7 +15,9 @@
  * service-side failure (payload = UTF-8 message), kStatusProtocolError
  * a rejected request (malformed, or larger than the daemon's
  * max_request_bytes); after a protocol error on an oversized-but-
- * well-framed request the connection stays usable.
+ * well-framed request the connection stays usable. kStatusBusy is
+ * load shedding (payload = retry-after hint, see decodeBusyRetryMs);
+ * the connection stays open and the client retries later.
  *
  * FrameDecoder is built for non-blocking transports: feed() it
  * whatever bytes recv() produced -- a lone byte, half a header, three
@@ -45,6 +47,13 @@ constexpr unsigned char kResponseMagic1 = 'R';
 constexpr std::uint16_t kStatusOk = 0;
 constexpr std::uint16_t kStatusError = 1;         //!< Service failed.
 constexpr std::uint16_t kStatusProtocolError = 2; //!< Request refused.
+/** Request shed under degraded mode (reservoir starved or too much of
+ * the pool quarantined): the server answers instead of queueing
+ * unboundedly, the connection stays open, and the client should retry
+ * after the hinted delay. Payload = 4-byte LE retry-after in ms. */
+constexpr std::uint16_t kStatusBusy = 3;
+
+constexpr std::size_t kBusyPayloadBytes = 4;
 
 constexpr std::size_t kHeaderBytes = 8;
 
@@ -102,6 +111,25 @@ encodeResponseHeader(unsigned char *out, std::uint16_t status,
     for (int i = 0; i < 4; ++i)
         out[4 + i] = static_cast<unsigned char>(
             (payload_bytes >> (8 * i)) & 0xff);
+}
+
+/** Encode a kStatusBusy payload into @p out[kBusyPayloadBytes]. */
+inline void
+encodeBusyPayload(unsigned char *out, std::uint32_t retry_after_ms)
+{
+    for (int i = 0; i < 4; ++i)
+        out[i] = static_cast<unsigned char>(
+            (retry_after_ms >> (8 * i)) & 0xff);
+}
+
+/** Retry-after hint from a kStatusBusy response payload; 0 when the
+ * payload is too short (retry immediately, at the client's option). */
+inline std::uint32_t
+decodeBusyRetryMs(const std::vector<std::uint8_t> &payload)
+{
+    if (payload.size() < kBusyPayloadBytes)
+        return 0;
+    return decode32(payload.data());
 }
 
 /** Appends wire-encoded frames to caller-owned byte buffers. */

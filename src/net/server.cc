@@ -4,6 +4,7 @@
 #include <cerrno>
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <stdexcept>
 #include <utility>
@@ -100,6 +101,30 @@ ServerConfig::fromParams(const trng::Params &net)
     config.sndbuf_bytes = static_cast<int>(sndbuf);
 
     config.quota = quotaFrom(net, config.quota, "[net]");
+
+    const auto fraction = [&net](const char *key, double fallback) {
+        const double value = net.getDouble(key, fallback);
+        if (value < 0 || value > 1)
+            throw std::invalid_argument(std::string("[net] ") + key +
+                                        " must be in [0, 1]");
+        return value;
+    };
+    config.degraded_low_watermark = fraction(
+        "degraded_low_watermark", config.degraded_low_watermark);
+    config.degraded_quarantine_fraction =
+        fraction("degraded_quarantine_fraction",
+                 config.degraded_quarantine_fraction);
+    const auto positiveMs = [&net](const char *key, int fallback) {
+        const std::int64_t value = net.getInt(key, fallback);
+        if (value <= 0)
+            throw std::invalid_argument(
+                std::string("[net] ") + key + " must be positive");
+        return static_cast<int>(value);
+    };
+    config.degraded_retry_ms =
+        positiveMs("degraded_retry_ms", config.degraded_retry_ms);
+    config.degraded_escalation_ms = positiveMs(
+        "degraded_escalation_ms", config.degraded_escalation_ms);
 
     for (const std::string &name : net.sections("priority")) {
         const std::string id = name.substr(std::strlen("priority."));
@@ -208,9 +233,77 @@ Server::sweepTimeoutMs() const
 }
 
 void
+Server::updateDegraded(std::uint64_t now_ns)
+{
+    const bool fill_gate = config_.degraded_low_watermark > 0;
+    const bool pool_gate = config_.degraded_quarantine_fraction > 0;
+    if (!fill_gate && !pool_gate)
+        return;
+
+    if (now_ns >= next_health_poll_ns_) {
+        // Rate-limit the Service stats snapshot: it takes every shard
+        // lock, so polling it each epoll iteration would contend with
+        // the producers for no fresher an answer.
+        next_health_poll_ns_ = now_ns + 20'000'000ULL;
+        const trng::ServiceStats health = service_.stats();
+        pool_collapsed_ = health.healthy_members == 0;
+
+        bool degraded = false;
+        if (pool_gate && !health.members.empty()) {
+            const double quarantined =
+                static_cast<double>(health.quarantined_members) /
+                static_cast<double>(health.members.size());
+            degraded |= quarantined >=
+                        config_.degraded_quarantine_fraction;
+        }
+        if (fill_gate && health.reservoir_capacity > 0 &&
+            total_pending_ + total_in_flight_ > 0) {
+            // Starvation means "demand waits on an empty pool", not
+            // merely "the pool is low": an idle server with a drained
+            // reservoir is not degraded.
+            const double fill =
+                static_cast<double>(health.reservoir_bits) /
+                static_cast<double>(health.reservoir_capacity);
+            degraded |= fill < config_.degraded_low_watermark;
+        }
+
+        if (degraded && !degraded_) {
+            shed_threshold_ = 1; // Lowest class first.
+            next_escalation_ns_ =
+                now_ns + static_cast<std::uint64_t>(
+                             config_.degraded_escalation_ms) *
+                             1'000'000ULL;
+        } else if (!degraded) {
+            shed_threshold_ = 0;
+        }
+        if (degraded != degraded_) {
+            degraded_ = degraded;
+            std::lock_guard<std::mutex> lock(stats_mu_);
+            stats_.degraded = degraded_;
+        }
+    }
+
+    if (degraded_ && now_ns >= next_escalation_ns_) {
+        next_escalation_ns_ =
+            now_ns + static_cast<std::uint64_t>(
+                         config_.degraded_escalation_ms) *
+                         1'000'000ULL;
+        // The highest class seen keeps being served unless the pool
+        // has collapsed outright -- then nothing can be served and
+        // every class gets the retry hint.
+        const int cap = pool_collapsed_
+                            ? max_priority_seen_
+                            : std::max(1, max_priority_seen_ - 1);
+        if (shed_threshold_ < cap)
+            ++shed_threshold_;
+    }
+}
+
+void
 Server::sweep()
 {
     const std::uint64_t now = nowNs();
+    updateDegraded(now);
     for (auto &entry : clients_) {
         Client &client = *entry.second;
         if (client.dead)
@@ -379,6 +472,7 @@ Server::openSession(Client &client, int priority)
     client.session = service_.open(config);
     client.session_open = true;
     client.priority = priority;
+    max_priority_seen_ = std::max(max_priority_seen_, priority);
     const auto it = config_.priority_quota.find(priority);
     client.quota = it != config_.priority_quota.end() ? it->second
                                                       : config_.quota;
@@ -402,6 +496,25 @@ Server::admitPending(Client &client, std::uint64_t now_ns)
             return; // Slow reader; re-admit once the queue drains.
         }
         client.stalled = false;
+
+        if (degraded_ && client.priority <= shed_threshold_) {
+            // Degraded mode: answer with a retry hint *now* instead
+            // of queueing against a pool that cannot serve. The shed
+            // marker takes the request's FIFO slot in in_flight so
+            // responses still complete strictly in request order; no
+            // quota tokens are consumed by a shed request.
+            client.pending.pop_front();
+            --total_pending_;
+            InFlight shed;
+            shed.busy = true;
+            client.in_flight.push_back(std::move(shed));
+            ++total_in_flight_;
+            {
+                std::lock_guard<std::mutex> lock(stats_mu_);
+                ++stats_.busy_sheds;
+            }
+            continue;
+        }
 
         if (client.outstanding_bytes > 0 &&
             client.outstanding_bytes + bytes >
@@ -457,6 +570,22 @@ Server::drainReady(Client &client)
     while (!client.in_flight.empty() && !client.dead &&
            !client.conn->closing()) {
         InFlight &head = client.in_flight.front();
+        if (head.busy) {
+            unsigned char hint[kBusyPayloadBytes];
+            encodeBusyPayload(hint, static_cast<std::uint32_t>(
+                                        config_.degraded_retry_ms));
+            std::vector<std::uint8_t> out;
+            FrameEncoder::appendResponse(out, kStatusBusy, hint,
+                                         sizeof(hint));
+            {
+                std::lock_guard<std::mutex> lock(stats_mu_);
+                ++stats_.responses;
+            }
+            client.in_flight.pop_front();
+            --total_in_flight_;
+            client.conn->send(std::move(out));
+            continue;
+        }
         if (head.future.wait_for(0s) != std::future_status::ready)
             return; // Later futures complete after the head (FIFO).
 

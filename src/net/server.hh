@@ -36,6 +36,13 @@
  *    once a connection queues max_pending_requests unadmitted
  *    requests, pushing the flood back into the peer's TCP window.
  *
+ * Degraded mode (opt-in, see ServerConfig): when the Service reports
+ * a starving reservoir or a mostly-quarantined pool, low-priority
+ * requests are answered with kStatusBusy (retry-after hint) at
+ * admission time instead of queueing unboundedly. Shed responses flow
+ * through the same in-flight queue as real reads, so the strict
+ * request-order response guarantee is preserved.
+ *
  * The loop thread owns all state; stop() (async-signal-safe wakeup)
  * and stats() are the only cross-thread entry points.
  */
@@ -98,6 +105,24 @@ struct ServerConfig
     std::map<int, QuotaConfig> priority_quota; //!< Per-priority tiers.
 
     /**
+     * Degraded mode (both triggers default off). When the entropy
+     * pool is unhealthy the server sheds low-priority requests with a
+     * kStatusBusy frame (retry-after hint attached) instead of
+     * queueing them unboundedly; shedding starts at priority 1 and
+     * widens one priority class per degraded_escalation_ms while the
+     * condition persists, sparing the highest priority seen unless
+     * the pool has collapsed entirely (no healthy members left).
+     */
+    /** Shed when the reservoir fill fraction drops below this while
+     * requests are waiting. 0 disables the starvation trigger. */
+    double degraded_low_watermark = 0.0;
+    /** Shed when at least this fraction of pool members is
+     * quarantined. 0 disables the quarantine trigger. */
+    double degraded_quarantine_fraction = 0.0;
+    int degraded_retry_ms = 100;      //!< Retry-after hint in frames.
+    int degraded_escalation_ms = 250; //!< Shed-band widening period.
+
+    /**
      * Parse a `[net]` config section (hand in
      * params.section("net")): tcp_listen = host:port,
      * max_connections, max_output_queue_bytes, max_pending_requests,
@@ -131,6 +156,10 @@ struct ServerStats
                                            //!< queue (slow reader).
     std::uint64_t read_pauses = 0; //!< EPOLLIN dropped on a flooding
                                    //!< connection.
+
+    bool degraded = false;        //!< Currently shedding low-priority
+                                  //!< load (see ServerConfig).
+    std::uint64_t busy_sheds = 0; //!< Requests answered kStatusBusy.
 };
 
 class Server
@@ -167,6 +196,9 @@ class Server
     {
         std::future<util::BitStream> future;
         std::uint32_t bytes = 0;
+        /** Shed marker: no Service read was submitted; drainReady
+         * emits a kStatusBusy frame in FIFO position instead. */
+        bool busy = false;
     };
 
     struct Client
@@ -205,6 +237,10 @@ class Server
     /** Graceful drop: flush, half-close, linger-bounded. */
     void closeSoon(Client &client, const std::string &reason);
 
+    /** Re-evaluate degraded mode from Service health (rate-limited
+     * stats poll) and escalate the shed band while it persists. */
+    void updateDegraded(std::uint64_t now_ns);
+
     /** Per-iteration bookkeeping run between epoll waits. */
     void sweep();
     /** Poll timeout for the next runOnce, from pending work. */
@@ -225,6 +261,14 @@ class Server
     std::size_t total_pending_ = 0;
     long accepted_ = 0;
     bool started_ = false;
+
+    // Degraded-mode state (loop thread only).
+    bool degraded_ = false;
+    bool pool_collapsed_ = false; //!< No healthy member left at all.
+    int shed_threshold_ = 0;      //!< Shed priorities <= this.
+    int max_priority_seen_ = 1;
+    std::uint64_t next_health_poll_ns_ = 0;
+    std::uint64_t next_escalation_ns_ = 0;
 
     mutable std::mutex stats_mu_;
     ServerStats stats_;

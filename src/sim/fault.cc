@@ -1,0 +1,386 @@
+#include "sim/fault.hh"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <stdexcept>
+#include <thread>
+#include <utility>
+
+namespace drange::sim {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/** Slice for interruptible sleeps: long stalls stay responsive to
+ * stop() (service shutdown joins the worker driving us). */
+constexpr double kSleepSliceMs = 2.0;
+
+double
+requirePositive(double value, const std::string &context)
+{
+    if (!(value > 0.0))
+        throw std::invalid_argument(context + " must be > 0");
+    return value;
+}
+
+double
+requireNonNegative(double value, const std::string &context)
+{
+    if (!(value >= 0.0))
+        throw std::invalid_argument(context + " must be >= 0");
+    return value;
+}
+
+} // anonymous namespace
+
+FaultKind
+FaultPlan::kindFromName(const std::string &name)
+{
+    if (name == "temp_step")
+        return FaultKind::TempStep;
+    if (name == "temp_ramp")
+        return FaultKind::TempRamp;
+    if (name == "bias")
+        return FaultKind::Bias;
+    if (name == "stuck")
+        return FaultKind::Stuck;
+    if (name == "stall")
+        return FaultKind::Stall;
+    if (name == "crash")
+        return FaultKind::Crash;
+    if (name == "latency")
+        return FaultKind::Latency;
+    throw std::invalid_argument(
+        "faults: unknown kind \"" + name +
+        "\" (known: temp_step, temp_ramp, bias, stuck, stall, crash, "
+        "latency)");
+}
+
+std::string
+FaultPlan::kindName(FaultKind kind)
+{
+    switch (kind) {
+    case FaultKind::TempStep: return "temp_step";
+    case FaultKind::TempRamp: return "temp_ramp";
+    case FaultKind::Bias: return "bias";
+    case FaultKind::Stuck: return "stuck";
+    case FaultKind::Stall: return "stall";
+    case FaultKind::Crash: return "crash";
+    case FaultKind::Latency: return "latency";
+    }
+    return "?";
+}
+
+FaultPlan
+FaultPlan::fromParams(const trng::Params &faults)
+{
+    FaultPlan plan;
+    plan.seed = static_cast<std::uint64_t>(faults.getInt("seed", 1));
+    plan.baseline_c = faults.getDouble("baseline_c", plan.baseline_c);
+    plan.monitor = faults.getBool("monitor", plan.monitor);
+    plan.monitor_config = trng::HealthTestConfig::fromParams(faults);
+
+    // Every dotted key names an event section; plain keys are the
+    // plan-level knobs consumed above.
+    std::vector<std::string> names;
+    for (const std::string &key : faults.keys()) {
+        const auto dot = key.find('.');
+        if (dot == std::string::npos)
+            continue;
+        const std::string name = key.substr(0, dot);
+        if (names.empty() || names.back() != name)
+            names.push_back(name); // keys() is sorted.
+    }
+
+    for (const std::string &name : names) {
+        const trng::Params ev = faults.section(name);
+        const std::string context = "faults." + name;
+        FaultEvent event;
+        event.label = name;
+        const std::string kind = ev.getString("kind");
+        if (kind.empty())
+            throw std::invalid_argument(context + ": missing kind");
+        event.kind = kindFromName(kind);
+        event.at_ms = requireNonNegative(ev.getDouble("at_ms", 0.0),
+                                         context + ".at_ms");
+        switch (event.kind) {
+        case FaultKind::TempStep:
+            event.temperature_c = ev.getDouble("temperature_c",
+                                               plan.baseline_c);
+            break;
+        case FaultKind::TempRamp:
+            event.temperature_c = ev.getDouble("temperature_c",
+                                               plan.baseline_c);
+            event.from_c = ev.getDouble("from_c", event.from_c);
+            event.duration_ms = requirePositive(
+                ev.getDouble("duration_ms", 0.0),
+                context + ".duration_ms");
+            break;
+        case FaultKind::Bias:
+            event.bias = ev.getDouble("bias", 1.0);
+            if (event.bias < 0.0 || event.bias > 1.0)
+                throw std::invalid_argument(context +
+                                            ".bias must be in [0, 1]");
+            event.value = static_cast<int>(ev.getInt("value", 1));
+            event.sticky = ev.getBool("sticky", false);
+            event.duration_ms = requirePositive(
+                ev.getDouble("duration_ms", 0.0),
+                context + ".duration_ms");
+            break;
+        case FaultKind::Stuck:
+            event.value = static_cast<int>(ev.getInt("value", 0));
+            event.duration_ms = requirePositive(
+                ev.getDouble("duration_ms", 0.0),
+                context + ".duration_ms");
+            break;
+        case FaultKind::Stall:
+            event.duration_ms = requirePositive(
+                ev.getDouble("duration_ms", 0.0),
+                context + ".duration_ms");
+            break;
+        case FaultKind::Crash:
+            break;
+        case FaultKind::Latency:
+            event.delay_ms = requirePositive(
+                ev.getDouble("delay_ms", 0.0), context + ".delay_ms");
+            event.duration_ms = requirePositive(
+                ev.getDouble("duration_ms", 0.0),
+                context + ".duration_ms");
+            break;
+        }
+        if (event.value != 0 && event.value != 1)
+            throw std::invalid_argument(context +
+                                        ".value must be 0 or 1");
+        ev.rejectUnknown(context);
+        plan.events.push_back(std::move(event));
+    }
+
+    std::stable_sort(plan.events.begin(), plan.events.end(),
+                     [](const FaultEvent &a, const FaultEvent &b) {
+                         return a.at_ms < b.at_ms;
+                     });
+    return plan;
+}
+
+FaultInjector::FaultInjector(std::unique_ptr<trng::EntropySource> inner,
+                             FaultPlan plan)
+    : inner_(std::move(inner)), plan_(std::move(plan)),
+      states_(plan_.events.size()), rng_(plan_.seed)
+{
+    if (!inner_)
+        throw std::invalid_argument("FaultInjector: null inner source");
+    if (plan_.monitor)
+        monitor_ = std::make_unique<trng::HealthTestStage>(
+            plan_.monitor_config);
+}
+
+void
+FaultInjector::setClock(std::function<double()> now_ms)
+{
+    clock_ = std::move(now_ms);
+    clock_started_ = true;
+}
+
+double
+FaultInjector::nowMs()
+{
+    if (!clock_started_) {
+        // Zero the scenario clock at the first chunk boundary, after
+        // the inner source finished profiling/warmup, so at_ms offsets
+        // schedule against serving time.
+        const Clock::time_point epoch = Clock::now();
+        clock_ = [epoch] {
+            return std::chrono::duration<double, std::milli>(
+                       Clock::now() - epoch)
+                .count();
+        };
+        clock_started_ = true;
+    }
+    return clock_();
+}
+
+void
+FaultInjector::forwardTemperature(double celsius)
+{
+    inner_->setTemperature(celsius);
+    applied_temp_c_.store(celsius, std::memory_order_relaxed);
+}
+
+void
+FaultInjector::applyEnvironment(double t_ms)
+{
+    for (std::size_t i = 0; i < plan_.events.size(); ++i) {
+        const FaultEvent &ev = plan_.events[i];
+        EventState &st = states_[i];
+        if (st.finished || t_ms < ev.at_ms)
+            continue;
+        if (ev.kind == FaultKind::TempStep) {
+            forwardTemperature(ev.temperature_c);
+            st.started = st.finished = true;
+        } else if (ev.kind == FaultKind::TempRamp) {
+            const double from = std::isnan(ev.from_c) ? plan_.baseline_c
+                                                      : ev.from_c;
+            const double frac =
+                std::min(1.0, (t_ms - ev.at_ms) / ev.duration_ms);
+            forwardTemperature(from +
+                               (ev.temperature_c - from) * frac);
+            st.started = true;
+            st.finished = frac >= 1.0;
+        }
+    }
+}
+
+void
+FaultInjector::applyCrash(double t_ms)
+{
+    for (std::size_t i = 0; i < plan_.events.size(); ++i) {
+        const FaultEvent &ev = plan_.events[i];
+        EventState &st = states_[i];
+        if (ev.kind != FaultKind::Crash || st.started ||
+            t_ms < ev.at_ms)
+            continue;
+        st.started = st.finished = true;
+        throw std::runtime_error("fault \"" + ev.label +
+                                 "\": scripted crash");
+    }
+}
+
+double
+FaultInjector::applyStall(double t_ms)
+{
+    for (std::size_t i = 0; i < plan_.events.size(); ++i) {
+        const FaultEvent &ev = plan_.events[i];
+        if (ev.kind != FaultKind::Stall)
+            continue;
+        const double end = ev.at_ms + ev.duration_ms;
+        if (t_ms < ev.at_ms || t_ms >= end)
+            continue;
+        states_[i].started = true;
+        sleepMs(end - t_ms);
+        states_[i].finished = true;
+        t_ms = nowMs();
+    }
+    return t_ms;
+}
+
+void
+FaultInjector::applyLatency(double t_ms)
+{
+    for (const FaultEvent &ev : plan_.events) {
+        if (ev.kind != FaultKind::Latency)
+            continue;
+        if (t_ms >= ev.at_ms && t_ms < ev.at_ms + ev.duration_ms)
+            sleepMs(ev.delay_ms);
+    }
+}
+
+void
+FaultInjector::applyOutput(util::BitStream &chunk, double t_ms)
+{
+    for (std::size_t i = 0; i < plan_.events.size(); ++i) {
+        const FaultEvent &ev = plan_.events[i];
+        if (ev.kind != FaultKind::Stuck && ev.kind != FaultKind::Bias)
+            continue;
+        const double end = ev.at_ms + ev.duration_ms;
+        const bool active =
+            t_ms >= ev.at_ms &&
+            (t_ms < end || (ev.kind == FaultKind::Bias && ev.sticky));
+        if (!active)
+            continue;
+        states_[i].started = true;
+        if (t_ms >= end)
+            states_[i].finished = !ev.sticky;
+
+        const std::size_t bits = chunk.size();
+        std::vector<std::uint64_t> words = chunk.words();
+        if (ev.kind == FaultKind::Stuck) {
+            const std::uint64_t fill =
+                ev.value ? ~std::uint64_t{0} : 0;
+            std::fill(words.begin(), words.end(), fill);
+        } else {
+            // Aging-style drift: each bit is forced toward ev.value
+            // with probability ramping 0 -> bias over the window
+            // (sticky drift holds at the peak afterwards).
+            const double frac = std::min(1.0, (t_ms - ev.at_ms) /
+                                                  ev.duration_ms);
+            const double p = ev.bias * frac;
+            std::bernoulli_distribution corrupt(p);
+            for (std::uint64_t &word : words) {
+                std::uint64_t mask = 0;
+                for (int b = 0; b < 64; ++b)
+                    if (corrupt(rng_))
+                        mask |= std::uint64_t{1} << b;
+                word = ev.value ? (word | mask) : (word & ~mask);
+            }
+        }
+        util::BitStream out;
+        out.appendWords(words, bits);
+        chunk = std::move(out);
+        corrupted_chunks_.fetch_add(1, std::memory_order_relaxed);
+    }
+}
+
+void
+FaultInjector::sleepMs(double ms)
+{
+    while (ms > 0.0 && !stopping_.load(std::memory_order_relaxed)) {
+        const double slice = std::min(ms, kSleepSliceMs);
+        std::this_thread::sleep_for(
+            std::chrono::duration<double, std::milli>(slice));
+        ms -= slice;
+    }
+}
+
+util::BitStream
+FaultInjector::generate(std::size_t num_bits)
+{
+    const double t = nowMs();
+    applyEnvironment(t);
+    applyCrash(t);
+    util::BitStream bits = inner_->generate(num_bits);
+    applyOutput(bits, t);
+    return bits;
+}
+
+void
+FaultInjector::startContinuous()
+{
+    stopping_.store(false, std::memory_order_relaxed);
+    if (monitor_)
+        monitor_->reset(); // Probation re-runs the gates from scratch.
+    inner_->startContinuous();
+}
+
+std::optional<util::BitStream>
+FaultInjector::nextChunk()
+{
+    double t = nowMs();
+    applyEnvironment(t);
+    applyCrash(t);
+    t = applyStall(t);
+    std::optional<util::BitStream> chunk = inner_->nextChunk();
+    if (!chunk)
+        return chunk;
+    applyLatency(t);
+    applyOutput(*chunk, t);
+    if (monitor_)
+        (void)monitor_->process(*chunk);
+    return chunk;
+}
+
+void
+FaultInjector::stop()
+{
+    stopping_.store(true, std::memory_order_relaxed);
+    inner_->stop();
+}
+
+bool
+FaultInjector::healthy() const
+{
+    return inner_->healthy() && (!monitor_ || monitor_->healthy());
+}
+
+} // namespace drange::sim

@@ -1,0 +1,213 @@
+/**
+ * @file
+ * Deterministic fault injection for entropy sources.
+ *
+ * Real DRAM entropy degrades in ways a clean simulation never shows:
+ * temperature excursions move the activation-failure thresholds the
+ * weak-cell profile was built against, aging drifts cell bias, and the
+ * machine hosting a pool member can stall or die outright. The service
+ * layer grew detection (SP 800-90B health gates) and recovery
+ * (quarantine -> probation -> reinstate, degraded mode) for exactly
+ * these events -- this file provides the events.
+ *
+ * A FaultPlan is a seeded, time-scheduled list of FaultEvents parsed
+ * from a `faults.*` Params section. FaultInjector wraps any
+ * trng::EntropySource (trng::Registry::make wraps automatically when a
+ * source's params carry a faults section, so every pool member of a
+ * trngd config can be faulted without code changes) and applies the
+ * plan at chunk boundaries on the thread driving nextChunk():
+ *
+ *  - temp_step / temp_ramp: drive EntropySource::setTemperature, which
+ *    reaches the simulated device's CellModel temperature path -- the
+ *    physics then degrades for real.
+ *  - bias / stuck: corrupt the source's *output* (aging-style drift
+ *    toward a value, or a hard stuck-at), below the injector's own
+ *    health monitor so the corruption is observable exactly the way a
+ *    real post-source monitor would see it.
+ *  - stall / crash / latency: operational faults -- block through the
+ *    window, throw once, or delay each chunk.
+ *
+ * Everything is deterministic given the plan seed and the fault clock;
+ * tests replace the clock via setClock() to script exact timelines.
+ */
+
+#ifndef DRANGE_SIM_FAULT_HH
+#define DRANGE_SIM_FAULT_HH
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <memory>
+#include <optional>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "trng/entropy_source.hh"
+#include "trng/health.hh"
+#include "trng/params.hh"
+
+namespace drange::sim {
+
+enum class FaultKind {
+    TempStep,  //!< Set device temperature to temperature_c at at_ms.
+    TempRamp,  //!< Linear ramp from_c -> temperature_c over the window.
+    Bias,      //!< Drift output bits toward `value` (aging model).
+    Stuck,     //!< Output stuck at `value` for the window.
+    Stall,     //!< nextChunk blocks until the window ends.
+    Crash,     //!< nextChunk throws once at the first boundary >= at_ms.
+    Latency,   //!< Each chunk in the window is delayed delay_ms.
+};
+
+/** One scheduled fault. Times are milliseconds on the injector's fault
+ * clock, which starts at the first chunk the wrapped source delivers
+ * (i.e. after profiling/warmup, so schedules line up with serving). */
+struct FaultEvent
+{
+    FaultKind kind = FaultKind::TempStep;
+    std::string label;          //!< Config section name, for messages.
+    double at_ms = 0.0;         //!< Window start.
+    double duration_ms = 0.0;   //!< Window length (step/crash: unused).
+    double temperature_c = 0.0; //!< Step/ramp target.
+    /** Ramp start; NaN means the plan's baseline_c. */
+    double from_c = std::numeric_limits<double>::quiet_NaN();
+    double bias = 1.0;          //!< Peak per-bit corruption probability.
+    int value = 0;              //!< Stuck/bias direction (0 or 1).
+    double delay_ms = 0.0;      //!< Latency added per chunk.
+    bool sticky = false;        //!< Bias persists after the window.
+};
+
+/** A seeded schedule of faults for one source. */
+struct FaultPlan
+{
+    std::uint64_t seed = 1;     //!< Drives the bias corruption RNG.
+    double baseline_c = 45.0;   //!< Ramp start when from_c is unset.
+    bool monitor = true;        //!< Health-gate the post-fault output.
+    trng::HealthTestConfig monitor_config{};
+    std::vector<FaultEvent> events; //!< Sorted by (at_ms, label).
+
+    bool empty() const { return events.empty(); }
+
+    /**
+     * Parse a `faults` sub-bag: top-level keys `seed`, `baseline_c`,
+     * `monitor`, `health_min_entropy`, `health_alpha`, `health_window`;
+     * each named sub-section is one event:
+     *
+     *     faults.seed = 7
+     *     faults.hot.kind = temp_ramp
+     *     faults.hot.at_ms = 2000
+     *     faults.hot.duration_ms = 1500
+     *     faults.hot.temperature_c = 90
+     *
+     * @throws std::invalid_argument on unknown kinds/keys or
+     *         out-of-domain values.
+     */
+    static FaultPlan fromParams(const trng::Params &faults);
+
+    /** "temp_step" -> TempStep, ...; throws on unknown names. */
+    static FaultKind kindFromName(const std::string &name);
+    static std::string kindName(FaultKind kind);
+};
+
+/**
+ * EntropySource decorator applying a FaultPlan to the wrapped source.
+ *
+ * All fault application happens on the thread driving nextChunk() /
+ * generate() (the same thread-affinity contract the EntropySource
+ * health verdict already carries). healthy() combines the inner
+ * source's verdict with the injector's own output monitor, so stuck-at
+ * and bias corruption -- which the inner source's internal gates never
+ * see -- still latch an alarm the service can quarantine on.
+ * startContinuous() resets the monitor (a probation restart re-runs
+ * the health gates from scratch); one-shot event state (crash fired,
+ * step applied) persists across restarts so scenarios do not replay.
+ */
+class FaultInjector final : public trng::EntropySource
+{
+  public:
+    FaultInjector(std::unique_ptr<trng::EntropySource> inner,
+                  FaultPlan plan);
+
+    /** Replace the fault clock (ms since scenario start). Call before
+     * the first chunk; the default clock is the host steady clock,
+     * zeroed at the first nextChunk()/generate(). */
+    void setClock(std::function<double()> now_ms);
+
+    const FaultPlan &plan() const { return plan_; }
+    trng::EntropySource &inner() { return *inner_; }
+
+    /** Chunks whose bits were corrupted (stuck/bias) so far. */
+    std::uint64_t corruptedChunks() const
+    {
+        return corrupted_chunks_.load(std::memory_order_relaxed);
+    }
+    /** Last temperature forwarded to the inner source (NaN: none). */
+    double appliedTemperatureC() const
+    {
+        return applied_temp_c_.load(std::memory_order_relaxed);
+    }
+
+    // EntropySource ----------------------------------------------------
+    const trng::SourceInfo &info() const override
+    {
+        return inner_->info();
+    }
+    util::BitStream generate(std::size_t num_bits) override;
+    void startContinuous() override;
+    std::optional<util::BitStream> nextChunk() override;
+    void stop() override;
+    trng::SourceStats stats() const override { return inner_->stats(); }
+    std::size_t chunkBits() const override { return inner_->chunkBits(); }
+    void setChunkBits(std::size_t bits) override
+    {
+        inner_->setChunkBits(bits);
+    }
+    bool healthy() const override;
+    trng::BackpressureStats backpressure() const override
+    {
+        return inner_->backpressure();
+    }
+    void setTemperature(double celsius) override
+    {
+        inner_->setTemperature(celsius);
+    }
+
+  private:
+    struct EventState
+    {
+        bool started = false;  //!< Window entered (one-shots: fired).
+        bool finished = false; //!< Window left (final value applied).
+    };
+
+    double nowMs();
+    /** Temperature events: forward step/ramp values due at @p t_ms. */
+    void applyEnvironment(double t_ms);
+    /** Throw for a due crash event (once). */
+    void applyCrash(double t_ms);
+    /** Sleep out an active stall window; returns the updated clock. */
+    double applyStall(double t_ms);
+    /** Sleep an active latency spike's delay. */
+    void applyLatency(double t_ms);
+    /** Corrupt @p chunk per the stuck/bias events active at @p t_ms. */
+    void applyOutput(util::BitStream &chunk, double t_ms);
+    void forwardTemperature(double celsius);
+    /** Responsive sleep: returns early once stop() is called. */
+    void sleepMs(double ms);
+
+    std::unique_ptr<trng::EntropySource> inner_;
+    FaultPlan plan_;
+    std::vector<EventState> states_;
+    std::unique_ptr<trng::HealthTestStage> monitor_;
+    std::mt19937_64 rng_;
+    std::function<double()> clock_;
+    bool clock_started_ = false;
+    std::atomic<bool> stopping_{false};
+    std::atomic<std::uint64_t> corrupted_chunks_{0};
+    std::atomic<double> applied_temp_c_{
+        std::numeric_limits<double>::quiet_NaN()};
+};
+
+} // namespace drange::sim
+
+#endif // DRANGE_SIM_FAULT_HH

@@ -147,6 +147,16 @@ class EntropySource
      * sources without an internal pipeline queue). */
     virtual BackpressureStats backpressure() const { return {}; }
 
+    /**
+     * Environment control: ambient temperature of the simulated
+     * device(s) behind this source. Default no-op for mechanisms
+     * without a device model. Unlike the rest of the interface this is
+     * safe to call while a session is open, from any thread -- devices
+     * latch the value at their next operation. sim::FaultInjector's
+     * temperature events drive this.
+     */
+    virtual void setTemperature(double celsius) { (void)celsius; }
+
   protected:
     /** Chunk size served by the default generate()-backed session. */
     std::size_t continuousChunkBits() const

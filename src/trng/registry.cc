@@ -4,6 +4,8 @@
 #include <stdexcept>
 #include <utility>
 
+#include "sim/fault.hh"
+
 namespace drange::trng {
 
 namespace detail {
@@ -72,7 +74,20 @@ Registry::make(const std::string &name, const Params &params)
         throw std::invalid_argument(
             "Registry: unknown entropy source \"" + name +
             "\" (registered: " + knownNames() + ")");
-    return it->second.factory(params);
+    // A `faults.*` section wraps any source in the deterministic fault
+    // injector. Peeling it here (section() marks the prefixed keys
+    // consumed) keeps every factory's rejectUnknown() oblivious, so
+    // fault schedules attach to all sources without per-source code.
+    const Params faults = params.section("faults");
+    const bool faulted = !faults.keys().empty();
+    sim::FaultPlan plan;
+    if (faulted)
+        plan = sim::FaultPlan::fromParams(faults);
+    std::unique_ptr<EntropySource> source = it->second.factory(params);
+    if (faulted)
+        source = std::make_unique<sim::FaultInjector>(std::move(source),
+                                                      std::move(plan));
+    return source;
 }
 
 std::vector<std::string>

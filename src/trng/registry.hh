@@ -46,6 +46,12 @@ class Registry
 
     /**
      * Build the source registered under @p name.
+     *
+     * When @p params carries a `faults.*` section the built source is
+     * wrapped in a sim::FaultInjector applying that schedule (see
+     * src/sim/fault.hh); the section never reaches the factory, so any
+     * registered source is faultable without per-source support.
+     *
      * @throws std::invalid_argument for an unknown name (the message
      *         lists every registered name) or bad Params.
      */

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 #include <stdexcept>
+#include <thread>
 #include <utility>
 
 #include "trng/registry.hh"
@@ -126,6 +127,24 @@ ServiceConfig::fromParams(const Params &params)
         badConfig("[service] conditioning_workers must be >= 0 (got " +
                   std::to_string(cond_workers) + ")");
     cfg.conditioning_workers = static_cast<int>(cond_workers);
+    cfg.reinstate = service.getBool("reinstate", cfg.reinstate);
+    const std::int64_t delay = service.getInt(
+        "probation_delay_ms",
+        static_cast<std::int64_t>(cfg.probation_delay_ms));
+    if (delay < 0)
+        badConfig("[service] probation_delay_ms must be >= 0 (got " +
+                  std::to_string(delay) + ")");
+    cfg.probation_delay_ms = static_cast<int>(delay);
+    cfg.probation_windows = static_cast<int>(positiveSize(
+        service, "probation_windows",
+        static_cast<std::size_t>(cfg.probation_windows)));
+    const std::int64_t max_attempts = service.getInt(
+        "max_probation_attempts",
+        static_cast<std::int64_t>(cfg.max_probation_attempts));
+    if (max_attempts < 0)
+        badConfig("[service] max_probation_attempts must be >= 0 "
+                  "(got " + std::to_string(max_attempts) + ")");
+    cfg.max_probation_attempts = static_cast<int>(max_attempts);
     service.rejectUnknown("trng::Service config [service]");
 
     for (const std::string &name : params.sections("pool")) {
@@ -226,89 +245,263 @@ Service::~Service()
     close();
 }
 
+std::unique_lock<std::mutex>
+Service::fairLock(const Shard &shard)
+{
+    shard.lock_waiters.fetch_add(1, std::memory_order_acq_rel);
+    std::unique_lock<std::mutex> lock(shard.mu, std::try_to_lock);
+    while (!lock.owns_lock()) {
+        std::this_thread::sleep_for(std::chrono::microseconds(100));
+        (void)lock.try_lock();
+    }
+    shard.lock_waiters.fetch_sub(1, std::memory_order_acq_rel);
+    return lock;
+}
+
+void
+Service::yieldToWaiters(const Shard &shard,
+                        std::unique_lock<std::mutex> &lock)
+{
+    if (shard.lock_waiters.load(std::memory_order_acquire) == 0)
+        return;
+    // Unlocking wakes one parked waiter, but it still has to be
+    // scheduled before it can take the mutex; sleeping unlocked keeps
+    // this thread from snatching it back first.
+    lock.unlock();
+    std::this_thread::sleep_for(std::chrono::microseconds(100));
+    lock.lock();
+}
+
 void
 Service::workerLoop(std::size_t member_idx)
 {
     Member &m = *members_[member_idx];
     Shard &home = *shards_[m.shard];
-    bool quarantine = false;
-    try {
-        m.source->startContinuous();
-        int since_adapt = 0;
-        for (;;) {
-            if (closing_.load(std::memory_order_acquire))
-                break;
-            std::optional<util::BitStream> chunk =
-                m.source->nextChunk();
-            if (!chunk)
-                break; // Source exhausted or stopped.
-            if (!m.source->healthy()) {
-                // SP 800-90B alarm: the bits that tripped it are
-                // suspect, so the alarming chunk is dropped with the
-                // member.
-                quarantine = true;
-                break;
-            }
-            if (chunk->empty())
-                continue;
 
-            std::size_t new_chunk_bits = 0;
-            {
-                std::unique_lock<std::mutex> lock(home.mu);
-                if (!home.reservoir.empty() &&
-                    home.reservoir.size() + chunk->size() >
-                        home.capacity_bits) {
-                    // Backpressure: hold the chunk until clients make
-                    // room (a chunk larger than the shard's share of
-                    // the reservoir is admitted alone).
-                    ++home.producer_waits;
-                    home.space_cv.wait(lock, [&] {
-                        return closing_.load(
-                                   std::memory_order_acquire) ||
-                               home.reservoir.empty() ||
-                               home.reservoir.size() + chunk->size() <=
-                                   home.capacity_bits;
-                    });
-                }
-                if (closing_.load(std::memory_order_acquire))
-                    break;
-                const std::size_t pushed = chunk->size();
-                home.reservoir.push(std::move(*chunk));
-                home.high_watermark = std::max(home.high_watermark,
-                                               home.reservoir.size());
-                home.harvested_bits += pushed;
-                ++m.chunks;
-                m.bits += pushed;
-                if (config_.adaptive_chunking &&
-                    ++since_adapt >= config_.adapt_interval_chunks) {
-                    since_adapt = 0;
-                    new_chunk_bits = adaptedChunkBits(home, m);
-                }
-                home.work_cv.notify_one();
-            }
-            // Applied outside the shard lock: only this worker
-            // touches its source, so no lock is needed.
-            if (new_chunk_bits != 0)
-                m.source->setChunkBits(new_chunk_bits);
+    // Every dispatcher may need to re-evaluate on a lifecycle edge
+    // (fail requests once the last worker anywhere stops; resume
+    // serving on a reinstatement), not just the home shard's.
+    auto notifyDispatchers = [this] {
+        for (const auto &shard : shards_) {
+            const std::unique_lock<std::mutex> lock = fairLock(*shard);
+            shard->work_cv.notify_all();
         }
-    } catch (...) {
-        // A source that dies mid-session is handled like a tripped
-        // one: quarantine it and fail over to the remaining members.
-        quarantine = true;
-    }
+    };
 
-    {
-        std::lock_guard<std::mutex> lock(home.mu);
-        m.quarantined = m.quarantined || quarantine;
-        m.done = true;
+    bool need_start = true;
+    for (;;) {
+        bool quarantine = false;
+        try {
+            if (need_start) {
+                m.source->startContinuous();
+                need_start = false;
+            }
+            quarantine = !pumpMember(m, home);
+        } catch (...) {
+            // A source that dies mid-session is handled like a
+            // tripped one: quarantine it and fail over to the
+            // remaining members.
+            quarantine = true;
+        }
+
+        if (!quarantine || closing_.load(std::memory_order_acquire)) {
+            // Clean end: exhausted/stopped. The member was serving,
+            // so it still counts against live_workers_.
+            {
+                const std::unique_lock<std::mutex> lock = fairLock(home);
+                m.done = true;
+            }
+            live_workers_.fetch_sub(1, std::memory_order_acq_rel);
+            notifyDispatchers();
+            return;
+        }
+
+        // SP 800-90B alarm (or source death): the bits that tripped
+        // it are suspect, so the alarming chunk was dropped with the
+        // member. A quarantined member does not count as a live
+        // worker; with the lifecycle enabled it counts as recovering
+        // *before* live_workers_ drops, so the dispatchers never see
+        // both counters at zero and fail reads that a reinstatement
+        // would have served.
+        {
+            const std::unique_lock<std::mutex> lock = fairLock(home);
+            m.quarantined = true;
+            ++m.quarantines;
+        }
+        if (config_.reinstate)
+            recovering_workers_.fetch_add(1, std::memory_order_acq_rel);
+        live_workers_.fetch_sub(1, std::memory_order_acq_rel);
+        notifyDispatchers();
+
+        if (!config_.reinstate || !runProbation(m, home)) {
+            // Permanent quarantine (lifecycle disabled, attempts
+            // exhausted, or the service is closing). Already
+            // subtracted from live_workers_ above.
+            {
+                const std::unique_lock<std::mutex> lock = fairLock(home);
+                m.probation = false;
+                m.done = true;
+            }
+            if (config_.reinstate)
+                recovering_workers_.fetch_sub(1,
+                                              std::memory_order_acq_rel);
+            notifyDispatchers();
+            return;
+        }
+
+        // Clean probation: rejoin the pool and keep pumping the
+        // probation attempt's (still open, still clean) session.
+        // live_workers_ rises before recovering_workers_ drops, again
+        // keeping the dispatchers' (live + recovering) view nonzero.
+        {
+            const std::unique_lock<std::mutex> lock = fairLock(home);
+            m.quarantined = false;
+            m.probation = false;
+            ++m.reinstatements;
+        }
+        live_workers_.fetch_add(1, std::memory_order_acq_rel);
+        recovering_workers_.fetch_sub(1, std::memory_order_acq_rel);
+        notifyDispatchers();
     }
-    live_workers_.fetch_sub(1, std::memory_order_acq_rel);
-    // Every dispatcher may need to re-evaluate (fail requests once the
-    // last worker anywhere stops), not just the home shard's.
-    for (const auto &shard : shards_) {
-        std::lock_guard<std::mutex> lock(shard->mu);
-        shard->work_cv.notify_all();
+}
+
+bool
+Service::pumpMember(Member &m, Shard &home)
+{
+    int since_adapt = 0;
+    for (;;) {
+        if (closing_.load(std::memory_order_acquire))
+            return true;
+        std::optional<util::BitStream> chunk = m.source->nextChunk();
+        if (!chunk)
+            return true; // Source exhausted or stopped.
+        if (!m.source->healthy())
+            return false; // Alarm: drop the chunk, quarantine.
+        if (chunk->empty())
+            continue;
+
+        std::size_t new_chunk_bits = 0;
+        {
+            std::unique_lock<std::mutex> lock = fairLock(home);
+            if (!home.reservoir.empty() &&
+                home.reservoir.size() + chunk->size() >
+                    home.capacity_bits) {
+                // Backpressure: hold the chunk until clients make
+                // room (a chunk larger than the shard's share of
+                // the reservoir is admitted alone).
+                ++home.producer_waits;
+                // Counted across the wait: every wake re-acquires the
+                // mutex, and those re-acquisitions must not lose to
+                // the dispatcher's serve loop forever either.
+                home.lock_waiters.fetch_add(1, std::memory_order_acq_rel);
+                home.space_cv.wait(lock, [&] {
+                    return closing_.load(std::memory_order_acquire) ||
+                           home.reservoir.empty() ||
+                           home.reservoir.size() + chunk->size() <=
+                               home.capacity_bits;
+                });
+                home.lock_waiters.fetch_sub(1, std::memory_order_acq_rel);
+            }
+            if (closing_.load(std::memory_order_acquire))
+                return true;
+            const std::size_t pushed = chunk->size();
+            home.reservoir.push(std::move(*chunk));
+            home.high_watermark = std::max(home.high_watermark,
+                                           home.reservoir.size());
+            home.harvested_bits += pushed;
+            ++m.chunks;
+            m.bits += pushed;
+            if (config_.adaptive_chunking &&
+                ++since_adapt >= config_.adapt_interval_chunks) {
+                since_adapt = 0;
+                new_chunk_bits = adaptedChunkBits(home, m);
+            }
+            home.work_cv.notify_one();
+        }
+        // Applied outside the shard lock: only this worker touches
+        // its source, so no lock is needed.
+        if (new_chunk_bits != 0)
+            m.source->setChunkBits(new_chunk_bits);
     }
+}
+
+bool
+Service::sleepUnlessClosing(int ms) const
+{
+    const auto deadline = std::chrono::steady_clock::now() +
+                          std::chrono::milliseconds(ms);
+    while (std::chrono::steady_clock::now() < deadline) {
+        if (closing_.load(std::memory_order_acquire))
+            return false;
+        std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+    return !closing_.load(std::memory_order_acquire);
+}
+
+bool
+Service::runProbation(Member &m, Shard &home)
+{
+    int attempts = 0;
+    while (!closing_.load(std::memory_order_acquire)) {
+        // Drop the alarmed session, cool off, then re-profile: for a
+        // streaming source startContinuous() relaunches the producers
+        // and resets every conditioning/health stage, so the gates
+        // judge the post-restart stream from scratch.
+        try {
+            m.source->stop();
+        } catch (...) {
+            // The session being torn down owns its producer errors.
+        }
+        if (!sleepUnlessClosing(config_.probation_delay_ms))
+            return false;
+        ++attempts;
+        {
+            const std::unique_lock<std::mutex> lock = fairLock(home);
+            m.probation = true;
+            ++m.probation_attempts;
+        }
+        bool clean = true;
+        int windows = 0;
+        try {
+            m.source->startContinuous();
+            while (windows < config_.probation_windows) {
+                if (closing_.load(std::memory_order_acquire))
+                    return false;
+                std::optional<util::BitStream> chunk =
+                    m.source->nextChunk();
+                if (!chunk) {
+                    clean = false; // Died mid-probation.
+                    break;
+                }
+                // Probation output is counted but *discarded*: none
+                // of it ever reaches the reservoir.
+                {
+                    const std::unique_lock<std::mutex> lock = fairLock(home);
+                    ++m.probation_chunks;
+                    m.probation_bits += chunk->size();
+                }
+                if (!m.source->healthy()) {
+                    clean = false; // Relapse: re-quarantine.
+                    break;
+                }
+                ++windows;
+            }
+        } catch (...) {
+            clean = false;
+        }
+        if (closing_.load(std::memory_order_acquire))
+            return false;
+        if (clean)
+            return true;
+        {
+            const std::unique_lock<std::mutex> lock = fairLock(home);
+            m.probation = false;
+        }
+        if (config_.max_probation_attempts > 0 &&
+            attempts >= config_.max_probation_attempts)
+            return false;
+    }
+    return false;
 }
 
 std::size_t
@@ -347,8 +540,8 @@ Service::dispatcherLoop(std::size_t shard_idx)
     Shard &sh = *shards_[shard_idx];
     std::unique_lock<std::mutex> lock(sh.mu);
     while (!closing_.load(std::memory_order_acquire)) {
-        while (serveRound(sh)) {
-        }
+        while (serveRound(sh))
+            yieldToWaiters(sh, lock);
 
         if (sh.pending_requests == 0) {
             sh.work_cv.wait(lock, [&] {
@@ -383,7 +576,8 @@ Service::dispatcherLoop(std::size_t shard_idx)
             steals_in_flight_.fetch_sub(1, std::memory_order_acq_rel);
         }
 
-        if (live_workers_.load(std::memory_order_acquire) == 0) {
+        if (live_workers_.load(std::memory_order_acquire) == 0 &&
+            recovering_workers_.load(std::memory_order_acquire) == 0) {
             lock.unlock();
             const bool exhausted = supplyExhausted();
             lock.lock();
@@ -435,7 +629,7 @@ Service::stealFor(std::size_t home_idx, std::size_t max_bits)
     for (std::size_t v = 0; v < shards_.size(); ++v) {
         if (v == home_idx)
             continue;
-        std::lock_guard<std::mutex> lock(shards_[v]->mu);
+        const std::unique_lock<std::mutex> lock = fairLock(*shards_[v]);
         if (shards_[v]->reservoir.size() > best_size) {
             best_size = shards_[v]->reservoir.size();
             best = v;
@@ -445,7 +639,7 @@ Service::stealFor(std::size_t home_idx, std::size_t max_bits)
         return {};
 
     Shard &victim = *shards_[best];
-    std::lock_guard<std::mutex> lock(victim.mu);
+    const std::unique_lock<std::mutex> lock = fairLock(victim);
     const std::size_t avail = victim.reservoir.size();
     if (avail == 0)
         return {};
@@ -477,7 +671,7 @@ Service::supplyExhausted() const
             steal_generation_.load(std::memory_order_acquire);
         bool all_empty = true;
         for (const auto &shard : shards_) {
-            std::lock_guard<std::mutex> lock(shard->mu);
+            const std::unique_lock<std::mutex> lock = fairLock(*shard);
             if (!shard->reservoir.empty()) {
                 all_empty = false;
                 break;
@@ -620,7 +814,7 @@ Service::open(SessionConfig config)
                        1, std::memory_order_relaxed) %
                    shards_.size();
     Shard &sh = *shards_[state->shard];
-    std::lock_guard<std::mutex> lock(sh.mu);
+    const std::unique_lock<std::mutex> lock = fairLock(sh);
     if (closing_.load(std::memory_order_acquire))
         throw std::logic_error("Service::open: service is closed");
     sh.sessions.emplace(state->id, state);
@@ -636,7 +830,7 @@ Service::submit(const std::shared_ptr<detail::SessionState> &state,
     std::future<util::BitStream> future = req->promise.get_future();
 
     Shard &sh = *shards_[state->shard];
-    std::lock_guard<std::mutex> lock(sh.mu);
+    const std::unique_lock<std::mutex> lock = fairLock(sh);
     if (closing_.load(std::memory_order_acquire) || !state->open) {
         req->promise.set_exception(std::make_exception_ptr(
             std::runtime_error("entropy service session is closed")));
@@ -664,7 +858,8 @@ SessionStats
 Service::sessionStats(
     const std::shared_ptr<detail::SessionState> &state) const
 {
-    std::lock_guard<std::mutex> lock(shards_[state->shard]->mu);
+    const std::unique_lock<std::mutex> lock =
+        fairLock(*shards_[state->shard]);
     SessionStats out;
     out.id = state->id;
     out.priority = state->weight;
@@ -683,7 +878,7 @@ Service::closeSession(
     const std::shared_ptr<detail::SessionState> &state)
 {
     Shard &sh = *shards_[state->shard];
-    std::lock_guard<std::mutex> lock(sh.mu);
+    const std::unique_lock<std::mutex> lock = fairLock(sh);
     if (!state->open)
         return;
     state->open = false;
@@ -703,7 +898,8 @@ Service::stats() const
     ServiceStats out;
     out.members.reserve(members_.size());
     for (const auto &member : members_) {
-        std::lock_guard<std::mutex> lock(shards_[member->shard]->mu);
+        const std::unique_lock<std::mutex> lock =
+            fairLock(*shards_[member->shard]);
         MemberStats ms;
         ms.label = member->label;
         ms.source = member->source_name;
@@ -711,13 +907,24 @@ Service::stats() const
         ms.bits = member->bits;
         ms.chunk_bits = member->chunk_bits;
         ms.quarantined = member->quarantined;
+        ms.probation = member->probation;
         ms.active = !member->done;
+        ms.quarantines = member->quarantines;
+        ms.reinstatements = member->reinstatements;
+        ms.probation_attempts = member->probation_attempts;
+        ms.probation_chunks = member->probation_chunks;
+        ms.probation_bits = member->probation_bits;
+        if (ms.quarantined)
+            ++out.quarantined_members;
+        if (ms.probation)
+            ++out.probation_members;
+        out.reinstatements += ms.reinstatements;
         out.members.push_back(std::move(ms));
     }
     out.healthy_members = live_workers_.load(std::memory_order_acquire);
     out.shards.reserve(shards_.size());
     for (const auto &shard : shards_) {
-        std::lock_guard<std::mutex> lock(shard->mu);
+        const std::unique_lock<std::mutex> lock = fairLock(*shard);
         ShardStats ss;
         ss.members = shard->member_count;
         ss.sessions = shard->sessions.size();
@@ -753,7 +960,7 @@ Service::close()
 {
     closing_.store(true, std::memory_order_release);
     for (const auto &shard : shards_) {
-        std::lock_guard<std::mutex> lock(shard->mu);
+        const std::unique_lock<std::mutex> lock = fairLock(*shard);
         shard->work_cv.notify_all();
         shard->space_cv.notify_all();
     }

@@ -23,9 +23,16 @@
  *    grain), between ServiceConfig::{min,max}_chunk_bits.
  *  - Health failover: a pool member whose SP 800-90B health stage
  *    alarms (EntropySource::healthy() turning false) is quarantined --
- *    its alarming chunk is dropped and its worker stops -- while the
- *    healthy members keep serving. Only when every member is
- *    quarantined/exhausted do outstanding reads fail.
+ *    its alarming chunk is dropped and its worker stops feeding the
+ *    reservoir -- while the healthy members keep serving. Only when
+ *    every member is quarantined/exhausted do outstanding reads fail.
+ *    With ServiceConfig::reinstate enabled, quarantine is a lifecycle
+ *    instead of a verdict: the member's worker periodically restarts
+ *    the source (re-profiling it and resetting its health gates) and
+ *    pumps a *probation* stream whose bits are counted but discarded
+ *    -- never served -- until probation_windows consecutive clean
+ *    chunks pass the gates, at which point the member rejoins the
+ *    pool. A relapse during probation re-quarantines and retries.
  *  - Backpressure: the reservoir is bounded, so harvesting never runs
  *    ahead of client demand by more than ServiceConfig::reservoir_bits
  *    (workers block, which in turn blocks the sources' own producer
@@ -123,6 +130,21 @@ struct ServiceConfig
      */
     int conditioning_workers = 0;
 
+    // ------------------------------------------ probation lifecycle
+    /**
+     * Quarantined members re-profile and rejoin after clean probation
+     * (see the file comment). Disabled by default: quarantine is
+     * permanent, the pre-lifecycle behavior.
+     */
+    bool reinstate = false;
+    /** Cool-off before each probation attempt, milliseconds. */
+    int probation_delay_ms = 200;
+    /** Consecutive clean probation chunks required to rejoin. */
+    int probation_windows = 3;
+    /** Failed probation attempts before giving up (0 = keep trying
+     * until the service closes). */
+    int max_probation_attempts = 0;
+
     /**
      * Build from a flat Params bag (typically Params::fromFile):
      * service-level knobs from the [service] section, one pool member
@@ -145,8 +167,15 @@ struct MemberStats
     std::uint64_t chunks = 0;    //!< Chunks pushed to the reservoir.
     std::uint64_t bits = 0;      //!< Bits pushed to the reservoir.
     std::size_t chunk_bits = 0;  //!< Current (adapted) chunk size.
-    bool quarantined = false;    //!< Health alarm tripped; stopped.
-    bool active = false;         //!< Worker still pumping.
+    bool quarantined = false;    //!< Health alarm tripped; not serving.
+    bool probation = false;      //!< Probation stream running now.
+    bool active = false;         //!< Worker thread still alive.
+
+    std::uint64_t quarantines = 0;    //!< Times quarantined.
+    std::uint64_t reinstatements = 0; //!< Times rejoined the pool.
+    std::uint64_t probation_attempts = 0;
+    std::uint64_t probation_chunks = 0; //!< Probation chunks pumped.
+    std::uint64_t probation_bits = 0;   //!< Discarded, never served.
 };
 
 /** Snapshot of one reservoir shard inside ServiceStats. */
@@ -171,7 +200,10 @@ struct ServiceStats
 {
     std::vector<MemberStats> members;
     std::vector<ShardStats> shards; //!< Per-shard breakdown.
-    int healthy_members = 0;      //!< Members still pumping.
+    int healthy_members = 0;      //!< Members feeding the reservoir.
+    int quarantined_members = 0;  //!< Quarantined (incl. probation).
+    int probation_members = 0;    //!< Pumping a probation stream.
+    std::uint64_t reinstatements = 0; //!< Members rejoined, total.
     std::size_t open_sessions = 0;
     std::size_t pending_requests = 0;
 
@@ -300,7 +332,13 @@ class Service
         std::uint64_t bits = 0;
         std::size_t chunk_bits = 0;
         bool quarantined = false;
+        bool probation = false;
         bool done = false;
+        std::uint64_t quarantines = 0;
+        std::uint64_t reinstatements = 0;
+        std::uint64_t probation_attempts = 0;
+        std::uint64_t probation_chunks = 0;
+        std::uint64_t probation_bits = 0;
     };
 
     /**
@@ -313,6 +351,15 @@ class Service
     struct Shard
     {
         mutable std::mutex mu;
+        /** Threads parked on mu (or re-acquiring it inside a cv
+         * wait). std::mutex is not fair: the dispatcher's serve loop
+         * re-locks fast enough that a parked producer or probation
+         * thread can lose the wake race indefinitely (observed as a
+         * worker starved for the whole run). The dispatcher checks
+         * this count and opens an unlocked window when it is
+         * nonzero; every non-dispatcher acquisition goes through
+         * fairLock() so it is counted. */
+        mutable std::atomic<int> lock_waiters{0};
         std::condition_variable work_cv;  //!< Wakes the dispatcher.
         std::condition_variable space_cv; //!< Wakes blocked workers.
         std::thread dispatcher;
@@ -337,7 +384,37 @@ class Service
         std::uint64_t stolen_bits = 0; //!< Bits those refills moved.
     };
 
+    /** Acquire a shard's mutex as a counted waiter (see
+     * Shard::lock_waiters). Everything except the shard's own
+     * dispatcher must lock through this. */
+    static std::unique_lock<std::mutex> fairLock(const Shard &shard);
+
+    /** Dispatcher-side half of the fairness pact: when counted
+     * waiters are parked on the shard mutex, release it and sleep
+     * briefly unlocked so they actually get scheduled in. */
+    static void yieldToWaiters(const Shard &shard,
+                               std::unique_lock<std::mutex> &lock);
+
     void workerLoop(std::size_t member_idx);
+
+    /** Serving loop of one member: pump chunks into the home
+     * reservoir until the source ends (true) or its health gate trips
+     * (false -- the alarming chunk is dropped). The streaming session
+     * must already be open. */
+    bool pumpMember(Member &m, Shard &home);
+
+    /**
+     * Quarantine recovery: repeatedly cool off, restart the source
+     * (re-profile + fresh health gates), and pump a discarded
+     * probation stream until probation_windows consecutive chunks
+     * come back clean. True: the member may rejoin (its session is
+     * open and healthy). False: closing, or attempts exhausted.
+     */
+    bool runProbation(Member &m, Shard &home);
+
+    /** Sliced sleep that returns false early once close() starts. */
+    bool sleepUnlessClosing(int ms) const;
+
     void dispatcherLoop(std::size_t shard_idx);
 
     /** One DRR round over @p shard with its mu held; true if any bits
@@ -387,6 +464,10 @@ class Service
 
     std::atomic<bool> closing_{false};
     std::atomic<int> live_workers_{0};
+    /** Members inside the quarantine->probation lifecycle that may
+     * still rejoin. While nonzero, pending reads wait for a
+     * reinstatement instead of failing terminally. */
+    std::atomic<int> recovering_workers_{0};
     std::atomic<int> next_session_id_{1};
     std::atomic<std::size_t> next_session_shard_{0};
     std::atomic<int> steals_in_flight_{0};   //!< Bits held mid-steal.

@@ -180,6 +180,11 @@ class DRangeSource final : public EntropySource
 
     SourceStats stats() const override { return stats_; }
 
+    void setTemperature(double celsius) override
+    {
+        device_->setTemperature(celsius);
+    }
+
   private:
     std::unique_ptr<dram::DramDevice> device_;
     std::unique_ptr<core::DRangeTrng> engine_;
@@ -229,6 +234,12 @@ class MultiChannelSource final : public EntropySource
     }
 
     SourceStats stats() const override { return stats_; }
+
+    void setTemperature(double celsius) override
+    {
+        for (int c = 0; c < trng_->channels(); ++c)
+            trng_->channel(c).device().setTemperature(celsius);
+    }
 
   private:
     std::unique_ptr<core::MultiChannelTrng> trng_;
@@ -361,6 +372,14 @@ class StreamingSource final : public EntropySource
     /** The underlying pipeline, for callers that need the full
      * streaming API (producer stats, custom stages). */
     core::StreamingTrng &stream() { return ensureStream(); }
+
+    void setTemperature(double celsius) override
+    {
+        // Device temperature is atomic; producer threads mid-session
+        // pick the new value up at their next DRAM operation.
+        for (int c = 0; c < trng_->channels(); ++c)
+            trng_->channel(c).device().setTemperature(celsius);
+    }
 
   private:
     core::StreamingTrng &ensureStream()
@@ -561,6 +580,11 @@ class OpportunisticSource final : public EntropySource
 
     SourceStats stats() const override { return stats_; }
 
+    void setTemperature(double celsius) override
+    {
+        device_->setTemperature(celsius);
+    }
+
     /** Application-side service statistics of the co-simulation. */
     const ctrl::ControllerStats &appStats() const
     {
@@ -634,6 +658,11 @@ class CmdSchedSource final : public EntropySource
 
     SourceStats stats() const override { return stats_; }
 
+    void setTemperature(double celsius) override
+    {
+        device_->setTemperature(celsius);
+    }
+
   private:
     std::unique_ptr<dram::DramDevice> device_;
     std::unique_ptr<baselines::CmdSchedTrng> trng_;
@@ -694,6 +723,11 @@ class RetentionSource final : public EntropySource
 
     SourceStats stats() const override { return stats_; }
 
+    void setTemperature(double celsius) override
+    {
+        device_->setTemperature(celsius);
+    }
+
   private:
     std::unique_ptr<dram::DramDevice> device_;
     baselines::RetentionTrngConfig cfg_;
@@ -749,6 +783,11 @@ class StartupSource final : public EntropySource
     }
 
     SourceStats stats() const override { return stats_; }
+
+    void setTemperature(double celsius) override
+    {
+        device_->setTemperature(celsius);
+    }
 
     std::size_t enrolledCells() const { return trng_->enrolledCells(); }
 

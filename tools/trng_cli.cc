@@ -9,19 +9,36 @@
  *     trng-cli --socket /tmp/trngd.sock --bytes 32            # a key
  *     trng-cli --tcp 127.0.0.1:7777 --bytes 32
  *     trng-cli --bytes 4096 --requests 4 --priority 3 --raw > rand.bin
+ *     trng-cli --bytes 32 --retries 5 --timeout-ms 2000
  *
  * One process = one connection = one service session, so --priority
  * sets this client's deficit-round-robin weight against every other
  * connected client (and selects its [net.priority.N] quota tier, if
  * the daemon configures one).
+ *
+ * --retries enables jittered exponential backoff, applied both to the
+ * initial connect and to kStatusBusy responses (a degraded daemon
+ * shedding load; the busy frame's retry-after hint sets the backoff
+ * floor). --timeout-ms bounds each read so a stalled daemon fails the
+ * invocation instead of hanging it.
+ *
+ * Exit codes are distinct per failure class so scripts can react:
+ *   0  success
+ *   2  usage error
+ *   3  transport failure (connect/send/recv/timeout)
+ *   4  service or protocol error reported by the daemon
+ *   5  retries exhausted against a busy (degraded) daemon
  */
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <random>
 #include <string>
 #include <vector>
 
+#include <poll.h>
 #include <unistd.h>
 
 #include "net/listener.hh"
@@ -31,6 +48,12 @@ using namespace drange;
 
 namespace {
 
+constexpr int kExitOk = 0;
+constexpr int kExitUsage = 2;
+constexpr int kExitTransport = 3;
+constexpr int kExitService = 4;
+constexpr int kExitBusy = 5;
+
 struct CliOptions
 {
     std::string socket_path = "/tmp/trngd.sock";
@@ -38,6 +61,8 @@ struct CliOptions
     std::uint32_t num_bytes = 32;
     std::uint16_t priority = 1;
     long requests = 1;
+    long retries = 0;     //!< Extra attempts on connect/busy.
+    long timeout_ms = 0;  //!< Per-read bound; 0 = wait forever.
     bool raw = false;
 };
 
@@ -48,8 +73,14 @@ usage(const char *argv0)
         stderr,
         "usage: %s [--socket PATH | --tcp HOST:PORT] [--bytes N]\n"
         "          [--priority P] [--requests M] [--raw]\n"
+        "          [--retries R] [--timeout-ms T]\n"
         "Request entropy from a running trngd and print it as hex\n"
-        "(--raw: write the bytes unformatted to stdout).\n",
+        "(--raw: write the bytes unformatted to stdout).\n"
+        "--retries: retry connect failures and busy (load-shed)\n"
+        "responses up to R times with jittered exponential backoff.\n"
+        "--timeout-ms: fail reads that stall longer than T ms.\n"
+        "Exit codes: 0 ok, 2 usage, 3 transport, 4 service error,\n"
+        "5 busy retries exhausted.\n",
         argv0);
 }
 
@@ -87,6 +118,16 @@ parseArgs(int argc, char **argv, CliOptions &opts)
             if (!v)
                 return false;
             opts.requests = std::atol(v);
+        } else if (arg == "--retries") {
+            const char *v = value();
+            if (!v)
+                return false;
+            opts.retries = std::atol(v);
+        } else if (arg == "--timeout-ms") {
+            const char *v = value();
+            if (!v)
+                return false;
+            opts.timeout_ms = std::atol(v);
         } else if (arg == "--raw") {
             opts.raw = true;
         } else {
@@ -96,12 +137,62 @@ parseArgs(int argc, char **argv, CliOptions &opts)
             return false;
         }
     }
-    return opts.requests > 0;
+    return opts.requests > 0 && opts.retries >= 0 &&
+           opts.timeout_ms >= 0;
+}
+
+/** Jittered exponential backoff: attempt 0 -> ~50 ms, doubling to a
+ * 2 s ceiling, uniformly jittered in [0.5x, 1.5x] so a fleet of
+ * retrying clients does not reconverge on the same instant. @p floor_ms
+ * (the daemon's retry-after hint) lower-bounds the result. */
+long
+backoffMs(int attempt, long floor_ms, std::mt19937 &rng)
+{
+    const long base = 50L << std::min(attempt, 5);
+    const long capped = std::min(base, 2000L);
+    std::uniform_int_distribution<long> jitter(capped / 2,
+                                               capped + capped / 2);
+    return std::max(jitter(rng), floor_ms);
+}
+
+void
+sleepMs(long ms)
+{
+    if (ms > 0)
+        ::usleep(static_cast<useconds_t>(ms) * 1000);
+}
+
+/** readFull with an optional poll() bound per call. */
+bool
+readFullTimeout(int fd, void *buffer, std::size_t count,
+                long timeout_ms)
+{
+    if (timeout_ms <= 0)
+        return tools::readFull(fd, buffer, count);
+    auto *out = static_cast<unsigned char *>(buffer);
+    while (count > 0) {
+        struct pollfd pfd = {fd, POLLIN, 0};
+        const int ready =
+            ::poll(&pfd, 1, static_cast<int>(timeout_ms));
+        if (ready <= 0)
+            return false; // Timeout or poll failure.
+        const ssize_t got = ::read(fd, out, count);
+        if (got == 0)
+            return false; // Peer closed.
+        if (got < 0) {
+            if (errno == EINTR)
+                continue;
+            return false;
+        }
+        out += got;
+        count -= static_cast<std::size_t>(got);
+    }
+    return true;
 }
 
 /** Connect per the options. @return fd, or -1 after reporting. */
 int
-connect(const CliOptions &opts)
+connectOnce(const CliOptions &opts)
 {
     std::string error;
     int fd = -1;
@@ -123,6 +214,24 @@ connect(const CliOptions &opts)
     return fd;
 }
 
+/** Connect with up to opts.retries backoff-spaced reattempts. */
+int
+connectWithRetry(const CliOptions &opts, std::mt19937 &rng)
+{
+    for (long attempt = 0;; ++attempt) {
+        const int fd = connectOnce(opts);
+        if (fd >= 0 || attempt >= opts.retries)
+            return fd;
+        const long wait =
+            backoffMs(static_cast<int>(attempt), 0, rng);
+        std::fprintf(stderr,
+                     "trng-cli: connect failed, retrying in %ld ms "
+                     "(%ld/%ld)\n",
+                     wait, attempt + 1, opts.retries);
+        sleepMs(wait);
+    }
+}
+
 } // namespace
 
 int
@@ -131,53 +240,90 @@ main(int argc, char **argv)
     CliOptions opts;
     if (!parseArgs(argc, argv, opts)) {
         usage(argv[0]);
-        return 2;
+        return kExitUsage;
     }
 
-    const int fd = connect(opts);
+    std::random_device seed;
+    std::mt19937 rng(seed());
+
+    const int fd = connectWithRetry(opts, rng);
     if (fd < 0)
-        return 1;
+        return kExitTransport;
 
     for (long request = 0; request < opts.requests; ++request) {
-        unsigned char frame[tools::kFrameBytes];
-        tools::encodeRequest(frame, opts.priority, opts.num_bytes);
-        if (!tools::writeFull(fd, frame, sizeof(frame))) {
-            std::fprintf(stderr, "trng-cli: send failed\n");
-            return 1;
-        }
-        unsigned char header[tools::kFrameBytes];
-        if (!tools::readFull(fd, header, sizeof(header)) ||
-            header[0] != tools::kResponseMagic0 ||
-            header[1] != tools::kResponseMagic1) {
-            std::fprintf(stderr, "trng-cli: bad response\n");
-            return 1;
-        }
-        const std::uint16_t status = tools::decode16(header + 2);
-        const std::uint32_t payload_bytes = tools::decode32(header + 4);
-        std::vector<unsigned char> payload(payload_bytes);
-        if (payload_bytes > 0 &&
-            !tools::readFull(fd, payload.data(), payload.size())) {
-            std::fprintf(stderr, "trng-cli: truncated response\n");
-            return 1;
-        }
-        if (status != tools::kStatusOk) {
-            std::fprintf(stderr, "trng-cli: daemon %s: %.*s\n",
-                         status == tools::kStatusProtocolError
-                             ? "rejected the request"
-                             : "error",
-                         static_cast<int>(payload.size()),
-                         reinterpret_cast<const char *>(
-                             payload.data()));
-            return 1;
-        }
-        if (opts.raw) {
-            std::fwrite(payload.data(), 1, payload.size(), stdout);
-        } else {
-            for (const unsigned char byte : payload)
-                std::printf("%02x", byte);
-            std::printf("\n");
+        long busy_attempts = 0;
+        for (;;) { // Busy-retry loop around one request.
+            unsigned char frame[tools::kFrameBytes];
+            tools::encodeRequest(frame, opts.priority,
+                                 opts.num_bytes);
+            if (!tools::writeFull(fd, frame, sizeof(frame))) {
+                std::fprintf(stderr, "trng-cli: send failed\n");
+                return kExitTransport;
+            }
+            unsigned char header[tools::kFrameBytes];
+            if (!readFullTimeout(fd, header, sizeof(header),
+                                 opts.timeout_ms) ||
+                header[0] != tools::kResponseMagic0 ||
+                header[1] != tools::kResponseMagic1) {
+                std::fprintf(stderr, "trng-cli: bad response\n");
+                return kExitTransport;
+            }
+            const std::uint16_t status = tools::decode16(header + 2);
+            const std::uint32_t payload_bytes =
+                tools::decode32(header + 4);
+            std::vector<unsigned char> payload(payload_bytes);
+            if (payload_bytes > 0 &&
+                !readFullTimeout(fd, payload.data(), payload.size(),
+                                 opts.timeout_ms)) {
+                std::fprintf(stderr, "trng-cli: truncated response\n");
+                return kExitTransport;
+            }
+            if (status == tools::kStatusBusy) {
+                // Degraded daemon shedding load: the connection is
+                // still good, honor the retry-after hint (as a floor
+                // under our own jittered backoff) and try again.
+                if (busy_attempts >= opts.retries) {
+                    std::fprintf(
+                        stderr,
+                        "trng-cli: daemon busy (degraded), %ld "
+                        "retries exhausted\n",
+                        opts.retries);
+                    return kExitBusy;
+                }
+                const std::uint32_t hint =
+                    tools::decodeBusyRetryMs(payload);
+                const long wait =
+                    backoffMs(static_cast<int>(busy_attempts),
+                              static_cast<long>(hint), rng);
+                ++busy_attempts;
+                std::fprintf(stderr,
+                             "trng-cli: daemon busy, retrying in "
+                             "%ld ms (%ld/%ld)\n",
+                             wait, busy_attempts, opts.retries);
+                sleepMs(wait);
+                continue;
+            }
+            if (status != tools::kStatusOk) {
+                std::fprintf(stderr, "trng-cli: daemon %s: %.*s\n",
+                             status == tools::kStatusProtocolError
+                                 ? "rejected the request"
+                                 : "error",
+                             static_cast<int>(payload.size()),
+                             reinterpret_cast<const char *>(
+                                 payload.data()));
+                return kExitService;
+            }
+            if (opts.raw) {
+                std::fwrite(payload.data(), 1, payload.size(),
+                            stdout);
+            } else {
+                for (const unsigned char byte : payload)
+                    std::printf("%02x", byte);
+                std::printf("\n");
+            }
+            break; // Request satisfied.
         }
     }
     ::close(fd);
-    return 0;
+    return kExitOk;
 }

@@ -16,6 +16,13 @@
  *     trng_loadgen --tcp 127.0.0.1:7777 --connections 200 \
  *                  --requests 100 --bytes 16 --pipeline 4
  *
+ * --retry makes the harness honor kStatusBusy load-shed frames from a
+ * degraded daemon: a shed request is re-issued after a jittered
+ * exponential backoff floored at the frame's retry-after hint, on the
+ * same (still open) connection. Without --retry, busy responses are
+ * counted and the request is simply not retried. Either way the frame
+ * accounting stays exact: a busy frame answers its request.
+ *
  * --bench runs the two-phase service benchmark instead and writes
  * BENCH_service_tcp.json (see tools/check_bench_regression.py):
  *
@@ -39,6 +46,7 @@
 #include <cstring>
 #include <deque>
 #include <memory>
+#include <random>
 #include <string>
 #include <vector>
 
@@ -67,6 +75,7 @@ struct Options
     std::uint16_t priority = 1;
     double duration_s = 0;  //!< 0 = run until --requests complete.
     double open_rate = 0;   //!< Requests/s per connection; 0 = closed.
+    bool retry = false;     //!< Re-issue busy-shed requests.
     bool verbose = false;
 
     bool bench = false;
@@ -83,7 +92,8 @@ usage(const char *argv0)
         stderr,
         "usage: %s --tcp HOST:PORT [--connections N] [--requests R]\n"
         "          [--bytes B] [--pipeline P] [--priority PR]\n"
-        "          [--duration S] [--open-rate RPS] [--verbose]\n"
+        "          [--duration S] [--open-rate RPS] [--retry]\n"
+        "          [--verbose]\n"
         "          [--bench [--out FILE] [--mixed-connections N]\n"
         "           [--limited-connections N] [--limited-priority PR]\n"
         "           [--limited-cap-bits-per-s X]]\n"
@@ -129,6 +139,8 @@ parseArgs(int argc, char **argv, Options &opts)
             opts.duration_s = num;
         } else if (arg == "--open-rate" && number(num)) {
             opts.open_rate = num;
+        } else if (arg == "--retry") {
+            opts.retry = true;
         } else if (arg == "--verbose") {
             opts.verbose = true;
         } else if (arg == "--bench") {
@@ -190,6 +202,7 @@ struct PhaseConfig
     std::vector<ClassSpec> classes;
     int pipeline = 1;
     double duration_s = 0; //!< 0 = run until every target completes.
+    bool retry = false;    //!< Re-issue busy-shed requests.
 };
 
 struct ClassResult
@@ -202,6 +215,8 @@ struct ClassResult
     std::uint64_t errors = 0; //!< Transport/framing violations.
     std::uint64_t service_errors = 0; //!< Well-framed error statuses
                                       //!< (e.g. health alarms).
+    std::uint64_t busy = 0;    //!< kStatusBusy load-shed responses.
+    std::uint64_t retried = 0; //!< Shed requests re-issued (--retry).
     std::vector<double> latencies_ms;
     std::uint64_t min_per_conn = 0; //!< OK responses, clean conns.
     std::uint64_t max_per_conn = 0;
@@ -246,12 +261,19 @@ struct LoadClient
     long target = 0;
     double open_rate = 0;
 
-    std::uint64_t sent = 0;
+    std::uint64_t sent = 0;       //!< Wire sends, re-issues included.
+    std::uint64_t fresh_sent = 0; //!< Sends net of busy re-issues;
+                                  //!< what --requests targets count.
     std::uint64_t received = 0;
     std::uint64_t ok = 0;
     std::uint64_t payload_bytes = 0;
     std::uint64_t errors = 0;
     std::uint64_t service_errors = 0;
+    std::uint64_t busy = 0;
+    std::uint64_t retried = 0;
+    long deferred = 0;        //!< Shed requests awaiting re-issue.
+    int busy_streak = 0;      //!< Consecutive sheds, for the backoff.
+    Clock::time_point retry_at; //!< Earliest re-issue instant.
     bool session_failed = false; //!< Server announced it will close.
     long outstanding = 0;
     std::deque<Clock::time_point> sent_at; //!< FIFO, one per request.
@@ -279,11 +301,19 @@ runPhase(const PhaseConfig &config, bool verbose)
 
     bool stop_issuing = false;
 
-    const auto issueOne = [&](LoadClient &client) {
+    // Jittered retry backoff: deterministic seed (this is a harness),
+    // uniform [0.5x, 1.5x] so a shed fleet does not re-converge on one
+    // instant when the daemon un-degrades.
+    std::mt19937 retry_rng(0x10adf00d);
+    std::uniform_real_distribution<double> retry_jitter(0.5, 1.5);
+
+    const auto issueOne = [&](LoadClient &client, bool fresh) {
         client.conn->send(net::FrameEncoder::request(client.priority,
                                                      client.bytes));
         client.sent_at.push_back(Clock::now());
         ++client.sent;
+        if (fresh)
+            ++client.fresh_sent;
         ++client.outstanding;
     };
     const auto refill = [&](LoadClient &client) {
@@ -291,10 +321,10 @@ runPhase(const PhaseConfig &config, bool verbose)
             client.open_rate > 0)
             return;
         while (client.outstanding < config.pipeline &&
-               (client.target == 0 || client.sent <
+               (client.target == 0 || client.fresh_sent <
                                           static_cast<std::uint64_t>(
                                               client.target)))
-            issueOne(client);
+            issueOne(client, /*fresh=*/true);
     };
 
     // Connect every class up front (blocking, loopback-fast).
@@ -333,6 +363,32 @@ runPhase(const PhaseConfig &config, bool verbose)
                 // Not a response, or a response nothing asked for:
                 // the transport-level accounting is broken.
                 ++client->errors;
+            } else if (frame.code == net::kStatusBusy) {
+                // Degraded daemon shed this request; the connection
+                // stays open. The busy frame *answers* the request
+                // (exact FIFO accounting), and with --retry it is
+                // re-issued from the main loop after a backoff
+                // floored at the daemon's retry-after hint.
+                ++client->busy;
+                if (config.retry && !stop_issuing) {
+                    ++client->deferred;
+                    const double hint_ms = static_cast<double>(
+                        net::decodeBusyRetryMs(frame.payload));
+                    const int streak =
+                        std::min(client->busy_streak, 5);
+                    ++client->busy_streak;
+                    const double wait_ms =
+                        std::max(hint_ms,
+                                 25.0 * static_cast<double>(1 << streak)) *
+                        retry_jitter(retry_rng);
+                    const Clock::time_point at =
+                        Clock::now() +
+                        std::chrono::duration_cast<Clock::duration>(
+                            std::chrono::duration<double, std::milli>(
+                                wait_ms));
+                    if (client->deferred == 1 || at > client->retry_at)
+                        client->retry_at = at;
+                }
             } else if (frame.code != net::kStatusOk) {
                 // Well-framed error status (e.g. a latched SP 800-90B
                 // health alarm on this session): the frame pairing is
@@ -365,16 +421,17 @@ runPhase(const PhaseConfig &config, bool verbose)
                     .latencies_ms.push_back(ms);
                 ++client->ok;
                 client->payload_bytes += frame.payload.size();
+                client->busy_streak = 0; // Served: shed storm over.
             }
             if (!client->sent_at.empty())
                 client->sent_at.pop_front();
             ++client->received;
             --client->outstanding;
             refill(*client);
-            if (client->outstanding == 0 &&
+            if (client->outstanding == 0 && client->deferred == 0 &&
                 (stop_issuing ||
                  (client->target > 0 &&
-                  client->sent >=
+                  client->fresh_sent >=
                       static_cast<std::uint64_t>(client->target)))) {
                 client->done = true;
                 conn.close("load complete");
@@ -434,16 +491,29 @@ runPhase(const PhaseConfig &config, bool verbose)
                 while (client.next_injection <= now &&
                        client.outstanding < 65536 &&
                        (client.target == 0 ||
-                        client.sent < static_cast<std::uint64_t>(
-                                          client.target))) {
-                    issueOne(client);
+                        client.fresh_sent <
+                            static_cast<std::uint64_t>(
+                                client.target))) {
+                    issueOne(client, /*fresh=*/true);
                     client.next_injection +=
                         std::chrono::duration_cast<Clock::duration>(
                             std::chrono::duration<double>(
                                 1.0 / client.open_rate));
                 }
             }
+            if (!stop_issuing && client.deferred > 0 &&
+                !client.session_failed && now >= client.retry_at) {
+                // Backoff elapsed: re-issue every shed request.
+                while (client.deferred > 0) {
+                    issueOne(client, /*fresh=*/false);
+                    --client.deferred;
+                    ++client.retried;
+                }
+            }
             if (stop_issuing && client.outstanding == 0) {
+                // Shed requests still deferred here were answered by
+                // their busy frames; abandoning the re-issue keeps the
+                // accounting exact.
                 client.done = true;
                 client.conn->close("phase over");
             }
@@ -484,6 +554,8 @@ runPhase(const PhaseConfig &config, bool verbose)
             cls.payload_bytes += client.payload_bytes;
             cls.errors += client.errors;
             cls.service_errors += client.service_errors;
+            cls.busy += client.busy;
+            cls.retried += client.retried;
             if (client.service_errors == 0) {
                 min_done = std::min(min_done, client.ok);
                 max_done = std::max(max_done, client.ok);
@@ -555,6 +627,11 @@ printPhase(const char *title, const PhaseResult &result)
             percentileMs(lat, 50), percentileMs(lat, 99),
             static_cast<unsigned long long>(cls.min_per_conn),
             static_cast<unsigned long long>(cls.max_per_conn));
+        if (cls.busy > 0)
+            std::printf("  %-10s %llu busy-shed responses, %llu "
+                        "retried\n",
+                        "", static_cast<unsigned long long>(cls.busy),
+                        static_cast<unsigned long long>(cls.retried));
     }
 }
 
@@ -571,6 +648,7 @@ runBench(const Options &opts, int argc, char **argv)
     }
     phase_a.pipeline = opts.pipeline;
     phase_a.duration_s = opts.duration_s > 0 ? opts.duration_s : 3.0;
+    phase_a.retry = opts.retry;
     ClassSpec unlimited;
     unlimited.label = "unlimited";
     unlimited.connections = opts.connections;
@@ -708,6 +786,7 @@ main(int argc, char **argv)
         phase.port = port;
         phase.pipeline = opts.pipeline;
         phase.duration_s = opts.duration_s;
+        phase.retry = opts.retry;
         ClassSpec spec;
         spec.label = "clients";
         spec.connections = opts.connections;

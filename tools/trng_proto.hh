@@ -17,10 +17,13 @@
  *
  * status 0 is success (payload = entropy bytes); status 2 is a
  * protocol error (malformed or over-limit request -- the connection
- * survives when the stream is still framed); any other status is a
- * service error (payload = UTF-8 message). A connection maps to one
- * service session: the first request's priority opens it, later
- * requests reuse it, so fairness weights apply per client connection.
+ * survives when the stream is still framed); status 3 is load
+ * shedding (daemon degraded; payload = 4-byte LE retry-after ms, the
+ * connection stays open and the client should back off and retry);
+ * any other status is a service error (payload = UTF-8 message). A
+ * connection maps to one service session: the first request's
+ * priority opens it, later requests reuse it, so fairness weights
+ * apply per client connection.
  */
 
 #ifndef DRANGE_TOOLS_TRNG_PROTO_HH
@@ -41,9 +44,13 @@ using net::kRequestMagic1;
 using net::kResponseMagic0;
 using net::kResponseMagic1;
 
+using net::kStatusBusy;
 using net::kStatusError;
 using net::kStatusOk;
 using net::kStatusProtocolError;
+
+using net::decodeBusyRetryMs;
+using net::kBusyPayloadBytes;
 
 constexpr std::size_t kFrameBytes = net::kHeaderBytes;
 

@@ -24,10 +24,16 @@
  *   [net]      event-loop front-end: tcp_listen, connection caps,
  *              default per-connection quota (ServerConfig::fromParams)
  *   [net.priority.N]  quota override for priority class N
- *   [service]  reservoir/quantum/adaptive-chunking knobs
+ *   [service]  reservoir/quantum/adaptive-chunking knobs, plus the
+ *              quarantine->probation->reinstate lifecycle
  *              (ServiceConfig::fromParams)
  *   [pool.X]   one pool member: source = <registry name> + its Params
+ *   [pool.X.faults.E]  scripted fault E injected into member X
+ *              (sim::FaultPlan; temperature ramps, bias, stalls, ...)
  *   [session]  conditioning profile applied to every client session
+ *
+ * --check-config validates all of the above (fault plans and
+ * conditioning pipeline included) and exits without serving.
  *
  * SIGINT/SIGTERM (or --accept-limit N, for scripted smoke tests) shut
  * the daemon down cleanly and print the final service and network
@@ -45,6 +51,9 @@
 
 #include "net/listener.hh"
 #include "net/server.hh"
+#include "sim/fault.hh"
+#include "trng/conditioning.hh"
+#include "trng/registry.hh"
 #include "trng/service.hh"
 #include "trng_proto.hh"
 
@@ -69,6 +78,7 @@ struct DaemonOptions
     std::size_t max_request_bytes = 1u << 20;
     long accept_limit = 0; //!< 0 = serve until a signal arrives.
     bool verbose = false;
+    bool check_config = false; //!< Validate + print config, no serve.
 
     // Command-line flags win over the [trngd] config section; these
     // record which flags were actually given.
@@ -86,9 +96,14 @@ usage(const char *argv0)
         "usage: %s <config-file> [--socket PATH] [--tcp HOST:PORT]\n"
         "          [--accept-limit N] [--max-request-bytes N] "
         "[--verbose]\n"
+        "          [--check-config]\n"
         "Serve framed entropy requests from a trng::Service pool over "
         "a Unix-domain socket\nand/or TCP, multiplexed on one epoll "
-        "event loop.\n",
+        "event loop.\n"
+        "--check-config: parse and validate the config (pool members,\n"
+        "fault plans, net and session sections included), print the\n"
+        "resolved settings, and exit 0 without serving; exit 1 on any\n"
+        "config error.\n",
         argv0);
 }
 
@@ -127,6 +142,8 @@ parseArgs(int argc, char **argv, DaemonOptions &opts)
             opts.max_request_bytes_set = true;
         } else if (arg == "--verbose") {
             opts.verbose = true;
+        } else if (arg == "--check-config") {
+            opts.check_config = true;
         } else if (arg == "--help" || arg == "-h") {
             return false;
         } else if (!arg.empty() && arg[0] == '-') {
@@ -156,13 +173,25 @@ printStats(const trng::ServiceStats &stats)
     std::printf("trngd: adaptive chunking: %llu grows, %llu shrinks\n",
                 static_cast<unsigned long long>(stats.chunk_grows),
                 static_cast<unsigned long long>(stats.chunk_shrinks));
-    for (const auto &member : stats.members)
+    for (const auto &member : stats.members) {
         std::printf("trngd:   pool member %-12s (%s): %llu bits, "
-                    "chunk %zu%s\n",
+                    "chunk %zu%s%s",
                     member.label.c_str(), member.source.c_str(),
                     static_cast<unsigned long long>(member.bits),
                     member.chunk_bits,
-                    member.quarantined ? ", QUARANTINED" : "");
+                    member.quarantined ? ", QUARANTINED" : "",
+                    member.probation ? " (probation)" : "");
+        if (member.quarantines > 0)
+            std::printf(", %llu quarantines, %llu reinstatements "
+                        "(%llu probation bits discarded)",
+                        static_cast<unsigned long long>(
+                            member.quarantines),
+                        static_cast<unsigned long long>(
+                            member.reinstatements),
+                        static_cast<unsigned long long>(
+                            member.probation_bits));
+        std::printf("\n");
+    }
 }
 
 void
@@ -179,12 +208,111 @@ printNetStats(const net::ServerStats &stats)
     std::printf(
         "trngd: %llu protocol errors, %llu service errors, "
         "%llu quota throttles, %llu backpressure stalls, "
-        "%llu read pauses\n",
+        "%llu read pauses, %llu busy sheds\n",
         static_cast<unsigned long long>(stats.protocol_errors),
         static_cast<unsigned long long>(stats.service_errors),
         static_cast<unsigned long long>(stats.quota_throttles),
         static_cast<unsigned long long>(stats.backpressure_stalls),
-        static_cast<unsigned long long>(stats.read_pauses));
+        static_cast<unsigned long long>(stats.read_pauses),
+        static_cast<unsigned long long>(stats.busy_sheds));
+}
+
+/**
+ * --check-config: build every pool member (running the full factory
+ * validation chain, fault plans included) and the session pipeline
+ * without starting anything, then print the resolved settings.
+ * @return the process exit code (0 valid, 1 not).
+ */
+int
+checkConfig(const trng::ServiceConfig &service_config,
+            const net::ServerConfig &server_config,
+            const trng::SessionConfig &session_template,
+            const DaemonOptions &opts)
+{
+    std::printf("trngd: config %s parses\n", opts.config_path.c_str());
+    std::printf("trngd: [trngd] socket=%s tcp=%s "
+                "max_request_bytes=%zu accept_limit=%ld\n",
+                opts.socket_path.c_str(),
+                opts.tcp_listen.empty() ? "(disabled)"
+                                        : opts.tcp_listen.c_str(),
+                opts.max_request_bytes, opts.accept_limit);
+    std::printf(
+        "trngd: [net] max_connections=%zu max_pending_requests=%zu "
+        "quota=%.0f bits/s (burst %.0f)\n",
+        server_config.max_connections,
+        server_config.max_pending_requests,
+        server_config.quota.rate_bits_per_s,
+        server_config.quota.burst_bits);
+    for (const auto &[priority, quota] : server_config.priority_quota)
+        std::printf("trngd: [net.priority.%d] quota=%.0f bits/s "
+                    "(burst %.0f, outstanding %zu)\n",
+                    priority, quota.rate_bits_per_s, quota.burst_bits,
+                    quota.max_outstanding_bytes);
+    if (server_config.degraded_low_watermark > 0 ||
+        server_config.degraded_quarantine_fraction > 0)
+        std::printf(
+            "trngd: [net] degraded mode: low_watermark=%.2f "
+            "quarantine_fraction=%.2f retry=%d ms escalation=%d ms\n",
+            server_config.degraded_low_watermark,
+            server_config.degraded_quarantine_fraction,
+            server_config.degraded_retry_ms,
+            server_config.degraded_escalation_ms);
+    else
+        std::printf("trngd: [net] degraded mode: disabled\n");
+    std::printf(
+        "trngd: [service] reservoir=%zu bits, reinstate=%s "
+        "(probation: delay=%d ms windows=%d max_attempts=%d)\n",
+        service_config.reservoir_bits,
+        service_config.reinstate ? "on" : "off",
+        service_config.probation_delay_ms,
+        service_config.probation_windows,
+        service_config.max_probation_attempts);
+
+    bool valid = true;
+    for (std::size_t i = 0; i < service_config.pool.size(); ++i) {
+        const trng::PoolMemberConfig &member = service_config.pool[i];
+        const std::string label = member.label.empty()
+                                      ? member.source +
+                                            std::to_string(i)
+                                      : member.label;
+        try {
+            const std::unique_ptr<trng::EntropySource> source =
+                trng::Registry::make(member.source, member.params);
+            const auto *faulted =
+                dynamic_cast<const sim::FaultInjector *>(source.get());
+            std::printf("trngd: [pool.%s] source=%s ok\n",
+                        label.c_str(), member.source.c_str());
+            if (faulted)
+                for (const sim::FaultEvent &event :
+                     faulted->plan().events)
+                    std::printf(
+                        "trngd: [pool.%s]   fault %s (%s) at %.0f ms "
+                        "for %.0f ms\n",
+                        label.c_str(), event.label.c_str(),
+                        sim::FaultPlan::kindName(event.kind).c_str(),
+                        event.at_ms, event.duration_ms);
+        } catch (const std::exception &e) {
+            std::fprintf(stderr, "trngd: [pool.%s]: %s\n",
+                         label.c_str(), e.what());
+            valid = false;
+        }
+    }
+
+    try {
+        trng::makePipeline(session_template.conditioning,
+                           session_template.stage_params);
+        std::string profile;
+        for (const std::string &name : session_template.conditioning)
+            profile += (profile.empty() ? "" : " -> ") + name;
+        std::printf("trngd: [session] conditioning=%s ok\n",
+                    profile.empty() ? "(raw)" : profile.c_str());
+    } catch (const std::exception &e) {
+        std::fprintf(stderr, "trngd: [session]: %s\n", e.what());
+        valid = false;
+    }
+
+    std::printf("trngd: config %s\n", valid ? "OK" : "INVALID");
+    return valid ? 0 : 1;
 }
 
 } // namespace
@@ -255,6 +383,9 @@ main(int argc, char **argv)
         trng::ServiceConfig service_config =
             trng::ServiceConfig::fromParams(config);
         config.rejectUnknown("trngd config");
+        if (opts.check_config)
+            return checkConfig(service_config, server_config,
+                               session_template, opts);
         std::printf("trngd: building %zu-member pool...\n",
                     service_config.pool.size());
         service =
