@@ -92,6 +92,15 @@ class DRangeTrng
      */
     void initialize();
 
+    /**
+     * Adopt an externally computed sampling selection instead of
+     * profiling here -- the fleet profile store derives selections
+     * from persisted weak-cell sets, so a store-hit startup skips
+     * initialize() entirely. Basic shape is validated (non-empty,
+     * banks within geometry, two distinct rows per bank).
+     */
+    void initializeWith(std::vector<BankSelection> selection);
+
     bool initialized() const { return !selection_.empty(); }
     const std::vector<BankSelection> &selection() const
     {

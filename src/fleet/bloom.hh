@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Bloom-filter weak-cell sets for the fleet profile store.
+ *
+ * RAIDR keeps per-rank retention knowledge as Bloom filters instead of
+ * cell lists; the fleet profile store borrows the idea for D-RaNGe
+ * weak-cell sets: a device's profiled weak cells are inserted into a
+ * fixed-size filter, so a 1000+ device store stays a few hundred bytes
+ * per device regardless of how many cells the profile found. Membership
+ * tests have zero false negatives by construction (a warm startup can
+ * never miss a profiled cell) and a false-positive rate bounded by the
+ * configured bits-per-key budget (a false positive merely costs a few
+ * confirmation reads).
+ *
+ * Double hashing: h_i(key) = h1 + i * h2 (h2 forced odd), both derived
+ * from util::mix64, the standard Kirsch-Mitzenmacher construction.
+ */
+
+#ifndef DRANGE_FLEET_BLOOM_HH
+#define DRANGE_FLEET_BLOOM_HH
+
+#include <cmath>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "util/rng.hh"
+
+namespace drange::fleet {
+
+class BloomFilter
+{
+  public:
+    BloomFilter() = default;
+
+    /** @p bits is rounded up to a multiple of 64; @p hashes in 1..16. */
+    BloomFilter(std::size_t bits, int hashes)
+        : hashes_(hashes), bits_((bits + 63) / 64 * 64),
+          words_((bits + 63) / 64, 0)
+    {
+        if (bits == 0)
+            throw std::invalid_argument(
+                "fleet: Bloom filter needs a nonzero bit budget");
+        if (hashes < 1 || hashes > 16)
+            throw std::invalid_argument(
+                "fleet: Bloom hash count must be in 1..16 (got " +
+                std::to_string(hashes) + ")");
+    }
+
+    void insert(std::uint64_t key)
+    {
+        const std::uint64_t h1 = util::mix64(key);
+        const std::uint64_t h2 = util::mix64(key ^ kHashTweak) | 1;
+        for (int i = 0; i < hashes_; ++i) {
+            const std::uint64_t bit = (h1 + i * h2) % bits_;
+            words_[bit >> 6] |= std::uint64_t{1} << (bit & 63);
+        }
+        ++inserted_;
+    }
+
+    bool test(std::uint64_t key) const
+    {
+        const std::uint64_t h1 = util::mix64(key);
+        const std::uint64_t h2 = util::mix64(key ^ kHashTweak) | 1;
+        for (int i = 0; i < hashes_; ++i) {
+            const std::uint64_t bit = (h1 + i * h2) % bits_;
+            if (!(words_[bit >> 6] & (std::uint64_t{1} << (bit & 63))))
+                return false;
+        }
+        return true;
+    }
+
+    std::size_t bitCount() const { return bits_; }
+    int hashes() const { return hashes_; }
+    std::uint64_t inserted() const { return inserted_; }
+    std::size_t sizeBytes() const { return words_.size() * 8; }
+
+    /** Expected false-positive rate at the current load:
+     * (1 - e^(-kn/m))^k. */
+    double predictedFalsePositiveRate() const
+    {
+        if (bits_ == 0)
+            return 1.0;
+        const double k = hashes_;
+        const double load = k * static_cast<double>(inserted_) /
+                            static_cast<double>(bits_);
+        return std::pow(1.0 - std::exp(-load), k);
+    }
+
+    /** Raw filter words (serialization). */
+    const std::vector<std::uint64_t> &words() const { return words_; }
+
+    static BloomFilter fromWords(std::vector<std::uint64_t> words,
+                                 int hashes, std::uint64_t inserted)
+    {
+        BloomFilter f(words.size() * 64, hashes);
+        f.words_ = std::move(words);
+        f.inserted_ = inserted;
+        return f;
+    }
+
+    bool operator==(const BloomFilter &o) const
+    {
+        return hashes_ == o.hashes_ && bits_ == o.bits_ &&
+               inserted_ == o.inserted_ && words_ == o.words_;
+    }
+
+  private:
+    static constexpr std::uint64_t kHashTweak = 0x9e3779b97f4a7c15ull;
+
+    int hashes_ = 0;
+    std::uint64_t bits_ = 0;
+    std::vector<std::uint64_t> words_;
+    std::uint64_t inserted_ = 0;
+};
+
+/** Canonical Bloom key of a cell: RAIDR packs (row, bank); the fleet
+ * store additionally needs the column, so the key is the full cell
+ * coordinate packed into one 64-bit word. */
+inline std::uint64_t
+cellKey(int bank, int row, long long column)
+{
+    return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(row))
+            << 32) |
+           (static_cast<std::uint64_t>(static_cast<std::uint16_t>(bank))
+            << 16) |
+           static_cast<std::uint64_t>(
+               static_cast<std::uint16_t>(column));
+}
+
+} // namespace drange::fleet
+
+#endif // DRANGE_FLEET_BLOOM_HH

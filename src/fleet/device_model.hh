@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Per-DIMM device models for the fleet subsystem.
+ *
+ * A fleet member is not "a DeviceConfig": it is a vendor family (which
+ * fixes the address-mapping variant and the analog process profile)
+ * plus per-DIMM variation -- a manufacturing seed, a static thermal
+ * offset from its slot, a lognormal weak-cell density factor, and a
+ * drift rate that ages its profile. DeviceModel layers all of that
+ * onto a dram::DeviceConfig so one call builds the simulated DIMM.
+ */
+
+#ifndef DRANGE_FLEET_DEVICE_MODEL_HH
+#define DRANGE_FLEET_DEVICE_MODEL_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "dram/config.hh"
+
+namespace drange::fleet {
+
+/**
+ * One vendor family: manufacturer process profile + the address
+ * scrambling that vendor's parts use. Weights drive the population
+ * mix ([fleet] mix.<vendor> keys).
+ */
+struct Vendor
+{
+    std::string name;
+    dram::Manufacturer manufacturer = dram::Manufacturer::A;
+    dram::AddressMapping mapping;
+    double weight = 1.0;
+
+    /** The three built-in vendor families (A: direct addressing,
+     * B: subarray-reversed rows + bank rotation, C: XOR-scrambled
+     * rows and column lines). */
+    static std::vector<Vendor> builtin();
+};
+
+/**
+ * One simulated DIMM of the fleet: identity, vendor, and the fully
+ * layered device configuration.
+ */
+struct DeviceModel
+{
+    std::uint32_t id = 0;
+    std::string vendor;
+
+    /** Layered config: vendor profile + mapping, per-DIMM seed, slot
+     * temperature offset, variability-scaled weak-cell density. */
+    dram::DeviceConfig config;
+
+    double temp_offset_c = 0.0;  //!< Static slot thermal offset.
+    double variability = 1.0;    //!< Weak-cell density factor.
+    double drift_c_per_hour = 0.0; //!< Predicted thermal drift rate.
+
+    /**
+     * Identity fingerprint: hashes everything a stored profile depends
+     * on (vendor mapping, seed, geometry, density). A store record
+     * whose fingerprint mismatches was profiled for a different die
+     * and must not be reused.
+     */
+    std::uint64_t fingerprint() const;
+};
+
+} // namespace drange::fleet
+
+#endif // DRANGE_FLEET_DEVICE_MODEL_HH

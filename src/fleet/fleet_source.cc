@@ -1,0 +1,435 @@
+/**
+ * @file
+ * The "fleet" entropy source: a slice of a fleet::Population serving
+ * through the unified trng::EntropySource interface.
+ *
+ * The member instantiates its active devices lazily, bringing each one
+ * online through the profile store (load-or-profile-on-miss: a store
+ * hit only confirms the Bloom-flagged words, a miss runs the full cold
+ * profile and persists the result). Generation round-robins harvest
+ * rounds across the active devices; every device's bits pass through
+ * its own SP 800-90B health monitor, and an alarm marks the device
+ * suspect -- its bits are discarded, healthy() goes false, and the
+ * device is queued with the Reprofiler. trng::Service then runs its
+ * quarantine -> probation -> reinstate lifecycle: probation's
+ * startContinuous() is where the queued re-profiles execute, so a
+ * device being re-profiled never contributes bits. Temperature-shift
+ * and profile-age triggers re-profile inline at chunk boundaries
+ * instead (those devices are not suspect, only stale).
+ */
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/drange.hh"
+#include "dram/device.hh"
+#include "fleet/fleet_source.hh"
+#include "fleet/population.hh"
+#include "fleet/profile_store.hh"
+#include "fleet/reprofiler.hh"
+#include "trng/health.hh"
+#include "trng/registry.hh"
+#include "util/entropy.hh"
+
+namespace drange::fleet {
+
+namespace detail {
+void
+linkFleetSource()
+{
+    // Link anchor only: referencing this function from
+    // trng/registry.cc pulls this object file -- and the "fleet"
+    // self-registration below -- out of the static library.
+}
+} // namespace detail
+
+namespace {
+
+std::int64_t
+boundedInt(const trng::Params &params, const std::string &key,
+           std::int64_t fallback, std::int64_t min)
+{
+    const std::int64_t value = params.getInt(key, fallback);
+    if (value < min)
+        throw std::invalid_argument(
+            "trng source \"fleet\": parameter \"" + key +
+            "\" must be >= " + std::to_string(min) + " (got " +
+            std::to_string(value) + ")");
+    return value;
+}
+
+double
+hostMsNow()
+{
+    return std::chrono::duration<double, std::milli>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+}
+
+} // anonymous namespace
+
+FleetSource::FleetSource(const trng::Params &params)
+    : population_(FleetConfig::fromParams(params.section("fleet")))
+{
+    const auto &cfg = population_.config();
+
+    const int max_active = static_cast<int>(population_.size());
+    active_count_ = static_cast<int>(
+        boundedInt(params, "active_devices",
+                   std::min<std::int64_t>(4, max_active), 1));
+    if (active_count_ > max_active)
+        throw std::invalid_argument(
+            "trng source \"fleet\": active_devices (" +
+            std::to_string(active_count_) +
+            ") exceeds the population (fleet.devices = " +
+            std::to_string(max_active) + ")");
+    device_offset_ = static_cast<int>(
+        boundedInt(params, "device_offset", 0, 0));
+
+    health_config_ = trng::HealthTestConfig::fromParams(params);
+    setContinuousChunkBits(static_cast<std::size_t>(
+        boundedInt(params, "chunk_bits", 4096, 1)));
+
+    // Opening the store here (not at first generate()) means a stale
+    // or foreign store file fails configuration validation, where
+    // trngd --check-config reports it.
+    store_ = ProfileStore::open(cfg.store, population_.fingerprint(),
+                                cfg.store_regenerate);
+    ambient_c_.store(cfg.ambient_c, std::memory_order_relaxed);
+
+    params.rejectUnknown("trng source \"fleet\"");
+    info_ = {"fleet",
+             "D-RaNGe across a heterogeneous device fleet with a "
+             "persistent profile store and online re-profiling",
+             true};
+}
+
+FleetSource::~FleetSource() = default;
+
+const trng::SourceInfo &
+FleetSource::info() const
+{
+    return info_;
+}
+
+FleetSource::Active &
+FleetSource::bringOnline(std::size_t slot)
+{
+    // Caller holds mu_.
+    Active &a = *active_[slot];
+    const std::size_t idx =
+        (static_cast<std::size_t>(device_offset_) + slot) %
+        population_.size();
+    a.model = &population_.model(idx);
+    a.device = population_.build(idx);
+    a.device->setTemperature(ambient_c_.load(std::memory_order_relaxed) +
+                             a.model->temp_offset_c);
+
+    const double t0 = hostMsNow();
+    std::optional<DeviceProfile> prior = store_->get(a.model->id);
+    if (prior && prior->device_fingerprint != a.model->fingerprint())
+        prior.reset(); // Same id, different die: profile from scratch.
+
+    ProfileResult res = profileDevice(*a.model, *a.device,
+                                      population_.config(),
+                                      prior ? &*prior : nullptr);
+    const double elapsed = hostMsNow() - t0;
+    if (res.stats.store_hit) {
+        ++fleet_stats_.store_hits;
+        fleet_stats_.warm_profile_ms += elapsed;
+    } else {
+        ++fleet_stats_.cold_profiles;
+        fleet_stats_.cold_profile_ms += elapsed;
+    }
+    fleet_stats_.words_scanned += res.stats.words_scanned;
+    fleet_stats_.words_skipped += res.stats.words_skipped;
+    fleet_stats_.profile_reads += res.stats.reads;
+
+    store_->put(res.profile);
+    store_->save();
+    a.profiled_temp_c = res.profile.profiled_temp_c;
+    a.profiled_at_ms = res.profile.profiled_at_ms;
+
+    core::DRangeConfig engine_cfg;
+    engine_cfg.reduced_trcd_ns = population_.config().reduced_trcd_ns;
+    engine_cfg.identify.trcd_ns = engine_cfg.reduced_trcd_ns;
+    a.engine = std::make_unique<core::DRangeTrng>(*a.device, engine_cfg);
+    a.engine->initializeWith(std::move(res.selection));
+    a.engine->enterSamplingMode();
+    a.monitor =
+        std::make_unique<trng::HealthTestStage>(health_config_);
+    a.suspect = false;
+    return a;
+}
+
+void
+FleetSource::ensureActive()
+{
+    // Caller holds mu_.
+    if (!active_.empty())
+        return;
+    active_.reserve(static_cast<std::size_t>(active_count_));
+    for (int k = 0; k < active_count_; ++k) {
+        active_.push_back(std::make_unique<Active>());
+        bringOnline(static_cast<std::size_t>(k));
+    }
+}
+
+void
+FleetSource::reprofileSlot(std::size_t slot)
+{
+    // Caller holds mu_. Re-profile at the device's *current*
+    // temperature: the prior profile seeds the Bloom-screened warm
+    // pass, but cells that went stable at the new operating point are
+    // re-screened out and new metastable ones found (the warm pass
+    // only saves work on words that never held weak cells).
+    Active &a = *active_[slot];
+    const double t0 = hostMsNow();
+    std::optional<DeviceProfile> prior = store_->get(a.model->id);
+    ProfileResult res;
+    try {
+        res = profileDevice(*a.model, *a.device, population_.config(),
+                            prior ? &*prior : nullptr);
+    } catch (const std::runtime_error &) {
+        // The warm pass can come up empty when every stored weak cell
+        // went stable (a large temperature excursion moves the whole
+        // metastable band). Fall back to a full cold scan.
+        res = profileDevice(*a.model, *a.device, population_.config(),
+                            nullptr);
+    }
+    fleet_stats_.reprofile_ms += hostMsNow() - t0;
+    ++fleet_stats_.reprofiles;
+    fleet_stats_.words_scanned += res.stats.words_scanned;
+    fleet_stats_.words_skipped += res.stats.words_skipped;
+    fleet_stats_.profile_reads += res.stats.reads;
+
+    store_->put(res.profile);
+    store_->save();
+    a.profiled_temp_c = res.profile.profiled_temp_c;
+    a.profiled_at_ms = res.profile.profiled_at_ms;
+    a.engine->initializeWith(std::move(res.selection));
+    a.engine->enterSamplingMode();
+    a.monitor->reset();
+    a.suspect = false;
+    reprofiler_.markCompleted(a.model->id);
+}
+
+void
+FleetSource::runStaleReprofiles()
+{
+    // Caller holds mu_. Drain TemperatureShift / ProfileAge entries
+    // inline at the chunk boundary; HealthAlarm entries stay queued
+    // for startContinuous() (the probation path), because an alarmed
+    // device's bits must not resume until the service's lifecycle
+    // says so.
+    std::vector<Reprofiler::Entry> keep;
+    for (auto &e : reprofiler_.drain()) {
+        if (e.reason == ReprofileReason::HealthAlarm) {
+            keep.push_back(e);
+            continue;
+        }
+        for (std::size_t s = 0; s < active_.size(); ++s) {
+            if (active_[s]->model->id == e.device_id) {
+                reprofileSlot(s);
+                break;
+            }
+        }
+    }
+    for (const auto &e : keep)
+        reprofiler_.enqueue(e.device_id, e.reason);
+}
+
+util::BitStream
+FleetSource::generate(std::size_t num_bits)
+{
+    std::unique_lock<std::mutex> lock(mu_);
+    ensureActive();
+    runStaleReprofiles();
+
+    const auto &cfg = population_.config();
+    util::BitStream out;
+    double sim_ns = 0.0;
+    double first64_ns = 0.0;
+
+    // Round-robin harvest rounds across the non-suspect devices so
+    // every chunk mixes the whole active slice. A suspect device keeps
+    // sampling nothing: its cells are untrusted until re-profiled.
+    std::size_t healthy_count = 0;
+    for (const auto &a : active_)
+        healthy_count += a->suspect ? 0 : 1;
+    if (healthy_count == 0)
+        throw std::runtime_error(
+            "fleet: every active device is suspect; re-profile via "
+            "startContinuous() before generating");
+
+    while (out.size() < num_bits) {
+        for (std::size_t s = 0; s < active_.size(); ++s) {
+            Active &a = *active_[s];
+            if (a.suspect)
+                continue;
+
+            // Age trigger: predicted drift has accumulated past the
+            // profile-age bound.
+            if (cfg.max_profile_age_s > 0.0 && !reprofiler_.pending(
+                    a.model->id)) {
+                DeviceProfile probe;
+                probe.profiled_at_ms = a.profiled_at_ms;
+                if (probe.ageSeconds() > cfg.max_profile_age_s)
+                    reprofiler_.enqueue(a.model->id,
+                                        ReprofileReason::ProfileAge);
+            }
+
+            util::BitStream round_bits;
+            const double before = a.engine->scheduler().now();
+            a.engine->runRound(round_bits);
+            sim_ns += a.engine->scheduler().now() - before;
+
+            // Per-device SP 800-90B gate: the monitor sees exactly
+            // the bits this device contributed.
+            a.monitor->process(round_bits);
+            if (!a.monitor->healthy()) {
+                a.suspect = true;
+                ++fleet_stats_.alarms;
+                reprofiler_.enqueue(a.model->id,
+                                    ReprofileReason::HealthAlarm);
+                // Bits of the alarming round are discarded with the
+                // device.
+                continue;
+            }
+            if (first64_ns == 0.0 &&
+                out.size() + round_bits.size() >= 64)
+                first64_ns = sim_ns;
+            out.append(round_bits);
+        }
+
+        // Every device alarmed mid-chunk: surface the partial chunk
+        // (possibly empty) instead of spinning; healthy() is false,
+        // so the service quarantines the member either way.
+        bool any_clean = false;
+        for (const auto &a : active_)
+            any_clean = any_clean || !a->suspect;
+        if (!any_clean)
+            break;
+    }
+
+    stats_ = trng::SourceStats{};
+    stats_.bits = out.size();
+    stats_.sim_ns = sim_ns;
+    stats_.latency64_ns = first64_ns;
+    trng::fillEntropyFields(stats_, out);
+    return out;
+}
+
+void
+FleetSource::startContinuous()
+{
+    {
+        std::unique_lock<std::mutex> lock(mu_);
+        ensureActive();
+        // Probation entry point: re-profile everything queued --
+        // health-alarmed devices included -- before any session bits
+        // flow. The service discards probation output, so the first
+        // post-re-profile chunks are judged before they ever reach
+        // the reservoir.
+        for (auto &e : reprofiler_.drain()) {
+            for (std::size_t s = 0; s < active_.size(); ++s) {
+                if (active_[s]->model->id == e.device_id) {
+                    reprofileSlot(s);
+                    break;
+                }
+            }
+        }
+        // A suspect device whose enqueue was deduplicated (or that
+        // alarmed again between stop() and here) still needs its
+        // profile refreshed.
+        for (std::size_t s = 0; s < active_.size(); ++s)
+            if (active_[s]->suspect)
+                reprofileSlot(s);
+        for (auto &a : active_)
+            a->monitor->reset();
+    }
+    EntropySource::startContinuous();
+}
+
+bool
+FleetSource::healthy() const
+{
+    std::unique_lock<std::mutex> lock(mu_);
+    for (const auto &a : active_)
+        if (a->suspect)
+            return false;
+    return true;
+}
+
+void
+FleetSource::setTemperature(double celsius)
+{
+    ambient_c_.store(celsius, std::memory_order_relaxed);
+    std::unique_lock<std::mutex> lock(mu_);
+    const double delta_bound = population_.config().reprofile_delta_c;
+    for (auto &ap : active_) {
+        Active &a = *ap;
+        a.device->setTemperature(celsius + a.model->temp_offset_c);
+        if (std::abs(celsius + a.model->temp_offset_c -
+                     a.profiled_temp_c) > delta_bound) {
+            reprofiler_.enqueue(a.model->id,
+                                ReprofileReason::TemperatureShift);
+        }
+    }
+}
+
+trng::SourceStats
+FleetSource::stats() const
+{
+    std::unique_lock<std::mutex> lock(mu_);
+    return stats_;
+}
+
+FleetStats
+FleetSource::fleetStats() const
+{
+    std::unique_lock<std::mutex> lock(mu_);
+    return fleet_stats_;
+}
+
+ReprofilerStats
+FleetSource::reprofilerStats() const
+{
+    return reprofiler_.stats();
+}
+
+const Population &
+FleetSource::population() const
+{
+    return population_;
+}
+
+ProfileStore &
+FleetSource::profileStore()
+{
+    return *store_;
+}
+
+namespace {
+
+std::unique_ptr<trng::EntropySource>
+makeFleetSource(const trng::Params &params)
+{
+    return std::make_unique<FleetSource>(params);
+}
+
+} // anonymous namespace
+
+DRANGE_TRNG_REGISTER(fleet, "fleet",
+                     "D-RaNGe across a simulated device fleet: "
+                     "heterogeneous DIMMs, Bloom-filter profile "
+                     "store, online re-profiling",
+                     makeFleetSource);
+
+} // namespace drange::fleet

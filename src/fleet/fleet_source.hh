@@ -1,0 +1,102 @@
+/**
+ * @file
+ * The "fleet" trng::EntropySource: serves entropy from a slice of a
+ * fleet::Population, bringing devices online through the profile store
+ * and re-profiling them online (see fleet/reprofiler.hh for the
+ * trigger model). Registered with trng::Registry as "fleet"; this
+ * header exists so tests and benches can downcast for the fleet-level
+ * statistics the uniform SourceStats cannot carry.
+ */
+
+#ifndef DRANGE_FLEET_FLEET_SOURCE_HH
+#define DRANGE_FLEET_FLEET_SOURCE_HH
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "fleet/population.hh"
+#include "fleet/profile_store.hh"
+#include "fleet/reprofiler.hh"
+#include "trng/entropy_source.hh"
+#include "trng/health.hh"
+
+namespace drange::core {
+class DRangeTrng;
+}
+
+namespace drange::fleet {
+
+/** Lifetime counters of one fleet member's device management. */
+struct FleetStats
+{
+    std::uint64_t cold_profiles = 0; //!< Store misses: full scans.
+    std::uint64_t store_hits = 0;    //!< Bloom-screened startups.
+    std::uint64_t reprofiles = 0;    //!< Online re-profiles completed.
+    std::uint64_t alarms = 0;        //!< Per-device health alarms.
+    double cold_profile_ms = 0.0;    //!< Host time in cold profiling.
+    double warm_profile_ms = 0.0;    //!< Host time in store-hit startups.
+    double reprofile_ms = 0.0;       //!< Host time re-profiling.
+    std::uint64_t words_scanned = 0;
+    std::uint64_t words_skipped = 0; //!< Bloom-screened words skipped.
+    std::uint64_t profile_reads = 0;
+};
+
+class FleetSource final : public trng::EntropySource
+{
+  public:
+    /** Member keys: active_devices, device_offset, chunk_bits, the
+     * health_* keys (trng::HealthTestConfig::fromParams), plus the
+     * whole [fleet] section as fleet.* sub-keys. */
+    explicit FleetSource(const trng::Params &params);
+    ~FleetSource() override;
+
+    const trng::SourceInfo &info() const override;
+    util::BitStream generate(std::size_t num_bits) override;
+    void startContinuous() override;
+    trng::SourceStats stats() const override;
+    bool healthy() const override;
+    void setTemperature(double celsius) override;
+
+    FleetStats fleetStats() const;
+    ReprofilerStats reprofilerStats() const;
+    const Population &population() const;
+    ProfileStore &profileStore();
+
+  private:
+    struct Active
+    {
+        const DeviceModel *model = nullptr;
+        std::unique_ptr<dram::DramDevice> device;
+        std::unique_ptr<core::DRangeTrng> engine;
+        std::unique_ptr<trng::HealthTestStage> monitor;
+        float profiled_temp_c = 0.0f;
+        std::uint64_t profiled_at_ms = 0;
+        bool suspect = false; //!< Alarmed; sampling suspended.
+    };
+
+    Active &bringOnline(std::size_t slot);
+    void ensureActive();
+    void reprofileSlot(std::size_t slot);
+    void runStaleReprofiles();
+
+    Population population_;
+    std::shared_ptr<ProfileStore> store_;
+    trng::HealthTestConfig health_config_;
+    int active_count_ = 1;
+    int device_offset_ = 0;
+    std::atomic<double> ambient_c_{45.0};
+
+    mutable std::mutex mu_;
+    std::vector<std::unique_ptr<Active>> active_;
+    Reprofiler reprofiler_;
+    FleetStats fleet_stats_;
+    trng::SourceStats stats_;
+    trng::SourceInfo info_;
+};
+
+} // namespace drange::fleet
+
+#endif // DRANGE_FLEET_FLEET_SOURCE_HH

@@ -1,0 +1,281 @@
+#include "fleet/population.hh"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "util/rng.hh"
+
+namespace drange::fleet {
+
+namespace {
+
+void
+badFleet(const std::string &what)
+{
+    throw std::invalid_argument("fleet: " + what);
+}
+
+std::int64_t
+boundedInt(const trng::Params &params, const std::string &key,
+           std::int64_t fallback, std::int64_t min)
+{
+    const std::int64_t value = params.getInt(key, fallback);
+    if (value < min)
+        badFleet("\"" + key + "\" must be >= " + std::to_string(min) +
+                 " (got " + std::to_string(value) + ")");
+    return value;
+}
+
+double
+boundedDouble(const trng::Params &params, const std::string &key,
+              double fallback, double min)
+{
+    const double value = params.getDouble(key, fallback);
+    if (value < min)
+        badFleet("\"" + key + "\" must be >= " + std::to_string(min) +
+                 " (got " + std::to_string(value) + ")");
+    return value;
+}
+
+} // anonymous namespace
+
+FleetConfig
+FleetConfig::fromParams(const trng::Params &params)
+{
+    FleetConfig cfg;
+    cfg.devices =
+        static_cast<int>(boundedInt(params, "devices", cfg.devices, 1));
+    cfg.seed = static_cast<std::uint64_t>(
+        boundedInt(params, "seed", static_cast<std::int64_t>(cfg.seed),
+                   0));
+    cfg.noise_seed = static_cast<std::uint64_t>(
+        boundedInt(params, "noise_seed", 0, 0));
+
+    // Vendor mix: mix.<name> relative weights over the built-in
+    // vendor families. Omitted entirely -> even split.
+    const trng::Params mix = params.section("mix");
+    const std::vector<Vendor> builtin = Vendor::builtin();
+    double weight_sum = 0.0;
+    for (const std::string &key : mix.keys()) {
+        bool known = false;
+        for (const auto &v : builtin)
+            known = known || v.name == key;
+        if (!known) {
+            std::string names;
+            for (const auto &v : builtin)
+                names += (names.empty() ? "" : ", ") + v.name;
+            badFleet("unknown vendor \"mix." + key +
+                     "\" (known vendors: " + names + ")");
+        }
+        const double w = mix.getDouble(key, 0.0);
+        if (w < 0.0)
+            badFleet("\"mix." + key + "\" must be >= 0");
+        cfg.mix[key] = w;
+        weight_sum += w;
+    }
+    if (!cfg.mix.empty() && weight_sum <= 0.0)
+        badFleet("vendor mix weights sum to zero; at least one "
+                 "mix.<vendor> must be positive");
+
+    cfg.ambient_c = params.getDouble("ambient_c", cfg.ambient_c);
+    cfg.temp_spread_c =
+        boundedDouble(params, "temp_spread_c", cfg.temp_spread_c, 0.0);
+    cfg.variability_sigma = boundedDouble(
+        params, "variability_sigma", cfg.variability_sigma, 0.0);
+    cfg.drift_c_per_hour = boundedDouble(
+        params, "drift_c_per_hour", cfg.drift_c_per_hour, 0.0);
+
+    cfg.banks =
+        static_cast<int>(boundedInt(params, "banks", cfg.banks, 0));
+    cfg.rows_per_bank = static_cast<int>(
+        boundedInt(params, "rows_per_bank", cfg.rows_per_bank, 0));
+    cfg.words_per_row = static_cast<int>(
+        boundedInt(params, "words_per_row", cfg.words_per_row, 0));
+
+    cfg.reduced_trcd_ns =
+        params.getDouble("reduced_trcd_ns", cfg.reduced_trcd_ns);
+    cfg.profile_rows = static_cast<int>(
+        boundedInt(params, "profile_rows", cfg.profile_rows, 2));
+    cfg.profile_words = static_cast<int>(
+        boundedInt(params, "profile_words", cfg.profile_words, 1));
+    cfg.screen_iterations = static_cast<int>(boundedInt(
+        params, "screen_iterations", cfg.screen_iterations, 1));
+    cfg.confirm_iterations = static_cast<int>(boundedInt(
+        params, "confirm_iterations", cfg.confirm_iterations, 1));
+
+    cfg.bloom_bits = static_cast<int>(
+        boundedInt(params, "bloom_bits", cfg.bloom_bits, 64));
+    cfg.bloom_hashes = static_cast<int>(
+        boundedInt(params, "bloom_hashes", cfg.bloom_hashes, 1));
+    cfg.store = params.getString("store", cfg.store);
+    cfg.store_regenerate =
+        params.getBool("store_regenerate", cfg.store_regenerate);
+
+    cfg.reprofile_delta_c = boundedDouble(
+        params, "reprofile_delta_c", cfg.reprofile_delta_c, 0.0);
+    if (cfg.reprofile_delta_c == 0.0)
+        badFleet("\"reprofile_delta_c\" must be > 0");
+    cfg.max_profile_age_s = boundedDouble(
+        params, "max_profile_age_s", cfg.max_profile_age_s, 0.0);
+
+    // Per-device overrides: [fleet] device.<id>.vendor / .seed /
+    // .temp_offset_c.
+    for (const std::string &name : params.sections("device")) {
+        const std::string id_str =
+            name.substr(std::string("device.").size());
+        int id = -1;
+        try {
+            std::size_t pos = 0;
+            id = std::stoi(id_str, &pos);
+            if (pos != id_str.size())
+                id = -1;
+        } catch (const std::exception &) {
+            id = -1;
+        }
+        if (id < 0)
+            badFleet("override section \"device." + id_str +
+                     "\" is not a device index");
+        if (id >= cfg.devices)
+            badFleet("override \"device." + id_str +
+                     "\" is outside the population (devices = " +
+                     std::to_string(cfg.devices) + ")");
+
+        const trng::Params dev = params.section(name);
+        DeviceOverride ov;
+        ov.id = id;
+        ov.vendor = dev.getString("vendor", "");
+        if (!ov.vendor.empty()) {
+            bool known = false;
+            for (const auto &v : builtin)
+                known = known || v.name == ov.vendor;
+            if (!known)
+                badFleet("\"" + name + ".vendor\" names unknown "
+                         "vendor \"" + ov.vendor + "\"");
+        }
+        ov.seed = static_cast<std::uint64_t>(
+            boundedInt(dev, "seed", 0, 0));
+        if (dev.has("temp_offset_c")) {
+            ov.has_temp_offset = true;
+            ov.temp_offset_c = dev.getDouble("temp_offset_c", 0.0);
+        }
+        dev.rejectUnknown("fleet override [" + name + "]");
+        cfg.overrides.push_back(std::move(ov));
+    }
+
+    params.rejectUnknown("fleet config [fleet]");
+    return cfg;
+}
+
+Population::Population(FleetConfig config) : config_(std::move(config))
+{
+    vendors_ = Vendor::builtin();
+    if (!config_.mix.empty()) {
+        for (auto &v : vendors_) {
+            const auto it = config_.mix.find(v.name);
+            v.weight = it != config_.mix.end() ? it->second : 0.0;
+        }
+    }
+    double weight_sum = 0.0;
+    for (const auto &v : vendors_)
+        weight_sum += v.weight;
+    if (weight_sum <= 0.0)
+        throw std::invalid_argument(
+            "fleet: vendor mix weights sum to zero");
+
+    models_.reserve(config_.devices);
+    for (int i = 0; i < config_.devices; ++i) {
+        const std::uint64_t id_hash = util::mix64(
+            config_.seed ^ (static_cast<std::uint64_t>(i) *
+                            0x9e3779b97f4a7c15ull));
+
+        // Deterministic weighted vendor draw.
+        const double u =
+            static_cast<double>(id_hash >> 11) / 9007199254740992.0;
+        double acc = 0.0;
+        const Vendor *vendor = &vendors_.back();
+        for (const auto &v : vendors_) {
+            acc += v.weight / weight_sum;
+            if (u < acc) {
+                vendor = &v;
+                break;
+            }
+        }
+
+        DeviceModel m;
+        m.id = static_cast<std::uint32_t>(i);
+        m.vendor = vendor->name;
+        m.drift_c_per_hour = config_.drift_c_per_hour;
+
+        std::uint64_t dev_seed = util::mix64(id_hash ^ 0x5eedull);
+        if (dev_seed == 0)
+            dev_seed = 1;
+
+        // Per-DIMM variation from a per-device deterministic stream.
+        util::Xoshiro256ss var(util::mix64(id_hash ^ 0x7a71ull));
+        m.temp_offset_c = var.nextGaussian() * config_.temp_spread_c;
+        m.variability =
+            std::exp(var.nextGaussian() * config_.variability_sigma);
+
+        // Apply overrides before layering the config.
+        for (const auto &ov : config_.overrides) {
+            if (ov.id != i)
+                continue;
+            if (!ov.vendor.empty())
+                for (const auto &v : vendors_)
+                    if (v.name == ov.vendor) {
+                        vendor = &v;
+                        m.vendor = v.name;
+                    }
+            if (ov.seed != 0)
+                dev_seed = ov.seed;
+            if (ov.has_temp_offset)
+                m.temp_offset_c = ov.temp_offset_c;
+        }
+
+        m.config = dram::DeviceConfig::make(vendor->manufacturer,
+                                            dev_seed);
+        m.config.mapping = vendor->mapping;
+        if (config_.banks > 0)
+            m.config.geometry.banks = config_.banks;
+        if (config_.rows_per_bank > 0)
+            m.config.geometry.rows_per_bank = config_.rows_per_bank;
+        if (config_.words_per_row > 0)
+            m.config.geometry.words_per_row = config_.words_per_row;
+        m.config.conditions.temperature_c =
+            config_.ambient_c + m.temp_offset_c;
+        m.config.profile.weak_col_fraction = std::min(
+            0.2, m.config.profile.weak_col_fraction * m.variability);
+        if (config_.noise_seed != 0) {
+            m.config.noise_seed =
+                util::mix64(config_.noise_seed ^ id_hash) | 1;
+        }
+        models_.push_back(std::move(m));
+    }
+}
+
+std::unique_ptr<dram::DramDevice>
+Population::build(std::size_t i) const
+{
+    return std::make_unique<dram::DramDevice>(models_.at(i).config);
+}
+
+int
+Population::vendorCount(const std::string &name) const
+{
+    int count = 0;
+    for (const auto &m : models_)
+        count += m.vendor == name ? 1 : 0;
+    return count;
+}
+
+std::uint64_t
+Population::fingerprint() const
+{
+    std::uint64_t h =
+        util::mix64(0xf1ee7ull ^ static_cast<std::uint64_t>(size()));
+    for (const auto &m : models_)
+        h = util::mix64(h ^ m.fingerprint());
+    return h;
+}
+
+} // namespace drange::fleet

@@ -1,0 +1,130 @@
+/**
+ * @file
+ * The fleet population: N heterogeneous simulated DIMMs built from a
+ * `[fleet]` Params section.
+ *
+ * The population itself is cheap -- it owns device *models* (a few
+ * hundred bytes each), not simulated devices; DIMMs are instantiated
+ * on demand by whoever serves them (the "fleet" entropy source builds
+ * its active slice, the bench builds them one at a time). Everything
+ * is deterministic in fleet.seed, so two processes configured with the
+ * same [fleet] section agree on every device's identity -- which is
+ * what lets a shared profile store work.
+ */
+
+#ifndef DRANGE_FLEET_POPULATION_HH
+#define DRANGE_FLEET_POPULATION_HH
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "dram/device.hh"
+#include "fleet/device_model.hh"
+#include "trng/params.hh"
+
+namespace drange::fleet {
+
+/**
+ * Parsed `[fleet]` section. See tools/trngd.example.conf for the
+ * commented key reference.
+ */
+struct FleetConfig
+{
+    int devices = 64;         //!< Population size.
+    std::uint64_t seed = 1;   //!< Master seed (device identities).
+    std::uint64_t noise_seed = 0; //!< 0: nondeterministic per device.
+
+    /** Vendor mix weights by vendor name (relative, need not sum to
+     * 1). Defaults to an even split over the built-in vendors. */
+    std::map<std::string, double> mix;
+
+    double ambient_c = 45.0;     //!< Fleet ambient temperature.
+    double temp_spread_c = 3.0;  //!< Sigma of per-slot thermal offset.
+    double variability_sigma = 0.25; //!< Lognormal weak-density sigma.
+    double drift_c_per_hour = 0.05;  //!< Predicted drift (age trigger).
+
+    // Geometry overrides (0 keeps the dram::Geometry default).
+    int banks = 0;
+    int rows_per_bank = 0;
+    int words_per_row = 0;
+
+    // Profiling operating point and region, per device.
+    double reduced_trcd_ns = 10.0;
+    int profile_rows = 16;
+    int profile_words = 8;
+    int screen_iterations = 32; //!< Cold-profile reads per word.
+    int confirm_iterations = 12; //!< Store-hit confirmation reads.
+
+    // Profile-store knobs.
+    int bloom_bits = 2048; //!< Filter size per device (256 bytes).
+    int bloom_hashes = 4;
+    std::string store;     //!< Store file path ("" = in-memory only).
+    bool store_regenerate = false; //!< Rebuild on header mismatch.
+
+    // Re-profiling triggers.
+    double reprofile_delta_c = 5.0; //!< Temp shift past this re-profiles.
+    double max_profile_age_s = 0.0; //!< 0: no age trigger.
+
+    /** Per-device overrides: device.<id>.vendor / .seed /
+     * .temp_offset_c, validated against the population. */
+    struct DeviceOverride
+    {
+        int id = 0;
+        std::string vendor; //!< Empty: keep the mixed-in vendor.
+        std::uint64_t seed = 0;   //!< 0: keep the derived seed.
+        bool has_temp_offset = false;
+        double temp_offset_c = 0.0;
+    };
+    std::vector<DeviceOverride> overrides;
+
+    /**
+     * Parse an already-extracted [fleet] sub-bag. Unknown keys, a
+     * vendor mix summing to zero, unknown vendor names, and overrides
+     * for devices outside the population all throw
+     * std::invalid_argument naming the offending key.
+     */
+    static FleetConfig fromParams(const trng::Params &params);
+};
+
+/**
+ * Builds and owns the N device models of a fleet.
+ */
+class Population
+{
+  public:
+    explicit Population(FleetConfig config);
+
+    std::size_t size() const { return models_.size(); }
+    const DeviceModel &model(std::size_t i) const
+    {
+        return models_.at(i);
+    }
+    const FleetConfig &config() const { return config_; }
+    const std::vector<Vendor> &vendors() const { return vendors_; }
+
+    /** Instantiate the simulated DIMM of device @p i. */
+    std::unique_ptr<dram::DramDevice> build(std::size_t i) const;
+
+    /** Devices of vendor @p name in the population. */
+    int vendorCount(const std::string &name) const;
+
+    /**
+     * Configuration fingerprint over every device identity: the store
+     * header embeds it so a store written for a different population
+     * (seed, size, mix, geometry) is rejected instead of silently
+     * reused.
+     */
+    std::uint64_t fingerprint() const;
+
+  private:
+    FleetConfig config_;
+    std::vector<Vendor> vendors_;
+    std::vector<DeviceModel> models_;
+};
+
+} // namespace drange::fleet
+
+#endif // DRANGE_FLEET_POPULATION_HH

@@ -1,0 +1,488 @@
+#include "fleet/profile_store.hh"
+
+#include <algorithm>
+#include <bit>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <stdexcept>
+#include <utility>
+
+#include "core/profiler.hh"
+#include "dram/direct_host.hh"
+
+namespace drange::fleet {
+
+namespace {
+
+// The paper's RNG-cell screen (IdentifyParams defaults): cells whose
+// measured Fprob sits in this band are metastable enough to serve.
+constexpr double kScreenLo = 0.40;
+constexpr double kScreenHi = 0.60;
+
+/** Append the newest operating point, keeping at most four (oldest
+ * dropped first; a same-temperature point is replaced in place). */
+void
+appendPoint(std::vector<OperatingPoint> &points, OperatingPoint op)
+{
+    for (auto &p : points) {
+        if (std::abs(p.temperature_c - op.temperature_c) < 0.5f &&
+            std::abs(p.trcd_ns - op.trcd_ns) < 0.01f) {
+            p = op;
+            return;
+        }
+    }
+    points.push_back(op);
+    if (points.size() > 4)
+        points.erase(points.begin());
+}
+
+std::uint64_t
+nowUnixMs()
+{
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::milliseconds>(
+            std::chrono::system_clock::now().time_since_epoch())
+            .count());
+}
+
+template <typename T>
+void
+putPod(std::ofstream &out, const T &value)
+{
+    out.write(reinterpret_cast<const char *>(&value), sizeof value);
+}
+
+template <typename T>
+bool
+getPod(std::ifstream &in, T &value)
+{
+    in.read(reinterpret_cast<char *>(&value), sizeof value);
+    return in.good();
+}
+
+} // anonymous namespace
+
+std::size_t
+DeviceProfile::storeBytes() const
+{
+    return 48 + 16 * points.size() + weak_set.sizeBytes();
+}
+
+double
+DeviceProfile::ageSeconds() const
+{
+    const std::uint64_t now = nowUnixMs();
+    return now > profiled_at_ms
+               ? static_cast<double>(now - profiled_at_ms) / 1000.0
+               : 0.0;
+}
+
+// ---------------------------------------------------------- profiler
+
+ProfileResult
+profileDevice(const DeviceModel &model, dram::DramDevice &device,
+              const FleetConfig &config, const DeviceProfile *prior)
+{
+    const auto &geom = device.config().geometry;
+    const core::DataPattern pattern =
+        core::DataPattern::bestFor(device.config().manufacturer);
+    dram::DirectHost host(device);
+    core::ActivationFailureProfiler profiler(host);
+
+    const int rows = std::min(config.profile_rows, geom.rows_per_bank);
+    const int words =
+        std::min(config.profile_words, geom.words_per_row);
+    const bool warm = prior != nullptr;
+
+    ProfileResult res;
+    res.stats.store_hit = warm;
+    BloomFilter bloom(static_cast<std::size_t>(config.bloom_bits),
+                      config.bloom_hashes);
+    double fprob_sum = 0.0;
+    std::uint32_t weak_total = 0;
+
+    for (int bank = 0; bank < geom.banks; ++bank) {
+        dram::Region region;
+        region.bank = bank;
+        region.row_begin = 0;
+        region.row_end = rows;
+        region.word_begin = 0;
+        region.word_end = words;
+
+        // (row, word) -> RNG-cell bits and their measured Fprob.
+        std::map<std::pair<int, int>, std::vector<int>> by_word;
+
+        if (!warm) {
+            // Cold pass: Algorithm 1 over the whole region.
+            const core::FailureCounts counts = profiler.profile(
+                region, pattern, config.screen_iterations,
+                config.reduced_trcd_ns);
+            res.stats.words_scanned +=
+                static_cast<std::uint64_t>(rows) * words;
+            res.stats.reads += static_cast<std::uint64_t>(rows) *
+                               words * config.screen_iterations;
+            for (int r = 0; r < rows; ++r) {
+                for (int w = 0; w < words; ++w) {
+                    for (int b = 0; b < 64; ++b) {
+                        const double f = counts.fprob(r, w, b);
+                        if (f < kScreenLo || f > kScreenHi)
+                            continue;
+                        by_word[{r, w}].push_back(b);
+                        bloom.insert(cellKey(
+                            bank, r,
+                            static_cast<long long>(w) * 64 + b));
+                        fprob_sum += f;
+                        ++weak_total;
+                    }
+                }
+            }
+        } else {
+            // Store hit: only words the Bloom filter flags are
+            // sampled, and at the cheaper confirmation depth. Zero
+            // false negatives means no profiled cell's word is ever
+            // skipped; a false positive costs one word's worth of
+            // confirmation reads.
+            profiler.writePattern(region, pattern);
+            for (int w = 0; w < words; ++w) {
+                for (int r = 0; r < rows; ++r) {
+                    bool flagged = false;
+                    for (int b = 0; b < 64 && !flagged; ++b)
+                        flagged = prior->weak_set.test(cellKey(
+                            bank, r,
+                            static_cast<long long>(w) * 64 + b));
+                    if (!flagged) {
+                        ++res.stats.words_skipped;
+                        continue;
+                    }
+                    ++res.stats.words_scanned;
+                    const std::uint64_t expected = pattern.wordAt(r, w);
+                    int fails[64] = {};
+                    for (int it = 0; it < config.confirm_iterations;
+                         ++it) {
+                        host.refreshRow(bank, r);
+                        const std::uint64_t value = host.actReadPre(
+                            bank, r, w, config.reduced_trcd_ns);
+                        ++res.stats.reads;
+                        std::uint64_t diff = value ^ expected;
+                        while (diff) {
+                            ++fails[std::countr_zero(diff)];
+                            diff &= diff - 1;
+                        }
+                    }
+                    for (int b = 0; b < 64; ++b) {
+                        const double f =
+                            static_cast<double>(fails[b]) /
+                            config.confirm_iterations;
+                        if (f < kScreenLo || f > kScreenHi)
+                            continue;
+                        by_word[{r, w}].push_back(b);
+                        bloom.insert(cellKey(
+                            bank, r,
+                            static_cast<long long>(w) * 64 + b));
+                        fprob_sum += f;
+                        ++weak_total;
+                    }
+                }
+            }
+        }
+
+        // Algorithm 2 line 3: the two densest RNG-cell words in
+        // distinct rows of this bank (same ranking as
+        // DRangeTrng::initialize).
+        std::vector<std::pair<std::pair<int, int>, std::vector<int>>>
+            ranked(by_word.begin(), by_word.end());
+        std::sort(ranked.begin(), ranked.end(),
+                  [](const auto &a, const auto &b) {
+                      return a.second.size() > b.second.size();
+                  });
+        if (ranked.empty())
+            continue;
+
+        core::BankSelection sel;
+        sel.bank = bank;
+        sel.words[0] = {bank, ranked[0].first.first,
+                        ranked[0].first.second};
+        sel.bits[0] = ranked[0].second;
+        bool found_second = false;
+        for (std::size_t i = 1; i < ranked.size(); ++i) {
+            if (ranked[i].first.first != sel.words[0].row) {
+                sel.words[1] = {bank, ranked[i].first.first,
+                                ranked[i].first.second};
+                sel.bits[1] = ranked[i].second;
+                found_second = true;
+                break;
+            }
+        }
+        if (!found_second)
+            continue;
+        for (int d = 0; d < 2; ++d)
+            sel.pattern_word[d] =
+                pattern.wordAt(sel.words[d].row, sel.words[d].word);
+        res.selection.push_back(std::move(sel));
+    }
+
+    if (res.selection.empty())
+        throw std::runtime_error(
+            "fleet: device " + std::to_string(model.id) +
+            " has no RNG-cell words in the profiled region (grow "
+            "fleet.profile_rows / fleet.profile_words)");
+
+    DeviceProfile &p = res.profile;
+    p.device_id = model.id;
+    p.device_fingerprint = model.fingerprint();
+    p.generation = prior ? prior->generation + 1 : 0;
+    p.profiled_temp_c = static_cast<float>(device.temperature());
+    p.reduced_trcd_ns = static_cast<float>(config.reduced_trcd_ns);
+    p.weak_cells = weak_total;
+    p.profiled_at_ms = nowUnixMs();
+    p.points = prior ? prior->points : std::vector<OperatingPoint>{};
+    OperatingPoint op;
+    op.trcd_ns = static_cast<float>(config.reduced_trcd_ns);
+    op.temperature_c = p.profiled_temp_c;
+    op.mean_fail_fraction = static_cast<float>(
+        weak_total > 0 ? fprob_sum / weak_total : 0.0);
+    op.weak_cells = weak_total;
+    appendPoint(p.points, op);
+    p.weak_set = std::move(bloom);
+    return res;
+}
+
+// ------------------------------------------------------------- store
+
+ProfileStore::ProfileStore(std::string path,
+                           std::uint64_t population_fingerprint,
+                           bool regenerate)
+    : path_(std::move(path)), fingerprint_(population_fingerprint)
+{
+    if (path_.empty())
+        return;
+    std::ifstream probe(path_, std::ios::binary);
+    if (!probe.good())
+        return; // No store yet: every get() is a miss until put().
+    probe.close();
+    try {
+        load();
+    } catch (const std::runtime_error &) {
+        if (!regenerate)
+            throw;
+        // Regenerate path: discard the stale store and re-profile.
+        records_.clear();
+        dirty_ = true;
+    }
+}
+
+void
+ProfileStore::load()
+{
+    std::ifstream in(path_, std::ios::binary);
+    std::uint64_t magic = 0;
+    std::uint32_t schema = 0, count = 0;
+    std::uint64_t fingerprint = 0;
+    if (!getPod(in, magic) || !getPod(in, schema) ||
+        !getPod(in, count) || !getPod(in, fingerprint))
+        throw std::runtime_error("fleet: profile store \"" + path_ +
+                                 "\" is truncated");
+    const std::string regen =
+        " (delete the file or set fleet.store_regenerate = true to "
+        "re-profile)";
+    if (magic != kMagic)
+        throw std::runtime_error("fleet: \"" + path_ +
+                                 "\" is not a fleet profile store" +
+                                 regen);
+    if (schema != kSchemaVersion)
+        throw std::runtime_error(
+            "fleet: profile store \"" + path_ + "\" has schema "
+            "version " + std::to_string(schema) + ", this build "
+            "expects " + std::to_string(kSchemaVersion) + regen);
+    if (fingerprint != fingerprint_)
+        throw std::runtime_error(
+            "fleet: profile store \"" + path_ + "\" was profiled "
+            "for a different fleet population (fingerprint "
+            "mismatch); stale profiles would select the wrong "
+            "cells" + regen);
+
+    std::map<std::uint32_t, DeviceProfile> records;
+    for (std::uint32_t i = 0; i < count; ++i) {
+        DeviceProfile p;
+        std::uint64_t inserted = 0;
+        std::uint16_t bloom_words = 0;
+        std::uint8_t bloom_hashes = 0, num_points = 0;
+        if (!getPod(in, p.device_id) || !getPod(in, p.generation) ||
+            !getPod(in, p.device_fingerprint) ||
+            !getPod(in, p.profiled_temp_c) ||
+            !getPod(in, p.reduced_trcd_ns) ||
+            !getPod(in, p.weak_cells) ||
+            !getPod(in, p.profiled_at_ms) || !getPod(in, inserted) ||
+            !getPod(in, bloom_words) || !getPod(in, bloom_hashes) ||
+            !getPod(in, num_points))
+            throw std::runtime_error("fleet: profile store \"" +
+                                     path_ + "\" is truncated");
+        if (num_points > 4 || bloom_hashes < 1 || bloom_hashes > 16 ||
+            bloom_words == 0)
+            throw std::runtime_error("fleet: profile store \"" +
+                                     path_ +
+                                     "\" has a corrupt record" + regen);
+        p.points.resize(num_points);
+        for (auto &op : p.points)
+            if (!getPod(in, op.trcd_ns) ||
+                !getPod(in, op.temperature_c) ||
+                !getPod(in, op.mean_fail_fraction) ||
+                !getPod(in, op.weak_cells))
+                throw std::runtime_error("fleet: profile store \"" +
+                                         path_ + "\" is truncated");
+        std::vector<std::uint64_t> words(bloom_words);
+        for (auto &w : words)
+            if (!getPod(in, w))
+                throw std::runtime_error("fleet: profile store \"" +
+                                         path_ + "\" is truncated");
+        p.weak_set = BloomFilter::fromWords(std::move(words),
+                                            bloom_hashes, inserted);
+        records.emplace(p.device_id, std::move(p));
+    }
+    records_ = std::move(records);
+    dirty_ = false;
+}
+
+void
+ProfileStore::save()
+{
+    std::unique_lock<std::mutex> lock(mu_);
+    if (path_.empty() || !dirty_)
+        return;
+    const std::string tmp = path_ + ".tmp";
+    {
+        std::ofstream out(tmp,
+                          std::ios::binary | std::ios::trunc);
+        if (!out.good())
+            throw std::runtime_error(
+                "fleet: cannot write profile store \"" + tmp + "\"");
+        putPod(out, kMagic);
+        putPod(out, kSchemaVersion);
+        putPod(out, static_cast<std::uint32_t>(records_.size()));
+        putPod(out, fingerprint_);
+        for (const auto &[id, p] : records_) {
+            (void)id;
+            putPod(out, p.device_id);
+            putPod(out, p.generation);
+            putPod(out, p.device_fingerprint);
+            putPod(out, p.profiled_temp_c);
+            putPod(out, p.reduced_trcd_ns);
+            putPod(out, p.weak_cells);
+            putPod(out, p.profiled_at_ms);
+            putPod(out, p.weak_set.inserted());
+            putPod(out, static_cast<std::uint16_t>(
+                            p.weak_set.words().size()));
+            putPod(out, static_cast<std::uint8_t>(
+                            p.weak_set.hashes()));
+            putPod(out,
+                   static_cast<std::uint8_t>(p.points.size()));
+            for (const auto &op : p.points) {
+                putPod(out, op.trcd_ns);
+                putPod(out, op.temperature_c);
+                putPod(out, op.mean_fail_fraction);
+                putPod(out, op.weak_cells);
+            }
+            for (const std::uint64_t w : p.weak_set.words())
+                putPod(out, w);
+        }
+        if (!out.good())
+            throw std::runtime_error(
+                "fleet: short write to profile store \"" + tmp +
+                "\"");
+    }
+    if (std::rename(tmp.c_str(), path_.c_str()) != 0)
+        throw std::runtime_error(
+            "fleet: cannot rename \"" + tmp + "\" over \"" + path_ +
+            "\"");
+    dirty_ = false;
+}
+
+std::shared_ptr<ProfileStore>
+ProfileStore::open(const std::string &path,
+                   std::uint64_t population_fingerprint,
+                   bool regenerate)
+{
+    if (path.empty())
+        return std::make_shared<ProfileStore>(
+            path, population_fingerprint, regenerate);
+
+    static std::mutex cache_mu;
+    static std::map<std::string, std::weak_ptr<ProfileStore>> cache;
+
+    std::unique_lock<std::mutex> lock(cache_mu);
+    if (auto it = cache.find(path); it != cache.end()) {
+        if (auto store = it->second.lock()) {
+            if (store->populationFingerprint() !=
+                population_fingerprint)
+                throw std::runtime_error(
+                    "fleet: profile store \"" + path +
+                    "\" is already open for a different fleet "
+                    "population; pool members sharing a store must "
+                    "share the [fleet] section");
+            return store;
+        }
+    }
+    auto store = std::make_shared<ProfileStore>(
+        path, population_fingerprint, regenerate);
+    cache[path] = store;
+    return store;
+}
+
+std::optional<DeviceProfile>
+ProfileStore::get(std::uint32_t device_id)
+{
+    std::unique_lock<std::mutex> lock(mu_);
+    const auto it = records_.find(device_id);
+    if (it == records_.end()) {
+        ++misses_;
+        return std::nullopt;
+    }
+    ++hits_;
+    return it->second;
+}
+
+void
+ProfileStore::put(DeviceProfile profile)
+{
+    std::unique_lock<std::mutex> lock(mu_);
+    records_[profile.device_id] = std::move(profile);
+    dirty_ = true;
+}
+
+std::size_t
+ProfileStore::size() const
+{
+    std::unique_lock<std::mutex> lock(mu_);
+    return records_.size();
+}
+
+std::uint64_t
+ProfileStore::hits() const
+{
+    std::unique_lock<std::mutex> lock(mu_);
+    return hits_;
+}
+
+std::uint64_t
+ProfileStore::misses() const
+{
+    std::unique_lock<std::mutex> lock(mu_);
+    return misses_;
+}
+
+std::size_t
+ProfileStore::fileBytes() const
+{
+    std::unique_lock<std::mutex> lock(mu_);
+    std::size_t bytes = 24;
+    for (const auto &[id, p] : records_) {
+        (void)id;
+        bytes += p.storeBytes();
+    }
+    return bytes;
+}
+
+} // namespace drange::fleet

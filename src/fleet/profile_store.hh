@@ -1,0 +1,170 @@
+/**
+ * @file
+ * The fleet profile store: compact persistent per-device profiles.
+ *
+ * Profiling a DIMM (Algorithm 1 over the profile region) is the
+ * expensive part of bringing a fleet device online. The store keeps
+ * what a later startup needs to skip most of that work: a RAIDR-style
+ * Bloom filter over the device's weak cells plus per-operating-point
+ * summary statistics, about 300 bytes per device. A store-hit startup
+ * only samples the words the filter flags (zero false negatives, so no
+ * profiled cell is ever missed; false positives cost a few
+ * confirmation reads), instead of screening the whole region.
+ *
+ * On disk the store is a single file with a versioned header (magic,
+ * schema version, population fingerprint, record count). A header
+ * whose schema version or fingerprint mismatches the running
+ * configuration is *rejected* -- stale profiles silently selecting the
+ * wrong cells would be an entropy bug, not a performance bug -- with
+ * an error naming the regenerate path (delete the file, or set
+ * fleet.store_regenerate = true to rebuild in place).
+ */
+
+#ifndef DRANGE_FLEET_PROFILE_STORE_HH
+#define DRANGE_FLEET_PROFILE_STORE_HH
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/drange.hh"
+#include "fleet/bloom.hh"
+#include "fleet/device_model.hh"
+#include "fleet/population.hh"
+
+namespace drange::fleet {
+
+/** Summary statistics of one profiled operating point. */
+struct OperatingPoint
+{
+    float trcd_ns = 0.0f;
+    float temperature_c = 0.0f;
+    float mean_fail_fraction = 0.0f; //!< Mean Fprob of the weak cells.
+    std::uint32_t weak_cells = 0;
+};
+
+/** One device's stored profile. */
+struct DeviceProfile
+{
+    std::uint32_t device_id = 0;
+    std::uint64_t device_fingerprint = 0;
+    std::uint32_t generation = 0; //!< Bumped by every re-profile.
+    float profiled_temp_c = 0.0f; //!< Temperature of the last profile.
+    float reduced_trcd_ns = 0.0f;
+    std::uint32_t weak_cells = 0;
+    std::uint64_t profiled_at_ms = 0; //!< Unix milliseconds.
+    std::vector<OperatingPoint> points; //!< Newest last, at most 4.
+    BloomFilter weak_set;
+
+    /** Serialized size of this record in the store file. */
+    std::size_t storeBytes() const;
+
+    /** Age relative to the current wall clock, in seconds. */
+    double ageSeconds() const;
+};
+
+/** Counters of one profiling pass (cold or store-hit). */
+struct ProfilerStats
+{
+    std::uint64_t words_scanned = 0; //!< Words actually sampled.
+    std::uint64_t words_skipped = 0; //!< Bloom-screened words skipped.
+    std::uint64_t reads = 0;         //!< Reduced-tRCD reads issued.
+    bool store_hit = false;
+};
+
+/** Result of profiling one device. */
+struct ProfileResult
+{
+    DeviceProfile profile;
+    std::vector<core::BankSelection> selection;
+    ProfilerStats stats;
+};
+
+/**
+ * Profile @p device (Algorithm 1 over the [fleet] profile region) and
+ * build the per-bank sampling selection. With @p prior set, runs the
+ * store-hit path: only words with at least one Bloom-positive cell are
+ * sampled, at confirm_iterations instead of screen_iterations.
+ *
+ * @throws std::runtime_error when no RNG cells are found (the device
+ *         cannot serve).
+ */
+ProfileResult profileDevice(const DeviceModel &model,
+                            dram::DramDevice &device,
+                            const FleetConfig &config,
+                            const DeviceProfile *prior);
+
+/**
+ * The store itself: an id-keyed map of DeviceProfile records with a
+ * single-file persistent form. Thread-safe; one instance is shared by
+ * every pool member configured with the same store path (see open()).
+ */
+class ProfileStore
+{
+  public:
+    static constexpr std::uint64_t kMagic = 0x44524e47464c5431ull;
+    static constexpr std::uint32_t kSchemaVersion = 1;
+
+    /**
+     * File-backed store: loads @p path when it exists, starts empty
+     * otherwise. @p path empty builds an in-memory store.
+     *
+     * @throws std::runtime_error when the file exists but its header
+     *         magic, schema version, or population fingerprint does
+     *         not match -- unless @p regenerate, which discards the
+     *         stale contents and starts empty.
+     */
+    ProfileStore(std::string path, std::uint64_t population_fingerprint,
+                 bool regenerate);
+
+    /**
+     * Process-global open-by-path cache: pool members configured with
+     * the same store file share one instance (and its lock), so
+     * concurrent profiling cannot tear the file. Distinct populations
+     * claiming the same path throw.
+     */
+    static std::shared_ptr<ProfileStore>
+    open(const std::string &path, std::uint64_t population_fingerprint,
+         bool regenerate);
+
+    /** Stored profile of @p device_id, if any (a copy; the store's
+     * record may be replaced concurrently). Counts hit/miss. */
+    std::optional<DeviceProfile> get(std::uint32_t device_id);
+
+    /** Insert or replace a record; marks the store dirty. */
+    void put(DeviceProfile profile);
+
+    /** Persist atomically (write-to-temp + rename). No-op for an
+     * in-memory store or when nothing changed. */
+    void save();
+
+    std::size_t size() const;
+    const std::string &path() const { return path_; }
+    std::uint64_t populationFingerprint() const { return fingerprint_; }
+
+    std::uint64_t hits() const;
+    std::uint64_t misses() const;
+
+    /** Serialized file size of the current contents, header included. */
+    std::size_t fileBytes() const;
+
+  private:
+    void load();
+
+    std::string path_;
+    std::uint64_t fingerprint_ = 0;
+
+    mutable std::mutex mu_;
+    std::map<std::uint32_t, DeviceProfile> records_;
+    bool dirty_ = false;
+    std::uint64_t hits_ = 0;
+    std::uint64_t misses_ = 0;
+};
+
+} // namespace drange::fleet
+
+#endif // DRANGE_FLEET_PROFILE_STORE_HH

@@ -1,0 +1,98 @@
+#include "fleet/reprofiler.hh"
+
+#include <algorithm>
+
+namespace drange::fleet {
+
+const char *
+toString(ReprofileReason reason)
+{
+    switch (reason) {
+    case ReprofileReason::HealthAlarm:
+        return "health-alarm";
+    case ReprofileReason::TemperatureShift:
+        return "temperature-shift";
+    case ReprofileReason::ProfileAge:
+        return "profile-age";
+    }
+    return "unknown";
+}
+
+bool
+Reprofiler::enqueue(std::uint32_t device_id, ReprofileReason reason)
+{
+    std::unique_lock<std::mutex> lock(mu_);
+    for (const auto &e : queue_) {
+        if (e.device_id == device_id) {
+            ++stats_.deduplicated;
+            return false;
+        }
+    }
+    queue_.push_back({device_id, reason});
+    switch (reason) {
+    case ReprofileReason::HealthAlarm:
+        ++stats_.enqueued_health;
+        break;
+    case ReprofileReason::TemperatureShift:
+        ++stats_.enqueued_temperature;
+        break;
+    case ReprofileReason::ProfileAge:
+        ++stats_.enqueued_age;
+        break;
+    }
+    return true;
+}
+
+std::optional<Reprofiler::Entry>
+Reprofiler::pop()
+{
+    std::unique_lock<std::mutex> lock(mu_);
+    if (queue_.empty())
+        return std::nullopt;
+    Entry e = queue_.front();
+    queue_.erase(queue_.begin());
+    return e;
+}
+
+std::vector<Reprofiler::Entry>
+Reprofiler::drain()
+{
+    std::unique_lock<std::mutex> lock(mu_);
+    std::vector<Entry> out;
+    out.swap(queue_);
+    return out;
+}
+
+void
+Reprofiler::markCompleted(std::uint32_t device_id)
+{
+    (void)device_id;
+    std::unique_lock<std::mutex> lock(mu_);
+    ++stats_.completed;
+}
+
+bool
+Reprofiler::pending(std::uint32_t device_id) const
+{
+    std::unique_lock<std::mutex> lock(mu_);
+    return std::any_of(queue_.begin(), queue_.end(),
+                       [device_id](const Entry &e) {
+                           return e.device_id == device_id;
+                       });
+}
+
+std::size_t
+Reprofiler::pendingCount() const
+{
+    std::unique_lock<std::mutex> lock(mu_);
+    return queue_.size();
+}
+
+ReprofilerStats
+Reprofiler::stats() const
+{
+    std::unique_lock<std::mutex> lock(mu_);
+    return stats_;
+}
+
+} // namespace drange::fleet

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * The online re-profiling queue.
+ *
+ * A fleet device's profile goes stale three ways: its SP 800-90B
+ * health monitor alarms (the selected cells stopped being metastable),
+ * its temperature moves past a configured delta from the temperature
+ * it was profiled at (Fprob is strongly temperature-dependent, paper
+ * Section 5.3), or the profile simply ages past a bound while
+ * predicted thermal drift accumulates. The Reprofiler is the queue
+ * between those triggers and the re-profiling work: triggers enqueue
+ * (deduplicated per device) from any thread, and the serving thread
+ * drains the queue at safe points -- health-alarm entries during
+ * trng::Service probation (the quarantine -> probation -> reinstate
+ * lifecycle guarantees a device being re-profiled contributes no
+ * bits), the rest at chunk boundaries.
+ */
+
+#ifndef DRANGE_FLEET_REPROFILER_HH
+#define DRANGE_FLEET_REPROFILER_HH
+
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <vector>
+
+namespace drange::fleet {
+
+enum class ReprofileReason {
+    HealthAlarm,      //!< SP 800-90B monitor latched an alarm.
+    TemperatureShift, //!< Moved past reprofile_delta_c from profile.
+    ProfileAge,       //!< Older than max_profile_age_s.
+};
+
+/** @return "health-alarm", "temperature-shift", or "profile-age". */
+const char *toString(ReprofileReason reason);
+
+/** Lifetime counters, by trigger. */
+struct ReprofilerStats
+{
+    std::uint64_t enqueued_health = 0;
+    std::uint64_t enqueued_temperature = 0;
+    std::uint64_t enqueued_age = 0;
+    std::uint64_t deduplicated = 0; //!< Enqueues folded into a pending entry.
+    std::uint64_t completed = 0;
+
+    std::uint64_t enqueued() const
+    {
+        return enqueued_health + enqueued_temperature + enqueued_age;
+    }
+};
+
+/**
+ * Deduplicating re-profile queue. Thread-safe.
+ */
+class Reprofiler
+{
+  public:
+    struct Entry
+    {
+        std::uint32_t device_id = 0;
+        ReprofileReason reason = ReprofileReason::HealthAlarm;
+    };
+
+    /**
+     * Queue @p device_id for re-profiling. A device already pending
+     * keeps its first entry (the earliest reason wins; the re-profile
+     * itself is identical) and the duplicate is only counted.
+     *
+     * @return true when the device was newly queued.
+     */
+    bool enqueue(std::uint32_t device_id, ReprofileReason reason);
+
+    /** Pop the oldest entry, if any. */
+    std::optional<Entry> pop();
+
+    /** Pop every pending entry, oldest first. */
+    std::vector<Entry> drain();
+
+    /** Record one finished re-profile (stats only). */
+    void markCompleted(std::uint32_t device_id);
+
+    bool pending(std::uint32_t device_id) const;
+    std::size_t pendingCount() const;
+    ReprofilerStats stats() const;
+
+  private:
+    mutable std::mutex mu_;
+    std::vector<Entry> queue_;
+    ReprofilerStats stats_;
+};
+
+} // namespace drange::fleet
+
+#endif // DRANGE_FLEET_REPROFILER_HH

@@ -6,6 +6,7 @@
 #include <thread>
 #include <utility>
 
+#include "fleet/population.hh"
 #include "trng/registry.hh"
 
 namespace drange::trng {
@@ -147,6 +148,16 @@ ServiceConfig::fromParams(const Params &params)
     cfg.max_probation_attempts = static_cast<int>(max_attempts);
     service.rejectUnknown("trng::Service config [service]");
 
+    // One [fleet] section describes the device population for the
+    // whole pool: its keys fan out to every "fleet" member (as
+    // fleet.* sub-keys, explicit per-member values winning), so the
+    // members agree on device identities and can share one profile
+    // store. Validate it eagerly -- a typo'd [fleet] key must fail
+    // configuration even when no member consumes the section.
+    const Params fleet_section = params.section("fleet");
+    if (!fleet_section.keys().empty())
+        (void)fleet::FleetConfig::fromParams(fleet_section);
+
     for (const std::string &name : params.sections("pool")) {
         const Params member = params.section(name);
         PoolMemberConfig pm;
@@ -165,6 +176,11 @@ ServiceConfig::fromParams(const Params &params)
             !pm.params.has("conditioning_workers"))
             pm.params.set("conditioning_workers",
                           std::to_string(cfg.conditioning_workers));
+        if (pm.source == "fleet")
+            for (const std::string &key : fleet_section.keys())
+                if (!pm.params.has("fleet." + key))
+                    pm.params.set("fleet." + key,
+                                  fleet_section.getString(key));
         cfg.pool.push_back(std::move(pm));
     }
     if (cfg.pool.empty())

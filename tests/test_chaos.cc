@@ -17,6 +17,7 @@
  */
 
 #include <cerrno>
+#include <atomic>
 #include <chrono>
 #include <cstdint>
 #include <memory>
@@ -32,6 +33,8 @@
 
 #include <gtest/gtest.h>
 
+#include "fleet/population.hh"
+#include "fleet/profile_store.hh"
 #include "net/frame.hh"
 #include "net/listener.hh"
 #include "net/server.hh"
@@ -191,13 +194,14 @@ decodeCounter(const std::vector<std::uint8_t> &bytes,
     return value;
 }
 
-/** Wait until @p predicate(service.stats()) holds or ~5 s pass. */
+/** Wait until @p predicate(service.stats()) holds or @p seconds pass. */
 template <typename Predicate>
 bool
-waitForStats(const Service &service, Predicate predicate)
+waitForStats(const Service &service, Predicate predicate,
+             int seconds = 5)
 {
     const auto deadline = std::chrono::steady_clock::now() +
-                          std::chrono::seconds(5);
+                          std::chrono::seconds(seconds);
     while (std::chrono::steady_clock::now() < deadline) {
         if (predicate(service.stats()))
             return true;
@@ -556,6 +560,139 @@ TEST(ServiceProbation, GivesUpAfterMaxProbationAttempts)
     EXPECT_EQ(member.probation_attempts, 2u);
     EXPECT_EQ(stats.quarantined_members, 1);
     EXPECT_EQ(stats.healthy_members, 0);
+}
+
+// ---------------------------------------------------------------------
+// Fleet re-profiling under a temperature ramp
+// ---------------------------------------------------------------------
+
+/** Temp-ramp chaos on a fleet member, end to end: the ramp shifts the
+ * devices far from their profiled operating point, their SP 800-90B
+ * monitors alarm (the temperature-shift trigger is disabled so only
+ * the alarm path can fire), the service quarantines the member, and
+ * probation's startContinuous() re-profiles the devices at the new
+ * temperature -- after which the member reinstates. A chaosrand member
+ * keeps the pool serving throughout: two concurrent sessions' reads
+ * all complete, and the probation output (bits harvested while
+ * re-profiled devices were being judged) never reaches them. */
+TEST(FleetChaos, TempRampReprofilesAndReinstatesWhileServing)
+{
+    ASSERT_TRUE(kRegistered);
+    const std::string store_path = testing::TempDir() +
+                                   "fleet_chaos_store_" +
+                                   std::to_string(::getpid()) + ".bin";
+    std::remove(store_path.c_str());
+
+    PoolMemberConfig good;
+    good.source = "chaosrand";
+    good.label = "good";
+    good.params = Params{{"chunk_bits", "2048"}};
+
+    PoolMemberConfig hot;
+    hot.source = "fleet";
+    hot.label = "hot";
+    hot.params = Params{
+        {"fleet.devices", "3"},
+        {"fleet.banks", "2"},
+        {"fleet.rows_per_bank", "64"},
+        {"fleet.words_per_row", "16"},
+        {"fleet.profile_rows", "16"},
+        {"fleet.profile_words", "12"},
+        {"fleet.noise_seed", "42"},
+        {"fleet.store", store_path},
+        // Disable the graceful temperature-shift trigger: this
+        // scenario must exercise the health-alarm path.
+        {"fleet.reprofile_delta_c", "1000000"},
+        {"active_devices", "2"},
+        {"chunk_bits", "2048"},
+        {"faults.baseline_c", "45"},
+        {"faults.ramp.kind", "temp_ramp"},
+        {"faults.ramp.at_ms", "20"},
+        {"faults.ramp.duration_ms", "50"},
+        {"faults.ramp.temperature_c", "75"},
+    };
+
+    ServiceConfig config;
+    config.pool.push_back(good);
+    config.pool.push_back(hot);
+    config.reservoir_bits = 8192;
+    config.adaptive_chunking = false;
+    config.reinstate = true;
+    config.probation_delay_ms = 5;
+    config.probation_windows = 2;
+
+    Service service(config);
+
+    // Two concurrent sessions read across the whole scenario; every
+    // read must complete (the good member carries the pool while the
+    // fleet member cycles through quarantine). The readers run until
+    // recovery is observed -- a fixed read count could drain before
+    // the ramp's biased chunks are ever pumped, leaving the reservoir
+    // full and the alarm unfired.
+    std::atomic<bool> stop{false};
+    auto reader = [&service, &stop] {
+        auto session = service.open();
+        for (int i = 0; i < 4000 && !stop.load(); ++i) {
+            const BitStream bits = session.read(1024);
+            ASSERT_EQ(bits.size(), 1024u);
+            std::this_thread::sleep_for(std::chrono::milliseconds(2));
+        }
+    };
+    std::thread a(reader), b(reader);
+
+    // The ramp ends 70 ms into serving; the stale profile alarms, the
+    // member quarantines, probation re-profiles at 75 C, and -- the
+    // profile now matching the operating point -- it reinstates.
+    const bool recovered = waitForStats(
+        service,
+        [](const ServiceStats &st) {
+            const auto &hot_member = st.members[1];
+            return hot_member.quarantines >= 1 &&
+                   hot_member.reinstatements >= 1;
+        },
+        /*seconds=*/20);
+    stop.store(true);
+    a.join();
+    b.join();
+    EXPECT_TRUE(recovered);
+
+    const ServiceStats stats = service.stats();
+    const auto &hot_member = stats.members[1];
+    EXPECT_EQ(stats.members[1].label, "hot");
+    EXPECT_GE(hot_member.quarantines, 1u);
+    EXPECT_GE(hot_member.reinstatements, 1u);
+    EXPECT_GE(hot_member.probation_attempts, 1u);
+    EXPECT_GT(hot_member.probation_bits, 0u); // Pumped and discarded.
+    EXPECT_EQ(stats.members[0].quarantines, 0u);
+
+    service.close();
+
+    // The probation re-profiles were persisted: at least one active
+    // device's stored profile carries a bumped generation, profiled
+    // at the post-ramp temperature.
+    drange::trng::Params fleet_section;
+    for (const std::string &key : hot.params.keys())
+        if (key.rfind("fleet.", 0) == 0)
+            fleet_section.set(key.substr(6),
+                              hot.params.getString(key));
+    const drange::fleet::Population population(
+        drange::fleet::FleetConfig::fromParams(fleet_section));
+    auto store = drange::fleet::ProfileStore::open(
+        store_path, population.fingerprint(), false);
+    std::uint32_t max_generation = 0;
+    float reprofiled_temp = 0.0f;
+    for (std::uint32_t id = 0; id < 2; ++id) {
+        if (const auto profile = store->get(id);
+            profile && profile->generation > max_generation) {
+            max_generation = profile->generation;
+            reprofiled_temp = profile->profiled_temp_c;
+        }
+    }
+    EXPECT_GE(max_generation, 1u);
+    // Probation can fire mid-ramp, so the re-profile temperature lands
+    // anywhere along it -- but well above the 45 C baseline band.
+    EXPECT_GT(reprofiled_temp, 52.0f);
+    std::remove(store_path.c_str());
 }
 
 // ---------------------------------------------------------------------

@@ -1,0 +1,650 @@
+/**
+ * @file
+ * Fleet subsystem tests: Bloom-filter weak-cell sets (zero false
+ * negatives by construction, bounded false positives, bit-identical
+ * serialization), vendor address-mapping bijections, [fleet] config
+ * validation, population determinism, the profile store's versioned
+ * header (schema/fingerprint rejection + regenerate path), the "fleet"
+ * entropy source's load-or-profile-on-miss startup, and the
+ * re-profiling queue. Runs in the ThreadSanitizer lane: the geometries
+ * here are tiny so the full profile/serve cycle stays fast under
+ * instrumentation.
+ */
+
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <random>
+#include <set>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <unistd.h>
+
+#include <gtest/gtest.h>
+
+#include "fleet/bloom.hh"
+#include "fleet/fleet_source.hh"
+#include "fleet/population.hh"
+#include "fleet/profile_store.hh"
+#include "fleet/reprofiler.hh"
+#include "trng/registry.hh"
+#include "trng/service.hh"
+
+namespace {
+
+namespace fleet = drange::fleet;
+namespace dram = drange::dram;
+using drange::trng::Params;
+using drange::trng::Registry;
+using drange::trng::ServiceConfig;
+using fleet::BloomFilter;
+using fleet::cellKey;
+using fleet::FleetConfig;
+using fleet::Population;
+using fleet::ProfileStore;
+using fleet::Reprofiler;
+using fleet::ReprofileReason;
+
+/** Unique temp path per test, removed by the caller. */
+std::string
+tempStorePath(const std::string &tag)
+{
+    return testing::TempDir() + "fleet_store_" + tag + "_" +
+           std::to_string(::getpid()) + ".bin";
+}
+
+/** The tiny-geometry [fleet] sub-bag every fleet test starts from. */
+Params
+tinyFleet(int devices)
+{
+    Params p;
+    p.set("devices", devices)
+        .set("banks", 2)
+        .set("rows_per_bank", 64)
+        .set("words_per_row", 16)
+        .set("profile_rows", 16)
+        .set("profile_words", 12)
+        .set("noise_seed", 42);
+    return p;
+}
+
+/** Member params for a "fleet" source over tinyFleet(devices). */
+Params
+tinyMember(int devices, int active)
+{
+    Params p;
+    const Params sub = tinyFleet(devices);
+    for (const std::string &key : sub.keys())
+        p.set("fleet." + key, sub.getString(key));
+    p.set("active_devices", active).set("chunk_bits", 2048);
+    return p;
+}
+
+// ---------------------------------------------------------------------
+// BloomFilter
+// ---------------------------------------------------------------------
+
+TEST(Bloom, ZeroFalseNegativesByConstruction)
+{
+    BloomFilter filter(2048, 4);
+    std::mt19937_64 rng(7);
+    std::vector<std::uint64_t> keys;
+    for (int i = 0; i < 200; ++i)
+        keys.push_back(rng());
+    for (const std::uint64_t key : keys)
+        filter.insert(key);
+    // Every inserted key tests positive, always.
+    for (const std::uint64_t key : keys)
+        EXPECT_TRUE(filter.test(key));
+    EXPECT_EQ(filter.inserted(), 200u);
+}
+
+TEST(Bloom, FalsePositiveRateWithinConfiguredBound)
+{
+    BloomFilter filter(2048, 4);
+    std::mt19937_64 rng(11);
+    std::set<std::uint64_t> inserted;
+    while (inserted.size() < 128) {
+        const std::uint64_t key = rng();
+        if (inserted.insert(key).second)
+            filter.insert(key);
+    }
+
+    // At 16 bits/key the analytic rate is ~2.4e-3; measure over a
+    // large disjoint probe set and allow generous sampling slack.
+    const double predicted = filter.predictedFalsePositiveRate();
+    EXPECT_LT(predicted, 0.01);
+    int false_positives = 0;
+    const int probes = 100000;
+    for (int i = 0; i < probes; ++i) {
+        std::uint64_t key = rng();
+        while (inserted.count(key))
+            key = rng();
+        false_positives += filter.test(key) ? 1 : 0;
+    }
+    const double measured =
+        static_cast<double>(false_positives) / probes;
+    EXPECT_LT(measured, 3.0 * predicted + 1e-3);
+}
+
+TEST(Bloom, SerializationRoundTripsBitIdentical)
+{
+    BloomFilter filter(1024, 3);
+    std::mt19937_64 rng(3);
+    for (int i = 0; i < 64; ++i)
+        filter.insert(rng());
+
+    const BloomFilter copy = BloomFilter::fromWords(
+        filter.words(), filter.hashes(), filter.inserted());
+    EXPECT_TRUE(copy == filter);
+    EXPECT_EQ(copy.sizeBytes(), filter.sizeBytes());
+
+    // And the copy agrees on membership, key by key.
+    std::mt19937_64 replay(3);
+    for (int i = 0; i < 64; ++i)
+        EXPECT_TRUE(copy.test(replay()));
+}
+
+TEST(Bloom, RejectsDegenerateShapes)
+{
+    EXPECT_THROW(BloomFilter(0, 4), std::invalid_argument);
+    EXPECT_THROW(BloomFilter(64, 0), std::invalid_argument);
+    EXPECT_THROW(BloomFilter(64, 17), std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------
+// Vendor address mappings
+// ---------------------------------------------------------------------
+
+TEST(AddressMapping, BuiltinVendorMappingsAreBijections)
+{
+    dram::Geometry geom;
+    geom.banks = 4;
+    geom.rows_per_bank = 96; // Not a multiple of subarray_rows.
+    geom.words_per_row = 24; // Not a power of two.
+    geom.subarray_rows = 64;
+
+    for (const fleet::Vendor &vendor : fleet::Vendor::builtin()) {
+        std::set<int> rows, banks, words;
+        for (int r = 0; r < geom.rows_per_bank; ++r) {
+            const int pr = vendor.mapping.mapRow(r, geom);
+            ASSERT_GE(pr, 0) << vendor.name;
+            ASSERT_LT(pr, geom.rows_per_bank) << vendor.name;
+            rows.insert(pr);
+        }
+        for (int b = 0; b < geom.banks; ++b)
+            banks.insert(vendor.mapping.mapBank(b, geom));
+        for (int w = 0; w < geom.words_per_row; ++w) {
+            const int pw = vendor.mapping.mapWord(w, geom);
+            ASSERT_GE(pw, 0) << vendor.name;
+            ASSERT_LT(pw, geom.words_per_row) << vendor.name;
+            words.insert(pw);
+        }
+        EXPECT_EQ(rows.size(),
+                  static_cast<std::size_t>(geom.rows_per_bank))
+            << vendor.name;
+        EXPECT_EQ(banks.size(), static_cast<std::size_t>(geom.banks))
+            << vendor.name;
+        EXPECT_EQ(words.size(),
+                  static_cast<std::size_t>(geom.words_per_row))
+            << vendor.name;
+    }
+}
+
+TEST(AddressMapping, MappedDeviceRoundTripsReadsAndWrites)
+{
+    // The public DramDevice interface must behave identically under
+    // any bijective mapping: write-then-read returns the written
+    // word, and openRow() reports the logical row.
+    for (const fleet::Vendor &vendor : fleet::Vendor::builtin()) {
+        auto cfg = dram::DeviceConfig::make(vendor.manufacturer, 9, 1);
+        cfg.geometry.banks = 2;
+        cfg.geometry.rows_per_bank = 96;
+        cfg.geometry.words_per_row = 16;
+        cfg.mapping = vendor.mapping;
+        dram::DramDevice device(cfg);
+
+        double t = 0.0;
+        device.activate(t, 1, 37);
+        EXPECT_EQ(device.openRow(1), 37) << vendor.name;
+        t += cfg.timing.trcd_ns; // Full tRCD: reliable access.
+        device.write(t, 1, 5, 0xdeadbeefcafef00dull);
+        t += 50.0;
+        EXPECT_EQ(device.read(t, 1, 5), 0xdeadbeefcafef00dull)
+            << vendor.name;
+        device.precharge(t + 10.0, 1);
+        EXPECT_EQ(device.openRow(1), -1) << vendor.name;
+    }
+}
+
+// ---------------------------------------------------------------------
+// FleetConfig validation
+// ---------------------------------------------------------------------
+
+TEST(FleetConfig, ParsesTheFullKeySet)
+{
+    Params p = tinyFleet(32);
+    p.set("seed", 5)
+        .set("ambient_c", 40.0)
+        .set("temp_spread_c", 2.0)
+        .set("variability_sigma", 0.3)
+        .set("mix.A", 1.0)
+        .set("mix.B", 3.0)
+        .set("bloom_bits", 4096)
+        .set("bloom_hashes", 5)
+        .set("reprofile_delta_c", 7.5)
+        .set("max_profile_age_s", 60.0)
+        .set("device.3.vendor", "B")
+        .set("device.3.temp_offset_c", 9.0)
+        .set("device.4.seed", 77);
+    const FleetConfig cfg = FleetConfig::fromParams(p);
+    EXPECT_EQ(cfg.devices, 32);
+    EXPECT_EQ(cfg.seed, 5u);
+    EXPECT_DOUBLE_EQ(cfg.mix.at("B"), 3.0);
+    EXPECT_EQ(cfg.bloom_bits, 4096);
+    EXPECT_DOUBLE_EQ(cfg.reprofile_delta_c, 7.5);
+    ASSERT_EQ(cfg.overrides.size(), 2u);
+    EXPECT_EQ(cfg.overrides[0].id, 3);
+    EXPECT_EQ(cfg.overrides[0].vendor, "B");
+    EXPECT_TRUE(cfg.overrides[0].has_temp_offset);
+    EXPECT_EQ(cfg.overrides[1].seed, 77u);
+}
+
+TEST(FleetConfig, RejectsBadKeysAndValues)
+{
+    // Unknown key.
+    EXPECT_THROW(FleetConfig::fromParams(tinyFleet(4).set("typo", 1)),
+                 std::invalid_argument);
+    // Unknown vendor in the mix.
+    EXPECT_THROW(
+        FleetConfig::fromParams(tinyFleet(4).set("mix.Z", 1.0)),
+        std::invalid_argument);
+    // Negative weight.
+    EXPECT_THROW(
+        FleetConfig::fromParams(tinyFleet(4).set("mix.A", -1.0)),
+        std::invalid_argument);
+    // All-zero mix.
+    try {
+        FleetConfig::fromParams(tinyFleet(4)
+                                    .set("mix.A", 0.0)
+                                    .set("mix.B", 0.0)
+                                    .set("mix.C", 0.0));
+        FAIL() << "zero mix accepted";
+    } catch (const std::invalid_argument &e) {
+        EXPECT_NE(std::string(e.what()).find("sum to zero"),
+                  std::string::npos);
+    }
+    // Override for a device outside the population.
+    EXPECT_THROW(FleetConfig::fromParams(
+                     tinyFleet(4).set("device.9.vendor", "A")),
+                 std::invalid_argument);
+    // Unknown override key.
+    EXPECT_THROW(FleetConfig::fromParams(
+                     tinyFleet(4).set("device.1.bogus", "1")),
+                 std::invalid_argument);
+    // Nonsensical sizes.
+    EXPECT_THROW(FleetConfig::fromParams(tinyFleet(0)),
+                 std::invalid_argument);
+    EXPECT_THROW(
+        FleetConfig::fromParams(tinyFleet(4).set("bloom_hashes", 0)),
+        std::invalid_argument);
+    EXPECT_THROW(FleetConfig::fromParams(
+                     tinyFleet(4).set("reprofile_delta_c", 0.0)),
+                 std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------
+// Population
+// ---------------------------------------------------------------------
+
+TEST(Population, DeterministicInSeedAndDistinctAcrossSeeds)
+{
+    const FleetConfig cfg = FleetConfig::fromParams(tinyFleet(16));
+    Population a(cfg), b(cfg);
+    ASSERT_EQ(a.size(), 16u);
+    EXPECT_EQ(a.fingerprint(), b.fingerprint());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a.model(i).fingerprint(), b.model(i).fingerprint());
+        EXPECT_EQ(a.model(i).vendor, b.model(i).vendor);
+    }
+
+    FleetConfig other = cfg;
+    other.seed = 2;
+    EXPECT_NE(Population(other).fingerprint(), a.fingerprint());
+}
+
+TEST(Population, MixWeightsShapeTheVendorSplit)
+{
+    FleetConfig cfg = FleetConfig::fromParams(tinyFleet(2000));
+    cfg.mix = {{"A", 3.0}, {"B", 1.0}};
+    const Population pop(cfg);
+    const int a = pop.vendorCount("A");
+    const int b = pop.vendorCount("B");
+    EXPECT_EQ(pop.vendorCount("C"), 0); // Weight 0 when mix is set.
+    EXPECT_EQ(a + b, 2000);
+    EXPECT_NEAR(static_cast<double>(a) / (a + b), 0.75, 0.05);
+}
+
+TEST(Population, OverridesPinVendorSeedAndTempOffset)
+{
+    FleetConfig cfg = FleetConfig::fromParams(
+        tinyFleet(8)
+            .set("device.2.vendor", "C")
+            .set("device.2.seed", 1234)
+            .set("device.5.temp_offset_c", 11.5));
+    const Population pop(cfg);
+    EXPECT_EQ(pop.model(2).vendor, "C");
+    EXPECT_EQ(pop.model(2).config.seed, 1234u);
+    EXPECT_DOUBLE_EQ(pop.model(5).temp_offset_c, 11.5);
+
+    // An override changes only its device's identity.
+    const Population base(FleetConfig::fromParams(tinyFleet(8)));
+    EXPECT_EQ(base.model(3).fingerprint(), pop.model(3).fingerprint());
+    EXPECT_NE(base.model(2).fingerprint(), pop.model(2).fingerprint());
+}
+
+// ---------------------------------------------------------------------
+// ProfileStore
+// ---------------------------------------------------------------------
+
+/** Cold-profile device @p i of @p pop into @p store. */
+fleet::ProfileResult
+profileInto(const Population &pop, std::size_t i, ProfileStore &store)
+{
+    auto device = pop.build(i);
+    fleet::ProfileResult res = fleet::profileDevice(
+        pop.model(i), *device, pop.config(), nullptr);
+    store.put(res.profile);
+    return res;
+}
+
+TEST(ProfileStore, RoundTripsBitIdenticalThroughTheFile)
+{
+    const std::string path = tempStorePath("roundtrip");
+    std::remove(path.c_str());
+    const Population pop(FleetConfig::fromParams(tinyFleet(4)));
+
+    std::vector<fleet::DeviceProfile> written;
+    {
+        ProfileStore store(path, pop.fingerprint(), false);
+        for (std::size_t i = 0; i < pop.size(); ++i)
+            written.push_back(profileInto(pop, i, store).profile);
+        store.save();
+        EXPECT_LE(store.fileBytes() / pop.size(), 512u);
+    }
+    {
+        ProfileStore store(path, pop.fingerprint(), false);
+        EXPECT_EQ(store.size(), pop.size());
+        for (const auto &w : written) {
+            const auto got = store.get(w.device_id);
+            ASSERT_TRUE(got.has_value());
+            EXPECT_EQ(got->device_fingerprint, w.device_fingerprint);
+            EXPECT_EQ(got->generation, w.generation);
+            EXPECT_EQ(got->weak_cells, w.weak_cells);
+            EXPECT_EQ(got->profiled_at_ms, w.profiled_at_ms);
+            EXPECT_FLOAT_EQ(got->profiled_temp_c, w.profiled_temp_c);
+            ASSERT_EQ(got->points.size(), w.points.size());
+            EXPECT_TRUE(got->weak_set == w.weak_set); // Bit-identical.
+        }
+        EXPECT_EQ(store.hits(), pop.size());
+        EXPECT_EQ(store.misses(), 0u);
+    }
+    std::remove(path.c_str());
+}
+
+TEST(ProfileStore, RejectsSchemaVersionAndFingerprintMismatch)
+{
+    const std::string path = tempStorePath("reject");
+    std::remove(path.c_str());
+    const Population pop(FleetConfig::fromParams(tinyFleet(2)));
+    {
+        ProfileStore store(path, pop.fingerprint(), false);
+        profileInto(pop, 0, store);
+        store.save();
+    }
+
+    // Foreign population fingerprint: rejected with the regenerate
+    // path named.
+    try {
+        ProfileStore store(path, pop.fingerprint() ^ 1, false);
+        FAIL() << "foreign store accepted";
+    } catch (const std::runtime_error &e) {
+        EXPECT_NE(std::string(e.what()).find("store_regenerate"),
+                  std::string::npos);
+    }
+
+    // Bumped schema version in the header (offset 8): rejected.
+    {
+        std::fstream f(path,
+                       std::ios::in | std::ios::out | std::ios::binary);
+        ASSERT_TRUE(f.good());
+        const std::uint32_t bad = ProfileStore::kSchemaVersion + 1;
+        f.seekp(8);
+        f.write(reinterpret_cast<const char *>(&bad), sizeof(bad));
+    }
+    EXPECT_THROW(ProfileStore(path, pop.fingerprint(), false),
+                 std::runtime_error);
+
+    // regenerate=true: the stale store is discarded, not loaded.
+    {
+        ProfileStore store(path, pop.fingerprint(), true);
+        EXPECT_EQ(store.size(), 0u);
+        EXPECT_FALSE(store.get(0).has_value());
+    }
+    std::remove(path.c_str());
+}
+
+TEST(ProfileStore, SharedOpenRequiresOnePopulationPerPath)
+{
+    const std::string path = tempStorePath("shared");
+    std::remove(path.c_str());
+    auto first = ProfileStore::open(path, 111, false);
+    auto second = ProfileStore::open(path, 111, false);
+    EXPECT_EQ(first.get(), second.get()); // One instance per path.
+    EXPECT_THROW(ProfileStore::open(path, 222, false),
+                 std::runtime_error);
+    std::remove(path.c_str());
+}
+
+TEST(ProfileStore, WarmPassSkipsBloomNegativeWordsAndFindsSameCells)
+{
+    const Population pop(FleetConfig::fromParams(tinyFleet(2)));
+    auto device = pop.build(0);
+    const fleet::ProfileResult cold = fleet::profileDevice(
+        pop.model(0), *device, pop.config(), nullptr);
+    ASSERT_FALSE(cold.selection.empty());
+    EXPECT_FALSE(cold.stats.store_hit);
+    EXPECT_EQ(cold.stats.words_skipped, 0u);
+
+    const fleet::ProfileResult warm = fleet::profileDevice(
+        pop.model(0), *device, pop.config(), &cold.profile);
+    EXPECT_TRUE(warm.stats.store_hit);
+    EXPECT_GT(warm.stats.words_skipped, 0u);
+    EXPECT_LT(warm.stats.reads, cold.stats.reads);
+    EXPECT_EQ(warm.profile.generation, cold.profile.generation + 1);
+
+    // Zero false negatives: the warm pass only samples Bloom-flagged
+    // words, so every word it selects must test positive in the prior
+    // filter (sampling noise may move individual boundary cells, but
+    // never into a word the cold pass found empty).
+    ASSERT_FALSE(warm.selection.empty());
+    for (const auto &sel : warm.selection) {
+        for (int d = 0; d < 2; ++d) {
+            bool flagged = false;
+            for (int b = 0; b < 64 && !flagged; ++b)
+                flagged = cold.profile.weak_set.test(cellKey(
+                    sel.bank, sel.words[d].row,
+                    static_cast<long long>(sel.words[d].word) * 64 +
+                        b));
+            EXPECT_TRUE(flagged)
+                << "bank " << sel.bank << " row " << sel.words[d].row
+                << " word " << sel.words[d].word;
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// The "fleet" entropy source
+// ---------------------------------------------------------------------
+
+TEST(FleetSource, ColdThenStoreHitStartup)
+{
+    const std::string path = tempStorePath("source");
+    std::remove(path.c_str());
+
+    Params member = tinyMember(6, 3);
+    member.set("fleet.store", path);
+    std::uint64_t cold_scanned = 0;
+    {
+        auto src = Registry::make("fleet", member);
+        EXPECT_EQ(src->info().name, "fleet");
+        const auto bits = src->generate(4096);
+        EXPECT_GE(bits.size(), 4096u);
+        auto *fs = dynamic_cast<fleet::FleetSource *>(src.get());
+        ASSERT_NE(fs, nullptr);
+        const fleet::FleetStats st = fs->fleetStats();
+        EXPECT_EQ(st.cold_profiles, 3u);
+        EXPECT_EQ(st.store_hits, 0u);
+        cold_scanned = st.words_scanned;
+    }
+    {
+        auto src = Registry::make("fleet", member);
+        src->generate(4096);
+        auto *fs = dynamic_cast<fleet::FleetSource *>(src.get());
+        ASSERT_NE(fs, nullptr);
+        const fleet::FleetStats st = fs->fleetStats();
+        EXPECT_EQ(st.cold_profiles, 0u);
+        EXPECT_EQ(st.store_hits, 3u);
+        // The Bloom screen skips most of the region.
+        EXPECT_GT(st.words_skipped, 0u);
+        EXPECT_LT(st.words_scanned, cold_scanned / 2);
+    }
+    std::remove(path.c_str());
+}
+
+TEST(FleetSource, RejectsActiveSliceLargerThanThePopulation)
+{
+    EXPECT_THROW(Registry::make("fleet", tinyMember(2, 5)),
+                 std::invalid_argument);
+    EXPECT_THROW(
+        Registry::make("fleet", tinyMember(4, 2).set("typo", "1")),
+        std::invalid_argument);
+}
+
+TEST(FleetSource, TemperatureShiftQueuesAndReprofilesInline)
+{
+    auto src = Registry::make("fleet", tinyMember(4, 2));
+    src->generate(1024);
+    auto *fs = dynamic_cast<fleet::FleetSource *>(src.get());
+    ASSERT_NE(fs, nullptr);
+    EXPECT_EQ(fs->reprofilerStats().enqueued(), 0u);
+
+    // Default reprofile_delta_c is 5: a 12 degree step trips every
+    // active device; the next chunk boundary re-profiles inline and
+    // keeps serving without an alarm.
+    src->setTemperature(57.0);
+    EXPECT_EQ(fs->reprofilerStats().enqueued_temperature, 2u);
+    const auto bits = src->generate(2048);
+    EXPECT_GE(bits.size(), 2048u);
+    EXPECT_TRUE(src->healthy());
+    const fleet::FleetStats st = fs->fleetStats();
+    EXPECT_EQ(st.reprofiles, 2u);
+    EXPECT_EQ(fs->reprofilerStats().completed, 2u);
+}
+
+TEST(FleetSource, ServiceConfigFansTheFleetSectionOut)
+{
+    Params config;
+    const Params sub = tinyFleet(6);
+    for (const std::string &key : sub.keys())
+        config.set("fleet." + key, sub.getString(key));
+    config.set("pool.f0.source", "fleet")
+        .set("pool.f0.active_devices", "2")
+        .set("pool.f1.source", "fleet")
+        .set("pool.f1.active_devices", "1")
+        .set("pool.f1.fleet.devices", "3") // Member override wins.
+        .set("pool.aux.source", "chaosrand-absent");
+    ServiceConfig parsed = ServiceConfig::fromParams(config);
+    ASSERT_EQ(parsed.pool.size(), 3u);
+    for (const auto &pm : parsed.pool) {
+        if (pm.source != "fleet")
+            continue;
+        EXPECT_EQ(pm.params.getString("fleet.rows_per_bank"), "64");
+        EXPECT_EQ(pm.params.getString("fleet.devices"),
+                  pm.label == "f1" ? "3" : "6");
+    }
+
+    // A typo'd [fleet] key fails eagerly, before any member builds.
+    EXPECT_THROW(ServiceConfig::fromParams(
+                     Params{{"fleet.bogus", "1"},
+                            {"pool.a.source", "drange"}}),
+                 std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------
+// Reprofiler
+// ---------------------------------------------------------------------
+
+TEST(Reprofiler, DeduplicatesPerDeviceAndCountsByReason)
+{
+    Reprofiler queue;
+    EXPECT_TRUE(queue.enqueue(1, ReprofileReason::HealthAlarm));
+    EXPECT_TRUE(queue.enqueue(2, ReprofileReason::TemperatureShift));
+    EXPECT_FALSE(queue.enqueue(1, ReprofileReason::ProfileAge));
+    EXPECT_TRUE(queue.pending(1));
+    EXPECT_EQ(queue.pendingCount(), 2u);
+
+    const auto first = queue.pop();
+    ASSERT_TRUE(first.has_value());
+    EXPECT_EQ(first->device_id, 1u);
+    EXPECT_EQ(first->reason, ReprofileReason::HealthAlarm);
+    queue.markCompleted(first->device_id);
+
+    const auto rest = queue.drain();
+    ASSERT_EQ(rest.size(), 1u);
+    EXPECT_EQ(rest[0].device_id, 2u);
+    EXPECT_FALSE(queue.pop().has_value());
+
+    const fleet::ReprofilerStats st = queue.stats();
+    EXPECT_EQ(st.enqueued_health, 1u);
+    EXPECT_EQ(st.enqueued_temperature, 1u);
+    EXPECT_EQ(st.enqueued_age, 0u);
+    EXPECT_EQ(st.deduplicated, 1u);
+    EXPECT_EQ(st.completed, 1u);
+    EXPECT_EQ(st.enqueued(), 2u);
+
+    EXPECT_STREQ(toString(ReprofileReason::HealthAlarm),
+                 "health-alarm");
+    EXPECT_STREQ(toString(ReprofileReason::TemperatureShift),
+                 "temperature-shift");
+    EXPECT_STREQ(toString(ReprofileReason::ProfileAge),
+                 "profile-age");
+}
+
+TEST(Reprofiler, EnqueueIsThreadSafe)
+{
+    Reprofiler queue;
+    std::vector<std::thread> threads;
+    for (int t = 0; t < 4; ++t) {
+        threads.emplace_back([&queue, t] {
+            for (int i = 0; i < 64; ++i)
+                queue.enqueue(
+                    static_cast<std::uint32_t>(i),
+                    t % 2 ? ReprofileReason::TemperatureShift
+                          : ReprofileReason::ProfileAge);
+        });
+    }
+    for (auto &thread : threads)
+        thread.join();
+    // 64 unique devices queued once each; the rest deduplicated.
+    EXPECT_EQ(queue.pendingCount(), 64u);
+    const fleet::ReprofilerStats st = queue.stats();
+    EXPECT_EQ(st.enqueued(), 64u);
+    EXPECT_EQ(st.deduplicated, 4u * 64u - 64u);
+}
+
+} // namespace
